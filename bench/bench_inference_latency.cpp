@@ -1,0 +1,99 @@
+// Micro-benchmark — single-sample inference latency of the trained models
+// (google-benchmark). Context for the §IV-C / §V-D latency claims on this
+// host's CPU (the paper measured a Jetson TX2).
+#include <benchmark/benchmark.h>
+
+#include "support/bench_util.h"
+
+namespace {
+
+using namespace noble;
+using namespace noble::core;
+
+/// Shared state: train once, benchmark inference only.
+struct WifiFixtureState {
+  WifiExperiment exp;
+  NobleWifiModel model;
+  data::WifiDataset one;
+
+  WifiFixtureState() : model(bench::noble_wifi_config()) {
+    auto cfg = bench::uji_config();
+    cfg.total_samples = 2000;
+    exp = make_uji_experiment(cfg);
+    auto ncfg = bench::noble_wifi_config();
+    ncfg.epochs = 5;
+    model = NobleWifiModel(ncfg);
+    model.fit(exp.split.train);
+    one.num_aps = exp.split.test.num_aps;
+    one.samples = {exp.split.test.samples.front()};
+  }
+};
+
+WifiFixtureState& wifi_state() {
+  static WifiFixtureState state;
+  return state;
+}
+
+void BM_NobleWifiInference(benchmark::State& state) {
+  auto& s = wifi_state();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.model.predict(s.one));
+  }
+}
+BENCHMARK(BM_NobleWifiInference);
+
+void BM_NobleWifiBatch64(benchmark::State& state) {
+  auto& s = wifi_state();
+  data::WifiDataset batch;
+  batch.num_aps = s.exp.split.test.num_aps;
+  for (std::size_t i = 0; i < 64 && i < s.exp.split.test.size(); ++i) {
+    batch.samples.push_back(s.exp.split.test.samples[i]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.model.predict(batch));
+  }
+}
+BENCHMARK(BM_NobleWifiBatch64);
+
+struct ImuFixtureState {
+  ImuExperiment exp;
+  NobleImuTracker model;
+  data::ImuDataset one;
+
+  ImuFixtureState() : model(bench::noble_imu_config()) {
+    auto cfg = bench::imu_config();
+    cfg.num_paths = 800;
+    exp = make_imu_experiment(cfg);
+    auto icfg = bench::noble_imu_config();
+    icfg.epochs = 4;
+    model = NobleImuTracker(icfg);
+    model.fit(exp.split.train);
+    one.segment_dim = exp.split.test.segment_dim;
+    one.max_segments = exp.split.test.max_segments;
+    one.paths = {exp.split.test.paths.front()};
+  }
+};
+
+void BM_NobleImuInference(benchmark::State& state) {
+  static ImuFixtureState s;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.model.predict(s.one));
+  }
+}
+BENCHMARK(BM_NobleImuInference);
+
+void BM_GridQuantizerDecode(benchmark::State& state) {
+  auto& s = wifi_state();
+  const auto& q = s.model.quantizer();
+  const auto layout = s.model.layout();
+  linalg::Mat logits(1, layout.total());
+  logits(0, layout.fine_offset() + 3) = 5.0f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.decode(layout, logits.row(0)));
+  }
+}
+BENCHMARK(BM_GridQuantizerDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Table III — position error for IMU tracking.
+//
+// Paper values (mean/median m): Deep Regression Model 10.41/10.05,
+// [8] (map-assisted heuristic) 4.3/-, NObLe 2.52/0.4.
+#include <cstdio>
+
+#include "support/bench_util.h"
+
+int main() {
+  using namespace noble;
+  using namespace noble::core;
+
+  bench::print_banner("table3_imu", "Table III: position error for IMU tracking");
+  ImuExperiment exp = make_imu_experiment(bench::imu_config());
+  std::printf("track 160 m x 60 m, %zu reference points | train/val/test = "
+              "%zu/%zu/%zu paths (paper: 4389/1096/1372)\n\n",
+              exp.world.reference_points.size(), exp.split.train.size(),
+              exp.split.val.size(), exp.split.test.size());
+
+  print_table_header("TABLE III: position error distance (m) for IMU tracking");
+
+  {
+    DeepRegressionImu reg(bench::regression_config());
+    reg.fit(exp.split.train, &exp.split.val);
+    const auto report = evaluate_imu(reg.predict(exp.split.test), exp.split.test,
+                                     &exp.world.walkways);
+    bench::print_position_row("DEEP REGRESSION MODEL", report, "10.41", "10.05");
+  }
+  {
+    // [8] was measured on its own testbed, not on the paper's walks. A
+    // segment-bank matcher evaluated on the random path split would
+    // trivially memorize the duplicated inter-reference segments (§V-A
+    // construction), so this baseline is evaluated on paths from a fresh,
+    // disjoint walk — its honest generalization setting.
+    auto held_out_cfg = bench::imu_config();
+    held_out_cfg.seed += 7777;
+    ImuExperiment held_out = make_imu_experiment(held_out_cfg);
+    MapAssistedDeadReckoning dr({}, exp.world.walkways);
+    dr.fit(exp.split.train);
+    const auto report = evaluate_imu(dr.predict(held_out.split.test),
+                                     held_out.split.test, &exp.world.walkways);
+    bench::print_position_row("MAP DEAD RECKONING [8]*", report, "4.3", "n/a");
+  }
+  {
+    NobleImuTracker noble(bench::noble_imu_config());
+    const auto train_result = noble.fit(exp.split.train);
+    const auto preds = noble.predict(exp.split.test);
+    const auto report =
+        evaluate_imu(positions_of(preds), exp.split.test, &exp.world.walkways);
+    bench::print_position_row("NOBLE", report, "2.52", "0.4");
+    std::printf("\nNObLe detail: %zu neighborhood classes (tau=%.1f m), "
+                "final class loss %.3f, displacement loss %.4f\n",
+                noble.num_classes(), noble.config().quantize.tau,
+                train_result.class_loss_history.back(),
+                train_result.displacement_loss_history.back());
+    std::printf("* evaluated on a disjoint walk (see source comment); the paper "
+                "quotes [8]'s 4.3 m from its own 163 m x 62 m testbed.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Energy profiling — the §IV-C/§V-D deployment analysis for a model you
+// trained yourself: count MACs, apply a device profile, and compare against
+// continuous GPS fixes.
+//
+// Run: ./example_energy_profile
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "core/noble_wifi.h"
+#include "sim/energy.h"
+
+int main() {
+  using namespace noble;
+  using namespace noble::core;
+
+  std::printf("NObLe on-device energy profile (Jetson TX2 model)\n\n");
+
+  WifiExperimentConfig config;
+  config.total_samples = 2000;
+  WifiExperiment exp = make_uji_experiment(config);
+  NobleWifiConfig ncfg;
+  ncfg.epochs = 8;
+  NobleWifiModel model(ncfg);
+  model.fit(exp.split.train);
+
+  const sim::EnergyModel energy(sim::jetson_tx2_profile());
+  const auto cost = energy.inference(model.macs_per_inference(), model.parameter_bytes());
+  std::printf("model: %zu MACs, %zu KiB parameters\n", model.macs_per_inference(),
+              model.parameter_bytes() / 1024);
+  std::printf("per inference: %.5f J, %.2f ms\n", cost.energy_j, cost.latency_s * 1e3);
+
+  // Continuous localization at 1 Hz for an hour: NObLe vs GPS.
+  const double queries_per_hour = 3600.0;
+  const double noble_hourly = cost.energy_j * queries_per_hour;
+  const double gps_hourly = energy.gps_fix() * queries_per_hour;
+  std::printf("\n1 Hz localization for one hour:\n");
+  std::printf("  NObLe inference : %8.1f J\n", noble_hourly);
+  std::printf("  GPS fixes       : %8.1f J\n", gps_hourly);
+  std::printf("  ratio           : %8.1f x (paper reports ~27x including IMU "
+              "sensing for tracking)\n",
+              gps_hourly / noble_hourly);
+
+  // Swap in a custom device profile (public API usage).
+  sim::DeviceProfile low_power{
+      .name = "microcontroller",
+      .joules_per_mac = 50e-12,
+      .joules_per_byte = 2e-9,
+      .joules_overhead = 1e-4,
+      .latency_overhead_s = 5e-4,
+      .macs_per_second = 5e7,
+  };
+  const sim::EnergyModel mcu(low_power);
+  const auto mcu_cost = mcu.inference(model.macs_per_inference(), model.parameter_bytes());
+  std::printf("\nsame model on a '%s' profile: %.5f J, %.1f ms\n",
+              low_power.name.c_str(), mcu_cost.energy_j, mcu_cost.latency_s * 1e3);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart — the 60-second tour of the NObLe public API:
+//  1. build a synthetic indoor world and radio environment,
+//  2. collect a fingerprint dataset,
+//  3. train a NObLe localizer,
+//  4. localize and report position error.
+//
+// Run: ./example_quickstart
+#include <cstdio>
+
+#include "core/evaluate.h"
+#include "core/experiment.h"
+#include "core/noble_wifi.h"
+
+int main() {
+  using namespace noble;
+  using namespace noble::core;
+
+  std::printf("NObLe quickstart: train a structure-aware Wi-Fi localizer\n\n");
+
+  // 1-2. A small campus experiment: three buildings, corridors, access
+  // points, and an offline fingerprint collection walk.
+  WifiExperimentConfig config;
+  config.total_samples = 3000;
+  config.seed = 42;
+  WifiExperiment experiment = make_uji_experiment(config);
+  std::printf("collected %zu fingerprints over %zu APs (train %zu / val %zu / "
+              "test %zu)\n",
+              experiment.split.train.size() + experiment.split.val.size() +
+                  experiment.split.test.size(),
+              experiment.wifi->num_aps(), experiment.split.train.size(),
+              experiment.split.val.size(), experiment.split.test.size());
+
+  // 3. NObLe: quantize the output space into neighborhood classes and train
+  // the multi-label classifier (building | floor | fine class | coarse
+  // class) with binary cross-entropy.
+  NobleWifiConfig model_config;
+  model_config.quantize.tau = 3.0;      // fine grid side (m)
+  model_config.quantize.coarse_l = 15.0;  // coarse grid side (m)
+  model_config.epochs = 15;
+  NobleWifiModel model(model_config);
+  model.fit(experiment.split.train, &experiment.split.val);
+  std::printf("trained: %zu neighborhood classes, %zu coarse classes\n",
+              model.quantizer().num_fine_classes(),
+              model.quantizer().num_coarse_classes());
+
+  // 4. Localize the test set: predicted class -> cell center coordinates.
+  const auto predictions = model.predict(experiment.split.test);
+  const WifiReport report = evaluate_wifi(predictions, experiment.split.test,
+                                          model.quantizer(), &experiment.world.plan);
+  std::printf("\nresults on %zu test fingerprints:\n", predictions.size());
+  std::printf("  building accuracy : %.2f %%\n", 100.0 * report.building_accuracy);
+  std::printf("  floor accuracy    : %.2f %%\n", 100.0 * report.floor_accuracy);
+  std::printf("  mean position err : %.2f m\n", report.errors.mean);
+  std::printf("  median position err: %.2f m\n", report.errors.median);
+  std::printf("  predictions on-map: %.1f %%\n", 100.0 * report.structure_score);
+
+  // Bonus: localize one fingerprint "live".
+  data::WifiDataset one;
+  one.num_aps = experiment.split.test.num_aps;
+  one.samples = {experiment.split.test.samples.front()};
+  const auto p = model.predict(one).front();
+  std::printf("\nfirst test sample -> building %d, floor %d, position (%.1f, %.1f); "
+              "truth (%.1f, %.1f)\n",
+              p.building, p.floor, p.position.x, p.position.y,
+              one.samples[0].position.x, one.samples[0].position.y);
+  return 0;
+}

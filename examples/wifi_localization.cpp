@@ -1,0 +1,77 @@
+// Wi-Fi localization walkthrough — the full §IV pipeline on the UJI-like
+// campus, comparing NObLe against every baseline the paper evaluates, and
+// saving the trained model to disk for on-device deployment.
+//
+// Run: ./example_wifi_localization
+#include <cstdio>
+
+#include "core/baselines.h"
+#include "core/evaluate.h"
+#include "core/experiment.h"
+#include "core/noble_wifi.h"
+#include "nn/serialize.h"
+
+int main() {
+  using namespace noble;
+  using namespace noble::core;
+
+  std::printf("NObLe Wi-Fi localization: full comparison pipeline (§IV)\n\n");
+
+  WifiExperimentConfig config;
+  config.total_samples = 4000;
+  WifiExperiment exp = make_uji_experiment(config);
+
+  // --- NObLe ---------------------------------------------------------------
+  NobleWifiConfig ncfg;
+  ncfg.epochs = 20;
+  NobleWifiModel noble(ncfg);
+  noble.fit(exp.split.train, &exp.split.val);
+  const auto noble_report = evaluate_wifi(noble.predict(exp.split.test), exp.split.test,
+                                          noble.quantizer(), &exp.world.plan);
+
+  // --- Deep Regression (+ map projection) ----------------------------------
+  RegressionConfig rcfg;
+  rcfg.epochs = 20;
+  DeepRegressionWifi regression(rcfg);
+  regression.fit(exp.split.train, &exp.split.val);
+  const auto reg_report = evaluate_positions(regression.predict(exp.split.test),
+                                             exp.split.test, &exp.world.plan);
+
+  RegressionProjectionWifi projection(rcfg, exp.world.plan);
+  projection.fit(exp.split.train, &exp.split.val);
+  const auto proj_report = evaluate_positions(projection.predict(exp.split.test),
+                                              exp.split.test, &exp.world.plan);
+
+  // --- Classical fingerprint matching --------------------------------------
+  KnnFingerprintWifi knn(5);
+  knn.fit(exp.split.train);
+  std::vector<int> knn_buildings, knn_floors;
+  const auto knn_report = evaluate_positions(
+      knn.predict(exp.split.test, &knn_buildings, &knn_floors), exp.split.test,
+      &exp.world.plan);
+
+  std::printf("%-26s %10s %10s %10s\n", "model", "mean (m)", "median (m)", "on-map %");
+  std::printf("%-26s %10.2f %10.2f %10.1f\n", "NObLe", noble_report.errors.mean,
+              noble_report.errors.median, 100.0 * noble_report.structure_score);
+  std::printf("%-26s %10.2f %10.2f %10.1f\n", "Deep Regression",
+              reg_report.errors.mean, reg_report.errors.median,
+              100.0 * reg_report.structure_score);
+  std::printf("%-26s %10.2f %10.2f %10.1f\n", "Regression Projection",
+              proj_report.errors.mean, proj_report.errors.median,
+              100.0 * proj_report.structure_score);
+  std::printf("%-26s %10.2f %10.2f %10.1f\n", "Weighted kNN",
+              knn_report.errors.mean, knn_report.errors.median,
+              100.0 * knn_report.structure_score);
+
+  // --- Deployment: persist the trained network -----------------------------
+  const std::string path = "noble_wifi_model.bin";
+  if (nn::save_weights(noble.network(), path)) {
+    std::printf("\nsaved trained weights to %s (%zu parameters, %zu KiB)\n",
+                path.c_str(), noble.network().parameter_count(),
+                noble.parameter_bytes() / 1024);
+  }
+  std::printf("MACs per inference: %zu (feeds the sim::EnergyModel; see "
+              "example_energy_profile)\n",
+              noble.macs_per_inference());
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Lightweight contract checking (Core Guidelines I.6/I.8 style).
+//
+// NOBLE_EXPECTS / NOBLE_ENSURES abort with a readable message on violation.
+// They stay active in release builds: every caller of this library is a
+// research harness where silent corruption is worse than an abort.
+#ifndef NOBLE_COMMON_CHECK_H_
+#define NOBLE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace noble {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "[noble] %s violated: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace noble
+
+#define NOBLE_EXPECTS(cond) \
+  ((cond) ? (void)0 : ::noble::contract_failure("precondition", #cond, __FILE__, __LINE__))
+#define NOBLE_ENSURES(cond) \
+  ((cond) ? (void)0 : ::noble::contract_failure("postcondition", #cond, __FILE__, __LINE__))
+#define NOBLE_CHECK(cond) \
+  ((cond) ? (void)0 : ::noble::contract_failure("invariant", #cond, __FILE__, __LINE__))
+
+#endif  // NOBLE_COMMON_CHECK_H_

@@ -1,0 +1,39 @@
+#include "common/config.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace noble {
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end == v) ? fallback : parsed;
+}
+
+long env_int(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return (end == v) ? fallback : parsed;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
+double global_scale() {
+  static const double scale = std::clamp(env_double("NOBLE_SCALE", 1.0), 0.05, 100.0);
+  return scale;
+}
+
+std::size_t scaled(std::size_t n, std::size_t min_n) {
+  const auto s = static_cast<std::size_t>(static_cast<double>(n) * global_scale());
+  return std::max(s, min_n);
+}
+
+}  // namespace noble

@@ -1,0 +1,33 @@
+// Environment-driven experiment scaling.
+//
+// The reproduction runs on arbitrary hardware (the reference substrate is a
+// single-core container), so every benchmark multiplies its dataset sizes by
+// NOBLE_SCALE and reads a handful of named knobs. Defaults reproduce the
+// paper-shaped tables in a few minutes of CPU time.
+#ifndef NOBLE_COMMON_CONFIG_H_
+#define NOBLE_COMMON_CONFIG_H_
+
+#include <cstddef>
+#include <string>
+
+namespace noble {
+
+/// Global scale factor, from env NOBLE_SCALE (default 1.0, clamped to
+/// [0.05, 100]). Benchmarks multiply sample counts by this.
+double global_scale();
+
+/// Reads a double knob from the environment with a default.
+double env_double(const char* name, double fallback);
+
+/// Reads an integer knob from the environment with a default.
+long env_int(const char* name, long fallback);
+
+/// Reads a string knob from the environment with a default.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// n scaled by global_scale(), at least `min_n`.
+std::size_t scaled(std::size_t n, std::size_t min_n = 8);
+
+}  // namespace noble
+
+#endif  // NOBLE_COMMON_CONFIG_H_

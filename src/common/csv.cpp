@@ -1,0 +1,87 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace noble {
+
+int CsvTable::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+double CsvTable::number(std::size_t r, const std::string& column) const {
+  const int c = column_index(column);
+  NOBLE_EXPECTS(c >= 0);
+  NOBLE_EXPECTS(r < rows.size());
+  return std::stod(rows[r][static_cast<std::size_t>(c)]);
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  NOBLE_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::add_numeric_row(const std::vector<double>& cells) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  char buf[64];
+  for (double x : cells) {
+    std::snprintf(buf, sizeof buf, "%.6g", x);
+    row.emplace_back(buf);
+  }
+  add_row(std::move(row));
+}
+
+bool CsvWriter::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) out << ',';
+    out << header_[i];
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool load_csv(const std::string& path, bool has_header, CsvTable& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  out.header.clear();
+  out.rows.clear();
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> cells;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) cells.push_back(cell);
+    if (line.back() == ',') cells.emplace_back();
+    if (first && has_header) {
+      out.header = std::move(cells);
+      first = false;
+      continue;
+    }
+    first = false;
+    out.rows.push_back(std::move(cells));
+  }
+  return true;
+}
+
+}  // namespace noble

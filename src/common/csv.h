@@ -1,0 +1,54 @@
+// Minimal CSV reader/writer for experiment artifacts (figure dumps, dataset
+// persistence). Not a general-purpose parser: fields must not contain commas
+// or newlines, which all library artifacts satisfy.
+#ifndef NOBLE_COMMON_CSV_H_
+#define NOBLE_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+namespace noble {
+
+/// In-memory CSV table with an optional header row.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of the named column, or -1 if absent.
+  int column_index(const std::string& name) const;
+
+  /// Value of row r in the named column parsed as double.
+  /// Aborts if the column is missing or the cell is not numeric.
+  double number(std::size_t r, const std::string& column) const;
+};
+
+/// CSV writer accumulating rows in memory; `save` flushes to disk.
+class CsvWriter {
+ public:
+  /// Sets the header (first line) of the file.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a row of string cells. Must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a row of numeric cells (formatted with %.6g).
+  void add_numeric_row(const std::vector<double>& cells);
+
+  /// Writes the table to `path`; returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+  /// Number of data rows accumulated.
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Loads a CSV file; `has_header` consumes the first row as header.
+/// Returns false on I/O failure.
+bool load_csv(const std::string& path, bool has_header, CsvTable& out);
+
+}  // namespace noble
+
+#endif  // NOBLE_COMMON_CSV_H_

@@ -1,0 +1,56 @@
+// Descriptive statistics used by the evaluation harness and benchmarks.
+#ifndef NOBLE_COMMON_STATS_H_
+#define NOBLE_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace noble {
+
+/// Arithmetic mean; 0 for an empty input.
+double mean(const std::vector<double>& v);
+
+/// Population variance; 0 for inputs with fewer than 2 elements.
+double variance(const std::vector<double>& v);
+
+/// Population standard deviation.
+double stddev(const std::vector<double>& v);
+
+/// Median (average of the two middle elements for even sizes). Copies input.
+double median(std::vector<double> v);
+
+/// q-th percentile with linear interpolation, q in [0, 100]. Copies input.
+double percentile(std::vector<double> v, double q);
+
+/// Root mean square of the values.
+double rms(const std::vector<double>& v);
+
+/// Minimum; +inf for empty input.
+double min_value(const std::vector<double>& v);
+
+/// Maximum; -inf for empty input.
+double max_value(const std::vector<double>& v);
+
+/// Online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void push(double x);
+  /// Number of observations so far.
+  std::size_t count() const { return n_; }
+  /// Mean of observations so far (0 if none).
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator; 0 for fewer than 2 observations).
+  double variance() const;
+  /// Sample standard deviation.
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace noble
+
+#endif  // NOBLE_COMMON_STATS_H_

@@ -1,0 +1,413 @@
+#include "core/baselines.h"
+
+#include <cmath>
+#include <map>
+#include <numbers>
+
+#include "common/check.h"
+#include "linalg/ops.h"
+#include "manifold/isomap.h"
+#include "manifold/knn.h"
+#include "manifold/lle.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace noble::core {
+
+namespace {
+
+/// Two-hidden-layer regression trunk ending in a 2-unit linear output —
+/// same capacity as the NObLe trunk (§IV-B: "same network size").
+nn::Sequential make_regression_net(std::size_t input_dim, std::size_t hidden, Rng& rng) {
+  nn::Sequential net;
+  net.emplace<nn::Dense>(input_dim, hidden, rng);
+  net.emplace<nn::BatchNorm1d>(hidden);
+  net.emplace<nn::Tanh>();
+  net.emplace<nn::Dense>(hidden, hidden, rng);
+  net.emplace<nn::BatchNorm1d>(hidden);
+  net.emplace<nn::Tanh>();
+  net.emplace<nn::Dense>(hidden, 2, rng);
+  return net;
+}
+
+nn::TrainResult train_regression(nn::Sequential& net, const RegressionConfig& cfg,
+                                 const linalg::Mat& x, const linalg::Mat& y,
+                                 const linalg::Mat* xv, const linalg::Mat* yv) {
+  nn::Adam opt(cfg.learning_rate);
+  const nn::MseLoss loss;
+  nn::TrainConfig tc;
+  tc.epochs = cfg.epochs;
+  tc.batch_size = cfg.batch_size;
+  tc.lr_decay = cfg.lr_decay;
+  tc.patience = xv != nullptr ? cfg.patience : 0;
+  tc.shuffle_seed = cfg.seed ^ 0xABCDULL;
+  nn::Trainer trainer(opt, loss, tc);
+  return trainer.fit(net, x, y, xv, yv);
+}
+
+std::vector<geo::Point2> rows_to_points(const linalg::Mat& m) {
+  std::vector<geo::Point2> out;
+  out.reserve(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    out.push_back({static_cast<double>(m(i, 0)), static_cast<double>(m(i, 1))});
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DeepRegressionWifi
+// ---------------------------------------------------------------------------
+
+DeepRegressionWifi::DeepRegressionWifi(RegressionConfig config)
+    : config_(std::move(config)) {}
+
+nn::TrainResult DeepRegressionWifi::fit(const data::WifiDataset& train,
+                                        const data::WifiDataset* val) {
+  NOBLE_EXPECTS(train.size() >= 4);
+  input_dim_ = train.num_aps;
+  const linalg::Mat x = data::normalize_rssi(data::wifi_feature_matrix(train),
+                                             config_.representation);
+  const linalg::Mat y_raw = data::wifi_position_matrix(train);
+  target_scaler_.fit(y_raw);
+  const linalg::Mat y = target_scaler_.transform(y_raw);
+
+  Rng rng(config_.seed);
+  net_ = make_regression_net(input_dim_, config_.hidden_units, rng);
+
+  nn::TrainResult res;
+  if (val != nullptr && val->size() >= 2) {
+    const linalg::Mat xv = data::normalize_rssi(data::wifi_feature_matrix(*val),
+                                                config_.representation);
+    const linalg::Mat yv = target_scaler_.transform(data::wifi_position_matrix(*val));
+    res = train_regression(net_, config_, x, y, &xv, &yv);
+  } else {
+    res = train_regression(net_, config_, x, y, nullptr, nullptr);
+  }
+  fitted_ = true;
+  return res;
+}
+
+std::vector<geo::Point2> DeepRegressionWifi::predict(const data::WifiDataset& test) {
+  NOBLE_EXPECTS(fitted_);
+  const linalg::Mat x = data::normalize_rssi(data::wifi_feature_matrix(test),
+                                             config_.representation);
+  return rows_to_points(target_scaler_.inverse_transform(net_.predict(x)));
+}
+
+// ---------------------------------------------------------------------------
+// RegressionProjectionWifi
+// ---------------------------------------------------------------------------
+
+RegressionProjectionWifi::RegressionProjectionWifi(RegressionConfig config,
+                                                   const geo::FloorPlan& plan)
+    : inner_(std::move(config)), plan_(&plan) {}
+
+nn::TrainResult RegressionProjectionWifi::fit(const data::WifiDataset& train,
+                                              const data::WifiDataset* val) {
+  return inner_.fit(train, val);
+}
+
+std::vector<geo::Point2> RegressionProjectionWifi::predict(const data::WifiDataset& test) {
+  auto points = inner_.predict(test);
+  for (auto& p : points) p = plan_->project_to_accessible(p);
+  return points;
+}
+
+// ---------------------------------------------------------------------------
+// ManifoldRegressionWifi
+// ---------------------------------------------------------------------------
+
+ManifoldRegressionWifi::ManifoldRegressionWifi(ManifoldRegressionConfig config)
+    : config_(std::move(config)) {
+  NOBLE_EXPECTS(config_.embedding_dim >= 1);
+}
+
+linalg::Mat ManifoldRegressionWifi::embed(const linalg::Mat& features) const {
+  return embedder_->transform(features);
+}
+
+nn::TrainResult ManifoldRegressionWifi::fit(const data::WifiDataset& train,
+                                            const data::WifiDataset* val) {
+  NOBLE_EXPECTS(train.size() > config_.embedding_dim + 2);
+  const linalg::Mat x_full = data::normalize_rssi(data::wifi_feature_matrix(train),
+                                                  config_.regression.representation);
+
+  // Fit the embedder on a subsample (quadratic-cost algorithms), then embed
+  // every sample through the fitted model's out-of-sample extension.
+  Rng rng(config_.seed);
+  const std::size_t fit_n = std::min(config_.fit_subsample, x_full.rows());
+  const auto idx = rng.sample_without_replacement(x_full.rows(), fit_n);
+  const linalg::Mat x_fit = linalg::take_rows(x_full, idx);
+
+  if (config_.method == ManifoldMethod::kIsomap) {
+    embedder_ = std::make_unique<manifold::Isomap>(config_.embedding_dim, config_.k,
+                                                   config_.seed);
+  } else {
+    embedder_ = std::make_unique<manifold::Lle>(config_.embedding_dim, config_.k, 1e-3,
+                                                config_.seed);
+  }
+  embedder_->fit(x_fit);
+
+  const linalg::Mat e_raw = embed(x_full);
+  embed_scaler_.fit(e_raw);
+  const linalg::Mat e = embed_scaler_.transform(e_raw);
+
+  const linalg::Mat y_raw = data::wifi_position_matrix(train);
+  target_scaler_.fit(y_raw);
+  const linalg::Mat y = target_scaler_.transform(y_raw);
+
+  Rng net_rng(config_.seed ^ 0xBEEFULL);
+  net_ = make_regression_net(config_.embedding_dim, config_.regression.hidden_units,
+                             net_rng);
+
+  nn::TrainResult res;
+  if (val != nullptr && val->size() >= 2) {
+    const linalg::Mat xv = data::normalize_rssi(data::wifi_feature_matrix(*val),
+                                                config_.regression.representation);
+    const linalg::Mat ev = embed_scaler_.transform(embed(xv));
+    const linalg::Mat yv = target_scaler_.transform(data::wifi_position_matrix(*val));
+    res = train_regression(net_, config_.regression, e, y, &ev, &yv);
+  } else {
+    res = train_regression(net_, config_.regression, e, y, nullptr, nullptr);
+  }
+  fitted_ = true;
+  return res;
+}
+
+std::vector<geo::Point2> ManifoldRegressionWifi::predict(const data::WifiDataset& test) {
+  NOBLE_EXPECTS(fitted_);
+  const linalg::Mat x = data::normalize_rssi(data::wifi_feature_matrix(test),
+                                             config_.regression.representation);
+  const linalg::Mat e = embed_scaler_.transform(embed(x));
+  return rows_to_points(target_scaler_.inverse_transform(net_.predict(e)));
+}
+
+// ---------------------------------------------------------------------------
+// KnnFingerprintWifi
+// ---------------------------------------------------------------------------
+
+KnnFingerprintWifi::KnnFingerprintWifi(std::size_t k, data::RssiRepresentation rep)
+    : k_(k), rep_(rep) {
+  NOBLE_EXPECTS(k >= 1);
+}
+
+void KnnFingerprintWifi::fit(const data::WifiDataset& train) {
+  NOBLE_EXPECTS(train.size() >= k_);
+  train_features_ = data::normalize_rssi(data::wifi_feature_matrix(train), rep_);
+  train_positions_.clear();
+  train_buildings_.clear();
+  train_floors_.clear();
+  for (const auto& s : train.samples) {
+    train_positions_.push_back(s.position);
+    train_buildings_.push_back(s.building);
+    train_floors_.push_back(s.floor);
+  }
+}
+
+std::vector<geo::Point2> KnnFingerprintWifi::predict(const data::WifiDataset& test,
+                                                     std::vector<int>* buildings,
+                                                     std::vector<int>* floors) const {
+  NOBLE_EXPECTS(!train_positions_.empty());
+  const linalg::Mat x = data::normalize_rssi(data::wifi_feature_matrix(test), rep_);
+  std::vector<geo::Point2> out;
+  out.reserve(test.size());
+  if (buildings != nullptr) buildings->clear();
+  if (floors != nullptr) floors->clear();
+
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto nbs = manifold::knn_query(train_features_, x.row(i), k_);
+    double wx = 0.0, wy = 0.0, wsum = 0.0;
+    std::map<int, int> bvotes, fvotes;
+    for (const auto& nb : nbs) {
+      const double w = 1.0 / (nb.distance + 1e-6);
+      wx += w * train_positions_[nb.index].x;
+      wy += w * train_positions_[nb.index].y;
+      wsum += w;
+      ++bvotes[train_buildings_[nb.index]];
+      ++fvotes[train_floors_[nb.index]];
+    }
+    out.push_back({wx / wsum, wy / wsum});
+    auto majority = [](const std::map<int, int>& votes) {
+      int best = -1, best_n = -1;
+      for (const auto& [id, n] : votes) {
+        if (n > best_n) {
+          best_n = n;
+          best = id;
+        }
+      }
+      return best;
+    };
+    if (buildings != nullptr) buildings->push_back(majority(bvotes));
+    if (floors != nullptr) floors->push_back(majority(fvotes));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DeepRegressionImu
+// ---------------------------------------------------------------------------
+
+DeepRegressionImu::DeepRegressionImu(RegressionConfig config)
+    : config_(std::move(config)) {}
+
+linalg::Mat DeepRegressionImu::build_inputs(const data::ImuDataset& ds) const {
+  // IMU features plus the known start coordinates.
+  linalg::Mat x(ds.size(), ds.feature_dim() + 2);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto& p = ds.paths[i];
+    float* row = x.row(i);
+    std::copy(p.features.begin(), p.features.end(), row);
+    row[ds.feature_dim()] = static_cast<float>(p.start.x);
+    row[ds.feature_dim() + 1] = static_cast<float>(p.start.y);
+  }
+  return x;
+}
+
+nn::TrainResult DeepRegressionImu::fit(const data::ImuDataset& train,
+                                       const data::ImuDataset* val) {
+  NOBLE_EXPECTS(train.size() >= 4);
+  const linalg::Mat x_raw = build_inputs(train);
+  input_scaler_.fit(x_raw);
+  const linalg::Mat x = input_scaler_.transform(x_raw);
+  const linalg::Mat y_raw = data::imu_end_matrix(train);
+  target_scaler_.fit(y_raw);
+  const linalg::Mat y = target_scaler_.transform(y_raw);
+
+  Rng rng(config_.seed);
+  net_ = make_regression_net(x.cols(), config_.hidden_units, rng);
+
+  nn::TrainResult res;
+  if (val != nullptr && val->size() >= 2) {
+    const linalg::Mat xv = input_scaler_.transform(build_inputs(*val));
+    const linalg::Mat yv = target_scaler_.transform(data::imu_end_matrix(*val));
+    res = train_regression(net_, config_, x, y, &xv, &yv);
+  } else {
+    res = train_regression(net_, config_, x, y, nullptr, nullptr);
+  }
+  fitted_ = true;
+  return res;
+}
+
+std::vector<geo::Point2> DeepRegressionImu::predict(const data::ImuDataset& test) {
+  NOBLE_EXPECTS(fitted_);
+  const linalg::Mat x = input_scaler_.transform(build_inputs(test));
+  return rows_to_points(target_scaler_.inverse_transform(net_.predict(x)));
+}
+
+// ---------------------------------------------------------------------------
+// MapAssistedDeadReckoning
+// ---------------------------------------------------------------------------
+
+MapAssistedDeadReckoning::MapAssistedDeadReckoning(Config config,
+                                                   const geo::PathGraph& walkways)
+    : config_(config), walkways_(&walkways) {
+  NOBLE_EXPECTS(config.k >= 1);
+}
+
+std::vector<float> MapAssistedDeadReckoning::coarse_features(const float* segment) const {
+  const std::size_t readings = segment_dim_ / 6;
+  std::vector<float> out(6, 0.0f);
+  double sq[6] = {0};
+  for (std::size_t r = 0; r < readings; ++r) {
+    for (int c = 0; c < 6; ++c) {
+      const double v = segment[r * 6 + static_cast<std::size_t>(c)];
+      sq[c] += v * v;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(readings);
+  for (int c = 0; c < 6; ++c) {
+    out[static_cast<std::size_t>(c)] = static_cast<float>(std::sqrt(sq[c] * inv));
+  }
+  return out;
+}
+
+void MapAssistedDeadReckoning::fit(const data::ImuDataset& train) {
+  segment_dim_ = train.segment_dim;
+  // Collect (energy descriptor, travel distance) pairs from every training
+  // path; reference coordinates make per-segment distances available (§V-A).
+  std::vector<std::vector<float>> feats;
+  std::vector<double> dists;
+  for (const auto& p : train.paths) {
+    NOBLE_CHECK(p.segment_endpoints.size() == p.num_segments);
+    geo::Point2 prev = p.start;
+    for (std::size_t s = 0; s < p.num_segments; ++s) {
+      feats.push_back(coarse_features(p.features.data() + s * segment_dim_));
+      dists.push_back(geo::distance(p.segment_endpoints[s], prev));
+      prev = p.segment_endpoints[s];
+      if (feats.size() >= config_.max_bank) break;
+    }
+    if (feats.size() >= config_.max_bank) break;
+  }
+  NOBLE_CHECK(!feats.empty());
+  bank_features_.resize(feats.size(), feats[0].size());
+  bank_distances_ = std::move(dists);
+  for (std::size_t i = 0; i < feats.size(); ++i) {
+    std::copy(feats[i].begin(), feats[i].end(), bank_features_.row(i));
+  }
+}
+
+std::vector<geo::Point2> MapAssistedDeadReckoning::predict(
+    const data::ImuDataset& test) const {
+  NOBLE_EXPECTS(bank_features_.rows() > 0);
+  NOBLE_EXPECTS(test.segment_dim == segment_dim_);
+  std::vector<geo::Point2> out;
+  out.reserve(test.size());
+  const std::size_t readings = segment_dim_ / 6;
+
+  for (const auto& p : test.paths) {
+    geo::Point2 pos = p.start;
+    // Initial heading: the tracker knows its orientation at the start
+    // (generous to the baseline; [8] tracks continuously from a known pose).
+    double heading = 0.0;
+    if (!p.segment_endpoints.empty()) {
+      const geo::Point2 first = p.segment_endpoints.front() - p.start;
+      if (first.norm() > 1e-9) heading = std::atan2(first.y, first.x);
+    }
+    const double seg_duration =
+        p.num_segments > 0 ? p.duration_s / static_cast<double>(p.num_segments) : 0.0;
+    const double dt = seg_duration / static_cast<double>(readings);
+
+    for (std::size_t s = 0; s < p.num_segments; ++s) {
+      const float* seg = p.features.data() + s * segment_dim_;
+      // Travel distance via coarse-grained ML (uniform-weight kNN on
+      // energy features).
+      const auto coarse = coarse_features(seg);
+      const auto nbs = manifold::knn_query(bank_features_, coarse.data(), config_.k);
+      double dist = 0.0;
+      for (const auto& nb : nbs) dist += bank_distances_[nb.index];
+      dist /= static_cast<double>(nbs.size());
+
+      // Heading by integrating the yaw gyro (channel 5) — PDR proper. The
+      // segment's midpoint heading advances the position.
+      double yaw = 0.0;
+      for (std::size_t r = 0; r < readings; ++r) yaw += seg[r * 6 + 5] * dt;
+      const double mid_heading = heading + 0.5 * yaw;
+      heading += yaw;
+      pos = pos + geo::Point2{dist * std::cos(mid_heading), dist * std::sin(mid_heading)};
+
+      if (std::fabs(yaw) > config_.turn_threshold_rad) {
+        // [8]'s heuristic: turns happen only at map turn points — snap the
+        // estimate to the walkway network and re-anchor the heading to the
+        // local walkway direction (sign chosen to match the current
+        // heading), which is what bounds gyro drift between turns.
+        pos = walkways_->snap_to_path(pos);
+        const geo::Point2 dir = walkways_->nearest_edge_direction(pos);
+        const double along = std::atan2(dir.y, dir.x);
+        const double diff = std::remainder(heading - along, 2.0 * std::numbers::pi);
+        heading = (std::fabs(diff) <= std::numbers::pi / 2.0)
+                      ? along
+                      : std::remainder(along + std::numbers::pi,
+                                       2.0 * std::numbers::pi);
+      }
+    }
+    out.push_back(walkways_->snap_to_path(pos));
+  }
+  return out;
+}
+
+}  // namespace noble::core

@@ -1,0 +1,100 @@
+#include "core/evaluate.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace noble::core {
+
+namespace {
+
+std::vector<geo::Point2> truth_positions(const data::WifiDataset& ds) {
+  std::vector<geo::Point2> out;
+  out.reserve(ds.size());
+  for (const auto& s : ds.samples) out.push_back(s.position);
+  return out;
+}
+
+}  // namespace
+
+WifiReport evaluate_wifi(const std::vector<WifiPrediction>& predictions,
+                         const data::WifiDataset& truth, const SpaceQuantizer& quantizer,
+                         const geo::FloorPlan* plan) {
+  NOBLE_EXPECTS(predictions.size() == truth.size());
+  WifiReport report;
+  const auto pred_pos = positions_of(predictions);
+  report.errors = data::summarize_errors(
+      data::position_errors(pred_pos, truth_positions(truth)));
+
+  std::vector<int> pb, pf, pc, tb, tf, tc;
+  pb.reserve(predictions.size());
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    pb.push_back(predictions[i].building);
+    pf.push_back(predictions[i].floor);
+    pc.push_back(predictions[i].fine_class);
+    tb.push_back(truth.samples[i].building);
+    tf.push_back(truth.samples[i].floor);
+    tc.push_back(quantizer.fine_class_of(truth.samples[i].position));
+  }
+  report.building_accuracy = data::hit_rate(pb, tb);
+  report.floor_accuracy = data::hit_rate(pf, tf);
+  report.class_accuracy = data::hit_rate(pc, tc);
+  if (plan != nullptr) report.structure_score = data::structure_score(pred_pos, *plan);
+  return report;
+}
+
+PositionReport evaluate_positions(const std::vector<geo::Point2>& predictions,
+                                  const data::WifiDataset& truth,
+                                  const geo::FloorPlan* plan) {
+  NOBLE_EXPECTS(predictions.size() == truth.size());
+  PositionReport report;
+  report.errors = data::summarize_errors(
+      data::position_errors(predictions, truth_positions(truth)));
+  if (plan != nullptr) {
+    report.structure_score = data::structure_score(predictions, *plan);
+  }
+  return report;
+}
+
+PositionReport evaluate_imu(const std::vector<geo::Point2>& predictions,
+                            const data::ImuDataset& truth,
+                            const geo::PathGraph* walkways, double path_tolerance) {
+  NOBLE_EXPECTS(predictions.size() == truth.size());
+  std::vector<geo::Point2> ends;
+  ends.reserve(truth.size());
+  for (const auto& p : truth.paths) ends.push_back(p.end);
+  PositionReport report;
+  report.errors = data::summarize_errors(data::position_errors(predictions, ends));
+  if (walkways != nullptr) {
+    report.structure_score = data::structure_score(predictions, *walkways, path_tolerance);
+  }
+  return report;
+}
+
+std::vector<geo::Point2> positions_of(const std::vector<WifiPrediction>& preds) {
+  std::vector<geo::Point2> out;
+  out.reserve(preds.size());
+  for (const auto& p : preds) out.push_back(p.position);
+  return out;
+}
+
+std::vector<geo::Point2> positions_of(const std::vector<ImuPrediction>& preds) {
+  std::vector<geo::Point2> out;
+  out.reserve(preds.size());
+  for (const auto& p : preds) out.push_back(p.position);
+  return out;
+}
+
+void print_table_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-38s %16s %16s\n", "METRIC", "PAPER", "MEASURED");
+  std::printf("%.*s\n", 72, "------------------------------------------------------------------------");
+}
+
+void print_metric_row(const std::string& name, const std::string& paper_value,
+                      double measured, const std::string& unit) {
+  std::printf("%-38s %16s %13.3f %s\n", name.c_str(), paper_value.c_str(), measured,
+              unit.c_str());
+}
+
+}  // namespace noble::core

@@ -1,0 +1,59 @@
+// Evaluation harness: computes the metrics the paper reports (Tables I-III)
+// and prints paper-style rows with the published numbers alongside.
+#ifndef NOBLE_CORE_EVALUATE_H_
+#define NOBLE_CORE_EVALUATE_H_
+
+#include <string>
+
+#include "core/noble_imu.h"
+#include "core/noble_wifi.h"
+#include "data/metrics.h"
+
+namespace noble::core {
+
+/// Full Wi-Fi localization report (Table I metrics).
+struct WifiReport {
+  data::ErrorStats errors;
+  double building_accuracy = 0.0;
+  double floor_accuracy = 0.0;
+  double class_accuracy = 0.0;
+  /// Fraction of predictions inside the accessible map (Fig. 4 metric).
+  double structure_score = 0.0;
+};
+
+/// Position-only report for regression baselines (Table II metrics).
+struct PositionReport {
+  data::ErrorStats errors;
+  double structure_score = 0.0;
+};
+
+/// Evaluates NObLe Wi-Fi predictions against ground truth. `plan` may be
+/// null (skips the structure score).
+WifiReport evaluate_wifi(const std::vector<WifiPrediction>& predictions,
+                         const data::WifiDataset& truth, const SpaceQuantizer& quantizer,
+                         const geo::FloorPlan* plan);
+
+/// Evaluates raw position predictions (baselines).
+PositionReport evaluate_positions(const std::vector<geo::Point2>& predictions,
+                                  const data::WifiDataset& truth,
+                                  const geo::FloorPlan* plan);
+
+/// Evaluates IMU tracking predictions; structure is measured against the
+/// walkway network with `path_tolerance` meters (Fig. 5 metric).
+PositionReport evaluate_imu(const std::vector<geo::Point2>& predictions,
+                            const data::ImuDataset& truth,
+                            const geo::PathGraph* walkways, double path_tolerance = 2.0);
+
+/// Extracts decoded positions from NObLe predictions.
+std::vector<geo::Point2> positions_of(const std::vector<WifiPrediction>& preds);
+std::vector<geo::Point2> positions_of(const std::vector<ImuPrediction>& preds);
+
+/// Printing helpers used by every benchmark binary: a fixed-width row of
+/// "metric | paper | measured".
+void print_table_header(const std::string& title);
+void print_metric_row(const std::string& name, const std::string& paper_value,
+                      double measured, const std::string& unit = "");
+
+}  // namespace noble::core
+
+#endif  // NOBLE_CORE_EVALUATE_H_

@@ -1,0 +1,67 @@
+#include "core/experiment.h"
+
+#include "common/config.h"
+#include "sim/imu_dataset.h"
+#include "sim/wifi_dataset.h"
+
+namespace noble::core {
+
+namespace {
+
+WifiExperiment build_wifi_experiment(geo::IndoorWorld world,
+                                     const WifiExperimentConfig& config) {
+  WifiExperiment exp;
+  exp.world = std::move(world);
+  exp.wifi = std::make_unique<sim::WifiWorld>(exp.world, config.radio, config.seed);
+
+  Rng rng(config.seed ^ 0xF00DULL);
+  sim::CollectionConfig cc;
+  cc.max_samples = scaled(config.total_samples);
+  data::WifiDataset all = sim::collect_wifi_dataset(exp.world, *exp.wifi, cc, rng);
+
+  Rng split_rng(config.seed ^ 0x5417ULL);
+  exp.split = data::split_wifi(all, config.val_frac, config.test_frac, split_rng);
+  return exp;
+}
+
+}  // namespace
+
+WifiExperiment make_uji_experiment(const WifiExperimentConfig& config) {
+  return build_wifi_experiment(geo::make_uji_like_campus(), config);
+}
+
+WifiExperiment make_ipin_experiment(WifiExperimentConfig config) {
+  // Single small building: fewer samples and a denser AP deployment suffice.
+  if (config.total_samples == WifiExperimentConfig{}.total_samples) {
+    config.total_samples = 3000;
+  }
+  config.radio.aps_per_floor = std::max<std::size_t>(config.radio.aps_per_floor, 12);
+  return build_wifi_experiment(geo::make_ipin_like_building(), config);
+}
+
+ImuExperiment make_imu_experiment(const ImuExperimentConfig& config) {
+  ImuExperiment exp;
+  exp.world = geo::make_outdoor_track();
+
+  Rng rng(config.seed ^ 0x1517ULL);
+  std::vector<sim::ImuRecording> recordings;
+  const double per_walk = config.total_walk_time_s / static_cast<double>(config.num_walks);
+  for (std::size_t w = 0; w < config.num_walks; ++w) {
+    Rng walk_rng = rng.split(w + 1);
+    recordings.push_back(sim::simulate_walk(exp.world, config.imu, per_walk, walk_rng));
+  }
+
+  sim::PathConfig pc;
+  pc.readings_per_segment = static_cast<std::size_t>(
+      env_int("NOBLE_IMU_READINGS", static_cast<long>(config.readings_per_segment)));
+  pc.max_segments = config.max_segments;
+  pc.num_paths = scaled(config.num_paths);
+  Rng path_rng(config.seed ^ 0x9A7BULL);
+  data::ImuDataset all = sim::build_imu_paths(recordings, pc, path_rng);
+
+  Rng split_rng(config.seed ^ 0x3C1DULL);
+  exp.split = data::split_imu(all, config.val_frac, config.test_frac, split_rng);
+  return exp;
+}
+
+}  // namespace noble::core

@@ -1,0 +1,69 @@
+// Canned experiment setups shared by benchmarks, examples and integration
+// tests. Each builder constructs the synthetic world, simulates data
+// collection, and splits it — everything seeded and env-scalable
+// (NOBLE_SCALE multiplies sample counts; see common/config.h).
+#ifndef NOBLE_CORE_EXPERIMENT_H_
+#define NOBLE_CORE_EXPERIMENT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "data/dataset.h"
+#include "geo/campus.h"
+#include "sim/imu.h"
+#include "sim/wifi.h"
+
+namespace noble::core {
+
+/// A ready-to-run Wi-Fi experiment: world, radio environment, data splits.
+struct WifiExperiment {
+  geo::IndoorWorld world;
+  std::unique_ptr<sim::WifiWorld> wifi;
+  data::WifiSplit split;
+};
+
+/// Sizing knobs for the Wi-Fi experiments.
+struct WifiExperimentConfig {
+  /// Total collected samples (before split), scaled by NOBLE_SCALE.
+  std::size_t total_samples = 9000;
+  double val_frac = 0.12;
+  double test_frac = 0.20;
+  sim::WifiConfig radio;
+  std::uint64_t seed = 2021;
+};
+
+/// UJI-like three-building campus experiment (§IV, Tables I & II).
+WifiExperiment make_uji_experiment(const WifiExperimentConfig& config = {});
+
+/// IPIN-like single-building experiment (§IV-B text).
+WifiExperiment make_ipin_experiment(WifiExperimentConfig config = {});
+
+/// A ready-to-run IMU experiment: outdoor world and path splits.
+struct ImuExperiment {
+  geo::OutdoorWorld world;
+  data::ImuSplit split;
+};
+
+/// Sizing knobs for the IMU experiment (§V-A protocol).
+struct ImuExperimentConfig {
+  /// Number of constructed paths (paper: 6857), scaled by NOBLE_SCALE.
+  std::size_t num_paths = 4000;
+  /// Total walking time across the two recordings (paper: ~75 min).
+  double total_walk_time_s = 4500.0;
+  std::size_t num_walks = 2;
+  /// Readings per segment window after resampling (paper raw: 768;
+  /// overridable via NOBLE_IMU_READINGS).
+  std::size_t readings_per_segment = 32;
+  std::size_t max_segments = 50;
+  double val_frac = 0.16;  // paper: 4389 / 1096 / 1372
+  double test_frac = 0.20;
+  sim::ImuConfig imu;
+  std::uint64_t seed = 2021;
+};
+
+/// Campus IMU tracking experiment (§V, Table III).
+ImuExperiment make_imu_experiment(const ImuExperimentConfig& config = {});
+
+}  // namespace noble::core
+
+#endif  // NOBLE_CORE_EXPERIMENT_H_

@@ -1,0 +1,332 @@
+#include "core/noble_imu.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/ops.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/rbf_output.h"
+
+namespace noble::core {
+
+NobleImuTracker::NobleImuTracker(NobleImuConfig config) : config_(std::move(config)) {
+  NOBLE_EXPECTS(config_.projection_dim >= 1);
+  NOBLE_EXPECTS(config_.displacement_weight >= 0.0);
+  NOBLE_EXPECTS(config_.segment_supervision_weight >= 0.0);
+  NOBLE_EXPECTS(config_.displacement_scale > 0.0);
+}
+
+linalg::Mat NobleImuTracker::scaled_features(const data::ImuDataset& ds) const {
+  linalg::Mat x(ds.size(), ds.feature_dim());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto& p = ds.paths[i];
+    float* row = x.row(i);
+    const std::size_t used = p.num_segments * segment_dim_;
+    for (std::size_t j = 0; j < used; ++j) {
+      const std::size_t ch = j % 6;
+      row[j] = static_cast<float>((p.features[j] - channel_mean_[ch]) *
+                                  channel_inv_std_[ch]);
+    }
+    // Padded region stays exactly zero.
+  }
+  return x;
+}
+
+namespace {
+
+/// Masked sum over segments: V(i) = sum_{s < num_segments(i)} seg(i, s).
+/// `mask` is (n x segments*2) with 1s on real segments.
+linalg::Mat masked_segment_sum(const linalg::Mat& seg, const linalg::Mat& mask) {
+  NOBLE_EXPECTS(seg.rows() == mask.rows() && seg.cols() == mask.cols());
+  linalg::Mat v(seg.rows(), 2);
+  for (std::size_t i = 0; i < seg.rows(); ++i) {
+    const float* srow = seg.row(i);
+    const float* mrow = mask.row(i);
+    double sx = 0.0, sy = 0.0;
+    for (std::size_t j = 0; j < seg.cols(); j += 2) {
+      sx += static_cast<double>(srow[j]) * mrow[j];
+      sy += static_cast<double>(srow[j + 1]) * mrow[j + 1];
+    }
+    v(i, 0) = static_cast<float>(sx);
+    v(i, 1) = static_cast<float>(sy);
+  }
+  return v;
+}
+
+/// Builds the (n x segments*2) validity mask of a dataset.
+linalg::Mat build_segment_mask(const data::ImuDataset& ds) {
+  linalg::Mat mask(ds.size(), ds.max_segments * 2);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    float* row = mask.row(i);
+    for (std::size_t s = 0; s < ds.paths[i].num_segments; ++s) {
+      row[s * 2] = 1.0f;
+      row[s * 2 + 1] = 1.0f;
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+ImuTrainResult NobleImuTracker::fit(const data::ImuDataset& train) {
+  NOBLE_EXPECTS(train.size() >= 4);
+  feature_dim_ = train.feature_dim();
+  max_segments_ = train.max_segments;
+  segment_dim_ = train.segment_dim;
+
+  // Quantize on both start and end positions so start one-hot encoding and
+  // end classes share one codebook.
+  std::vector<geo::Point2> all_pos;
+  all_pos.reserve(train.size() * 2);
+  for (const auto& p : train.paths) {
+    all_pos.push_back(p.start);
+    all_pos.push_back(p.end);
+  }
+  quantizer_.fit(all_pos, config_.quantize);
+  layout_ = quantizer_.layout(/*num_buildings=*/0, /*num_floors=*/0);
+  const std::size_t num_classes = layout_.num_fine;
+
+  // Per-channel statistics over real (non-padded) readings.
+  double sum[6] = {0}, sq[6] = {0};
+  std::size_t count = 0;
+  for (const auto& p : train.paths) {
+    const std::size_t used = p.num_segments * segment_dim_;
+    for (std::size_t j = 0; j < used; ++j) {
+      const std::size_t ch = j % 6;
+      sum[ch] += p.features[j];
+      sq[ch] += static_cast<double>(p.features[j]) * p.features[j];
+    }
+    count += p.num_segments * (segment_dim_ / 6);
+  }
+  NOBLE_CHECK(count > 0);
+  for (int ch = 0; ch < 6; ++ch) {
+    channel_mean_[ch] = sum[ch] / static_cast<double>(count);
+    const double var =
+        sq[ch] / static_cast<double>(count) - channel_mean_[ch] * channel_mean_[ch];
+    channel_inv_std_[ch] = var > 1e-12 ? 1.0 / std::sqrt(var) : 1.0;
+  }
+
+  // --- Networks (Fig. 5a) --------------------------------------------------
+  // The displacement module is realized as a weight-shared per-segment
+  // displacement estimator (seghead_) whose outputs are summed over the real
+  // segments of a path: projection -> per-segment displacement -> sum. The
+  // per-segment estimates are supervised from the reference coordinates
+  // (§V-A makes them available); the summed vector feeds the location net.
+  Rng rng(config_.seed);
+  projnet_ = nn::Sequential();
+  projnet_.emplace<nn::TimeDistributedDense>(max_segments_, segment_dim_,
+                                             config_.projection_dim, rng);
+  projnet_.emplace<nn::Tanh>();
+
+  seghead_ = nn::Sequential();
+  seghead_.emplace<nn::TimeDistributedDense>(max_segments_, config_.projection_dim, 2,
+                                             rng);
+
+  // Location network: the one-hot start class is embedded through the same
+  // class -> cell-center lookup used at inference (§IV-A), added to the
+  // displacement vector, and classified by a distance-based output layer
+  // (§III-C's Euclidean form of the classification head). Prototypes are
+  // initialized at the quantizer cell centers — the geometric solution —
+  // and refined jointly by training.
+  locnet_ = nn::Sequential();
+  auto& rbf = locnet_.emplace<nn::RbfOutput>(2, num_classes, rng, 0.01f);
+  const auto cs = static_cast<float>(config_.location_input_scale);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    const geo::Point2 center = quantizer_.fine().center(static_cast<int>(c));
+    rbf.prototypes()(c, 0) += static_cast<float>(center.x) * cs;
+    rbf.prototypes()(c, 1) += static_cast<float>(center.y) * cs;
+  }
+
+  // --- Training data --------------------------------------------------------
+  const float inv_scale = static_cast<float>(1.0 / config_.displacement_scale);
+  const linalg::Mat x = scaled_features(train);
+  const linalg::Mat seg_mask = build_segment_mask(train);
+  std::vector<geo::Point2> ends;
+  std::vector<int> start_classes;
+  linalg::Mat disp_true(train.size(), 2);
+  linalg::Mat seg_true(train.size(), max_segments_ * 2);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const auto& p = train.paths[i];
+    ends.push_back(p.end);
+    start_classes.push_back(quantizer_.fine_class_of(p.start));
+    disp_true(i, 0) = static_cast<float>(p.end.x - p.start.x) * inv_scale;
+    disp_true(i, 1) = static_cast<float>(p.end.y - p.start.y) * inv_scale;
+    geo::Point2 prev = p.start;
+    for (std::size_t s = 0; s < p.num_segments && s < p.segment_endpoints.size(); ++s) {
+      const geo::Point2 d = p.segment_endpoints[s] - prev;
+      prev = p.segment_endpoints[s];
+      seg_true(i, s * 2) = static_cast<float>(d.x) * inv_scale;
+      seg_true(i, s * 2 + 1) = static_cast<float>(d.y) * inv_scale;
+    }
+  }
+  const linalg::Mat targets = quantizer_.build_targets(layout_, ends, {}, {});
+
+  // --- Joint minibatch loop --------------------------------------------------
+  nn::Adam opt(config_.learning_rate);
+  const nn::BceWithLogitsLoss class_loss(config_.positive_weight);
+  const nn::MseLoss disp_loss;
+  Rng shuffle_rng(config_.seed ^ 0x51DEULL);
+
+  std::vector<std::size_t> order(train.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::vector<linalg::Mat*> all_params, all_grads;
+  for (nn::Sequential* net : {&projnet_, &seghead_, &locnet_}) {
+    for (auto* p : net->params()) all_params.push_back(p);
+    for (auto* g : net->grads()) all_grads.push_back(g);
+  }
+
+  ImuTrainResult result;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    shuffle_rng.shuffle(order);
+    double cls_sum = 0.0, disp_sum = 0.0, seg_sum = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t startb = 0; startb < order.size(); startb += config_.batch_size) {
+      const std::size_t endb = std::min(order.size(), startb + config_.batch_size);
+      if (endb - startb < 2) break;
+      std::vector<std::size_t> idx(order.begin() + static_cast<std::ptrdiff_t>(startb),
+                                   order.begin() + static_cast<std::ptrdiff_t>(endb));
+      const linalg::Mat xb = linalg::take_rows(x, idx);
+      const linalg::Mat tb = linalg::take_rows(targets, idx);
+      const linalg::Mat db = linalg::take_rows(disp_true, idx);
+      const linalg::Mat sb = linalg::take_rows(seg_true, idx);
+      const linalg::Mat mb = linalg::take_rows(seg_mask, idx);
+      std::vector<int> sc(idx.size());
+      for (std::size_t i = 0; i < idx.size(); ++i) sc[i] = start_classes[idx[i]];
+
+      // Forward: projection -> per-segment displacements -> masked sum ->
+      // location classifier.
+      const linalg::Mat& proj = projnet_.forward(xb, /*training=*/true);
+      const linalg::Mat& seg_pred = seghead_.forward(proj, /*training=*/true);
+      const linalg::Mat v = masked_segment_sum(seg_pred, mb);
+      const linalg::Mat loc_in = location_inputs(v, sc);
+      const linalg::Mat& logits = locnet_.forward(loc_in, /*training=*/true);
+
+      // Losses.
+      linalg::Mat dlogits, dv_mse, dseg_mse;
+      cls_sum += class_loss.compute(logits, tb, dlogits);
+      disp_sum += disp_loss.compute(v, db, dv_mse);
+      linalg::Mat seg_pred_masked;
+      linalg::hadamard(seg_pred, mb, seg_pred_masked);
+      seg_sum += disp_loss.compute(seg_pred_masked, sb, dseg_mse);
+      ++batches;
+
+      for (nn::Sequential* net : {&projnet_, &seghead_, &locnet_}) net->zero_grads();
+
+      // Backward. dV = location-net input slice + path-displacement MSE.
+      linalg::Mat dloc_in;
+      locnet_.backward(dlogits, dloc_in);
+      const auto alpha = static_cast<float>(config_.displacement_weight);
+      const auto beta = static_cast<float>(config_.segment_supervision_weight);
+      const auto chain = static_cast<float>(config_.location_input_scale *
+                                            config_.displacement_scale);
+      linalg::Mat dseg(seg_pred.rows(), seg_pred.cols());
+      for (std::size_t i = 0; i < seg_pred.rows(); ++i) {
+        // Chain rule through the location-input embedding (x cs x ds).
+        const float dvx = dloc_in(i, 0) * chain + alpha * dv_mse(i, 0);
+        const float dvy = dloc_in(i, 1) * chain + alpha * dv_mse(i, 1);
+        const float* mrow = mb.row(i);
+        const float* grow = dseg_mse.row(i);
+        float* drow = dseg.row(i);
+        for (std::size_t j = 0; j < seg_pred.cols(); j += 2) {
+          // Sum routes dV to every real segment; per-segment MSE adds its
+          // own masked term.
+          drow[j] = mrow[j] * (dvx + beta * grow[j]);
+          drow[j + 1] = mrow[j + 1] * (dvy + beta * grow[j + 1]);
+        }
+      }
+      linalg::Mat dproj, dx_unused;
+      seghead_.backward(dseg, dproj);
+      projnet_.backward(dproj, dx_unused);
+      opt.step(all_params, all_grads);
+    }
+    result.class_loss_history.push_back(cls_sum / static_cast<double>(batches));
+    result.displacement_loss_history.push_back(disp_sum / static_cast<double>(batches));
+    result.segment_loss_history.push_back(seg_sum / static_cast<double>(batches));
+    ++result.epochs_run;
+    opt.set_learning_rate(opt.learning_rate() * config_.lr_decay);
+  }
+  fitted_ = true;
+  return result;
+}
+
+linalg::Mat NobleImuTracker::location_inputs(const linalg::Mat& displacement,
+                                             const std::vector<int>& start_classes) const {
+  // Embedding of (start class, displacement): the start class decodes to its
+  // cell center (meters), the displacement is rescaled to meters, and the
+  // sum — the estimated end position — enters the distance-based location
+  // head in scaled coordinates.
+  const auto cs = static_cast<float>(config_.location_input_scale);
+  const auto ds = static_cast<float>(config_.displacement_scale);
+  linalg::Mat in(displacement.rows(), 2);
+  for (std::size_t i = 0; i < displacement.rows(); ++i) {
+    const int sc = start_classes[i];
+    NOBLE_EXPECTS(sc >= 0 && static_cast<std::size_t>(sc) < layout_.num_fine);
+    const geo::Point2 start = quantizer_.fine().center(sc);
+    in(i, 0) = (static_cast<float>(start.x) + displacement(i, 0) * ds) * cs;
+    in(i, 1) = (static_cast<float>(start.y) + displacement(i, 1) * ds) * cs;
+  }
+  return in;
+}
+
+std::vector<ImuPrediction> NobleImuTracker::predict(const data::ImuDataset& test) {
+  NOBLE_EXPECTS(fitted_);
+  NOBLE_EXPECTS(test.segment_dim == segment_dim_ && test.max_segments == max_segments_);
+  const linalg::Mat x = scaled_features(test);
+  const linalg::Mat mask = build_segment_mask(test);
+  std::vector<int> start_classes(test.size());
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    start_classes[i] = quantizer_.fine_class_of(test.paths[i].start);
+  }
+  const linalg::Mat proj = projnet_.predict(x);
+  const linalg::Mat seg = seghead_.predict(proj);
+  const linalg::Mat v = masked_segment_sum(seg, mask);
+  const linalg::Mat logits = locnet_.predict(location_inputs(v, start_classes));
+
+  std::vector<ImuPrediction> out;
+  out.reserve(test.size());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const DecodedPrediction d = quantizer_.decode(layout_, logits.row(i));
+    out.push_back({d.fine_class, d.position,
+                   {static_cast<double>(v(i, 0)) * config_.displacement_scale,
+                    static_cast<double>(v(i, 1)) * config_.displacement_scale}});
+  }
+  return out;
+}
+
+std::vector<std::vector<geo::Point2>> NobleImuTracker::predict_segment_displacements(
+    const data::ImuDataset& test) {
+  NOBLE_EXPECTS(fitted_);
+  const linalg::Mat x = scaled_features(test);
+  const linalg::Mat proj = projnet_.predict(x);
+  const linalg::Mat seg = seghead_.predict(proj);
+  std::vector<std::vector<geo::Point2>> out(test.size());
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const std::size_t n = test.paths[i].num_segments;
+    out[i].reserve(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      out[i].push_back({static_cast<double>(seg(i, s * 2)) * config_.displacement_scale,
+                        static_cast<double>(seg(i, s * 2 + 1)) *
+                            config_.displacement_scale});
+    }
+  }
+  return out;
+}
+
+std::size_t NobleImuTracker::macs_per_inference() const {
+  return projnet_.macs_per_inference(feature_dim_) +
+         seghead_.macs_per_inference(max_segments_ * config_.projection_dim) +
+         locnet_.macs_per_inference(2 + layout_.num_fine);
+}
+
+std::size_t NobleImuTracker::parameter_bytes() {
+  return (projnet_.parameter_count() + seghead_.parameter_count() +
+          locnet_.parameter_count()) *
+         sizeof(float);
+}
+
+}  // namespace noble::core

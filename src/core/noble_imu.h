@@ -1,0 +1,130 @@
+// NObLe for IMU device tracking (§V).
+//
+// Three modules per Fig. 5(a):
+//  * projection — a weight-shared TimeDistributedDense that maps every
+//    inter-reference IMU window g_i to a low-dimensional embedding;
+//  * displacement network — a weight-shared per-segment displacement
+//    estimator over the projections whose outputs are summed across the real
+//    segments of the path, yielding the 2-D path displacement vector
+//    (environment-agnostic and reusable, as §V-B notes);
+//  * location network — takes the displacement vector and the start
+//    neighborhood class (embedded through the class -> cell-center lookup)
+//    and emits end-class logits through a distance-based output layer, the
+//    explicit form of §III-C's ||w_c - z||^2 classification geometry, with
+//    prototypes initialized at the quantizer cell centers.
+// Training is joint: BCE on the end class, an auxiliary MSE on the path
+// displacement vector, and (optionally) a weight-shared per-segment
+// displacement head on the projection output. All displacement labels come
+// from the reference GPS coordinates (§V-A).
+#ifndef NOBLE_CORE_NOBLE_IMU_H_
+#define NOBLE_CORE_NOBLE_IMU_H_
+
+#include <cstdint>
+
+#include "core/quantize.h"
+#include "data/dataset.h"
+#include "data/preprocess.h"
+#include "nn/network.h"
+
+namespace noble::core {
+
+/// Hyperparameters of the IMU tracker.
+struct NobleImuConfig {
+  /// Output-space quantization at tau = 0.4 m (§V-B).
+  QuantizeConfig quantize{.tau = 0.4,
+                          .coarse_l = 4.0,
+                          .use_coarse = false,
+                          .adjacency_labels = true,
+                          .adjacency_ring = 1,
+                          .adjacency_value = 0.5f};
+  /// Per-segment projection embedding size.
+  std::size_t projection_dim = 12;
+  double learning_rate = 2e-3;
+  double lr_decay = 0.99;
+  std::size_t epochs = 60;
+  std::size_t batch_size = 32;
+  /// Weight of the auxiliary path-displacement MSE term.
+  double displacement_weight = 1.0;
+  /// Weight of the per-segment displacement supervision on the projection
+  /// output (0 disables the head). Ablated in bench/ablation_labels.
+  double segment_supervision_weight = 1.0;
+  /// Displacement targets are divided by this scale (meters) so the
+  /// networks regress O(1) values; predictions are rescaled on output.
+  double displacement_scale = 25.0;
+  /// Meters-to-embedding scale of the location network: the estimated end
+  /// position (start-class center + displacement) enters the distance-based
+  /// head multiplied by this factor, which acts as the softmax/sigmoid
+  /// temperature of the -1/2||h - w_c||^2 logits (§III-C).
+  double location_input_scale = 0.2;
+  double positive_weight = 4.0;
+  std::uint64_t seed = 47;
+};
+
+/// One decoded tracking prediction.
+struct ImuPrediction {
+  int fine_class = 0;
+  geo::Point2 position;      ///< decoded end position (cell center).
+  geo::Point2 displacement;  ///< displacement-network output (diagnostic).
+};
+
+/// Per-epoch losses of the joint training.
+struct ImuTrainResult {
+  std::vector<double> class_loss_history;
+  std::vector<double> displacement_loss_history;
+  std::vector<double> segment_loss_history;
+  std::size_t epochs_run = 0;
+};
+
+/// Trainable NObLe IMU tracker.
+class NobleImuTracker {
+ public:
+  explicit NobleImuTracker(NobleImuConfig config = {});
+
+  /// Fits the quantizer and all modules on training paths.
+  ImuTrainResult fit(const data::ImuDataset& train);
+
+  /// Predicts the ending position of each test path.
+  std::vector<ImuPrediction> predict(const data::ImuDataset& test);
+
+  /// Per-segment displacement estimates from the shared projection +
+  /// segment head (meters; one Point2 per real segment of each path).
+  /// The §V-B "plug into other environments" reuse path.
+  std::vector<std::vector<geo::Point2>> predict_segment_displacements(
+      const data::ImuDataset& test);
+
+  bool fitted() const { return fitted_; }
+  const NobleImuConfig& config() const { return config_; }
+  const SpaceQuantizer& quantizer() const { return quantizer_; }
+  /// Number of neighborhood classes (output and start-encoding size).
+  std::size_t num_classes() const { return quantizer_.num_fine_classes(); }
+
+  /// MACs of one inference (projection + displacement + location nets).
+  std::size_t macs_per_inference() const;
+  /// Total parameter bytes across all modules.
+  std::size_t parameter_bytes();
+
+ private:
+  linalg::Mat location_inputs(const linalg::Mat& displacement,
+                              const std::vector<int>& start_classes) const;
+
+  /// Per-channel standardization that preserves zero padding: only the
+  /// entries of real (non-padded) segments are scaled.
+  linalg::Mat scaled_features(const data::ImuDataset& ds) const;
+
+  NobleImuConfig config_;
+  SpaceQuantizer quantizer_;
+  LabelLayout layout_;  // classes only (no building/floor blocks)
+  nn::Sequential projnet_;  // shared projection module
+  nn::Sequential seghead_;  // per-segment displacement estimator (summed -> V)
+  nn::Sequential locnet_;   // location module
+  double channel_mean_[6] = {0, 0, 0, 0, 0, 0};
+  double channel_inv_std_[6] = {1, 1, 1, 1, 1, 1};
+  std::size_t feature_dim_ = 0;
+  std::size_t max_segments_ = 0;
+  std::size_t segment_dim_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace noble::core
+
+#endif  // NOBLE_CORE_NOBLE_IMU_H_

@@ -1,0 +1,127 @@
+#include "core/noble_wifi.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace noble::core {
+
+namespace {
+
+/// Extracts positions / building ids / floor ids from a dataset.
+void unpack(const data::WifiDataset& ds, std::vector<geo::Point2>& pos,
+            std::vector<int>& b, std::vector<int>& f) {
+  pos.reserve(ds.size());
+  b.reserve(ds.size());
+  f.reserve(ds.size());
+  for (const auto& s : ds.samples) {
+    pos.push_back(s.position);
+    b.push_back(s.building);
+    f.push_back(s.floor);
+  }
+}
+
+}  // namespace
+
+NobleWifiModel::NobleWifiModel(NobleWifiConfig config) : config_(std::move(config)) {
+  NOBLE_EXPECTS(config_.hidden_units >= 2);
+}
+
+nn::TrainResult NobleWifiModel::fit(const data::WifiDataset& train,
+                                    const data::WifiDataset* val) {
+  NOBLE_EXPECTS(train.size() >= 4);
+  input_dim_ = train.num_aps;
+
+  std::vector<geo::Point2> pos;
+  std::vector<int> bld, flr;
+  unpack(train, pos, bld, flr);
+
+  if (config_.predict_building) {
+    num_buildings_ =
+        static_cast<std::size_t>(*std::max_element(bld.begin(), bld.end())) + 1;
+  }
+  if (config_.predict_floor) {
+    num_floors_ = static_cast<std::size_t>(*std::max_element(flr.begin(), flr.end())) + 1;
+  }
+
+  quantizer_.fit(pos, config_.quantize);
+  layout_ = quantizer_.layout(num_buildings_, num_floors_);
+
+  // Inputs and multi-hot targets.
+  const linalg::Mat x = data::normalize_rssi(data::wifi_feature_matrix(train),
+                                             config_.representation);
+  const linalg::Mat y = quantizer_.build_targets(
+      layout_, pos, config_.predict_building ? bld : std::vector<int>{},
+      config_.predict_floor ? flr : std::vector<int>{});
+
+  // §IV-A network: two hidden tanh layers of 128 with batch norm.
+  Rng rng(config_.seed);
+  net_ = nn::Sequential();
+  net_.emplace<nn::Dense>(input_dim_, config_.hidden_units, rng);
+  net_.emplace<nn::BatchNorm1d>(config_.hidden_units);
+  net_.emplace<nn::Tanh>();
+  net_.emplace<nn::Dense>(config_.hidden_units, config_.hidden_units, rng);
+  net_.emplace<nn::BatchNorm1d>(config_.hidden_units);
+  net_.emplace<nn::Tanh>();
+  net_.emplace<nn::Dense>(config_.hidden_units, layout_.total(), rng);
+
+  nn::Adam opt(config_.learning_rate);
+  const nn::BceWithLogitsLoss loss(config_.positive_weight);
+  nn::TrainConfig tc;
+  tc.epochs = config_.epochs;
+  tc.batch_size = config_.batch_size;
+  tc.lr_decay = config_.lr_decay;
+  tc.patience = val != nullptr ? config_.patience : 0;
+  tc.shuffle_seed = config_.seed ^ 0xD1CEULL;
+  nn::Trainer trainer(opt, loss, tc);
+
+  nn::TrainResult result;
+  if (val != nullptr && val->size() >= 2) {
+    std::vector<geo::Point2> vpos;
+    std::vector<int> vb, vf;
+    unpack(*val, vpos, vb, vf);
+    const linalg::Mat xv = data::normalize_rssi(data::wifi_feature_matrix(*val),
+                                                config_.representation);
+    const linalg::Mat yv = quantizer_.build_targets(
+        layout_, vpos, config_.predict_building ? vb : std::vector<int>{},
+        config_.predict_floor ? vf : std::vector<int>{});
+    result = trainer.fit(net_, x, y, &xv, &yv);
+  } else {
+    result = trainer.fit(net_, x, y);
+  }
+  fitted_ = true;
+  return result;
+}
+
+std::vector<WifiPrediction> NobleWifiModel::predict(const data::WifiDataset& test) {
+  NOBLE_EXPECTS(fitted_);
+  NOBLE_EXPECTS(test.num_aps == input_dim_);
+  const linalg::Mat x = data::normalize_rssi(data::wifi_feature_matrix(test),
+                                             config_.representation);
+  const linalg::Mat logits = net_.predict(x);
+  const bool hierarchical = config_.hierarchical_decode && layout_.num_coarse > 0;
+  std::vector<WifiPrediction> out;
+  out.reserve(test.size());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const DecodedPrediction d = hierarchical
+                                    ? quantizer_.decode_hierarchical(layout_, logits.row(i))
+                                    : quantizer_.decode(layout_, logits.row(i));
+    out.push_back({d.building, d.floor, d.fine_class, d.position});
+  }
+  return out;
+}
+
+std::size_t NobleWifiModel::macs_per_inference() const {
+  return net_.macs_per_inference(input_dim_);
+}
+
+std::size_t NobleWifiModel::parameter_bytes() {
+  return net_.parameter_count() * sizeof(float);
+}
+
+}  // namespace noble::core

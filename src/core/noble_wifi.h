@@ -1,0 +1,87 @@
+// NObLe for Wi-Fi fingerprint localization (§IV).
+//
+// Architecture per §IV-A: a two-hidden-layer feed-forward network (128 units,
+// hyperbolic tangent, batch normalization, Xavier init) whose output layer is
+// the concatenated multi-label block [building | floor | fine class c |
+// coarse class r], trained with binary cross-entropy on multi-hot targets.
+// Inference decodes the fine class to its cell center.
+#ifndef NOBLE_CORE_NOBLE_WIFI_H_
+#define NOBLE_CORE_NOBLE_WIFI_H_
+
+#include <cstdint>
+
+#include "core/quantize.h"
+#include "data/dataset.h"
+#include "data/preprocess.h"
+#include "nn/network.h"
+#include "nn/trainer.h"
+
+namespace noble::core {
+
+/// Hyperparameters of the Wi-Fi NObLe model.
+struct NobleWifiConfig {
+  QuantizeConfig quantize;
+  std::size_t hidden_units = 128;
+  bool predict_building = true;
+  bool predict_floor = true;
+  /// Decode the fine class hierarchically through the coarse head
+  /// (§III-B multi-granularity decode). Requires quantize.use_coarse.
+  bool hierarchical_decode = false;
+  double learning_rate = 2e-3;
+  double lr_decay = 0.97;
+  std::size_t epochs = 25;
+  std::size_t batch_size = 64;
+  std::size_t patience = 6;
+  /// BCE positive-class weight (fine-grained quantization makes positives
+  /// extremely sparse).
+  double positive_weight = 6.0;
+  data::RssiRepresentation representation = data::RssiRepresentation::kPowed;
+  std::uint64_t seed = 42;
+};
+
+/// One decoded test-time prediction.
+struct WifiPrediction {
+  int building = -1;
+  int floor = -1;
+  int fine_class = 0;
+  geo::Point2 position;
+};
+
+/// Trainable NObLe Wi-Fi localizer.
+class NobleWifiModel {
+ public:
+  explicit NobleWifiModel(NobleWifiConfig config = {});
+
+  /// Fits quantizers and network on the training set; optional validation
+  /// set drives early stopping.
+  nn::TrainResult fit(const data::WifiDataset& train,
+                      const data::WifiDataset* val = nullptr);
+
+  /// Predicts (building, floor, class, position) for every test sample.
+  std::vector<WifiPrediction> predict(const data::WifiDataset& test);
+
+  bool fitted() const { return fitted_; }
+  const NobleWifiConfig& config() const { return config_; }
+  const SpaceQuantizer& quantizer() const { return quantizer_; }
+  const LabelLayout& layout() const { return layout_; }
+  nn::Sequential& network() { return net_; }
+
+  /// Dense-layer MAC count of one inference (energy model input).
+  std::size_t macs_per_inference() const;
+  /// Total parameter bytes (energy model input).
+  std::size_t parameter_bytes();
+
+ private:
+  NobleWifiConfig config_;
+  SpaceQuantizer quantizer_;
+  LabelLayout layout_;
+  nn::Sequential net_;
+  std::size_t input_dim_ = 0;
+  std::size_t num_buildings_ = 0;
+  std::size_t num_floors_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace noble::core
+
+#endif  // NOBLE_CORE_NOBLE_WIFI_H_

@@ -1,0 +1,99 @@
+#include "data/dataset.h"
+
+#include "common/check.h"
+
+namespace noble::data {
+
+namespace {
+
+std::vector<std::size_t> shuffled_indices(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  rng.shuffle(idx);
+  return idx;
+}
+
+}  // namespace
+
+WifiSplit split_wifi(const WifiDataset& all, double val_frac, double test_frac, Rng& rng) {
+  NOBLE_EXPECTS(val_frac >= 0.0 && test_frac >= 0.0 && val_frac + test_frac < 1.0);
+  const auto idx = shuffled_indices(all.size(), rng);
+  const auto n_val = static_cast<std::size_t>(val_frac * static_cast<double>(all.size()));
+  const auto n_test = static_cast<std::size_t>(test_frac * static_cast<double>(all.size()));
+  WifiSplit split;
+  split.train.num_aps = split.val.num_aps = split.test.num_aps = all.num_aps;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const WifiSample& s = all.samples[idx[i]];
+    if (i < n_val) {
+      split.val.samples.push_back(s);
+    } else if (i < n_val + n_test) {
+      split.test.samples.push_back(s);
+    } else {
+      split.train.samples.push_back(s);
+    }
+  }
+  return split;
+}
+
+ImuSplit split_imu(const ImuDataset& all, double val_frac, double test_frac, Rng& rng) {
+  NOBLE_EXPECTS(val_frac >= 0.0 && test_frac >= 0.0 && val_frac + test_frac < 1.0);
+  const auto idx = shuffled_indices(all.size(), rng);
+  const auto n_val = static_cast<std::size_t>(val_frac * static_cast<double>(all.size()));
+  const auto n_test = static_cast<std::size_t>(test_frac * static_cast<double>(all.size()));
+  ImuSplit split;
+  for (ImuDataset* part : {&split.train, &split.val, &split.test}) {
+    part->segment_dim = all.segment_dim;
+    part->max_segments = all.max_segments;
+  }
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const ImuPath& p = all.paths[idx[i]];
+    if (i < n_val) {
+      split.val.paths.push_back(p);
+    } else if (i < n_val + n_test) {
+      split.test.paths.push_back(p);
+    } else {
+      split.train.paths.push_back(p);
+    }
+  }
+  return split;
+}
+
+linalg::Mat wifi_feature_matrix(const WifiDataset& ds) {
+  linalg::Mat x(ds.size(), ds.num_aps);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    NOBLE_EXPECTS(ds.samples[i].rssi.size() == ds.num_aps);
+    float* row = x.row(i);
+    for (std::size_t j = 0; j < ds.num_aps; ++j) row[j] = ds.samples[i].rssi[j];
+  }
+  return x;
+}
+
+linalg::Mat wifi_position_matrix(const WifiDataset& ds) {
+  linalg::Mat y(ds.size(), 2);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    y(i, 0) = static_cast<float>(ds.samples[i].position.x);
+    y(i, 1) = static_cast<float>(ds.samples[i].position.y);
+  }
+  return y;
+}
+
+linalg::Mat imu_feature_matrix(const ImuDataset& ds) {
+  linalg::Mat x(ds.size(), ds.feature_dim());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    NOBLE_EXPECTS(ds.paths[i].features.size() == ds.feature_dim());
+    float* row = x.row(i);
+    for (std::size_t j = 0; j < ds.feature_dim(); ++j) row[j] = ds.paths[i].features[j];
+  }
+  return x;
+}
+
+linalg::Mat imu_end_matrix(const ImuDataset& ds) {
+  linalg::Mat y(ds.size(), 2);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    y(i, 0) = static_cast<float>(ds.paths[i].end.x);
+    y(i, 1) = static_cast<float>(ds.paths[i].end.y);
+  }
+  return y;
+}
+
+}  // namespace noble::data

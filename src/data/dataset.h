@@ -1,0 +1,98 @@
+// Dataset schemas mirroring the paper's two applications.
+//
+// Wi-Fi fingerprints follow the UJIIndoorLoc layout: one RSSI value per
+// access point (sentinel +100 when not detected), building id, floor id and
+// metric position. IMU paths follow §V-A: a fixed-layout concatenation of
+// per-segment inertial windows plus start/end reference positions.
+#ifndef NOBLE_DATA_DATASET_H_
+#define NOBLE_DATA_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/point.h"
+#include "linalg/matrix.h"
+
+namespace noble::data {
+
+/// UJI-style sentinel for "access point not detected".
+inline constexpr float kNotDetectedRssi = 100.0f;
+/// Weakest observable signal (dBm); UJI uses -104 dBm.
+inline constexpr float kMinRssiDbm = -104.0f;
+
+/// One offline fingerprint observation: (s⃗, b, f, (x, y)).
+struct WifiSample {
+  std::vector<float> rssi;  ///< dBm per AP; kNotDetectedRssi when unseen.
+  int building = 0;
+  int floor = 0;
+  geo::Point2 position;
+};
+
+/// A fingerprint radio map plus metadata.
+struct WifiDataset {
+  std::size_t num_aps = 0;
+  std::vector<WifiSample> samples;
+
+  std::size_t size() const { return samples.size(); }
+};
+
+/// Train/validation/test split of a Wi-Fi dataset.
+struct WifiSplit {
+  WifiDataset train, val, test;
+};
+
+/// Random split by fractions (val_frac + test_frac < 1). Deterministic in rng.
+WifiSplit split_wifi(const WifiDataset& all, double val_frac, double test_frac, Rng& rng);
+
+/// One IMU travel path (§V-A): fixed-layout features
+/// [segment_0 | segment_1 | ... | segment_{max_segments-1}] with zero padding
+/// past `num_segments`, plus endpoints.
+struct ImuPath {
+  std::vector<float> features;   ///< max_segments * segment_dim floats.
+  std::size_t num_segments = 0;  ///< actual segments before padding.
+  geo::Point2 start;             ///< start reference position (known input).
+  geo::Point2 end;               ///< label: path ending position.
+  int start_ref = 0;             ///< index of the starting reference point.
+  int end_ref = 0;               ///< index of the ending reference point.
+  double duration_s = 0.0;       ///< walking time represented by the path.
+  /// Reference position after each segment (size num_segments; the last one
+  /// equals `end`). Available at training time because every reference
+  /// location has GPS coordinates (§V-A); used by the map-assisted
+  /// dead-reckoning baseline and the displacement supervision.
+  std::vector<geo::Point2> segment_endpoints;
+};
+
+/// IMU path dataset with its fixed layout parameters.
+struct ImuDataset {
+  std::size_t segment_dim = 0;   ///< floats per segment window.
+  std::size_t max_segments = 0;  ///< fixed feature layout length.
+  std::vector<ImuPath> paths;
+
+  std::size_t size() const { return paths.size(); }
+  std::size_t feature_dim() const { return segment_dim * max_segments; }
+};
+
+/// Train/validation/test split of an IMU dataset.
+struct ImuSplit {
+  ImuDataset train, val, test;
+};
+
+/// Random split by fractions, keeping layout metadata.
+ImuSplit split_imu(const ImuDataset& all, double val_frac, double test_frac, Rng& rng);
+
+/// Stacks RSSI vectors into an n x num_aps matrix (raw dBm / sentinel form).
+linalg::Mat wifi_feature_matrix(const WifiDataset& ds);
+
+/// Stacks positions into an n x 2 matrix.
+linalg::Mat wifi_position_matrix(const WifiDataset& ds);
+
+/// Stacks IMU features into an n x feature_dim matrix.
+linalg::Mat imu_feature_matrix(const ImuDataset& ds);
+
+/// Stacks IMU end positions into an n x 2 matrix.
+linalg::Mat imu_end_matrix(const ImuDataset& ds);
+
+}  // namespace noble::data
+
+#endif  // NOBLE_DATA_DATASET_H_

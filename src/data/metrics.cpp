@@ -1,0 +1,61 @@
+#include "data/metrics.h"
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace noble::data {
+
+std::vector<double> position_errors(const std::vector<geo::Point2>& predicted,
+                                    const std::vector<geo::Point2>& truth) {
+  NOBLE_EXPECTS(predicted.size() == truth.size());
+  std::vector<double> errs(predicted.size());
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    errs[i] = geo::distance(predicted[i], truth[i]);
+  }
+  return errs;
+}
+
+ErrorStats summarize_errors(const std::vector<double>& errors) {
+  ErrorStats s;
+  s.count = errors.size();
+  s.mean = mean(errors);
+  s.median = median(errors);
+  s.p75 = percentile(errors, 75.0);
+  s.p90 = percentile(errors, 90.0);
+  s.rms = rms(errors);
+  s.max = max_value(errors);
+  return s;
+}
+
+double hit_rate(const std::vector<int>& predicted, const std::vector<int>& truth) {
+  NOBLE_EXPECTS(predicted.size() == truth.size());
+  if (predicted.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == truth[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(predicted.size());
+}
+
+double structure_score(const std::vector<geo::Point2>& predicted,
+                       const geo::FloorPlan& plan) {
+  if (predicted.empty()) return 0.0;
+  std::size_t inside = 0;
+  for (const auto& p : predicted) {
+    if (plan.accessible(p)) ++inside;
+  }
+  return static_cast<double>(inside) / static_cast<double>(predicted.size());
+}
+
+double structure_score(const std::vector<geo::Point2>& predicted,
+                       const geo::PathGraph& walkways, double tolerance) {
+  NOBLE_EXPECTS(tolerance >= 0.0);
+  if (predicted.empty()) return 0.0;
+  std::size_t near = 0;
+  for (const auto& p : predicted) {
+    if (walkways.distance_to_path(p) <= tolerance) ++near;
+  }
+  return static_cast<double>(near) / static_cast<double>(predicted.size());
+}
+
+}  // namespace noble::data

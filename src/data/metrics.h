@@ -1,0 +1,48 @@
+// Evaluation metrics: position error (the paper's headline metric),
+// classification hit rates (Table I) and structure-awareness scores that
+// quantify Fig. 4/Fig. 5 ("do predictions land on the map?").
+#ifndef NOBLE_DATA_METRICS_H_
+#define NOBLE_DATA_METRICS_H_
+
+#include <vector>
+
+#include "geo/floorplan.h"
+#include "geo/pathgraph.h"
+#include "geo/point.h"
+
+namespace noble::data {
+
+/// Summary statistics of a position-error distribution (meters).
+struct ErrorStats {
+  double mean = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double rms = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Per-sample Euclidean distances between predictions and ground truth.
+std::vector<double> position_errors(const std::vector<geo::Point2>& predicted,
+                                    const std::vector<geo::Point2>& truth);
+
+/// Distribution summary of a vector of errors.
+ErrorStats summarize_errors(const std::vector<double>& errors);
+
+/// Fraction of predictions equal to the truth (building/floor/class hit rate).
+double hit_rate(const std::vector<int>& predicted, const std::vector<int>& truth);
+
+/// Fraction of predicted positions lying in the accessible set of the plan —
+/// the quantitative version of the Fig. 4 structure comparison.
+double structure_score(const std::vector<geo::Point2>& predicted,
+                       const geo::FloorPlan& plan);
+
+/// Fraction of predicted positions within `tolerance` meters of the walkway
+/// network — the outdoor (Fig. 5) analogue.
+double structure_score(const std::vector<geo::Point2>& predicted,
+                       const geo::PathGraph& walkways, double tolerance);
+
+}  // namespace noble::data
+
+#endif  // NOBLE_DATA_METRICS_H_

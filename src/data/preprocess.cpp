@@ -1,0 +1,83 @@
+#include "data/preprocess.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/ops.h"
+
+namespace noble::data {
+
+linalg::Mat normalize_rssi(const linalg::Mat& raw, RssiRepresentation rep, float min_rssi,
+                           double powed_exponent) {
+  NOBLE_EXPECTS(min_rssi < 0.0f);
+  linalg::Mat out(raw.rows(), raw.cols());
+  const float range = -min_rssi;  // e.g. 104 dB of dynamic range
+  for (std::size_t i = 0; i < raw.rows(); ++i) {
+    const float* src = raw.row(i);
+    float* dst = out.row(i);
+    for (std::size_t j = 0; j < raw.cols(); ++j) {
+      const float v = src[j];
+      if (v == kNotDetectedRssi || v <= min_rssi) {
+        dst[j] = 0.0f;
+        continue;
+      }
+      float norm = (v - min_rssi) / range;  // 0 (weakest) .. 1 (strongest)
+      if (norm > 1.0f) norm = 1.0f;
+      if (rep == RssiRepresentation::kPowed) {
+        norm = static_cast<float>(std::pow(norm, powed_exponent));
+      }
+      dst[j] = norm;
+    }
+  }
+  return out;
+}
+
+void Standardizer::fit(const linalg::Mat& x) {
+  NOBLE_EXPECTS(x.rows() >= 1);
+  mean_ = linalg::col_mean(x);
+  const auto var = linalg::col_var(x);
+  inv_std_.resize(var.size());
+  for (std::size_t j = 0; j < var.size(); ++j) {
+    const float sd = std::sqrt(var[j]);
+    inv_std_[j] = sd > 1e-8f ? 1.0f / sd : 1.0f;
+  }
+}
+
+linalg::Mat Standardizer::transform(const linalg::Mat& x) const {
+  NOBLE_EXPECTS(fitted());
+  NOBLE_EXPECTS(x.cols() == mean_.size());
+  linalg::Mat out(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const float* src = x.row(i);
+    float* dst = out.row(i);
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      dst[j] = (src[j] - mean_[j]) * inv_std_[j];
+    }
+  }
+  return out;
+}
+
+linalg::Mat Standardizer::inverse_transform(const linalg::Mat& z) const {
+  NOBLE_EXPECTS(fitted());
+  NOBLE_EXPECTS(z.cols() == mean_.size());
+  linalg::Mat out(z.rows(), z.cols());
+  for (std::size_t i = 0; i < z.rows(); ++i) {
+    const float* src = z.row(i);
+    float* dst = out.row(i);
+    for (std::size_t j = 0; j < z.cols(); ++j) {
+      dst[j] = src[j] / inv_std_[j] + mean_[j];
+    }
+  }
+  return out;
+}
+
+linalg::Mat one_hot(const std::vector<int>& ids, std::size_t num_classes) {
+  linalg::Mat out(ids.size(), num_classes);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    NOBLE_EXPECTS(ids[i] >= 0 && static_cast<std::size_t>(ids[i]) < num_classes);
+    out(i, static_cast<std::size_t>(ids[i])) = 1.0f;
+  }
+  return out;
+}
+
+}  // namespace noble::data

@@ -1,0 +1,54 @@
+// Input-feature preprocessing for Wi-Fi fingerprints.
+//
+// The paper normalizes the input vector (§IV-A). This module implements the
+// two representations standard in the UJIIndoorLoc literature:
+//  * kLinear: not-detected -> 0, else linearly rescaled signal strength
+//    in [0, 1] (stronger signal -> larger value);
+//  * kPowed: same but raised to an exponent, emphasizing strong APs
+//    (Torres-Sospedra et al.'s "powed" representation).
+#ifndef NOBLE_DATA_PREPROCESS_H_
+#define NOBLE_DATA_PREPROCESS_H_
+
+#include "data/dataset.h"
+#include "linalg/matrix.h"
+
+namespace noble::data {
+
+/// RSSI-to-feature transformation choice.
+enum class RssiRepresentation {
+  kLinear,
+  kPowed,
+};
+
+/// Converts raw dBm / sentinel RSSI rows to normalized features in [0, 1].
+/// `min_rssi` is the weakest observable signal (maps to 0); detection
+/// failures map to exactly 0.
+linalg::Mat normalize_rssi(const linalg::Mat& raw,
+                           RssiRepresentation rep = RssiRepresentation::kPowed,
+                           float min_rssi = kMinRssiDbm, double powed_exponent = 2.0);
+
+/// Column-wise standardization fitted on train data and applied to any split
+/// (used by the IMU pipeline, whose features are not bounded like RSSI).
+class Standardizer {
+ public:
+  /// Learns per-column mean and standard deviation from x.
+  void fit(const linalg::Mat& x);
+  /// Applies (x - mean) / std columnwise; columns with ~zero std pass
+  /// through centered.
+  linalg::Mat transform(const linalg::Mat& x) const;
+  /// Inverse of `transform` (used to map standardized regression outputs
+  /// back to meters).
+  linalg::Mat inverse_transform(const linalg::Mat& z) const;
+  bool fitted() const { return !mean_.empty(); }
+
+ private:
+  std::vector<float> mean_, inv_std_;
+};
+
+/// One-hot encodes integer ids in [0, num_classes) into an n x num_classes
+/// matrix.
+linalg::Mat one_hot(const std::vector<int>& ids, std::size_t num_classes);
+
+}  // namespace noble::data
+
+#endif  // NOBLE_DATA_PREPROCESS_H_

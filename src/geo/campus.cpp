@@ -1,0 +1,153 @@
+#include "geo/campus.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace noble::geo {
+
+namespace {
+
+/// Rectangular ring polyline placed midway between an outer rectangle and an
+/// inner hole — the canonical corridor around a courtyard.
+std::vector<Point2> ring_between(const Aabb& outer, const Aabb& inner) {
+  const double x0 = 0.5 * (outer.min_x + inner.min_x);
+  const double x1 = 0.5 * (outer.max_x + inner.max_x);
+  const double y0 = 0.5 * (outer.min_y + inner.min_y);
+  const double y1 = 0.5 * (outer.max_y + inner.max_y);
+  return {{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}, {x0, y0}};
+}
+
+/// Builds a closed-ring corridor graph with two cross connections.
+PathGraph make_ring_corridor(const Aabb& outer, const Aabb& inner) {
+  PathGraph g;
+  const auto ring = ring_between(outer, inner);
+  // ring has 5 points with the last repeating the first; connect as a cycle.
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i + 1 < ring.size(); ++i) ids.push_back(g.add_node(ring[i]));
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    g.add_edge(ids[i], ids[(i + 1) % ids.size()]);
+  return g;
+}
+
+/// H-shaped corridor inside a rectangle without a courtyard: two long
+/// corridors plus a connecting cross corridor.
+PathGraph make_h_corridor(const Aabb& box) {
+  PathGraph g;
+  const double y_lo = box.min_y + 0.3 * box.height();
+  const double y_hi = box.min_y + 0.7 * box.height();
+  const double x0 = box.min_x + 0.1 * box.width();
+  const double x1 = box.max_x - 0.1 * box.width();
+  const double xm = 0.5 * (box.min_x + box.max_x);
+  const auto a0 = g.add_node({x0, y_lo});
+  const auto a1 = g.add_node({x1, y_lo});
+  const auto b0 = g.add_node({x0, y_hi});
+  const auto b1 = g.add_node({x1, y_hi});
+  const auto m0 = g.add_node({xm, y_lo});
+  const auto m1 = g.add_node({xm, y_hi});
+  g.add_edge(a0, m0);
+  g.add_edge(m0, a1);
+  g.add_edge(b0, m1);
+  g.add_edge(m1, b1);
+  g.add_edge(m0, m1);
+  return g;
+}
+
+Polygon rect_poly(const Aabb& box) {
+  return Polygon::rectangle(box.min_x, box.min_y, box.max_x, box.max_y);
+}
+
+void add_building_with_courtyard(IndoorWorld& world, int id, const std::string& name,
+                                 const Aabb& outer, const Aabb& hole, int floors) {
+  Building b(id, name, rect_poly(outer), floors);
+  b.add_hole(rect_poly(hole));
+  world.plan.add_building(std::move(b));
+  for (int f = 0; f < floors; ++f) {
+    world.corridors.push_back({id, f, make_ring_corridor(outer, hole)});
+  }
+}
+
+void add_building_plain(IndoorWorld& world, int id, const std::string& name,
+                        const Aabb& outer, int floors) {
+  world.plan.add_building(Building(id, name, rect_poly(outer), floors));
+  for (int f = 0; f < floors; ++f) {
+    world.corridors.push_back({id, f, make_h_corridor(outer)});
+  }
+}
+
+}  // namespace
+
+const IndoorWorld::Corridor* IndoorWorld::corridor(int building, int floor) const {
+  for (const auto& c : corridors) {
+    if (c.building == building && c.floor == floor) return &c;
+  }
+  return nullptr;
+}
+
+IndoorWorld make_uji_like_campus() {
+  IndoorWorld world;
+  // Frame: 397 m x 273 m (paper §I). Three elongated buildings; the top-left
+  // one has the courtyard explicitly called out in Fig. 1/Fig. 4 discussion,
+  // the others get courtyards as well (visible in the satellite view).
+  add_building_with_courtyard(world, 0, "TI",
+                              {20.0, 150.0, 175.0, 253.0},   // outer
+                              {55.0, 180.0, 140.0, 223.0},   // courtyard hole
+                              4);
+  add_building_with_courtyard(world, 1, "TD",
+                              {205.0, 120.0, 377.0, 215.0},
+                              {240.0, 148.0, 342.0, 187.0},
+                              4);
+  add_building_with_courtyard(world, 2, "TC",
+                              {110.0, 20.0, 330.0, 105.0},
+                              {150.0, 45.0, 290.0, 80.0},
+                              4);
+  return world;
+}
+
+IndoorWorld make_ipin_like_building() {
+  IndoorWorld world;
+  add_building_plain(world, 0, "IPIN", {0.0, 0.0, 62.0, 34.0}, 3);
+  return world;
+}
+
+OutdoorWorld make_outdoor_track(std::size_t num_reference_points) {
+  NOBLE_EXPECTS(num_reference_points >= 4);
+  OutdoorWorld world;
+  world.bounds = {0.0, 0.0, 160.0, 60.0};
+  PathGraph& g = world.walkways;
+
+  // Perimeter loop inset 5 m from the bounds plus two cross walkways —
+  // a typical campus block (§V-A: 160 m x 60 m outdoor space).
+  const double x0 = 5.0, x1 = 155.0, y0 = 5.0, y1 = 55.0;
+  const auto c0 = g.add_node({x0, y0});
+  const auto c1 = g.add_node({x1, y0});
+  const auto c2 = g.add_node({x1, y1});
+  const auto c3 = g.add_node({x0, y1});
+  const auto m0 = g.add_node({55.0, y0});
+  const auto m1 = g.add_node({55.0, y1});
+  const auto n0 = g.add_node({105.0, y0});
+  const auto n1 = g.add_node({105.0, y1});
+  g.add_edge(c0, m0);
+  g.add_edge(m0, n0);
+  g.add_edge(n0, c1);
+  g.add_edge(c1, c2);
+  g.add_edge(c2, n1);
+  g.add_edge(n1, m1);
+  g.add_edge(m1, c3);
+  g.add_edge(c3, c0);
+  g.add_edge(m0, m1);
+  g.add_edge(n0, n1);
+
+  // Reference points: evenly spaced along all edges, then truncated/strided
+  // to the requested count.
+  const auto dense = g.sample_along_edges(2.0);
+  NOBLE_CHECK(dense.size() >= num_reference_points);
+  const double stride =
+      static_cast<double>(dense.size()) / static_cast<double>(num_reference_points);
+  for (std::size_t i = 0; i < num_reference_points; ++i) {
+    world.reference_points.push_back(dense[static_cast<std::size_t>(i * stride)]);
+  }
+  return world;
+}
+
+}  // namespace noble::geo

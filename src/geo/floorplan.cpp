@@ -1,0 +1,101 @@
+#include "geo/floorplan.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace noble::geo {
+
+Building::Building(int id, std::string name, Polygon footprint, int num_floors,
+                   double floor_height)
+    : id_(id),
+      name_(std::move(name)),
+      footprint_(std::move(footprint)),
+      num_floors_(num_floors),
+      floor_height_(floor_height) {
+  NOBLE_EXPECTS(num_floors >= 1);
+  NOBLE_EXPECTS(floor_height > 0.0);
+}
+
+void Building::add_hole(Polygon hole) { holes_.push_back(std::move(hole)); }
+
+bool Building::accessible(const Point2& p) const {
+  if (!footprint_.contains(p)) return false;
+  for (const auto& hole : holes_) {
+    // Points strictly inside a hole are inaccessible; treat the hole
+    // boundary itself as accessible (walls have finite thickness).
+    if (hole.contains(p) && hole.boundary_distance(p) > 1e-9) return false;
+  }
+  return true;
+}
+
+Point2 Building::project_inside(const Point2& p) const {
+  if (accessible(p)) return p;
+  // Candidate projections: footprint boundary and every hole boundary.
+  Point2 best_pt = footprint_.nearest_boundary_point(p);
+  double best = sq_distance(best_pt, p);
+  for (const auto& hole : holes_) {
+    const Point2 cand = hole.nearest_boundary_point(p);
+    const double d = sq_distance(cand, p);
+    if (d < best) {
+      best = d;
+      best_pt = cand;
+    }
+  }
+  // Nudge toward the accessible side to escape numerical boundary issues.
+  const Point2 inward = footprint_.centroid() - best_pt;
+  const double len = inward.norm();
+  if (len > 1e-12) {
+    const Point2 nudged = best_pt + inward * (1e-6 / len);
+    if (accessible(nudged)) return nudged;
+  }
+  return best_pt;
+}
+
+void FloorPlan::add_building(Building b) {
+  NOBLE_EXPECTS(b.id() == static_cast<int>(buildings_.size()));
+  buildings_.push_back(std::move(b));
+}
+
+bool FloorPlan::accessible(const Point2& p) const {
+  for (const auto& b : buildings_) {
+    if (b.accessible(p)) return true;
+  }
+  return false;
+}
+
+int FloorPlan::building_at(const Point2& p) const {
+  for (const auto& b : buildings_) {
+    if (b.accessible(p)) return b.id();
+  }
+  return -1;
+}
+
+Point2 FloorPlan::project_to_accessible(const Point2& p) const {
+  NOBLE_EXPECTS(!buildings_.empty());
+  if (accessible(p)) return p;
+  double best = std::numeric_limits<double>::infinity();
+  Point2 best_pt = p;
+  for (const auto& b : buildings_) {
+    const Point2 cand = b.project_inside(p);
+    const double d = sq_distance(cand, p);
+    if (d < best) {
+      best = d;
+      best_pt = cand;
+    }
+  }
+  return best_pt;
+}
+
+Aabb FloorPlan::bounds() const {
+  NOBLE_EXPECTS(!buildings_.empty());
+  Aabb box = buildings_[0].footprint().bounds();
+  for (const auto& b : buildings_) {
+    const Aabb& bb = b.footprint().bounds();
+    box.expand({bb.min_x, bb.min_y});
+    box.expand({bb.max_x, bb.max_y});
+  }
+  return box;
+}
+
+}  // namespace noble::geo

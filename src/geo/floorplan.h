@@ -1,0 +1,82 @@
+// Buildings and campus floor plans: the structural prior NObLe exploits.
+//
+// A building has a footprint polygon, optional inaccessible holes (courtyards
+// like the UJI top-left building of Fig. 1, shafts, walls) and a stack of
+// floors sharing that footprint. A FloorPlan is a set of buildings; the
+// accessible set is the union of footprints minus holes. The Deep Regression
+// Projection baseline ([8]) projects arbitrary predictions onto this set.
+#ifndef NOBLE_GEO_FLOORPLAN_H_
+#define NOBLE_GEO_FLOORPLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/polygon.h"
+
+namespace noble::geo {
+
+/// One building: footprint, inaccessible holes, floor stack.
+class Building {
+ public:
+  /// `id` must be the index of this building in its FloorPlan.
+  Building(int id, std::string name, Polygon footprint, int num_floors,
+           double floor_height = 3.0);
+
+  /// Adds an inaccessible hole fully inside the footprint (courtyard, core).
+  void add_hole(Polygon hole);
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  int num_floors() const { return num_floors_; }
+  double floor_height() const { return floor_height_; }
+  const Polygon& footprint() const { return footprint_; }
+  const std::vector<Polygon>& holes() const { return holes_; }
+
+  /// True if p is inside the footprint and outside every hole.
+  bool accessible(const Point2& p) const;
+
+  /// Nearest accessible point to p within this building (boundary-projected
+  /// and nudged inside).
+  Point2 project_inside(const Point2& p) const;
+
+ private:
+  int id_;
+  std::string name_;
+  Polygon footprint_;
+  std::vector<Polygon> holes_;
+  int num_floors_;
+  double floor_height_;
+};
+
+/// A campus: several buildings in a shared metric frame.
+class FloorPlan {
+ public:
+  FloorPlan() = default;
+
+  /// Adds a building; its id must equal the current building count.
+  void add_building(Building b);
+
+  const std::vector<Building>& buildings() const { return buildings_; }
+  std::size_t building_count() const { return buildings_.size(); }
+  const Building& building(std::size_t i) const { return buildings_.at(i); }
+
+  /// True if p lies in some building's accessible region.
+  bool accessible(const Point2& p) const;
+
+  /// Index of the building containing p, or -1.
+  int building_at(const Point2& p) const;
+
+  /// Nearest accessible point across all buildings — the map-projection
+  /// operation of the Regression Projection baseline.
+  Point2 project_to_accessible(const Point2& p) const;
+
+  /// Bounding box of all footprints.
+  Aabb bounds() const;
+
+ private:
+  std::vector<Building> buildings_;
+};
+
+}  // namespace noble::geo
+
+#endif  // NOBLE_GEO_FLOORPLAN_H_

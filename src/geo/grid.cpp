@@ -1,0 +1,147 @@
+#include "geo/grid.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace noble::geo {
+
+void GridQuantizer::fit(const std::vector<Point2>& positions, double tau) {
+  NOBLE_EXPECTS(!positions.empty());
+  NOBLE_EXPECTS(tau > 0.0);
+  tau_ = tau;
+  double min_x = positions[0].x, min_y = positions[0].y;
+  for (const auto& p : positions) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+  }
+  // Anchor one cell outside the data so index arithmetic stays positive.
+  origin_x_ = min_x - tau;
+  origin_y_ = min_y - tau;
+
+  class_by_cell_.clear();
+  centers_.clear();
+  data_centroid_.clear();
+  cell_ix_.clear();
+  cell_iy_.clear();
+
+  std::vector<std::size_t> member_count;
+  for (const auto& p : positions) {
+    const CellKey key = key_of(p);
+    auto [it, inserted] = class_by_cell_.try_emplace(key, static_cast<int>(centers_.size()));
+    if (inserted) {
+      const auto ix = static_cast<std::int32_t>(std::floor((p.x - origin_x_) / tau_));
+      const auto iy = static_cast<std::int32_t>(std::floor((p.y - origin_y_) / tau_));
+      cell_ix_.push_back(ix);
+      cell_iy_.push_back(iy);
+      centers_.push_back({origin_x_ + (ix + 0.5) * tau_, origin_y_ + (iy + 0.5) * tau_});
+      data_centroid_.push_back({0.0, 0.0});
+      member_count.push_back(0);
+    }
+    const int cls = it->second;
+    data_centroid_[static_cast<std::size_t>(cls)] =
+        data_centroid_[static_cast<std::size_t>(cls)] + p;
+    ++member_count[static_cast<std::size_t>(cls)];
+  }
+  for (std::size_t c = 0; c < centers_.size(); ++c) {
+    data_centroid_[c] =
+        data_centroid_[c] * (1.0 / static_cast<double>(member_count[c]));
+  }
+  NOBLE_ENSURES(!centers_.empty());
+}
+
+GridQuantizer::CellKey GridQuantizer::key_of(const Point2& p) const {
+  const auto ix = static_cast<std::int32_t>(std::floor((p.x - origin_x_) / tau_));
+  const auto iy = static_cast<std::int32_t>(std::floor((p.y - origin_y_) / tau_));
+  return key_of_cell(ix, iy);
+}
+
+GridQuantizer::CellKey GridQuantizer::key_of_cell(std::int32_t ix, std::int32_t iy) const {
+  return (static_cast<std::int64_t>(ix) << 32) | static_cast<std::uint32_t>(iy);
+}
+
+int GridQuantizer::class_of(const Point2& p) const {
+  NOBLE_EXPECTS(tau_ > 0.0);
+  const auto it = class_by_cell_.find(key_of(p));
+  return it == class_by_cell_.end() ? -1 : it->second;
+}
+
+int GridQuantizer::nearest_class(const Point2& p) const {
+  NOBLE_EXPECTS(!centers_.empty());
+  const int direct = class_of(p);
+  if (direct >= 0) return direct;
+  // Expanding ring search around p's cell; falls back to a linear scan if the
+  // rings stay empty (pathologically sparse grids).
+  const auto ix = static_cast<std::int32_t>(std::floor((p.x - origin_x_) / tau_));
+  const auto iy = static_cast<std::int32_t>(std::floor((p.y - origin_y_) / tau_));
+  for (std::int32_t ring = 1; ring <= 64; ++ring) {
+    int best = -1;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::int32_t dx = -ring; dx <= ring; ++dx) {
+      for (std::int32_t dy = -ring; dy <= ring; ++dy) {
+        if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;
+        const auto it = class_by_cell_.find(key_of_cell(ix + dx, iy + dy));
+        if (it == class_by_cell_.end()) continue;
+        const double d = sq_distance(centers_[static_cast<std::size_t>(it->second)], p);
+        if (d < best_d) {
+          best_d = d;
+          best = it->second;
+        }
+      }
+    }
+    if (best >= 0) return best;
+  }
+  int best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centers_.size(); ++c) {
+    const double d = sq_distance(centers_[c], p);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+Point2 GridQuantizer::center(int class_id) const {
+  NOBLE_EXPECTS(class_id >= 0 && static_cast<std::size_t>(class_id) < centers_.size());
+  return centers_[static_cast<std::size_t>(class_id)];
+}
+
+Point2 GridQuantizer::data_centroid(int class_id) const {
+  NOBLE_EXPECTS(class_id >= 0 &&
+                static_cast<std::size_t>(class_id) < data_centroid_.size());
+  return data_centroid_[static_cast<std::size_t>(class_id)];
+}
+
+std::vector<int> GridQuantizer::neighbor_classes(const Point2& p, int ring) const {
+  NOBLE_EXPECTS(ring >= 1);
+  const auto ix = static_cast<std::int32_t>(std::floor((p.x - origin_x_) / tau_));
+  const auto iy = static_cast<std::int32_t>(std::floor((p.y - origin_y_) / tau_));
+  const int own = class_of(p);
+  std::vector<int> out;
+  for (std::int32_t dx = -ring; dx <= ring; ++dx) {
+    for (std::int32_t dy = -ring; dy <= ring; ++dy) {
+      if (dx == 0 && dy == 0) continue;
+      const auto it = class_by_cell_.find(key_of_cell(ix + dx, iy + dy));
+      if (it != class_by_cell_.end() && it->second != own) out.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+double GridQuantizer::residual(const Point2& p) const {
+  const int cls = class_of(p);
+  NOBLE_EXPECTS(cls >= 0);
+  return distance(p, center(cls));
+}
+
+void MultiResolutionQuantizer::fit(const std::vector<Point2>& positions, double tau,
+                                   double l) {
+  NOBLE_EXPECTS(l > tau);
+  fine_.fit(positions, tau);
+  coarse_.fit(positions, l);
+}
+
+}  // namespace noble::geo

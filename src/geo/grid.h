@@ -1,0 +1,87 @@
+// Output-space quantization (§III-B): continuous (x, y) coordinates are
+// mapped to non-overlapping square grid cells of side tau; only cells that
+// contain training data become classes ("neighbor-oblivious" pruning of
+// inaccessible space). Inference maps a predicted class back to its cell's
+// central coordinates.
+#ifndef NOBLE_GEO_GRID_H_
+#define NOBLE_GEO_GRID_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace noble::geo {
+
+/// Quantizes 2-D space into occupied square cells, assigning dense class ids.
+class GridQuantizer {
+ public:
+  GridQuantizer() = default;
+
+  /// Builds the class map from training positions. `tau` is the cell side in
+  /// meters; `origin` anchors the grid (defaults to the data's min corner
+  /// snapped outward by one cell).
+  void fit(const std::vector<Point2>& positions, double tau);
+
+  /// Cell side length.
+  double tau() const { return tau_; }
+
+  /// Number of occupied classes (empty cells were discarded).
+  std::size_t num_classes() const { return centers_.size(); }
+
+  /// Class id of the cell containing p, or -1 if that cell held no
+  /// training data (possible for out-of-distribution queries).
+  int class_of(const Point2& p) const;
+
+  /// Class id of the nearest occupied cell to p (always valid after fit).
+  int nearest_class(const Point2& p) const;
+
+  /// Geometric center of the class's cell — the paper's inference lookup.
+  Point2 center(int class_id) const;
+
+  /// Mean of the training points that fell in the cell (an alternative
+  /// decode; slightly tighter than the geometric center).
+  Point2 data_centroid(int class_id) const;
+
+  /// Class ids of occupied cells within `ring` Chebyshev steps of the cell
+  /// containing p (excluding p's own class). Used for adjacency multi-hot
+  /// labels (§III-B's remedy for class sparsity).
+  std::vector<int> neighbor_classes(const Point2& p, int ring = 1) const;
+
+  /// Quantization residual: distance from p to its cell center.
+  double residual(const Point2& p) const;
+
+ private:
+  using CellKey = std::int64_t;
+  CellKey key_of(const Point2& p) const;
+  CellKey key_of_cell(std::int32_t ix, std::int32_t iy) const;
+
+  double tau_ = 0.0;
+  double origin_x_ = 0.0, origin_y_ = 0.0;
+  std::unordered_map<CellKey, int> class_by_cell_;
+  std::vector<Point2> centers_;        // class id -> cell center
+  std::vector<Point2> data_centroid_;  // class id -> mean of member points
+  std::vector<std::int32_t> cell_ix_, cell_iy_;
+};
+
+/// Two nested quantizers at side tau (fine classes c) and side l > tau
+/// (coarse classes r) — the paper's multi-granularity output (§III-B).
+class MultiResolutionQuantizer {
+ public:
+  MultiResolutionQuantizer() = default;
+
+  /// Fits both levels on the same training positions. Requires l > tau.
+  void fit(const std::vector<Point2>& positions, double tau, double l);
+
+  const GridQuantizer& fine() const { return fine_; }
+  const GridQuantizer& coarse() const { return coarse_; }
+
+ private:
+  GridQuantizer fine_;
+  GridQuantizer coarse_;
+};
+
+}  // namespace noble::geo
+
+#endif  // NOBLE_GEO_GRID_H_

@@ -1,0 +1,123 @@
+#include "geo/pathgraph.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "geo/polygon.h"
+
+namespace noble::geo {
+
+std::size_t PathGraph::add_node(Point2 p) {
+  nodes_.push_back(p);
+  adj_.emplace_back();
+  return nodes_.size() - 1;
+}
+
+void PathGraph::add_edge(std::size_t a, std::size_t b) {
+  NOBLE_EXPECTS(a < nodes_.size() && b < nodes_.size() && a != b);
+  edges_.push_back({a, b});
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+}
+
+std::vector<std::size_t> PathGraph::add_polyline(const std::vector<Point2>& pts) {
+  NOBLE_EXPECTS(pts.size() >= 2);
+  std::vector<std::size_t> ids;
+  ids.reserve(pts.size());
+  for (const auto& p : pts) ids.push_back(add_node(p));
+  for (std::size_t i = 1; i < ids.size(); ++i) add_edge(ids[i - 1], ids[i]);
+  return ids;
+}
+
+std::size_t PathGraph::nearest_node(const Point2& p) const {
+  NOBLE_EXPECTS(!nodes_.empty());
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const double d = sq_distance(nodes_[i], p);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Point2 PathGraph::snap_to_path(const Point2& p) const {
+  NOBLE_EXPECTS(!edges_.empty());
+  Point2 best_pt = nodes_[edges_[0].a];
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& e : edges_) {
+    const Point2 cand = nearest_point_on_segment(nodes_[e.a], nodes_[e.b], p);
+    const double d = sq_distance(cand, p);
+    if (d < best) {
+      best = d;
+      best_pt = cand;
+    }
+  }
+  return best_pt;
+}
+
+double PathGraph::distance_to_path(const Point2& p) const {
+  return distance(p, snap_to_path(p));
+}
+
+Point2 PathGraph::nearest_edge_direction(const Point2& p) const {
+  NOBLE_EXPECTS(!edges_.empty());
+  const Edge* best_edge = &edges_[0];
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& e : edges_) {
+    const Point2 cand = nearest_point_on_segment(nodes_[e.a], nodes_[e.b], p);
+    const double d = sq_distance(cand, p);
+    if (d < best) {
+      best = d;
+      best_edge = &e;
+    }
+  }
+  const Point2 dir = nodes_[best_edge->b] - nodes_[best_edge->a];
+  const double len = dir.norm();
+  return len > 1e-12 ? dir * (1.0 / len) : Point2{1.0, 0.0};
+}
+
+std::vector<std::size_t> PathGraph::random_walk(std::size_t start, std::size_t num_steps,
+                                                Rng& rng) const {
+  NOBLE_EXPECTS(start < nodes_.size());
+  std::vector<std::size_t> walk{start};
+  std::size_t prev = start;  // sentinel: equal to current on first step
+  std::size_t cur = start;
+  for (std::size_t s = 0; s < num_steps; ++s) {
+    const auto& nb = adj_[cur];
+    if (nb.empty()) break;
+    // Prefer not walking straight back; fall back when at a dead end.
+    std::vector<std::size_t> options;
+    for (std::size_t cand : nb) {
+      if (cand != prev) options.push_back(cand);
+    }
+    if (options.empty()) options.push_back(prev);
+    const std::size_t next =
+        options[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(options.size()) - 1))];
+    walk.push_back(next);
+    prev = cur;
+    cur = next;
+  }
+  return walk;
+}
+
+std::vector<Point2> PathGraph::sample_along_edges(double spacing) const {
+  NOBLE_EXPECTS(spacing > 0.0);
+  std::vector<Point2> out;
+  for (const auto& e : edges_) {
+    const Point2& a = nodes_[e.a];
+    const Point2& b = nodes_[e.b];
+    const double len = distance(a, b);
+    const auto steps = static_cast<std::size_t>(std::floor(len / spacing));
+    for (std::size_t i = 0; i <= steps; ++i) {
+      const double t = (len < 1e-12) ? 0.0 : std::min(1.0, i * spacing / len);
+      out.push_back(a + (b - a) * t);
+    }
+  }
+  return out;
+}
+
+}  // namespace noble::geo

@@ -1,0 +1,67 @@
+// Walkable-path graph: corridors indoors, walkways outdoors.
+//
+// Used by (a) the simulators to place fingerprint samples / walking
+// trajectories on realistic routes, and (b) the map-assisted baselines that
+// snap estimates to the path network ([8]'s turn-correction heuristic).
+#ifndef NOBLE_GEO_PATHGRAPH_H_
+#define NOBLE_GEO_PATHGRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/point.h"
+
+namespace noble::geo {
+
+/// Undirected graph of walkable segments.
+class PathGraph {
+ public:
+  /// Adds a node and returns its index.
+  std::size_t add_node(Point2 p);
+
+  /// Connects nodes a and b with a straight walkable segment.
+  void add_edge(std::size_t a, std::size_t b);
+
+  /// Adds a polyline of nodes connected in sequence; returns node indices.
+  std::vector<std::size_t> add_polyline(const std::vector<Point2>& pts);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+  const Point2& node(std::size_t i) const { return nodes_.at(i); }
+  const std::vector<std::size_t>& neighbors(std::size_t i) const { return adj_.at(i); }
+
+  /// Index of the node nearest to p.
+  std::size_t nearest_node(const Point2& p) const;
+
+  /// Closest point to p lying on any edge segment (map snapping).
+  Point2 snap_to_path(const Point2& p) const;
+
+  /// Unit direction of the edge closest to p (sign arbitrary). Used by
+  /// dead-reckoning trackers to re-anchor heading after a map snap.
+  Point2 nearest_edge_direction(const Point2& p) const;
+
+  /// Distance from p to the path network.
+  double distance_to_path(const Point2& p) const;
+
+  /// Random walk of `num_steps` node hops starting at `start`, avoiding
+  /// immediate backtracking where possible. Returns the node sequence.
+  std::vector<std::size_t> random_walk(std::size_t start, std::size_t num_steps,
+                                       Rng& rng) const;
+
+  /// Evenly spaced points along the edge polyline set, `spacing` meters apart
+  /// (used to place Wi-Fi fingerprint collection locations on corridors).
+  std::vector<Point2> sample_along_edges(double spacing) const;
+
+ private:
+  struct Edge {
+    std::size_t a, b;
+  };
+  std::vector<Point2> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::size_t>> adj_;
+};
+
+}  // namespace noble::geo
+
+#endif  // NOBLE_GEO_PATHGRAPH_H_

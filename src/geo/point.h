@@ -1,0 +1,57 @@
+// 2-D point/vector primitives used across maps, simulators and models.
+#ifndef NOBLE_GEO_POINT_H_
+#define NOBLE_GEO_POINT_H_
+
+#include <cmath>
+
+namespace noble::geo {
+
+/// Planar point (meters, campus-local coordinates; the paper's
+/// longitude/latitude pairs are treated as a local metric frame).
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point2 operator+(const Point2& o) const { return {x + o.x, y + o.y}; }
+  Point2 operator-(const Point2& o) const { return {x - o.x, y - o.y}; }
+  Point2 operator*(double s) const { return {x * s, y * s}; }
+  bool operator==(const Point2& o) const = default;
+
+  /// Euclidean norm.
+  double norm() const { return std::hypot(x, y); }
+  /// Dot product.
+  double dot(const Point2& o) const { return x * o.x + y * o.y; }
+};
+
+/// Euclidean distance between two points — the paper's position error metric.
+inline double distance(const Point2& a, const Point2& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Squared Euclidean distance.
+inline double sq_distance(const Point2& a, const Point2& b) {
+  const double dx = a.x - b.x, dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Axis-aligned bounding box.
+struct Aabb {
+  double min_x = 0.0, min_y = 0.0, max_x = 0.0, max_y = 0.0;
+
+  bool contains(const Point2& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+  double width() const { return max_x - min_x; }
+  double height() const { return max_y - min_y; }
+  /// Grows the box to include p.
+  void expand(const Point2& p) {
+    if (p.x < min_x) min_x = p.x;
+    if (p.x > max_x) max_x = p.x;
+    if (p.y < min_y) min_y = p.y;
+    if (p.y > max_y) max_y = p.y;
+  }
+};
+
+}  // namespace noble::geo
+
+#endif  // NOBLE_GEO_POINT_H_

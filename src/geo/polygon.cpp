@@ -1,0 +1,91 @@
+#include "geo/polygon.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace noble::geo {
+
+Polygon::Polygon(std::vector<Point2> vertices) : vertices_(std::move(vertices)) {
+  NOBLE_EXPECTS(vertices_.size() >= 3);
+  bounds_ = {vertices_[0].x, vertices_[0].y, vertices_[0].x, vertices_[0].y};
+  for (const auto& v : vertices_) bounds_.expand(v);
+}
+
+Polygon Polygon::rectangle(double min_x, double min_y, double max_x, double max_y) {
+  NOBLE_EXPECTS(max_x > min_x && max_y > min_y);
+  return Polygon({{min_x, min_y}, {max_x, min_y}, {max_x, max_y}, {min_x, max_y}});
+}
+
+bool Polygon::contains(const Point2& p) const {
+  if (!bounds_.contains(p)) return false;
+  // Boundary counts as inside (tolerance scaled to the polygon size).
+  const double tol = 1e-9 * (1.0 + bounds_.width() + bounds_.height());
+  if (boundary_distance(p) <= tol) return true;
+
+  bool inside = false;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point2& vi = vertices_[i];
+    const Point2& vj = vertices_[j];
+    const bool crosses = (vi.y > p.y) != (vj.y > p.y);
+    if (crosses) {
+      const double x_int = vj.x + (p.y - vj.y) / (vi.y - vj.y) * (vi.x - vj.x);
+      if (p.x < x_int) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+Point2 Polygon::nearest_boundary_point(const Point2& p) const {
+  double best = std::numeric_limits<double>::infinity();
+  Point2 best_pt = vertices_[0];
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point2 cand = nearest_point_on_segment(vertices_[j], vertices_[i], p);
+    const double d = sq_distance(cand, p);
+    if (d < best) {
+      best = d;
+      best_pt = cand;
+    }
+  }
+  return best_pt;
+}
+
+double Polygon::boundary_distance(const Point2& p) const {
+  return distance(p, nearest_boundary_point(p));
+}
+
+double Polygon::area() const {
+  double twice = 0.0;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    twice += vertices_[j].x * vertices_[i].y - vertices_[i].x * vertices_[j].y;
+  }
+  return std::fabs(twice) * 0.5;
+}
+
+Point2 Polygon::centroid() const {
+  double twice = 0.0, cx = 0.0, cy = 0.0;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const double cross =
+        vertices_[j].x * vertices_[i].y - vertices_[i].x * vertices_[j].y;
+    twice += cross;
+    cx += (vertices_[j].x + vertices_[i].x) * cross;
+    cy += (vertices_[j].y + vertices_[i].y) * cross;
+  }
+  if (std::fabs(twice) < 1e-12) return vertices_[0];
+  return {cx / (3.0 * twice), cy / (3.0 * twice)};
+}
+
+Point2 nearest_point_on_segment(const Point2& a, const Point2& b, const Point2& p) {
+  const Point2 ab = b - a;
+  const double len_sq = ab.dot(ab);
+  if (len_sq < 1e-18) return a;
+  double t = (p - a).dot(ab) / len_sq;
+  t = t < 0.0 ? 0.0 : (t > 1.0 ? 1.0 : t);
+  return a + ab * t;
+}
+
+}  // namespace noble::geo

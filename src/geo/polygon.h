@@ -1,0 +1,52 @@
+// Simple polygons: containment, boundary projection, area.
+#ifndef NOBLE_GEO_POLYGON_H_
+#define NOBLE_GEO_POLYGON_H_
+
+#include <vector>
+
+#include "geo/point.h"
+
+namespace noble::geo {
+
+/// Simple (non-self-intersecting) polygon with implicit closing edge.
+class Polygon {
+ public:
+  Polygon() = default;
+  /// Vertices in order (either winding). At least 3 required.
+  explicit Polygon(std::vector<Point2> vertices);
+
+  /// Axis-aligned rectangle helper.
+  static Polygon rectangle(double min_x, double min_y, double max_x, double max_y);
+
+  const std::vector<Point2>& vertices() const { return vertices_; }
+  std::size_t size() const { return vertices_.size(); }
+
+  /// Even-odd (ray casting) point containment. Boundary points count inside.
+  bool contains(const Point2& p) const;
+
+  /// Closest point on the polygon boundary to p.
+  Point2 nearest_boundary_point(const Point2& p) const;
+
+  /// Distance from p to the boundary (0 if p lies on it).
+  double boundary_distance(const Point2& p) const;
+
+  /// Unsigned polygon area (shoelace).
+  double area() const;
+
+  /// Polygon centroid (area-weighted).
+  Point2 centroid() const;
+
+  /// Bounding box of the vertices.
+  const Aabb& bounds() const { return bounds_; }
+
+ private:
+  std::vector<Point2> vertices_;
+  Aabb bounds_;
+};
+
+/// Closest point to p on segment [a, b].
+Point2 nearest_point_on_segment(const Point2& a, const Point2& b, const Point2& p);
+
+}  // namespace noble::geo
+
+#endif  // NOBLE_GEO_POLYGON_H_

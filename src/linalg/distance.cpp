@@ -1,0 +1,40 @@
+#include "linalg/distance.h"
+
+#include <cmath>
+
+#include "linalg/ops.h"
+
+namespace noble::linalg {
+
+void pairwise_sq_dist(const Mat& x, const Mat& y, Mat& d) {
+  NOBLE_EXPECTS(x.cols() == y.cols());
+  const std::size_t n = x.rows(), m = y.rows(), dim = x.cols();
+  gemm_nt(x, y, d);  // d = X Y^T
+  std::vector<double> xs(n), ys(m);
+  for (std::size_t i = 0; i < n; ++i) xs[i] = dot(x.row(i), x.row(i), dim);
+  for (std::size_t j = 0; j < m; ++j) ys[j] = dot(y.row(j), y.row(j), dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    float* di = d.row(i);
+    for (std::size_t j = 0; j < m; ++j) {
+      const double v = xs[i] + ys[j] - 2.0 * di[j];
+      di[j] = static_cast<float>(v > 0.0 ? v : 0.0);
+    }
+  }
+}
+
+void pairwise_dist(const Mat& x, const Mat& y, Mat& d) {
+  pairwise_sq_dist(x, y, d);
+  float* p = d.data();
+  for (std::size_t i = 0; i < d.size(); ++i) p[i] = std::sqrt(p[i]);
+}
+
+double sq_dist(const float* a, const float* b, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double diff = static_cast<double>(a[i]) - b[i];
+    s += diff * diff;
+  }
+  return s;
+}
+
+}  // namespace noble::linalg

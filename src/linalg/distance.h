@@ -1,0 +1,22 @@
+// Pairwise distance kernels used by kNN, Isomap and LLE.
+#ifndef NOBLE_LINALG_DISTANCE_H_
+#define NOBLE_LINALG_DISTANCE_H_
+
+#include "linalg/matrix.h"
+
+namespace noble::linalg {
+
+/// D(i,j) = ||X_i - Y_j||^2 (squared Euclidean), computed via the expansion
+/// ||x||^2 + ||y||^2 - 2<x,y> with a GEMM for the cross term. Negative
+/// round-off is clamped to zero.
+void pairwise_sq_dist(const Mat& x, const Mat& y, Mat& d);
+
+/// D(i,j) = ||X_i - Y_j|| (Euclidean).
+void pairwise_dist(const Mat& x, const Mat& y, Mat& d);
+
+/// Squared Euclidean distance between two rows of equal length.
+double sq_dist(const float* a, const float* b, std::size_t n);
+
+}  // namespace noble::linalg
+
+#endif  // NOBLE_LINALG_DISTANCE_H_

@@ -1,0 +1,262 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "linalg/ops.h"
+#include "linalg/solve.h"
+
+namespace noble::linalg {
+
+namespace {
+
+/// Orthonormalizes the columns of V (n x k) in place by modified
+/// Gram-Schmidt. Columns that collapse numerically are re-randomized.
+void orthonormalize_columns(Mat& v, Rng& rng) {
+  const std::size_t n = v.rows(), k = v.cols();
+  for (std::size_t c = 0; c < k; ++c) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      // Subtract projections onto previous columns.
+      for (std::size_t p = 0; p < c; ++p) {
+        double proj = 0.0;
+        for (std::size_t i = 0; i < n; ++i) proj += static_cast<double>(v(i, c)) * v(i, p);
+        for (std::size_t i = 0; i < n; ++i)
+          v(i, c) -= static_cast<float>(proj) * v(i, p);
+      }
+      double nrm = 0.0;
+      for (std::size_t i = 0; i < n; ++i) nrm += static_cast<double>(v(i, c)) * v(i, c);
+      nrm = std::sqrt(nrm);
+      if (nrm > 1e-10) {
+        const float inv = static_cast<float>(1.0 / nrm);
+        for (std::size_t i = 0; i < n; ++i) v(i, c) *= inv;
+        break;
+      }
+      // Degenerate direction: replace with a fresh random vector and retry.
+      for (std::size_t i = 0; i < n; ++i) v(i, c) = static_cast<float>(rng.normal());
+    }
+  }
+}
+
+/// Rayleigh quotient of column c of V against symmetric A (via AV).
+double rayleigh(const Mat& av, const Mat& v, std::size_t c) {
+  double q = 0.0;
+  for (std::size_t i = 0; i < v.rows(); ++i)
+    q += static_cast<double>(v(i, c)) * av(i, c);
+  return q;
+}
+
+}  // namespace
+
+EigenResult jacobi_eigen(const MatD& a, int max_sweeps, double tol) {
+  NOBLE_EXPECTS(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  MatD m = a;
+  MatD v = MatD::identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += m(i, j) * m(i, j);
+    if (off < tol * tol) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = m(p, p), aqq = m(q, q);
+        const double theta = 0.5 * (aqq - app) / apq;
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply rotation to rows/cols p and q of m.
+        for (std::size_t i = 0; i < n; ++i) {
+          const double mip = m(i, p), miq = m(i, q);
+          m(i, p) = c * mip - s * miq;
+          m(i, q) = s * mip + c * miq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double mpi = m(p, i), mqi = m(q, i);
+          m(p, i) = c * mpi - s * mqi;
+          m(q, i) = s * mpi + c * mqi;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v(i, p), viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Collect and sort descending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = m(i, i);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return diag[x] > diag[y]; });
+
+  EigenResult out;
+  out.values.resize(n);
+  out.vectors.resize(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    out.values[c] = diag[order[c]];
+    for (std::size_t r = 0; r < n; ++r)
+      out.vectors(r, c) = static_cast<float>(v(r, order[c]));
+  }
+  return out;
+}
+
+EigenResult top_k_eigen_symmetric(const Mat& a, std::size_t k, std::uint64_t seed,
+                                  int max_iters, double tol) {
+  NOBLE_EXPECTS(a.rows() == a.cols());
+  NOBLE_EXPECTS(k >= 1 && k <= a.rows());
+  const std::size_t n = a.rows();
+  Rng rng(seed);
+
+  Mat v(n, k);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t c = 0; c < k; ++c) v(i, c) = static_cast<float>(rng.normal());
+  orthonormalize_columns(v, rng);
+
+  Mat av;
+  std::vector<double> prev(k, 0.0), cur(k, 0.0);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    gemm(a, v, av);
+    for (std::size_t c = 0; c < k; ++c) cur[c] = rayleigh(av, v, c);
+    v = av;
+    orthonormalize_columns(v, rng);
+
+    double delta = 0.0;
+    for (std::size_t c = 0; c < k; ++c)
+      delta = std::max(delta, std::fabs(cur[c] - prev[c]) /
+                                  std::max(1.0, std::fabs(cur[c])));
+    prev = cur;
+    if (iter > 2 && delta < tol) break;
+  }
+
+  // Rayleigh-Ritz refinement: eigendecompose the projected k x k matrix
+  // T = V^T A V and rotate V accordingly. This separates eigenvectors whose
+  // eigenvalues are clustered (where plain subspace iteration only converges
+  // to the invariant subspace, not to individual vectors).
+  gemm(a, v, av);
+  MatD t(k, k);
+  for (std::size_t c1 = 0; c1 < k; ++c1) {
+    for (std::size_t c2 = c1; c2 < k; ++c2) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        s += static_cast<double>(v(i, c1)) * av(i, c2);
+      t(c1, c2) = s;
+      t(c2, c1) = s;
+    }
+  }
+  const EigenResult small = jacobi_eigen(t);
+
+  EigenResult out;
+  out.values = small.values;  // already descending
+  out.vectors.resize(n, k);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t r = 0; r < n; ++r) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p)
+        s += static_cast<double>(v(r, p)) * small.vectors(p, c);
+      out.vectors(r, c) = static_cast<float>(s);
+    }
+  }
+  return out;
+}
+
+EigenResult bottom_k_eigen_symmetric(const Mat& a, std::size_t k, std::uint64_t seed,
+                                     int max_iters, double tol) {
+  NOBLE_EXPECTS(a.rows() == a.cols());
+  NOBLE_EXPECTS(k >= 1 && k <= a.rows());
+  const std::size_t n = a.rows();
+  // Shift-invert subspace iteration: the smallest eigenvalues of PSD
+  // matrices like LLE's (I-W)^T(I-W) are tightly clustered near zero, where
+  // plain shifted power iteration cannot separate them; applying
+  // (A + eps I)^{-1} amplifies them by 1/(lambda + eps) instead.
+  const double gersh = gershgorin_upper_bound(a);
+  double eps = std::max(1e-12, 1e-10 * gersh);
+  MatD ad(n, n);
+  CholeskyFactorization chol;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        ad(i, j) = static_cast<double>(a(i, j)) + (i == j ? eps : 0.0);
+    if (chol.compute(ad)) break;
+    eps *= 100.0;  // not SPD at this regularization: escalate
+  }
+  NOBLE_CHECK(chol.ok());
+
+  Rng rng(seed);
+  Mat v(n, k);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t c = 0; c < k; ++c) v(i, c) = static_cast<float>(rng.normal());
+  orthonormalize_columns(v, rng);
+
+  Mat av;
+  std::vector<double> col(n), prev(k, 0.0), cur(k, 0.0);
+  const int iters = std::min(max_iters, 60);  // shift-invert converges fast
+  for (int iter = 0; iter < iters; ++iter) {
+    for (std::size_t c = 0; c < k; ++c) {
+      for (std::size_t i = 0; i < n; ++i) col[i] = v(i, c);
+      chol.solve_in_place(col);
+      for (std::size_t i = 0; i < n; ++i) v(i, c) = static_cast<float>(col[i]);
+    }
+    orthonormalize_columns(v, rng);
+    gemm(a, v, av);
+    for (std::size_t c = 0; c < k; ++c) cur[c] = rayleigh(av, v, c);
+    double delta = 0.0;
+    for (std::size_t c = 0; c < k; ++c)
+      delta = std::max(delta, std::fabs(cur[c] - prev[c]) /
+                                  std::max(1e-12, std::fabs(cur[c])));
+    prev = cur;
+    if (iter > 2 && delta < tol) break;
+  }
+
+  // Rayleigh-Ritz on A to extract individual eigenpairs, sorted ascending.
+  gemm(a, v, av);
+  MatD t(k, k);
+  for (std::size_t c1 = 0; c1 < k; ++c1) {
+    for (std::size_t c2 = c1; c2 < k; ++c2) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        s += static_cast<double>(v(i, c1)) * av(i, c2);
+      t(c1, c2) = s;
+      t(c2, c1) = s;
+    }
+  }
+  const EigenResult small = jacobi_eigen(t);  // descending
+
+  EigenResult out;
+  out.values.resize(k);
+  out.vectors.resize(n, k);
+  for (std::size_t c = 0; c < k; ++c) {
+    const std::size_t src = k - 1 - c;  // reverse to ascending
+    out.values[c] = small.values[src];
+    for (std::size_t r = 0; r < n; ++r) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p)
+        s += static_cast<double>(v(r, p)) * small.vectors(p, src);
+      out.vectors(r, c) = static_cast<float>(s);
+    }
+  }
+  return out;
+}
+
+double gershgorin_upper_bound(const Mat& a) {
+  NOBLE_EXPECTS(a.rows() == a.cols());
+  double bound = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double radius = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      if (j != i) radius += std::fabs(a(i, j));
+    bound = std::max(bound, a(i, i) + radius);
+  }
+  return bound;
+}
+
+}  // namespace noble::linalg

@@ -1,0 +1,47 @@
+// Symmetric eigensolvers.
+//
+// Two regimes:
+//  * Jacobi rotation solver (double) for small matrices (n up to a few
+//    hundred) — used by classical MDS on landmark sets and by tests.
+//  * Subspace iteration (float storage, double accumulation) for the large
+//    kernels that Isomap/LLE build (n in the thousands), where only k << n
+//    extremal eigenpairs are needed.
+#ifndef NOBLE_LINALG_EIGEN_H_
+#define NOBLE_LINALG_EIGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace noble::linalg {
+
+/// Result of a (partial) symmetric eigendecomposition: `values[i]` pairs with
+/// column i of `vectors` (n x k, orthonormal columns).
+struct EigenResult {
+  std::vector<double> values;
+  Mat vectors;
+};
+
+/// Full eigendecomposition of a small symmetric matrix by cyclic Jacobi.
+/// Eigenvalues are returned in descending order. Aborts on non-square input.
+EigenResult jacobi_eigen(const MatD& a, int max_sweeps = 64, double tol = 1e-12);
+
+/// Top-k (largest algebraic) eigenpairs of symmetric A via block subspace
+/// iteration with Gram-Schmidt re-orthonormalization. Deterministic given
+/// `seed`. k must be <= A.rows().
+EigenResult top_k_eigen_symmetric(const Mat& a, std::size_t k, std::uint64_t seed = 7,
+                                  int max_iters = 300, double tol = 1e-7);
+
+/// Smallest-k eigenpairs of symmetric positive semi-definite A, computed by
+/// spectral shift: the top-k of (sigma*I - A) with sigma an upper bound on
+/// lambda_max (Gershgorin). Values returned in ascending order.
+EigenResult bottom_k_eigen_symmetric(const Mat& a, std::size_t k, std::uint64_t seed = 7,
+                                     int max_iters = 300, double tol = 1e-7);
+
+/// Gershgorin upper bound on the largest eigenvalue of symmetric A.
+double gershgorin_upper_bound(const Mat& a);
+
+}  // namespace noble::linalg
+
+#endif  // NOBLE_LINALG_EIGEN_H_

@@ -1,0 +1,118 @@
+// Dense row-major matrix.
+//
+// `Mat` (float) is the workhorse for neural-network activations and large
+// manifold kernels; `MatD` (double) is used by the small dense solvers where
+// numerical headroom matters (Cholesky/LU/Jacobi). The class is a plain value
+// type: copy/move semantics are the compiler defaults over std::vector.
+#ifndef NOBLE_LINALG_MATRIX_H_
+#define NOBLE_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/check.h"
+
+namespace noble::linalg {
+
+/// Row-major dense matrix of arithmetic type T.
+template <typename T>
+class BasicMatrix {
+ public:
+  using value_type = T;
+
+  /// Empty 0x0 matrix.
+  BasicMatrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  BasicMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, T{0}) {}
+
+  /// rows x cols matrix filled with `value`.
+  BasicMatrix(std::size_t rows, std::size_t cols, T value)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  /// Construction from nested initializer lists (row major). All rows must
+  /// have equal length.
+  BasicMatrix(std::initializer_list<std::initializer_list<T>> init) {
+    rows_ = init.size();
+    cols_ = rows_ ? init.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+      NOBLE_EXPECTS(row.size() == cols_);
+      for (const T& v : row) data_.push_back(v);
+    }
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Element access (bounds-checked by contract in debug-style builds).
+  T& operator()(std::size_t r, std::size_t c) {
+    NOBLE_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  T operator()(std::size_t r, std::size_t c) const {
+    NOBLE_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw contiguous storage (row major).
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  /// Pointer to the first element of row r.
+  T* row(std::size_t r) {
+    NOBLE_EXPECTS(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const T* row(std::size_t r) const {
+    NOBLE_EXPECTS(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  /// Sets every element to `value`.
+  void fill(T value) {
+    for (auto& x : data_) x = value;
+  }
+
+  /// Reshapes to rows x cols, reallocating and zeroing.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, T{0});
+  }
+
+  /// Returns the transposed matrix (copy).
+  BasicMatrix transposed() const {
+    BasicMatrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+    return out;
+  }
+
+  /// Identity matrix of order n.
+  static BasicMatrix identity(std::size_t n) {
+    BasicMatrix out(n, n);
+    for (std::size_t i = 0; i < n; ++i) out(i, i) = T{1};
+    return out;
+  }
+
+  bool operator==(const BasicMatrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// Single-precision matrix for bulk compute.
+using Mat = BasicMatrix<float>;
+/// Double-precision matrix for small dense solvers.
+using MatD = BasicMatrix<double>;
+
+}  // namespace noble::linalg
+
+#endif  // NOBLE_LINALG_MATRIX_H_

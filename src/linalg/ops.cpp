@@ -1,0 +1,163 @@
+#include "linalg/ops.h"
+
+#include <cmath>
+
+namespace noble::linalg {
+
+void gemm(const Mat& a, const Mat& b, Mat& c) {
+  NOBLE_EXPECTS(a.cols() == b.rows());
+  c.resize(a.rows(), b.cols());
+  gemm_acc(a, b, c);
+}
+
+void gemm_acc(const Mat& a, const Mat& b, Mat& c) {
+  NOBLE_EXPECTS(a.cols() == b.rows());
+  NOBLE_EXPECTS(c.rows() == a.rows() && c.cols() == b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  // i-k-j order: the j loop is a contiguous AXPY that gcc vectorizes.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* ci = c.row(i);
+    const float* ai = a.row(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aip = ai[p];
+      if (aip == 0.0f) continue;  // sparse inputs (RSSI vectors) are common
+      const float* bp = b.row(p);
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+void gemm_tn(const Mat& a, const Mat& b, Mat& c) {
+  NOBLE_EXPECTS(a.rows() == b.rows());
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  c.resize(m, n);
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* ap = a.row(p);
+    const float* bp = b.row(p);
+    for (std::size_t i = 0; i < m; ++i) {
+      const float api = ap[i];
+      if (api == 0.0f) continue;
+      float* ci = c.row(i);
+      for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+    }
+  }
+}
+
+void gemm_nt(const Mat& a, const Mat& b, Mat& c) {
+  NOBLE_EXPECTS(a.cols() == b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  c.resize(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* ai = a.row(i);
+    float* ci = c.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      ci[j] = static_cast<float>(dot(ai, b.row(j), k));
+    }
+  }
+}
+
+void gemv(const Mat& a, const std::vector<float>& x, std::vector<float>& y) {
+  NOBLE_EXPECTS(x.size() == a.cols());
+  y.assign(a.rows(), 0.0f);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    y[i] = static_cast<float>(dot(a.row(i), x.data(), a.cols()));
+  }
+}
+
+void axpy(float alpha, const Mat& a, Mat& b) {
+  NOBLE_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+  const float* pa = a.data();
+  float* pb = b.data();
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) pb[i] += alpha * pa[i];
+}
+
+void scale(Mat& a, float alpha) {
+  float* p = a.data();
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) p[i] *= alpha;
+}
+
+void hadamard(const Mat& a, const Mat& b, Mat& c) {
+  NOBLE_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+  c.resize(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) pc[i] = pa[i] * pb[i];
+}
+
+std::vector<float> col_mean(const Mat& a) {
+  std::vector<double> acc(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* row = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) acc[j] += row[j];
+  }
+  std::vector<float> out(a.cols());
+  const double inv = a.rows() ? 1.0 / static_cast<double>(a.rows()) : 0.0;
+  for (std::size_t j = 0; j < a.cols(); ++j) out[j] = static_cast<float>(acc[j] * inv);
+  return out;
+}
+
+std::vector<float> col_var(const Mat& a) {
+  const auto mu = col_mean(a);
+  std::vector<double> acc(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* row = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const double d = row[j] - mu[j];
+      acc[j] += d * d;
+    }
+  }
+  std::vector<float> out(a.cols());
+  const double inv = a.rows() ? 1.0 / static_cast<double>(a.rows()) : 0.0;
+  for (std::size_t j = 0; j < a.cols(); ++j) out[j] = static_cast<float>(acc[j] * inv);
+  return out;
+}
+
+double sum(const Mat& a) {
+  double s = 0.0;
+  const float* p = a.data();
+  for (std::size_t i = 0; i < a.size(); ++i) s += p[i];
+  return s;
+}
+
+double frobenius_norm(const Mat& a) {
+  double s = 0.0;
+  const float* p = a.data();
+  for (std::size_t i = 0; i < a.size(); ++i) s += static_cast<double>(p[i]) * p[i];
+  return std::sqrt(s);
+}
+
+double dot(const float* x, const float* y, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += static_cast<double>(x[i]) * y[i];
+  return s;
+}
+
+double norm(const float* x, std::size_t n) { return std::sqrt(dot(x, x, n)); }
+
+Mat take_rows(const Mat& a, const std::vector<std::size_t>& rows) {
+  Mat out(rows.size(), a.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    NOBLE_EXPECTS(rows[i] < a.rows());
+    const float* src = a.row(rows[i]);
+    float* dst = out.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) dst[j] = src[j];
+  }
+  return out;
+}
+
+std::vector<float> col_sum(const Mat& a) {
+  std::vector<double> acc(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* row = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) acc[j] += row[j];
+  }
+  std::vector<float> out(a.cols());
+  for (std::size_t j = 0; j < a.cols(); ++j) out[j] = static_cast<float>(acc[j]);
+  return out;
+}
+
+}  // namespace noble::linalg

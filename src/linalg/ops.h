@@ -1,0 +1,60 @@
+// BLAS-like kernels on row-major matrices, written so gcc auto-vectorizes the
+// inner loops on a single core (the library's reference substrate).
+#ifndef NOBLE_LINALG_OPS_H_
+#define NOBLE_LINALG_OPS_H_
+
+#include "linalg/matrix.h"
+
+namespace noble::linalg {
+
+/// C = A * B. Requires A.cols == B.rows; C is resized to A.rows x B.cols.
+void gemm(const Mat& a, const Mat& b, Mat& c);
+
+/// C += A * B (accumulate). C must already be A.rows x B.cols.
+void gemm_acc(const Mat& a, const Mat& b, Mat& c);
+
+/// C = A^T * B. Requires A.rows == B.rows; C is resized to A.cols x B.cols.
+void gemm_tn(const Mat& a, const Mat& b, Mat& c);
+
+/// C = A * B^T. Requires A.cols == B.cols; C is resized to A.rows x B.rows.
+void gemm_nt(const Mat& a, const Mat& b, Mat& c);
+
+/// y = A * x for a vector x (x.size == A.cols).
+void gemv(const Mat& a, const std::vector<float>& x, std::vector<float>& y);
+
+/// B += alpha * A (elementwise; shapes must match).
+void axpy(float alpha, const Mat& a, Mat& b);
+
+/// A *= alpha (elementwise).
+void scale(Mat& a, float alpha);
+
+/// Elementwise product: C = A ⊙ B (shapes must match; C resized).
+void hadamard(const Mat& a, const Mat& b, Mat& c);
+
+/// Per-column mean of A (length A.cols).
+std::vector<float> col_mean(const Mat& a);
+
+/// Per-column variance of A (population, length A.cols).
+std::vector<float> col_var(const Mat& a);
+
+/// Sum of all elements.
+double sum(const Mat& a);
+
+/// Frobenius norm.
+double frobenius_norm(const Mat& a);
+
+/// Dot product of two equal-length float spans with double accumulation.
+double dot(const float* x, const float* y, std::size_t n);
+
+/// Euclidean norm of a float span.
+double norm(const float* x, std::size_t n);
+
+/// Gathers the given rows of A into a new matrix (minibatch construction).
+Mat take_rows(const Mat& a, const std::vector<std::size_t>& rows);
+
+/// Per-column sum of A (length A.cols), double accumulation.
+std::vector<float> col_sum(const Mat& a);
+
+}  // namespace noble::linalg
+
+#endif  // NOBLE_LINALG_OPS_H_

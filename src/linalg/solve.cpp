@@ -1,0 +1,140 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+
+namespace noble::linalg {
+
+namespace {
+
+/// In-place Cholesky factorization A = L L^T (lower triangle). Returns false
+/// if a non-positive pivot appears.
+bool cholesky_factor(MatD& a) {
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    const double ljj = std::sqrt(d);
+    a(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
+      a(i, j) = s / ljj;
+    }
+  }
+  return true;
+}
+
+void cholesky_back_substitute(const MatD& l, std::vector<double>& x) {
+  const std::size_t n = l.rows();
+  // Forward: L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = x[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * x[k];
+    x[i] = s / l(i, i);
+  }
+  // Backward: L^T x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+}
+
+}  // namespace
+
+bool cholesky_solve(const MatD& a, const std::vector<double>& b, std::vector<double>& x) {
+  NOBLE_EXPECTS(a.rows() == a.cols());
+  NOBLE_EXPECTS(b.size() == a.rows());
+  MatD l = a;
+  if (!cholesky_factor(l)) return false;
+  x = b;
+  cholesky_back_substitute(l, x);
+  return true;
+}
+
+bool CholeskyFactorization::compute(const MatD& a) {
+  NOBLE_EXPECTS(a.rows() == a.cols());
+  l_ = a;
+  ok_ = cholesky_factor(l_);
+  return ok_;
+}
+
+void CholeskyFactorization::solve_in_place(std::vector<double>& x) const {
+  NOBLE_EXPECTS(ok_);
+  NOBLE_EXPECTS(x.size() == l_.rows());
+  cholesky_back_substitute(l_, x);
+}
+
+bool lu_solve(MatD a, std::vector<double> b, std::vector<double>& x) {
+  NOBLE_EXPECTS(a.rows() == a.cols());
+  NOBLE_EXPECTS(b.size() == a.rows());
+  const std::size_t n = a.rows();
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::fabs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) * inv;
+      if (f == 0.0) continue;
+      a(r, col) = f;
+      for (std::size_t c = col + 1; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  x.assign(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t c = ii + 1; c < n; ++c) s -= a(ii, c) * x[c];
+    x[ii] = s / a(ii, ii);
+  }
+  return true;
+}
+
+bool regularized_spd_solve(const MatD& a, const std::vector<double>& b, double reg,
+                           double max_reg, std::vector<double>& x) {
+  NOBLE_EXPECTS(reg >= 0.0 && max_reg >= reg);
+  for (double r = reg;; r = (r == 0.0) ? 1e-12 : r * 10.0) {
+    MatD regd = a;
+    for (std::size_t i = 0; i < regd.rows(); ++i) regd(i, i) += r;
+    if (cholesky_solve(regd, b, x)) return true;
+    if (r >= max_reg) return false;
+  }
+}
+
+bool least_squares(const MatD& a, const std::vector<double>& b, double reg,
+                   std::vector<double>& x) {
+  NOBLE_EXPECTS(a.rows() >= a.cols());
+  NOBLE_EXPECTS(b.size() == a.rows());
+  const std::size_t m = a.rows(), n = a.cols();
+  MatD ata(n, n);
+  std::vector<double> atb(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      atb[i] += a(r, i) * b[r];
+      for (std::size_t j = i; j < n; ++j) ata(i, j) += a(r, i) * a(r, j);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j) ata(i, j) = ata(j, i);
+  return regularized_spd_solve(ata, atb, reg, 1e6, x);
+}
+
+}  // namespace noble::linalg

@@ -1,0 +1,47 @@
+// Small dense linear solvers (double precision). Used by LLE's local Gram
+// systems and the map-fitting utilities; sizes are O(k) with k ~ tens, so
+// O(n^3) algorithms are appropriate.
+#ifndef NOBLE_LINALG_SOLVE_H_
+#define NOBLE_LINALG_SOLVE_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace noble::linalg {
+
+/// Solves A x = b for symmetric positive definite A via Cholesky.
+/// Returns false if A is not (numerically) SPD.
+bool cholesky_solve(const MatD& a, const std::vector<double>& b, std::vector<double>& x);
+
+/// Reusable Cholesky factorization for repeated solves against one SPD
+/// matrix (inverse subspace iteration in the eigensolvers).
+class CholeskyFactorization {
+ public:
+  /// Factors A = L L^T; returns false (and marks !ok()) if not SPD.
+  bool compute(const MatD& a);
+  /// Solves L L^T x = b in place. Requires ok().
+  void solve_in_place(std::vector<double>& x) const;
+  bool ok() const { return ok_; }
+
+ private:
+  MatD l_;
+  bool ok_ = false;
+};
+
+/// Solves A x = b via LU with partial pivoting. Returns false if singular.
+bool lu_solve(MatD a, std::vector<double> b, std::vector<double>& x);
+
+/// Solves (A + reg*I) x = b with Cholesky, escalating `reg` by 10x up to
+/// `max_reg` until the factorization succeeds. Returns false if it never does.
+bool regularized_spd_solve(const MatD& a, const std::vector<double>& b, double reg,
+                           double max_reg, std::vector<double>& x);
+
+/// Least-squares solution of min ||A x - b||_2 via normal equations with
+/// Tikhonov regularization `reg`. A is m x n with m >= n.
+bool least_squares(const MatD& a, const std::vector<double>& b, double reg,
+                   std::vector<double>& x);
+
+}  // namespace noble::linalg
+
+#endif  // NOBLE_LINALG_SOLVE_H_

@@ -1,0 +1,31 @@
+// Common interface for manifold embedders (Isomap, LLE) used by the
+// Manifold Embedding baselines of Table II.
+#ifndef NOBLE_MANIFOLD_EMBEDDING_H_
+#define NOBLE_MANIFOLD_EMBEDDING_H_
+
+#include "linalg/matrix.h"
+
+namespace noble::manifold {
+
+/// Fits on a training set and embeds arbitrary queries (out-of-sample
+/// extension). Embedding dimension is fixed at construction.
+class Embedder {
+ public:
+  virtual ~Embedder() = default;
+
+  /// Learns the embedding from training data (rows = samples).
+  virtual void fit(const linalg::Mat& x) = 0;
+
+  /// Embeds query rows; requires fit() first.
+  virtual linalg::Mat transform(const linalg::Mat& queries) const = 0;
+
+  /// Embedding of the training set itself (n x dim), valid after fit().
+  virtual const linalg::Mat& train_embedding() const = 0;
+
+  /// Target embedding dimensionality.
+  virtual std::size_t dim() const = 0;
+};
+
+}  // namespace noble::manifold
+
+#endif  // NOBLE_MANIFOLD_EMBEDDING_H_

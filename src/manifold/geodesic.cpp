@@ -1,0 +1,82 @@
+#include "manifold/geodesic.h"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace noble::manifold {
+
+NeighborGraph build_knn_graph(const linalg::Mat& x, std::size_t k) {
+  NOBLE_EXPECTS(x.rows() >= 2);
+  const auto knn = knn_search(x, x, k, /*exclude_self=*/true);
+  NeighborGraph g;
+  g.adjacency.resize(x.rows());
+  for (std::size_t i = 0; i < knn.size(); ++i) {
+    for (const Neighbor& nb : knn[i]) {
+      g.adjacency[i].push_back(nb);
+      // Symmetric closure: ensure the reverse edge exists.
+      bool found = false;
+      for (const Neighbor& back : g.adjacency[nb.index]) {
+        if (back.index == i) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) g.adjacency[nb.index].push_back({i, nb.distance});
+    }
+  }
+  return g;
+}
+
+std::vector<double> dijkstra(const NeighborGraph& graph, std::size_t source) {
+  NOBLE_EXPECTS(source < graph.size());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(graph.size(), kInf);
+  using Item = std::pair<double, std::size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;  // stale entry
+    for (const Neighbor& nb : graph.adjacency[u]) {
+      const double nd = d + nb.distance;
+      if (nd < dist[nb.index]) {
+        dist[nb.index] = nd;
+        heap.push({nd, nb.index});
+      }
+    }
+  }
+  return dist;
+}
+
+linalg::Mat geodesic_distance_matrix(const NeighborGraph& graph,
+                                     double disconnect_factor) {
+  NOBLE_EXPECTS(disconnect_factor >= 1.0);
+  const std::size_t n = graph.size();
+  linalg::Mat d(n, n);
+  double max_finite = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = dijkstra(graph, i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double v = row[j];
+      if (std::isfinite(v)) {
+        d(i, j) = static_cast<float>(v);
+        if (v > max_finite) max_finite = v;
+      } else {
+        d(i, j) = -1.0f;  // marker, patched below
+      }
+    }
+  }
+  const float patch = static_cast<float>(max_finite * disconnect_factor);
+  float* p = d.data();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (p[i] < 0.0f) p[i] = patch;
+  }
+  return d;
+}
+
+}  // namespace noble::manifold

@@ -1,0 +1,36 @@
+// Geodesic (shortest-path) distances over a k-nearest-neighbor graph —
+// step (1) and (2) of the Isomap template described in §II of the paper.
+#ifndef NOBLE_MANIFOLD_GEODESIC_H_
+#define NOBLE_MANIFOLD_GEODESIC_H_
+
+#include "linalg/matrix.h"
+#include "manifold/knn.h"
+
+namespace noble::manifold {
+
+/// Symmetric weighted kNN graph in adjacency-list form.
+struct NeighborGraph {
+  /// adjacency[i] = neighbors of i with Euclidean edge weights; symmetric
+  /// closure of the kNN relation.
+  std::vector<std::vector<Neighbor>> adjacency;
+
+  std::size_t size() const { return adjacency.size(); }
+};
+
+/// Builds the symmetric kNN graph of the rows of x.
+NeighborGraph build_knn_graph(const linalg::Mat& x, std::size_t k);
+
+/// Single-source shortest path distances (Dijkstra, binary heap).
+/// Unreachable nodes get +infinity.
+std::vector<double> dijkstra(const NeighborGraph& graph, std::size_t source);
+
+/// All-pairs geodesic distance matrix (n x n, float). Unreachable pairs
+/// (disconnected components — e.g. separate buildings in signal space) are
+/// patched to `disconnect_factor` times the largest finite distance, the
+/// standard Isomap practice for disconnected neighborhoods.
+linalg::Mat geodesic_distance_matrix(const NeighborGraph& graph,
+                                     double disconnect_factor = 1.5);
+
+}  // namespace noble::manifold
+
+#endif  // NOBLE_MANIFOLD_GEODESIC_H_

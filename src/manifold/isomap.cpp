@@ -1,0 +1,50 @@
+#include "manifold/isomap.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace noble::manifold {
+
+Isomap::Isomap(std::size_t dim, std::size_t k, std::uint64_t seed)
+    : dim_(dim), k_(k), seed_(seed) {
+  NOBLE_EXPECTS(dim >= 1 && k >= 2);
+}
+
+void Isomap::fit(const linalg::Mat& x) {
+  NOBLE_EXPECTS(x.rows() > dim_);
+  train_x_ = x;
+  const NeighborGraph graph = build_knn_graph(x, k_);
+  geo_ = geodesic_distance_matrix(graph);
+  mds_ = classical_mds(geo_, dim_, seed_);
+  fitted_ = true;
+}
+
+linalg::Mat Isomap::transform(const linalg::Mat& queries) const {
+  NOBLE_EXPECTS(fitted_);
+  NOBLE_EXPECTS(queries.cols() == train_x_.cols());
+  const std::size_t n = train_x_.rows();
+  linalg::Mat out(queries.rows(), dim_);
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    // Approximate geodesic from the query to every training point: route
+    // through the query's k nearest training samples.
+    const auto anchors = knn_query(train_x_, queries.row(q), k_);
+    std::vector<double> geo_q(n, std::numeric_limits<double>::infinity());
+    for (const Neighbor& a : anchors) {
+      const float* geo_row = geo_.row(a.index);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double via = a.distance + static_cast<double>(geo_row[i]);
+        if (via < geo_q[i]) geo_q[i] = via;
+      }
+    }
+    std::vector<double> sq(n);
+    for (std::size_t i = 0; i < n; ++i) sq[i] = geo_q[i] * geo_q[i];
+    const auto y = mds_out_of_sample(mds_, sq);
+    for (std::size_t kk = 0; kk < dim_; ++kk)
+      out(q, kk) = static_cast<float>(y[kk]);
+  }
+  return out;
+}
+
+}  // namespace noble::manifold

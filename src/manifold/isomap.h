@@ -1,0 +1,42 @@
+// Isomap (Tenenbaum et al., Science 2000): geodesic distances over a kNN
+// graph followed by classical MDS; out-of-sample queries are embedded by the
+// Nystrom extension with approximate geodesics through the query's nearest
+// training neighbors.
+#ifndef NOBLE_MANIFOLD_ISOMAP_H_
+#define NOBLE_MANIFOLD_ISOMAP_H_
+
+#include <cstdint>
+
+#include "manifold/embedding.h"
+#include "manifold/geodesic.h"
+#include "manifold/mds.h"
+
+namespace noble::manifold {
+
+/// Isomap embedder with Nystrom out-of-sample extension.
+class Isomap : public Embedder {
+ public:
+  /// `dim`: embedding dimensionality; `k`: neighborhood size.
+  Isomap(std::size_t dim, std::size_t k, std::uint64_t seed = 17);
+
+  void fit(const linalg::Mat& x) override;
+  linalg::Mat transform(const linalg::Mat& queries) const override;
+  const linalg::Mat& train_embedding() const override { return mds_.embedding; }
+  std::size_t dim() const override { return dim_; }
+
+  /// Geodesic distance matrix of the training set (valid after fit) —
+  /// exposed for tests and diagnostics.
+  const linalg::Mat& train_geodesics() const { return geo_; }
+
+ private:
+  std::size_t dim_, k_;
+  std::uint64_t seed_;
+  linalg::Mat train_x_;
+  linalg::Mat geo_;
+  MdsResult mds_;
+  bool fitted_ = false;
+};
+
+}  // namespace noble::manifold
+
+#endif  // NOBLE_MANIFOLD_ISOMAP_H_

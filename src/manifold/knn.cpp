@@ -1,0 +1,68 @@
+#include "manifold/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/distance.h"
+
+namespace noble::manifold {
+
+namespace {
+
+std::vector<Neighbor> select_k(const float* dist_row, std::size_t n, std::size_t k,
+                               bool exclude_self, std::size_t self_index) {
+  std::vector<Neighbor> all;
+  all.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (exclude_self && j == self_index) continue;
+    all.push_back({j, std::sqrt(static_cast<double>(dist_row[j]))});
+  }
+  const std::size_t kk = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(kk), all.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      return a.distance < b.distance ||
+                             (a.distance == b.distance && a.index < b.index);
+                    });
+  all.resize(kk);
+  return all;
+}
+
+}  // namespace
+
+std::vector<std::vector<Neighbor>> knn_search(const linalg::Mat& refs,
+                                              const linalg::Mat& queries, std::size_t k,
+                                              bool exclude_self) {
+  NOBLE_EXPECTS(refs.cols() == queries.cols());
+  NOBLE_EXPECTS(k >= 1);
+  // Chunk queries so the distance matrix stays cache/memory friendly.
+  const std::size_t chunk = 512;
+  std::vector<std::vector<Neighbor>> out(queries.rows());
+  linalg::Mat d;
+  for (std::size_t start = 0; start < queries.rows(); start += chunk) {
+    const std::size_t end = std::min(queries.rows(), start + chunk);
+    linalg::Mat q(end - start, queries.cols());
+    for (std::size_t i = start; i < end; ++i) {
+      const float* src = queries.row(i);
+      float* dst = q.row(i - start);
+      std::copy(src, src + queries.cols(), dst);
+    }
+    linalg::pairwise_sq_dist(q, refs, d);
+    for (std::size_t i = start; i < end; ++i) {
+      out[i] = select_k(d.row(i - start), refs.rows(), k, exclude_self, i);
+    }
+  }
+  return out;
+}
+
+std::vector<Neighbor> knn_query(const linalg::Mat& refs, const float* query,
+                                std::size_t k) {
+  NOBLE_EXPECTS(k >= 1);
+  std::vector<float> dist(refs.rows());
+  for (std::size_t j = 0; j < refs.rows(); ++j) {
+    dist[j] = static_cast<float>(linalg::sq_dist(refs.row(j), query, refs.cols()));
+  }
+  return select_k(dist.data(), refs.rows(), k, /*exclude_self=*/false, 0);
+}
+
+}  // namespace noble::manifold

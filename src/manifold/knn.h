@@ -1,0 +1,36 @@
+// Exact k-nearest-neighbor search (brute force with partial selection).
+//
+// Manifold baselines (Isomap/LLE) and the RADAR-style fingerprint baseline
+// build on this. Sizes in this library are a few thousand points with a few
+// hundred dimensions, where brute force with a GEMM-based distance matrix is
+// both exact and fast.
+#ifndef NOBLE_MANIFOLD_KNN_H_
+#define NOBLE_MANIFOLD_KNN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace noble::manifold {
+
+/// One neighbor: index into the reference set and Euclidean distance.
+struct Neighbor {
+  std::size_t index;
+  double distance;
+};
+
+/// k nearest rows of `refs` for each row of `queries` (excluding exact self
+/// matches when `exclude_self_index` is true and refs == queries).
+/// Results are sorted by ascending distance.
+std::vector<std::vector<Neighbor>> knn_search(const linalg::Mat& refs,
+                                              const linalg::Mat& queries, std::size_t k,
+                                              bool exclude_self = false);
+
+/// k nearest rows of `refs` for a single query vector.
+std::vector<Neighbor> knn_query(const linalg::Mat& refs, const float* query,
+                                std::size_t k);
+
+}  // namespace noble::manifold
+
+#endif  // NOBLE_MANIFOLD_KNN_H_

@@ -1,0 +1,121 @@
+#include "manifold/lle.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/eigen.h"
+#include "linalg/solve.h"
+
+namespace noble::manifold {
+
+Lle::Lle(std::size_t dim, std::size_t k, double reg, std::uint64_t seed)
+    : dim_(dim), k_(k), reg_(reg), seed_(seed) {
+  NOBLE_EXPECTS(dim >= 1 && k >= 2 && reg >= 0.0);
+}
+
+std::vector<double> Lle::reconstruction_weights(const float* point,
+                                                const std::vector<Neighbor>& neighbors,
+                                                const linalg::Mat& refs) const {
+  const std::size_t k = neighbors.size();
+  NOBLE_EXPECTS(k >= 1);
+  const std::size_t d = refs.cols();
+  // Local Gram matrix G_ij = (x - n_i) . (x - n_j), regularized by
+  // reg * trace(G)/k * I, solved against the all-ones vector.
+  linalg::MatD gram(k, k);
+  std::vector<std::vector<double>> diff(k, std::vector<double>(d));
+  for (std::size_t i = 0; i < k; ++i) {
+    const float* ni = refs.row(neighbors[i].index);
+    for (std::size_t c = 0; c < d; ++c)
+      diff[i][c] = static_cast<double>(point[c]) - ni[c];
+  }
+  double trace = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i; j < k; ++j) {
+      double s = 0.0;
+      for (std::size_t c = 0; c < d; ++c) s += diff[i][c] * diff[j][c];
+      gram(i, j) = s;
+      gram(j, i) = s;
+    }
+    trace += gram(i, i);
+  }
+  const double eps = reg_ * (trace > 0.0 ? trace / static_cast<double>(k) : 1.0) + 1e-12;
+  for (std::size_t i = 0; i < k; ++i) gram(i, i) += eps;
+
+  std::vector<double> w;
+  const std::vector<double> ones(k, 1.0);
+  if (!linalg::cholesky_solve(gram, ones, w)) {
+    // Severely degenerate neighborhood: fall back to uniform weights.
+    w.assign(k, 1.0 / static_cast<double>(k));
+    return w;
+  }
+  double sum = 0.0;
+  for (double v : w) sum += v;
+  NOBLE_CHECK(std::fabs(sum) > 1e-12);
+  for (double& v : w) v /= sum;
+  return w;
+}
+
+void Lle::fit(const linalg::Mat& x) {
+  NOBLE_EXPECTS(x.rows() > dim_ + 1);
+  train_x_ = x;
+  const std::size_t n = x.rows();
+  const auto knn = knn_search(x, x, k_, /*exclude_self=*/true);
+
+  // Dense M = (I - W)^T (I - W). n is a few thousand at most here, so a
+  // dense accumulation is simpler and fast enough; W rows have k entries.
+  linalg::Mat m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0f;
+  // M = I - W - W^T + W^T W; accumulate sparse contributions.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto w = reconstruction_weights(x.row(i), knn[i], x);
+    const auto& nbs = knn[i];
+    for (std::size_t a = 0; a < nbs.size(); ++a) {
+      m(i, nbs[a].index) -= static_cast<float>(w[a]);
+      m(nbs[a].index, i) -= static_cast<float>(w[a]);
+      for (std::size_t b = 0; b < nbs.size(); ++b) {
+        m(nbs[a].index, nbs[b].index) += static_cast<float>(w[a] * w[b]);
+      }
+    }
+  }
+
+  // Deflate the known kernel vector (the constant): M has M 1 = 0, so add
+  // shift * (1 1^T / n) to push the constant eigenvector's eigenvalue above
+  // the band of interest. The remaining bottom eigenvectors are exactly
+  // LLE's embedding coordinates (and are orthogonal to 1 -> centered).
+  const double shift = linalg::gershgorin_upper_bound(m) + 1.0;
+  const float shift_per_entry = static_cast<float>(shift / static_cast<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    float* row = m.row(i);
+    for (std::size_t j = 0; j < n; ++j) row[j] += shift_per_entry;
+  }
+
+  const auto eig = linalg::bottom_k_eigen_symmetric(m, dim_, seed_, 500, 1e-8);
+  embedding_.resize(n, dim_);
+  const double scale = std::sqrt(static_cast<double>(n));
+  for (std::size_t c = 0; c < dim_; ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      embedding_(i, c) = static_cast<float>(scale * eig.vectors(i, c));
+    }
+  }
+  fitted_ = true;
+}
+
+linalg::Mat Lle::transform(const linalg::Mat& queries) const {
+  NOBLE_EXPECTS(fitted_);
+  NOBLE_EXPECTS(queries.cols() == train_x_.cols());
+  linalg::Mat out(queries.rows(), dim_);
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    const auto nbs = knn_query(train_x_, queries.row(q), k_);
+    const auto w = reconstruction_weights(queries.row(q), nbs, train_x_);
+    for (std::size_t c = 0; c < dim_; ++c) {
+      double acc = 0.0;
+      for (std::size_t a = 0; a < nbs.size(); ++a) {
+        acc += w[a] * embedding_(nbs[a].index, c);
+      }
+      out(q, c) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace noble::manifold

@@ -1,0 +1,45 @@
+// Locally linear embedding (Roweis & Saul, Science 2000): reconstruct each
+// point from its k neighbors, then find the low-dimensional coordinates that
+// preserve those reconstruction weights (bottom eigenvectors of
+// M = (I - W)^T (I - W), skipping the constant vector).
+#ifndef NOBLE_MANIFOLD_LLE_H_
+#define NOBLE_MANIFOLD_LLE_H_
+
+#include <cstdint>
+
+#include "manifold/embedding.h"
+#include "manifold/knn.h"
+
+namespace noble::manifold {
+
+/// LLE embedder; out-of-sample queries are embedded with freshly computed
+/// reconstruction weights over their nearest training neighbors (the
+/// standard Saul & Roweis extension).
+class Lle : public Embedder {
+ public:
+  /// `dim`: embedding dimensionality; `k`: neighborhood size;
+  /// `reg`: Gram-matrix regularization (scaled by the trace).
+  Lle(std::size_t dim, std::size_t k, double reg = 1e-3, std::uint64_t seed = 19);
+
+  void fit(const linalg::Mat& x) override;
+  linalg::Mat transform(const linalg::Mat& queries) const override;
+  const linalg::Mat& train_embedding() const override { return embedding_; }
+  std::size_t dim() const override { return dim_; }
+
+ private:
+  /// Reconstruction weights of `point` over the given neighbor rows.
+  std::vector<double> reconstruction_weights(const float* point,
+                                             const std::vector<Neighbor>& neighbors,
+                                             const linalg::Mat& refs) const;
+
+  std::size_t dim_, k_;
+  double reg_;
+  std::uint64_t seed_;
+  linalg::Mat train_x_;
+  linalg::Mat embedding_;
+  bool fitted_ = false;
+};
+
+}  // namespace noble::manifold
+
+#endif  // NOBLE_MANIFOLD_LLE_H_

@@ -1,0 +1,79 @@
+#include "manifold/mds.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/eigen.h"
+
+namespace noble::manifold {
+
+MdsResult classical_mds(const linalg::Mat& distances, std::size_t dim,
+                        std::uint64_t seed) {
+  NOBLE_EXPECTS(distances.rows() == distances.cols());
+  NOBLE_EXPECTS(dim >= 1 && dim <= distances.rows());
+  const std::size_t n = distances.rows();
+
+  // Squared distances with row/col/grand means for double centering.
+  linalg::Mat d2(n, n);
+  std::vector<double> col_mean(n, 0.0);
+  double grand = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* src = distances.row(i);
+    float* dst = d2.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double v = static_cast<double>(src[j]) * src[j];
+      dst[j] = static_cast<float>(v);
+      col_mean[j] += v;
+      grand += v;
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) col_mean[j] /= static_cast<double>(n);
+  grand /= static_cast<double>(n) * static_cast<double>(n);
+
+  // B = -1/2 (D2 - row_mean - col_mean + grand). Rows/cols symmetric.
+  linalg::Mat b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* src = d2.row(i);
+    float* dst = b.row(i);
+    const double row_mean = col_mean[i];  // symmetric D -> row mean == col mean
+    for (std::size_t j = 0; j < n; ++j) {
+      dst[j] = static_cast<float>(-0.5 * (src[j] - row_mean - col_mean[j] + grand));
+    }
+  }
+
+  const auto eig = linalg::top_k_eigen_symmetric(b, dim, seed);
+  MdsResult res;
+  res.eigenvalues = eig.values;
+  res.sq_dist_col_mean = std::move(col_mean);
+  res.sq_dist_grand_mean = grand;
+  res.embedding.resize(n, dim);
+  for (std::size_t k = 0; k < dim; ++k) {
+    const double lambda = std::max(0.0, eig.values[k]);
+    const double scale = std::sqrt(lambda);
+    for (std::size_t i = 0; i < n; ++i) {
+      res.embedding(i, k) = static_cast<float>(scale * eig.vectors(i, k));
+    }
+  }
+  return res;
+}
+
+std::vector<double> mds_out_of_sample(const MdsResult& mds,
+                                      const std::vector<double>& sq_dists_to_train) {
+  const std::size_t n = mds.embedding.rows();
+  const std::size_t dim = mds.embedding.cols();
+  NOBLE_EXPECTS(sq_dists_to_train.size() == n);
+  std::vector<double> y(dim, 0.0);
+  for (std::size_t k = 0; k < dim; ++k) {
+    const double lambda = mds.eigenvalues[k];
+    if (lambda < 1e-9) continue;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += static_cast<double>(mds.embedding(i, k)) *
+             (sq_dists_to_train[i] - mds.sq_dist_col_mean[i]);
+    }
+    y[k] = -acc / (2.0 * lambda);
+  }
+  return y;
+}
+
+}  // namespace noble::manifold

@@ -1,0 +1,42 @@
+// Classical multidimensional scaling — the algorithm the paper's §III-C
+// analysis reduces NObLe's BCE objective to.
+#ifndef NOBLE_MANIFOLD_MDS_H_
+#define NOBLE_MANIFOLD_MDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace noble::manifold {
+
+/// Result of classical MDS.
+struct MdsResult {
+  /// n x dim embedding (rows are points).
+  linalg::Mat embedding;
+  /// The top eigenvalues of the doubly-centered Gram matrix (descending).
+  std::vector<double> eigenvalues;
+  /// Column means of the squared-distance matrix (needed by Nystrom
+  /// out-of-sample extension).
+  std::vector<double> sq_dist_col_mean;
+  /// Grand mean of the squared-distance matrix.
+  double sq_dist_grand_mean = 0.0;
+};
+
+/// Classical MDS of a symmetric distance matrix: B = -1/2 J D^2 J, embedding
+/// = V_k Lambda_k^{1/2}. Negative eigenvalues (non-Euclidean distances) are
+/// clamped to zero.
+MdsResult classical_mds(const linalg::Mat& distances, std::size_t dim,
+                        std::uint64_t seed = 11);
+
+/// Nystrom out-of-sample extension: embeds a query given its squared
+/// distances to all training points:
+/// y_k = -(e_k^T (d_q^2 - col_mean)) / (2 lambda_k), with e_k the k-th
+/// embedding column (= sqrt(lambda_k) v_k). Dimensions with lambda ~ 0 map
+/// to 0.
+std::vector<double> mds_out_of_sample(const MdsResult& mds,
+                                      const std::vector<double>& sq_dists_to_train);
+
+}  // namespace noble::manifold
+
+#endif  // NOBLE_MANIFOLD_MDS_H_

@@ -1,0 +1,59 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace noble::nn {
+
+void Tanh::forward(const Mat& x, Mat& y, bool /*training*/) {
+  y.resize(x.rows(), x.cols());
+  const float* px = x.data();
+  float* py = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) py[i] = std::tanh(px[i]);
+  y_cache_ = y;
+}
+
+void Tanh::backward(const Mat& x, const Mat& dy, Mat& dx) {
+  NOBLE_EXPECTS(y_cache_.rows() == dy.rows() && y_cache_.cols() == dy.cols());
+  (void)x;
+  dx.resize(dy.rows(), dy.cols());
+  const float* py = y_cache_.data();
+  const float* pdy = dy.data();
+  float* pdx = dx.data();
+  for (std::size_t i = 0; i < dy.size(); ++i) pdx[i] = pdy[i] * (1.0f - py[i] * py[i]);
+}
+
+void Relu::forward(const Mat& x, Mat& y, bool /*training*/) {
+  y.resize(x.rows(), x.cols());
+  const float* px = x.data();
+  float* py = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) py[i] = px[i] > 0.0f ? px[i] : 0.0f;
+}
+
+void Relu::backward(const Mat& x, const Mat& dy, Mat& dx) {
+  NOBLE_EXPECTS(x.rows() == dy.rows() && x.cols() == dy.cols());
+  dx.resize(dy.rows(), dy.cols());
+  const float* px = x.data();
+  const float* pdy = dy.data();
+  float* pdx = dx.data();
+  for (std::size_t i = 0; i < dy.size(); ++i) pdx[i] = px[i] > 0.0f ? pdy[i] : 0.0f;
+}
+
+void Sigmoid::forward(const Mat& x, Mat& y, bool /*training*/) {
+  y.resize(x.rows(), x.cols());
+  const float* px = x.data();
+  float* py = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) py[i] = 1.0f / (1.0f + std::exp(-px[i]));
+  y_cache_ = y;
+}
+
+void Sigmoid::backward(const Mat& x, const Mat& dy, Mat& dx) {
+  NOBLE_EXPECTS(y_cache_.rows() == dy.rows() && y_cache_.cols() == dy.cols());
+  (void)x;
+  dx.resize(dy.rows(), dy.cols());
+  const float* py = y_cache_.data();
+  const float* pdy = dy.data();
+  float* pdx = dx.data();
+  for (std::size_t i = 0; i < dy.size(); ++i) pdx[i] = pdy[i] * py[i] * (1.0f - py[i]);
+}
+
+}  // namespace noble::nn

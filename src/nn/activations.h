@@ -1,0 +1,45 @@
+// Elementwise activation layers. The paper's networks use hyperbolic tangent
+// (§IV-A); ReLU and Sigmoid are provided for ablations and the baselines.
+#ifndef NOBLE_NN_ACTIVATIONS_H_
+#define NOBLE_NN_ACTIVATIONS_H_
+
+#include "nn/layer.h"
+
+namespace noble::nn {
+
+/// y = tanh(x).
+class Tanh : public Layer {
+ public:
+  void forward(const Mat& x, Mat& y, bool training) override;
+  void backward(const Mat& x, const Mat& dy, Mat& dx) override;
+  std::string name() const override { return "Tanh"; }
+  std::size_t output_dim(std::size_t input_dim) const override { return input_dim; }
+
+ private:
+  Mat y_cache_;
+};
+
+/// y = max(0, x).
+class Relu : public Layer {
+ public:
+  void forward(const Mat& x, Mat& y, bool training) override;
+  void backward(const Mat& x, const Mat& dy, Mat& dx) override;
+  std::string name() const override { return "Relu"; }
+  std::size_t output_dim(std::size_t input_dim) const override { return input_dim; }
+};
+
+/// y = 1 / (1 + exp(-x)).
+class Sigmoid : public Layer {
+ public:
+  void forward(const Mat& x, Mat& y, bool training) override;
+  void backward(const Mat& x, const Mat& dy, Mat& dx) override;
+  std::string name() const override { return "Sigmoid"; }
+  std::size_t output_dim(std::size_t input_dim) const override { return input_dim; }
+
+ private:
+  Mat y_cache_;
+};
+
+}  // namespace noble::nn
+
+#endif  // NOBLE_NN_ACTIVATIONS_H_

@@ -1,0 +1,96 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+#include "linalg/ops.h"
+
+namespace noble::nn {
+
+BatchNorm1d::BatchNorm1d(std::size_t dim, float momentum, float eps)
+    : dim_(dim),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(1, dim, 1.0f),
+      beta_(1, dim),
+      dgamma_(1, dim),
+      dbeta_(1, dim),
+      running_mean_(1, dim),
+      running_var_(1, dim, 1.0f) {
+  NOBLE_EXPECTS(dim > 0);
+  NOBLE_EXPECTS(momentum >= 0.0f && momentum < 1.0f);
+}
+
+void BatchNorm1d::forward(const Mat& x, Mat& y, bool training) {
+  NOBLE_EXPECTS(x.cols() == dim_);
+  const std::size_t n = x.rows();
+  y.resize(n, dim_);
+  if (training) {
+    NOBLE_EXPECTS(n >= 2);  // batch statistics are undefined for n < 2
+    const auto mu = linalg::col_mean(x);
+    const auto var = linalg::col_var(x);
+    inv_std_.resize(dim_);
+    for (std::size_t j = 0; j < dim_; ++j)
+      inv_std_[j] = 1.0f / std::sqrt(var[j] + eps_);
+    // Update running statistics.
+    for (std::size_t j = 0; j < dim_; ++j) {
+      running_mean_(0, j) = momentum_ * running_mean_(0, j) + (1.0f - momentum_) * mu[j];
+      running_var_(0, j) = momentum_ * running_var_(0, j) + (1.0f - momentum_) * var[j];
+    }
+    x_hat_.resize(n, dim_);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* xi = x.row(i);
+      float* hi = x_hat_.row(i);
+      float* yi = y.row(i);
+      for (std::size_t j = 0; j < dim_; ++j) {
+        hi[j] = (xi[j] - mu[j]) * inv_std_[j];
+        yi[j] = gamma_(0, j) * hi[j] + beta_(0, j);
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* xi = x.row(i);
+      float* yi = y.row(i);
+      for (std::size_t j = 0; j < dim_; ++j) {
+        const float inv = 1.0f / std::sqrt(running_var_(0, j) + eps_);
+        yi[j] = gamma_(0, j) * (xi[j] - running_mean_(0, j)) * inv + beta_(0, j);
+      }
+    }
+  }
+}
+
+void BatchNorm1d::backward(const Mat& x, const Mat& dy, Mat& dx) {
+  (void)x;
+  NOBLE_EXPECTS(dy.cols() == dim_);
+  NOBLE_EXPECTS(x_hat_.rows() == dy.rows());  // forward(training=true) must precede
+  const std::size_t n = dy.rows();
+  dx.resize(n, dim_);
+
+  // Standard batch-norm backward:
+  // dx = (gamma * inv_std / n) * (n*dy - sum(dy) - x_hat * sum(dy*x_hat)).
+  std::vector<double> sum_dy(dim_, 0.0), sum_dy_xhat(dim_, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* dyi = dy.row(i);
+    const float* hi = x_hat_.row(i);
+    for (std::size_t j = 0; j < dim_; ++j) {
+      sum_dy[j] += dyi[j];
+      sum_dy_xhat[j] += static_cast<double>(dyi[j]) * hi[j];
+    }
+  }
+  for (std::size_t j = 0; j < dim_; ++j) {
+    dgamma_(0, j) += static_cast<float>(sum_dy_xhat[j]);
+    dbeta_(0, j) += static_cast<float>(sum_dy[j]);
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* dyi = dy.row(i);
+    const float* hi = x_hat_.row(i);
+    float* dxi = dx.row(i);
+    for (std::size_t j = 0; j < dim_; ++j) {
+      const double t = static_cast<double>(n) * dyi[j] - sum_dy[j] -
+                       static_cast<double>(hi[j]) * sum_dy_xhat[j];
+      dxi[j] = static_cast<float>(gamma_(0, j) * inv_std_[j] * inv_n * t);
+    }
+  }
+}
+
+}  // namespace noble::nn

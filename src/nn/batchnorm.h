@@ -1,0 +1,40 @@
+// Batch normalization [21] over feature columns (1-D batch norm).
+#ifndef NOBLE_NN_BATCHNORM_H_
+#define NOBLE_NN_BATCHNORM_H_
+
+#include "nn/layer.h"
+
+namespace noble::nn {
+
+/// Per-feature batch normalization with learnable scale/shift and running
+/// statistics for inference. Matches the standard Ioffe-Szegedy formulation.
+class BatchNorm1d : public Layer {
+ public:
+  /// `dim` features; `momentum` is the running-stats EMA factor.
+  explicit BatchNorm1d(std::size_t dim, float momentum = 0.9f, float eps = 1e-5f);
+
+  void forward(const Mat& x, Mat& y, bool training) override;
+  void backward(const Mat& x, const Mat& dy, Mat& dx) override;
+  std::vector<Mat*> params() override { return {&gamma_, &beta_}; }
+  std::vector<Mat*> grads() override { return {&dgamma_, &dbeta_}; }
+  std::vector<Mat*> state() override { return {&running_mean_, &running_var_}; }
+  std::string name() const override { return "BatchNorm1d"; }
+  std::size_t output_dim(std::size_t) const override { return dim_; }
+
+  /// Running mean/var used at inference; exposed for serialization.
+  Mat& running_mean() { return running_mean_; }
+  Mat& running_var() { return running_var_; }
+
+ private:
+  std::size_t dim_;
+  float momentum_, eps_;
+  Mat gamma_, beta_, dgamma_, dbeta_;
+  Mat running_mean_, running_var_;
+  // Forward caches (training mode).
+  Mat x_hat_;
+  std::vector<float> inv_std_;
+};
+
+}  // namespace noble::nn
+
+#endif  // NOBLE_NN_BATCHNORM_H_

@@ -1,0 +1,112 @@
+#include "nn/dense.h"
+
+#include "linalg/ops.h"
+#include "nn/init.h"
+
+namespace noble::nn {
+
+using linalg::gemm;
+using linalg::gemm_acc;
+using linalg::gemm_nt;
+using linalg::gemm_tn;
+
+Dense::Dense(std::size_t in_dim, std::size_t out_dim, Rng& rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      w_(in_dim, out_dim),
+      b_(1, out_dim),
+      dw_(in_dim, out_dim),
+      db_(1, out_dim) {
+  NOBLE_EXPECTS(in_dim > 0 && out_dim > 0);
+  xavier_uniform(w_, in_dim, out_dim, rng);
+}
+
+void Dense::forward(const Mat& x, Mat& y, bool /*training*/) {
+  NOBLE_EXPECTS(x.cols() == in_dim_);
+  gemm(x, w_, y);
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    float* yi = y.row(i);
+    const float* b = b_.row(0);
+    for (std::size_t j = 0; j < out_dim_; ++j) yi[j] += b[j];
+  }
+}
+
+void Dense::backward(const Mat& x, const Mat& dy, Mat& dx) {
+  NOBLE_EXPECTS(x.cols() == in_dim_ && dy.cols() == out_dim_);
+  NOBLE_EXPECTS(x.rows() == dy.rows());
+  // dW += x^T dy ; db += column sums of dy ; dx = dy W^T.
+  Mat dw_batch;
+  gemm_tn(x, dy, dw_batch);
+  linalg::axpy(1.0f, dw_batch, dw_);
+  const auto dbs = linalg::col_sum(dy);
+  float* db = db_.row(0);
+  for (std::size_t j = 0; j < out_dim_; ++j) db[j] += dbs[j];
+  gemm_nt(dy, w_, dx);
+}
+
+TimeDistributedDense::TimeDistributedDense(std::size_t segments, std::size_t in_dim,
+                                           std::size_t out_dim, Rng& rng)
+    : segments_(segments),
+      in_dim_(in_dim),
+      out_dim_(out_dim),
+      w_(in_dim, out_dim),
+      b_(1, out_dim),
+      dw_(in_dim, out_dim),
+      db_(1, out_dim) {
+  NOBLE_EXPECTS(segments > 0 && in_dim > 0 && out_dim > 0);
+  xavier_uniform(w_, in_dim, out_dim, rng);
+}
+
+void TimeDistributedDense::forward(const Mat& x, Mat& y, bool /*training*/) {
+  NOBLE_EXPECTS(x.cols() == segments_ * in_dim_);
+  const std::size_t n = x.rows();
+  y.resize(n, segments_ * out_dim_);
+  const float* b = b_.row(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* xi = x.row(i);
+    float* yi = y.row(i);
+    for (std::size_t s = 0; s < segments_; ++s) {
+      const float* g = xi + s * in_dim_;
+      float* o = yi + s * out_dim_;
+      for (std::size_t j = 0; j < out_dim_; ++j) o[j] = b[j];
+      for (std::size_t p = 0; p < in_dim_; ++p) {
+        const float gp = g[p];
+        if (gp == 0.0f) continue;
+        const float* wrow = w_.row(p);
+        for (std::size_t j = 0; j < out_dim_; ++j) o[j] += gp * wrow[j];
+      }
+    }
+  }
+}
+
+void TimeDistributedDense::backward(const Mat& x, const Mat& dy, Mat& dx) {
+  NOBLE_EXPECTS(x.cols() == segments_ * in_dim_);
+  NOBLE_EXPECTS(dy.cols() == segments_ * out_dim_);
+  const std::size_t n = x.rows();
+  dx.resize(n, segments_ * in_dim_);
+  float* db = db_.row(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* xi = x.row(i);
+    const float* dyi = dy.row(i);
+    float* dxi = dx.row(i);
+    for (std::size_t s = 0; s < segments_; ++s) {
+      const float* g = xi + s * in_dim_;
+      const float* dout = dyi + s * out_dim_;
+      float* dg = dxi + s * in_dim_;
+      for (std::size_t j = 0; j < out_dim_; ++j) db[j] += dout[j];
+      for (std::size_t p = 0; p < in_dim_; ++p) {
+        const float* wrow = w_.row(p);
+        float* dwrow = dw_.row(p);
+        double acc = 0.0;
+        const float gp = g[p];
+        for (std::size_t j = 0; j < out_dim_; ++j) {
+          acc += static_cast<double>(wrow[j]) * dout[j];
+          dwrow[j] += gp * dout[j];
+        }
+        dg[p] = static_cast<float>(acc);
+      }
+    }
+  }
+}
+
+}  // namespace noble::nn

@@ -1,0 +1,64 @@
+// Fully-connected layer and its weight-shared time-distributed variant.
+#ifndef NOBLE_NN_DENSE_H_
+#define NOBLE_NN_DENSE_H_
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace noble::nn {
+
+/// y = x W + b with W of shape (in x out).
+class Dense : public Layer {
+ public:
+  /// Xavier-uniform initialized dense layer.
+  Dense(std::size_t in_dim, std::size_t out_dim, Rng& rng);
+
+  void forward(const Mat& x, Mat& y, bool training) override;
+  void backward(const Mat& x, const Mat& dy, Mat& dx) override;
+  std::vector<Mat*> params() override { return {&w_, &b_}; }
+  std::vector<Mat*> grads() override { return {&dw_, &db_}; }
+  std::string name() const override { return "Dense"; }
+  std::size_t output_dim(std::size_t) const override { return out_dim_; }
+
+  std::size_t in_dim() const { return in_dim_; }
+  std::size_t out() const { return out_dim_; }
+  /// Weight matrix (in x out); exposed for the §III-C embedding analysis
+  /// (class weight vectors w_c live in the columns of the last layer).
+  const Mat& weights() const { return w_; }
+  Mat& weights() { return w_; }
+  const Mat& bias() const { return b_; }
+
+ private:
+  std::size_t in_dim_, out_dim_;
+  Mat w_, b_;    // parameters
+  Mat dw_, db_;  // gradients
+};
+
+/// Applies one shared Dense transform independently to each of `segments`
+/// equal slices of the input row: input rows are the concatenation
+/// [g_1 | g_2 | ... | g_S] with |g_i| = in_dim; output rows concatenate
+/// [W g_1 | ... | W g_S]. This is the paper's §V-B projection module: "each
+/// g_i is multiplied by the same trainable projection weight".
+class TimeDistributedDense : public Layer {
+ public:
+  TimeDistributedDense(std::size_t segments, std::size_t in_dim, std::size_t out_dim,
+                       Rng& rng);
+
+  void forward(const Mat& x, Mat& y, bool training) override;
+  void backward(const Mat& x, const Mat& dy, Mat& dx) override;
+  std::vector<Mat*> params() override { return {&w_, &b_}; }
+  std::vector<Mat*> grads() override { return {&dw_, &db_}; }
+  std::string name() const override { return "TimeDistributedDense"; }
+  std::size_t output_dim(std::size_t) const override { return segments_ * out_dim_; }
+
+  std::size_t segments() const { return segments_; }
+
+ private:
+  std::size_t segments_, in_dim_, out_dim_;
+  Mat w_, b_;
+  Mat dw_, db_;
+};
+
+}  // namespace noble::nn
+
+#endif  // NOBLE_NN_DENSE_H_

@@ -1,0 +1,42 @@
+#include "nn/dropout.h"
+
+namespace noble::nn {
+
+Dropout::Dropout(double rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
+  NOBLE_EXPECTS(rate >= 0.0 && rate < 1.0);
+}
+
+void Dropout::forward(const Mat& x, Mat& y, bool training) {
+  y.resize(x.rows(), x.cols());
+  if (!training || rate_ == 0.0) {
+    y = x;
+    mask_.resize(0, 0);
+    return;
+  }
+  mask_.resize(x.rows(), x.cols());
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
+  const float* px = x.data();
+  float* py = y.data();
+  float* pm = mask_.data();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const bool keep = !rng_.bernoulli(rate_);
+    pm[i] = keep ? keep_scale : 0.0f;
+    py[i] = px[i] * pm[i];
+  }
+}
+
+void Dropout::backward(const Mat& x, const Mat& dy, Mat& dx) {
+  (void)x;
+  dx.resize(dy.rows(), dy.cols());
+  if (mask_.empty()) {
+    dx = dy;
+    return;
+  }
+  NOBLE_EXPECTS(mask_.rows() == dy.rows() && mask_.cols() == dy.cols());
+  const float* pdy = dy.data();
+  const float* pm = mask_.data();
+  float* pdx = dx.data();
+  for (std::size_t i = 0; i < dy.size(); ++i) pdx[i] = pdy[i] * pm[i];
+}
+
+}  // namespace noble::nn

@@ -1,0 +1,29 @@
+// Inverted dropout (train-time scaling), for regularization ablations.
+#ifndef NOBLE_NN_DROPOUT_H_
+#define NOBLE_NN_DROPOUT_H_
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace noble::nn {
+
+/// Randomly zeroes activations with probability `rate` during training and
+/// rescales survivors by 1/(1-rate); identity at inference.
+class Dropout : public Layer {
+ public:
+  Dropout(double rate, std::uint64_t seed);
+
+  void forward(const Mat& x, Mat& y, bool training) override;
+  void backward(const Mat& x, const Mat& dy, Mat& dx) override;
+  std::string name() const override { return "Dropout"; }
+  std::size_t output_dim(std::size_t input_dim) const override { return input_dim; }
+
+ private:
+  double rate_;
+  Rng rng_;
+  Mat mask_;
+};
+
+}  // namespace noble::nn
+
+#endif  // NOBLE_NN_DROPOUT_H_

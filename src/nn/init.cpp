@@ -1,0 +1,31 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace noble::nn {
+
+void xavier_uniform(linalg::Mat& w, std::size_t fan_in, std::size_t fan_out, Rng& rng) {
+  NOBLE_EXPECTS(fan_in + fan_out > 0);
+  const double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  float* p = w.data();
+  for (std::size_t i = 0; i < w.size(); ++i)
+    p[i] = static_cast<float>(rng.uniform(-a, a));
+}
+
+void xavier_normal(linalg::Mat& w, std::size_t fan_in, std::size_t fan_out, Rng& rng) {
+  NOBLE_EXPECTS(fan_in + fan_out > 0);
+  const double sigma = std::sqrt(2.0 / static_cast<double>(fan_in + fan_out));
+  float* p = w.data();
+  for (std::size_t i = 0; i < w.size(); ++i)
+    p[i] = static_cast<float>(rng.normal(0.0, sigma));
+}
+
+void he_normal(linalg::Mat& w, std::size_t fan_in, Rng& rng) {
+  NOBLE_EXPECTS(fan_in > 0);
+  const double sigma = std::sqrt(2.0 / static_cast<double>(fan_in));
+  float* p = w.data();
+  for (std::size_t i = 0; i < w.size(); ++i)
+    p[i] = static_cast<float>(rng.normal(0.0, sigma));
+}
+
+}  // namespace noble::nn

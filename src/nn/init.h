@@ -1,0 +1,21 @@
+// Weight initialization schemes. The paper uses Xavier (Glorot) init [20].
+#ifndef NOBLE_NN_INIT_H_
+#define NOBLE_NN_INIT_H_
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace noble::nn {
+
+/// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(linalg::Mat& w, std::size_t fan_in, std::size_t fan_out, Rng& rng);
+
+/// Xavier/Glorot normal: N(0, 2 / (fan_in + fan_out)).
+void xavier_normal(linalg::Mat& w, std::size_t fan_in, std::size_t fan_out, Rng& rng);
+
+/// He/Kaiming normal: N(0, 2 / fan_in) — used with ReLU activations.
+void he_normal(linalg::Mat& w, std::size_t fan_in, Rng& rng);
+
+}  // namespace noble::nn
+
+#endif  // NOBLE_NN_INIT_H_

@@ -1,0 +1,60 @@
+// Layer abstraction for the from-scratch neural-network library.
+//
+// The paper's models are small feed-forward networks (2 hidden layers of 128,
+// tanh, batch norm, Xavier init — §IV-A / §V-B), so the framework is a
+// classic define-by-layer design: each layer caches whatever it needs during
+// `forward` and consumes it in `backward`. Batches are row-major matrices
+// (batch x features).
+#ifndef NOBLE_NN_LAYER_H_
+#define NOBLE_NN_LAYER_H_
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace noble::nn {
+
+using linalg::Mat;
+
+/// Interface for a differentiable layer.
+///
+/// Contract: `backward` must be called with the same input `x` as the
+/// immediately preceding `forward` call (layers may cache activations).
+/// Parameter gradients accumulate across calls until `zero_grads`.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes y = f(x). `training` toggles train-time behaviour
+  /// (batch-norm batch statistics, dropout masks).
+  virtual void forward(const Mat& x, Mat& y, bool training) = 0;
+
+  /// Given dL/dy, accumulates parameter gradients and computes dL/dx.
+  virtual void backward(const Mat& x, const Mat& dy, Mat& dx) = 0;
+
+  /// Trainable parameters (may be empty). Order is stable across calls.
+  virtual std::vector<Mat*> params() { return {}; }
+
+  /// Gradients aligned 1:1 with `params()`.
+  virtual std::vector<Mat*> grads() { return {}; }
+
+  /// Non-trainable state tensors that must survive serialization
+  /// (batch-norm running statistics). Not touched by optimizers.
+  virtual std::vector<Mat*> state() { return {}; }
+
+  /// Zeroes accumulated parameter gradients.
+  void zero_grads() {
+    for (Mat* g : grads()) g->fill(0.0f);
+  }
+
+  /// Human-readable layer name for diagnostics and serialization.
+  virtual std::string name() const = 0;
+
+  /// Output feature count for a given input feature count.
+  virtual std::size_t output_dim(std::size_t input_dim) const = 0;
+};
+
+}  // namespace noble::nn
+
+#endif  // NOBLE_NN_LAYER_H_

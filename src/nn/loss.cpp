@@ -1,0 +1,81 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace noble::nn {
+
+double MseLoss::compute(const Mat& pred, const Mat& target, Mat& grad) const {
+  NOBLE_EXPECTS(pred.rows() == target.rows() && pred.cols() == target.cols());
+  const std::size_t n = pred.rows();
+  grad.resize(n, pred.cols());
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  float* pg = grad.data();
+  double loss = 0.0;
+  const double inv_n = n ? 1.0 / static_cast<double>(n) : 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = static_cast<double>(pp[i]) - pt[i];
+    loss += d * d;
+    pg[i] = static_cast<float>(2.0 * d * inv_n);
+  }
+  return loss * inv_n;
+}
+
+BceWithLogitsLoss::BceWithLogitsLoss(double positive_weight)
+    : positive_weight_(positive_weight) {
+  NOBLE_EXPECTS(positive_weight > 0.0);
+}
+
+double BceWithLogitsLoss::compute(const Mat& pred, const Mat& target, Mat& grad) const {
+  NOBLE_EXPECTS(pred.rows() == target.rows() && pred.cols() == target.cols());
+  const std::size_t n = pred.rows();
+  grad.resize(n, pred.cols());
+  const float* pz = pred.data();
+  const float* pt = target.data();
+  float* pg = grad.data();
+  double loss = 0.0;
+  const double inv_n = n ? 1.0 / static_cast<double>(n) : 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double z = pz[i];
+    const double t = pt[i];
+    // Stable: max(z,0) - z*t + log(1 + exp(-|z|)); positives weighted by w:
+    // L = -w*t*log(s) - (1-t)*log(1-s) with s = sigmoid(z).
+    const double log1pexp_negabs = std::log1p(std::exp(-std::fabs(z)));
+    const double log_s = (z < 0.0 ? z : 0.0) - log1pexp_negabs;        // log sigmoid(z)
+    const double log_1ms = (z < 0.0 ? 0.0 : -z) - log1pexp_negabs;     // log (1-sigmoid(z))
+    loss += -positive_weight_ * t * log_s - (1.0 - t) * log_1ms;
+    const double s = 1.0 / (1.0 + std::exp(-z));
+    // d/dz [-w t log s - (1-t) log(1-s)] = -w t (1-s) + (1-t) s.
+    pg[i] = static_cast<float>((-positive_weight_ * t * (1.0 - s) + (1.0 - t) * s) * inv_n);
+  }
+  return loss * inv_n;
+}
+
+double SoftmaxCrossEntropyLoss::compute(const Mat& pred, const Mat& target,
+                                        Mat& grad) const {
+  NOBLE_EXPECTS(pred.rows() == target.rows() && pred.cols() == target.cols());
+  const std::size_t n = pred.rows(), k = pred.cols();
+  grad.resize(n, k);
+  double loss = 0.0;
+  const double inv_n = n ? 1.0 / static_cast<double>(n) : 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* z = pred.row(i);
+    const float* t = target.row(i);
+    float* g = grad.row(i);
+    double zmax = z[0];
+    for (std::size_t j = 1; j < k; ++j) zmax = std::max(zmax, static_cast<double>(z[j]));
+    double denom = 0.0;
+    for (std::size_t j = 0; j < k; ++j) denom += std::exp(z[j] - zmax);
+    const double log_denom = std::log(denom) + zmax;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double log_p = z[j] - log_denom;
+      loss -= t[j] * log_p;
+      g[j] = static_cast<float>((std::exp(log_p) - t[j]) * inv_n);
+    }
+  }
+  return loss * inv_n;
+}
+
+}  // namespace noble::nn

@@ -1,0 +1,57 @@
+// Loss functions. NObLe trains with binary cross-entropy over multi-hot
+// labels (§III-C); the Deep Regression baselines use mean squared error;
+// softmax cross-entropy is provided for single-label ablations.
+#ifndef NOBLE_NN_LOSS_H_
+#define NOBLE_NN_LOSS_H_
+
+#include <string>
+
+#include "linalg/matrix.h"
+
+namespace noble::nn {
+
+using linalg::Mat;
+
+/// Interface: computes the scalar loss and dL/d(pred) for a batch.
+/// Losses are averaged over the batch dimension (summed over features),
+/// matching the gradient scale used by the trainer.
+class Loss {
+ public:
+  virtual ~Loss() = default;
+  /// Returns the batch-mean loss and writes dL/dpred into `grad`.
+  virtual double compute(const Mat& pred, const Mat& target, Mat& grad) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// L = mean_i ||pred_i - target_i||^2 (sum over output dims).
+class MseLoss : public Loss {
+ public:
+  double compute(const Mat& pred, const Mat& target, Mat& grad) const override;
+  std::string name() const override { return "MSE"; }
+};
+
+/// Multi-label binary cross-entropy on raw logits (numerically stable form).
+/// Targets are multi-hot in [0,1]; loss is summed over labels, averaged over
+/// the batch. This is the paper's J(h, h_hat) of §III-C.
+class BceWithLogitsLoss : public Loss {
+ public:
+  /// `positive_weight` > 1 upweights positive labels (useful because
+  /// fine-grained quantization yields extremely sparse positives).
+  explicit BceWithLogitsLoss(double positive_weight = 1.0);
+  double compute(const Mat& pred, const Mat& target, Mat& grad) const override;
+  std::string name() const override { return "BCEWithLogits"; }
+
+ private:
+  double positive_weight_;
+};
+
+/// Softmax cross-entropy on raw logits with one-hot targets.
+class SoftmaxCrossEntropyLoss : public Loss {
+ public:
+  double compute(const Mat& pred, const Mat& target, Mat& grad) const override;
+  std::string name() const override { return "SoftmaxCE"; }
+};
+
+}  // namespace noble::nn
+
+#endif  // NOBLE_NN_LOSS_H_

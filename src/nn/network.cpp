@@ -1,0 +1,82 @@
+#include "nn/network.h"
+
+#include "nn/dense.h"
+
+namespace noble::nn {
+
+const Mat& Sequential::forward(const Mat& x, bool training) {
+  NOBLE_EXPECTS(!layers_.empty());
+  acts_.resize(layers_.size() + 1);
+  acts_[0] = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->forward(acts_[i], acts_[i + 1], training);
+  }
+  return acts_.back();
+}
+
+void Sequential::backward(const Mat& dy, Mat& dx) {
+  NOBLE_EXPECTS(acts_.size() == layers_.size() + 1);  // forward must precede
+  Mat grad = dy;
+  Mat grad_prev;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    layers_[i]->backward(acts_[i], grad, grad_prev);
+    std::swap(grad, grad_prev);
+  }
+  dx = std::move(grad);
+}
+
+Mat Sequential::predict(const Mat& x) {
+  Mat cur = x, next;
+  for (auto& layer : layers_) {
+    layer->forward(cur, next, /*training=*/false);
+    std::swap(cur, next);
+  }
+  return cur;
+}
+
+std::vector<Mat*> Sequential::params() {
+  std::vector<Mat*> out;
+  for (auto& layer : layers_)
+    for (Mat* p : layer->params()) out.push_back(p);
+  return out;
+}
+
+std::vector<Mat*> Sequential::grads() {
+  std::vector<Mat*> out;
+  for (auto& layer : layers_)
+    for (Mat* g : layer->grads()) out.push_back(g);
+  return out;
+}
+
+std::vector<Mat*> Sequential::state() {
+  std::vector<Mat*> out;
+  for (auto& layer : layers_)
+    for (Mat* s : layer->state()) out.push_back(s);
+  return out;
+}
+
+void Sequential::zero_grads() {
+  for (auto& layer : layers_) layer->zero_grads();
+}
+
+std::size_t Sequential::parameter_count() {
+  std::size_t n = 0;
+  for (Mat* p : params()) n += p->size();
+  return n;
+}
+
+std::size_t Sequential::macs_per_inference(std::size_t input_dim) const {
+  std::size_t macs = 0;
+  std::size_t dim = input_dim;
+  for (const auto& layer : layers_) {
+    if (const auto* dense = dynamic_cast<const Dense*>(layer.get())) {
+      macs += dense->in_dim() * dense->out();
+    } else if (const auto* td = dynamic_cast<const TimeDistributedDense*>(layer.get())) {
+      macs += td->segments() * (dim / td->segments()) * (td->output_dim(dim) / td->segments());
+    }
+    dim = layer->output_dim(dim);
+  }
+  return macs;
+}
+
+}  // namespace noble::nn

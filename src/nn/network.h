@@ -1,0 +1,70 @@
+// Sequential network container.
+#ifndef NOBLE_NN_NETWORK_H_
+#define NOBLE_NN_NETWORK_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace noble::nn {
+
+/// A stack of layers applied in order, with cached activations so a full
+/// forward/backward pass can be driven by the trainer (or by composite models
+/// such as the IMU net, which wires two Sequentials together — §V-B).
+class Sequential {
+ public:
+  Sequential() = default;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  /// Appends a layer; returns a reference for further configuration.
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  /// Adds an already-constructed layer.
+  void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+  /// Forward pass, caching intermediate activations for `backward`.
+  /// Returns the output activation.
+  const Mat& forward(const Mat& x, bool training);
+
+  /// Backprop of dL/d(output); accumulates parameter gradients and writes
+  /// dL/d(input) into `dx` (usable by upstream composite models).
+  void backward(const Mat& dy, Mat& dx);
+
+  /// Convenience inference (training=false), no gradient bookkeeping reuse.
+  Mat predict(const Mat& x);
+
+  /// All trainable parameters in layer order.
+  std::vector<Mat*> params();
+  /// Gradients aligned with `params()`.
+  std::vector<Mat*> grads();
+  /// Non-trainable state tensors (batch-norm running stats) for
+  /// serialization.
+  std::vector<Mat*> state();
+  /// Zeroes all parameter gradients.
+  void zero_grads();
+  /// Number of scalar trainable parameters.
+  std::size_t parameter_count();
+  /// Multiply-accumulate count of one forward pass for a single input row
+  /// (dense layers only) — consumed by the energy model (§IV-C).
+  std::size_t macs_per_inference(std::size_t input_dim) const;
+
+  std::size_t layer_count() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+  const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<Mat> acts_;  // acts_[0] = input copy, acts_[i+1] = layer i output
+};
+
+}  // namespace noble::nn
+
+#endif  // NOBLE_NN_NETWORK_H_

@@ -1,0 +1,76 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace noble::nn {
+
+Sgd::Sgd(double lr, double momentum, double weight_decay)
+    : Optimizer(lr), momentum_(momentum), weight_decay_(weight_decay) {
+  NOBLE_EXPECTS(lr > 0.0 && momentum >= 0.0 && momentum < 1.0 && weight_decay >= 0.0);
+}
+
+void Sgd::step(const std::vector<Mat*>& params, const std::vector<Mat*>& grads) {
+  NOBLE_EXPECTS(params.size() == grads.size());
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    for (const Mat* p : params) velocity_.emplace_back(p->rows(), p->cols());
+  }
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    Mat& p = *params[k];
+    const Mat& g = *grads[k];
+    Mat& vel = velocity_[k];
+    NOBLE_EXPECTS(p.size() == g.size() && p.size() == vel.size());
+    float* pp = p.data();
+    const float* pg = g.data();
+    float* pv = vel.data();
+    const auto lr = static_cast<float>(lr_);
+    const auto mom = static_cast<float>(momentum_);
+    const auto wd = static_cast<float>(weight_decay_);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      pv[i] = mom * pv[i] - lr * (pg[i] + wd * pp[i]);
+      pp[i] += pv[i];
+    }
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps, double weight_decay)
+    : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {
+  NOBLE_EXPECTS(lr > 0.0 && beta1 >= 0.0 && beta1 < 1.0 && beta2 >= 0.0 && beta2 < 1.0);
+}
+
+void Adam::step(const std::vector<Mat*>& params, const std::vector<Mat*>& grads) {
+  NOBLE_EXPECTS(params.size() == grads.size());
+  if (m_.size() != params.size()) {
+    m_.clear();
+    v_.clear();
+    for (const Mat* p : params) {
+      m_.emplace_back(p->rows(), p->cols());
+      v_.emplace_back(p->rows(), p->cols());
+    }
+    t_ = 0;
+  }
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    Mat& p = *params[k];
+    const Mat& g = *grads[k];
+    NOBLE_EXPECTS(p.size() == g.size());
+    float* pp = p.data();
+    const float* pg = g.data();
+    float* pm = m_[k].data();
+    float* pv = v_[k].data();
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const double gi = pg[i] + weight_decay_ * pp[i];
+      pm[i] = static_cast<float>(beta1_ * pm[i] + (1.0 - beta1_) * gi);
+      pv[i] = static_cast<float>(beta2_ * pv[i] + (1.0 - beta2_) * gi * gi);
+      const double mhat = pm[i] / bias1;
+      const double vhat = pv[i] / bias2;
+      pp[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+}  // namespace noble::nn

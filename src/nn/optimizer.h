@@ -1,0 +1,55 @@
+// First-order optimizers. State is keyed by the order of the parameter list,
+// which is stable for a fixed network architecture.
+#ifndef NOBLE_NN_OPTIMIZER_H_
+#define NOBLE_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace noble::nn {
+
+using linalg::Mat;
+
+/// Interface: applies one update step given aligned parameter/gradient lists.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Updates each `params[i]` in place using `grads[i]`.
+  virtual void step(const std::vector<Mat*>& params, const std::vector<Mat*>& grads) = 0;
+  /// Current learning rate (schedulers mutate it between epochs).
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ protected:
+  explicit Optimizer(double lr) : lr_(lr) {}
+  double lr_;
+};
+
+/// SGD with classical momentum and optional decoupled weight decay.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.9, double weight_decay = 0.0);
+  void step(const std::vector<Mat*>& params, const std::vector<Mat*>& grads) override;
+
+ private:
+  double momentum_, weight_decay_;
+  std::vector<Mat> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction and optional weight decay.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8,
+                double weight_decay = 0.0);
+  void step(const std::vector<Mat*>& params, const std::vector<Mat*>& grads) override;
+
+ private:
+  double beta1_, beta2_, eps_, weight_decay_;
+  long t_ = 0;
+  std::vector<Mat> m_, v_;
+};
+
+}  // namespace noble::nn
+
+#endif  // NOBLE_NN_OPTIMIZER_H_

@@ -1,0 +1,61 @@
+#include "nn/rbf_output.h"
+
+namespace noble::nn {
+
+RbfOutput::RbfOutput(std::size_t in_dim, std::size_t num_classes, Rng& rng,
+                     float init_scale)
+    : in_dim_(in_dim),
+      num_classes_(num_classes),
+      w_(num_classes, in_dim),
+      dw_(num_classes, in_dim) {
+  NOBLE_EXPECTS(in_dim > 0 && num_classes > 0);
+  float* p = w_.data();
+  for (std::size_t i = 0; i < w_.size(); ++i)
+    p[i] = static_cast<float>(rng.normal(0.0, init_scale));
+}
+
+void RbfOutput::forward(const Mat& x, Mat& y, bool /*training*/) {
+  NOBLE_EXPECTS(x.cols() == in_dim_);
+  const std::size_t n = x.rows();
+  y.resize(n, num_classes_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* z = x.row(i);
+    float* yi = y.row(i);
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      const float* wc = w_.row(c);
+      double s = 0.0;
+      for (std::size_t d = 0; d < in_dim_; ++d) {
+        const double diff = static_cast<double>(z[d]) - wc[d];
+        s += diff * diff;
+      }
+      yi[c] = static_cast<float>(-0.5 * s);
+    }
+  }
+}
+
+void RbfOutput::backward(const Mat& x, const Mat& dy, Mat& dx) {
+  NOBLE_EXPECTS(x.cols() == in_dim_ && dy.cols() == num_classes_);
+  NOBLE_EXPECTS(x.rows() == dy.rows());
+  const std::size_t n = x.rows();
+  dx.resize(n, in_dim_);
+  dx.fill(0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* z = x.row(i);
+    const float* g = dy.row(i);
+    float* dz = dx.row(i);
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      const float gc = g[c];
+      if (gc == 0.0f) continue;
+      const float* wc = w_.row(c);
+      float* dwc = dw_.row(c);
+      for (std::size_t d = 0; d < in_dim_; ++d) {
+        const float diff = z[d] - wc[d];
+        // d logits_c / dz_d = -(z_d - w_cd); d logits_c / dw_cd = z_d - w_cd.
+        dz[d] += gc * (-diff);
+        dwc[d] += gc * diff;
+      }
+    }
+  }
+}
+
+}  // namespace noble::nn

@@ -1,0 +1,46 @@
+// Distance-based output layer: logits_c = -1/2 ||z - w_c||^2.
+//
+// §III-C of the paper rewrites the classification head's sigmoid inner
+// product in exactly this Euclidean form (h_c = (1 + exp(1/2 ||w_c - z||^2
+// - 1))^-1 for normalized w, z): the class weights w_c act as prototypes in
+// the reconstructed embedding space and the argmax class is the nearest
+// prototype. This layer makes that geometry explicit, which converges much
+// faster than a plain Dense head when the classes tile a metric space (the
+// neighborhood classes of the location network).
+#ifndef NOBLE_NN_RBF_OUTPUT_H_
+#define NOBLE_NN_RBF_OUTPUT_H_
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace noble::nn {
+
+/// logits_c = -0.5 * ||z - w_c||^2 with one prototype w_c per class.
+class RbfOutput : public Layer {
+ public:
+  /// `in_dim` embedding size, `num_classes` prototypes, Gaussian init.
+  RbfOutput(std::size_t in_dim, std::size_t num_classes, Rng& rng,
+            float init_scale = 0.5f);
+
+  void forward(const Mat& x, Mat& y, bool training) override;
+  void backward(const Mat& x, const Mat& dy, Mat& dx) override;
+  std::vector<Mat*> params() override { return {&w_}; }
+  std::vector<Mat*> grads() override { return {&dw_}; }
+  std::string name() const override { return "RbfOutput"; }
+  std::size_t output_dim(std::size_t) const override { return num_classes_; }
+
+  /// Prototype matrix (num_classes x in_dim) — the learned class
+  /// "centroids" in embedding space. Mutable access supports
+  /// physics-informed initialization (e.g. at quantizer cell centers).
+  const Mat& prototypes() const { return w_; }
+  Mat& prototypes() { return w_; }
+
+ private:
+  std::size_t in_dim_, num_classes_;
+  Mat w_;   // num_classes x in_dim
+  Mat dw_;
+};
+
+}  // namespace noble::nn
+
+#endif  // NOBLE_NN_RBF_OUTPUT_H_

@@ -1,0 +1,56 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace noble::nn {
+
+namespace {
+constexpr char kMagic[6] = "NOBL1";
+}
+
+bool save_weights(Sequential& net, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(kMagic, sizeof kMagic);
+  auto params = net.params();
+  // Non-trainable state (batch-norm running statistics) is appended after
+  // the parameters so reloaded models infer identically.
+  for (Mat* s : net.state()) params.push_back(s);
+  const std::uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  for (const Mat* p : params) {
+    const std::uint64_t rows = p->rows(), cols = p->cols();
+    out.write(reinterpret_cast<const char*>(&rows), sizeof rows);
+    out.write(reinterpret_cast<const char*>(&cols), sizeof cols);
+    out.write(reinterpret_cast<const char*>(p->data()),
+              static_cast<std::streamsize>(p->size() * sizeof(float)));
+  }
+  return static_cast<bool>(out);
+}
+
+bool load_weights(Sequential& net, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[sizeof kMagic];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) return false;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  auto params = net.params();
+  for (Mat* s : net.state()) params.push_back(s);
+  if (!in || count != params.size()) return false;
+  for (Mat* p : params) {
+    std::uint64_t rows = 0, cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof rows);
+    in.read(reinterpret_cast<char*>(&cols), sizeof cols);
+    if (!in || rows != p->rows() || cols != p->cols()) return false;
+    in.read(reinterpret_cast<char*>(p->data()),
+            static_cast<std::streamsize>(p->size() * sizeof(float)));
+    if (!in) return false;
+  }
+  return true;
+}
+
+}  // namespace noble::nn

@@ -1,0 +1,24 @@
+// Binary (de)serialization of network parameters, so trained localization
+// models can be shipped to a device and reloaded (the paper's deployment
+// story targets energy-constrained mobile hardware).
+#ifndef NOBLE_NN_SERIALIZE_H_
+#define NOBLE_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/network.h"
+
+namespace noble::nn {
+
+/// Writes all parameters (in `params()` order) to `path`.
+/// Format: magic "NOBL1", u64 tensor count, then per tensor u64 rows, u64
+/// cols, raw float32 data. Returns false on I/O failure.
+bool save_weights(Sequential& net, const std::string& path);
+
+/// Loads parameters written by `save_weights` into an architecturally
+/// identical network. Returns false on I/O failure or shape mismatch.
+bool load_weights(Sequential& net, const std::string& path);
+
+}  // namespace noble::nn
+
+#endif  // NOBLE_NN_SERIALIZE_H_

@@ -1,0 +1,80 @@
+#include "nn/trainer.h"
+
+#include <limits>
+
+#include "linalg/ops.h"
+
+namespace noble::nn {
+
+Trainer::Trainer(Optimizer& opt, const Loss& loss, TrainConfig config)
+    : opt_(opt), loss_(loss), config_(std::move(config)) {
+  NOBLE_EXPECTS(config_.epochs > 0 && config_.batch_size > 0);
+}
+
+TrainResult Trainer::fit(Sequential& net, const Mat& x, const Mat& y, const Mat* x_val,
+                         const Mat* y_val) {
+  NOBLE_EXPECTS(x.rows() == y.rows());
+  NOBLE_EXPECTS((x_val == nullptr) == (y_val == nullptr));
+  const std::size_t n = x.rows();
+  Rng rng(config_.shuffle_seed);
+
+  TrainResult result;
+  double best_val = std::numeric_limits<double>::infinity();
+  std::size_t epochs_since_best = 0;
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  Mat grad, dx;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < n; start += config_.batch_size) {
+      const std::size_t end = std::min(n, start + config_.batch_size);
+      // Batch-norm cannot compute statistics on a single sample; fold a
+      // trailing singleton into the previous batch instead of dropping it.
+      if (end - start < 2 && batches > 0) break;
+      std::vector<std::size_t> idx(order.begin() + static_cast<std::ptrdiff_t>(start),
+                                   order.begin() + static_cast<std::ptrdiff_t>(end));
+      const Mat xb = linalg::take_rows(x, idx);
+      const Mat yb = linalg::take_rows(y, idx);
+
+      const Mat& pred = net.forward(xb, /*training=*/true);
+      epoch_loss += loss_.compute(pred, yb, grad);
+      ++batches;
+      net.zero_grads();
+      net.backward(grad, dx);
+      opt_.step(net.params(), net.grads());
+    }
+    epoch_loss /= static_cast<double>(batches ? batches : 1);
+    result.train_loss_history.push_back(epoch_loss);
+    result.final_train_loss = epoch_loss;
+    ++result.epochs_run;
+
+    double val_loss = 0.0;
+    if (x_val != nullptr && config_.patience > 0) {
+      val_loss = evaluate(net, *x_val, *y_val);
+      result.val_loss_history.push_back(val_loss);
+      if (val_loss < best_val - 1e-9) {
+        best_val = val_loss;
+        epochs_since_best = 0;
+      } else {
+        ++epochs_since_best;
+      }
+    }
+    if (config_.on_epoch) config_.on_epoch(epoch, epoch_loss, val_loss);
+    if (config_.patience > 0 && epochs_since_best >= config_.patience) break;
+    opt_.set_learning_rate(opt_.learning_rate() * config_.lr_decay);
+  }
+  result.best_val_loss = best_val;
+  return result;
+}
+
+double Trainer::evaluate(Sequential& net, const Mat& x, const Mat& y) const {
+  Mat pred = net.predict(x);
+  Mat grad;
+  return loss_.compute(pred, y, grad);
+}
+
+}  // namespace noble::nn

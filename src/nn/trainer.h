@@ -1,0 +1,60 @@
+// Minibatch training loop with validation-based early stopping.
+#ifndef NOBLE_NN_TRAINER_H_
+#define NOBLE_NN_TRAINER_H_
+
+#include <functional>
+
+#include "common/rng.h"
+#include "nn/loss.h"
+#include "nn/network.h"
+#include "nn/optimizer.h"
+
+namespace noble::nn {
+
+/// Hyperparameters for `Trainer::fit`.
+struct TrainConfig {
+  std::size_t epochs = 30;
+  std::size_t batch_size = 64;
+  /// Multiplicative learning-rate decay applied each epoch.
+  double lr_decay = 1.0;
+  /// Stop if validation loss fails to improve for this many epochs
+  /// (0 disables early stopping / validation).
+  std::size_t patience = 0;
+  /// Seed for minibatch shuffling.
+  std::uint64_t shuffle_seed = 1234;
+  /// Optional per-epoch observer: (epoch, train_loss, val_loss).
+  std::function<void(std::size_t, double, double)> on_epoch;
+};
+
+/// Per-fit result summary.
+struct TrainResult {
+  std::size_t epochs_run = 0;
+  double final_train_loss = 0.0;
+  double best_val_loss = 0.0;
+  std::vector<double> train_loss_history;
+  std::vector<double> val_loss_history;
+};
+
+/// Drives minibatch SGD over a Sequential with an arbitrary Loss.
+class Trainer {
+ public:
+  Trainer(Optimizer& opt, const Loss& loss, TrainConfig config);
+
+  /// Trains `net` on (x, y); if `x_val` is non-null and patience > 0,
+  /// monitors validation loss for early stopping (weights are NOT rolled
+  /// back; the paper's protocol selects by final model).
+  TrainResult fit(Sequential& net, const Mat& x, const Mat& y, const Mat* x_val = nullptr,
+                  const Mat* y_val = nullptr);
+
+  /// Mean loss of `net` on (x, y) without updating parameters.
+  double evaluate(Sequential& net, const Mat& x, const Mat& y) const;
+
+ private:
+  Optimizer& opt_;
+  const Loss& loss_;
+  TrainConfig config_;
+};
+
+}  // namespace noble::nn
+
+#endif  // NOBLE_NN_TRAINER_H_

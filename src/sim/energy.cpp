@@ -1,0 +1,52 @@
+#include "sim/energy.h"
+
+#include "common/check.h"
+
+namespace noble::sim {
+
+DeviceProfile jetson_tx2_profile() {
+  // Calibration targets (paper §IV-C and §V-D): the UJI Wi-Fi model
+  // (520-128-128 with ~2k output labels, ~0.34 MMAC) costs 0.00518 J / 2 ms
+  // per inference, and the IMU model at the paper's raw scale (50 segments
+  // of 768 x 6 readings through the shared projection, ~59 MMAC) costs
+  // 0.08599 J / 5 ms. Jointly those two points pin a launch-overhead-
+  // dominated regime for the small model and a ~2e10 MAC/s sustained rate
+  // with ~1.3 nJ/MAC effective energy at single-sample batch — consistent
+  // with TX2 small-batch GPU inference.
+  return DeviceProfile{
+      .name = "JetsonTX2",
+      .joules_per_mac = 1.3e-9,
+      .joules_per_byte = 3.0e-11,
+      .joules_overhead = 4.6e-3,
+      .latency_overhead_s = 1.9e-3,
+      .macs_per_second = 2.0e10,
+  };
+}
+
+EnergyModel::EnergyModel(DeviceProfile profile, SensorCosts sensors)
+    : profile_(std::move(profile)), sensors_(sensors) {
+  NOBLE_EXPECTS(profile_.joules_per_mac >= 0.0);
+  NOBLE_EXPECTS(profile_.macs_per_second > 0.0);
+}
+
+InferenceCost EnergyModel::inference(std::size_t macs, std::size_t param_bytes) const {
+  InferenceCost cost;
+  cost.energy_j = profile_.joules_overhead +
+                  profile_.joules_per_mac * static_cast<double>(macs) +
+                  profile_.joules_per_byte * static_cast<double>(param_bytes);
+  cost.latency_s = profile_.latency_overhead_s +
+                   static_cast<double>(macs) / profile_.macs_per_second;
+  return cost;
+}
+
+double EnergyModel::imu_sensing(double seconds) const {
+  NOBLE_EXPECTS(seconds >= 0.0);
+  return sensors_.imu_power_w * seconds;
+}
+
+double EnergyModel::imu_tracking_total(double path_seconds, std::size_t macs,
+                                       std::size_t param_bytes) const {
+  return imu_sensing(path_seconds) + inference(macs, param_bytes).energy_j;
+}
+
+}  // namespace noble::sim

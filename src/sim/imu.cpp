@@ -1,0 +1,132 @@
+#include "sim/imu.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace noble::sim {
+
+namespace {
+
+/// Wraps an angle difference into (-pi, pi].
+double wrap_angle(double a) {
+  while (a > std::numbers::pi) a -= 2.0 * std::numbers::pi;
+  while (a <= -std::numbers::pi) a += 2.0 * std::numbers::pi;
+  return a;
+}
+
+}  // namespace
+
+ImuRecording simulate_walk(const geo::OutdoorWorld& world, const ImuConfig& config,
+                           double duration_s, Rng& rng) {
+  NOBLE_EXPECTS(duration_s > 0.0);
+  NOBLE_EXPECTS(config.sample_rate_hz > 1.0);
+  const geo::PathGraph& g = world.walkways;
+  NOBLE_EXPECTS(g.node_count() >= 2);
+
+  const double dt = 1.0 / config.sample_rate_hz;
+  const auto total_samples = static_cast<std::size_t>(duration_s * config.sample_rate_hz);
+  const auto ref_every =
+      static_cast<std::size_t>(config.ref_interval_s * config.sample_rate_hz);
+
+  ImuRecording rec;
+  rec.samples.reserve(total_samples);
+  rec.positions.reserve(total_samples);
+
+  // Plan a long random walk over nodes; consume segments as time advances.
+  const std::size_t start_node =
+      static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(g.node_count()) - 1));
+  // Enough hops: distance covered = speed * duration; average edge ~ tens of m.
+  const std::size_t hops =
+      static_cast<std::size_t>(duration_s * config.walk_speed_mps / 5.0) + 8;
+  const auto node_seq = g.random_walk(start_node, hops, rng);
+  NOBLE_CHECK(node_seq.size() >= 2);
+
+  std::size_t seg = 0;  // current segment: node_seq[seg] -> node_seq[seg+1]
+  geo::Point2 pos = g.node(node_seq[0]);
+  geo::Point2 seg_target = g.node(node_seq[1]);
+  double heading = std::atan2(seg_target.y - pos.y, seg_target.x - pos.x);
+
+  double speed_mod = 0.0;  // slow speed modulation state (AR(1))
+  double accel_bias[3] = {0, 0, 0};
+  double gyro_bias[3] = {0, 0, 0};
+  double gait_phase = 0.0;
+
+  for (std::size_t i = 0; i < total_samples; ++i) {
+    // --- Kinematics ---------------------------------------------------
+    speed_mod = 0.995 * speed_mod + rng.normal(0.0, config.speed_jitter * 0.1);
+    const double speed = std::max(0.4, config.walk_speed_mps + speed_mod);
+    double remaining = speed * dt;
+    double target_heading = heading;
+    while (remaining > 0.0) {
+      const geo::Point2 to_target = seg_target - pos;
+      const double d = to_target.norm();
+      if (d <= remaining) {
+        pos = seg_target;
+        remaining -= d;
+        if (seg + 2 < node_seq.size()) {
+          ++seg;
+          seg_target = g.node(node_seq[seg + 1]);
+        } else {
+          remaining = 0.0;  // end of plan: idle at the last node
+        }
+      } else {
+        pos = pos + to_target * (remaining / d);
+        remaining = 0.0;
+      }
+      const geo::Point2 dir = seg_target - pos;
+      if (dir.norm() > 1e-9) target_heading = std::atan2(dir.y, dir.x);
+    }
+    // Heading turns smoothly toward the segment direction (human-like turn
+    // rate limit of ~2.5 rad/s).
+    const double dheading = wrap_angle(target_heading - heading);
+    const double max_turn = 2.5 * dt;
+    const double applied_turn =
+        dheading > max_turn ? max_turn : (dheading < -max_turn ? -max_turn : dheading);
+    heading += applied_turn;
+    const double yaw_rate = applied_turn / dt;
+
+    // --- Sensor synthesis ----------------------------------------------
+    gait_phase += 2.0 * std::numbers::pi * config.step_freq_hz * dt;
+    for (int b = 0; b < 3; ++b) {
+      accel_bias[b] += rng.normal(0.0, config.accel_bias_walk);
+      gyro_bias[b] += rng.normal(0.0, config.gyro_bias_walk);
+    }
+    std::array<float, 6> s;
+    const double gait = config.gait_amplitude * std::sin(gait_phase);
+    const double sway = 0.5 * config.gait_amplitude * std::sin(0.5 * gait_phase);
+    const double bounce = 0.8 * config.gait_amplitude * std::fabs(std::sin(gait_phase));
+    // ax/ay are world-frame horizontal accelerations (the "linear
+    // acceleration" virtual sensor of phone IMU stacks): the gait
+    // oscillation points along the heading, the sway across it. This keeps
+    // absolute displacement learnable, as in the paper's setup.
+    const double speed_scale = speed / config.walk_speed_mps;
+    const double ah = gait * speed_scale;
+    // Forward body tilt leaks a slice of gravity into the horizontal axes
+    // along the heading — the persistent low-frequency component real
+    // pedestrian trackers exploit.
+    const double leak = config.gravity_leak * 9.81 * speed_scale;
+    const double ax_world =
+        (ah + leak) * std::cos(heading) - sway * std::sin(heading);
+    const double ay_world =
+        (ah + leak) * std::sin(heading) + sway * std::cos(heading);
+    s[0] = static_cast<float>(ax_world + accel_bias[0] +
+                              rng.normal(0.0, config.accel_noise));
+    s[1] = static_cast<float>(ay_world + accel_bias[1] +
+                              rng.normal(0.0, config.accel_noise));
+    s[2] = static_cast<float>(9.81 + bounce * speed_scale + accel_bias[2] +
+                              rng.normal(0.0, config.accel_noise));
+    s[3] = static_cast<float>(gyro_bias[0] + rng.normal(0.0, config.gyro_noise));
+    s[4] = static_cast<float>(gyro_bias[1] + rng.normal(0.0, config.gyro_noise));
+    s[5] = static_cast<float>(yaw_rate + gyro_bias[2] + rng.normal(0.0, config.gyro_noise));
+
+    rec.samples.push_back(s);
+    rec.positions.push_back(pos);
+    if (i % ref_every == 0) rec.ref_sample_idx.push_back(i);
+  }
+  NOBLE_ENSURES(rec.num_refs() >= 2);
+  return rec;
+}
+
+}  // namespace noble::sim

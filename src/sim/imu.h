@@ -1,0 +1,72 @@
+// IMU walk simulation (the §V substitute for the paper's self-collected
+// campus walks).
+//
+// A walker traverses the outdoor walkway graph at a jittered human pace. The
+// 6-channel 50 Hz IMU stream is synthesized from the kinematics:
+//   ax — forward axis: gait oscillation at the step frequency + noise + bias
+//   ay — lateral sway (half the step frequency) + noise + bias
+//   az — gravity + vertical bounce + noise
+//   gx, gy — small attitude noise
+//   gz — yaw rate from heading changes + noise + slowly drifting bias
+// Reference locations are logged every ref_interval_s seconds of walking,
+// mirroring the paper's 177 GPS reference points over ~75 minutes.
+#ifndef NOBLE_SIM_IMU_H_
+#define NOBLE_SIM_IMU_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/campus.h"
+
+namespace noble::sim {
+
+/// Walk and sensor parameters.
+struct ImuConfig {
+  double sample_rate_hz = 50.0;
+  /// Mean walking speed and its slow modulation.
+  double walk_speed_mps = 1.35;
+  double speed_jitter = 0.12;
+  /// Step (gait) frequency driving the accelerometer oscillation.
+  double step_freq_hz = 1.9;
+  /// Gait oscillation amplitude (m/s^2).
+  double gait_amplitude = 1.0;
+  /// White accelerometer noise (m/s^2, per axis).
+  double accel_noise = 0.25;
+  /// White gyroscope noise (rad/s, per axis).
+  double gyro_noise = 0.035;
+  /// Random-walk bias increments per sample.
+  double accel_bias_walk = 2e-5;
+  double gyro_bias_walk = 2e-6;
+  /// Fraction of gravity leaking into the horizontal axes along the walking
+  /// direction, modelling the forward body/device tilt that survives
+  /// attitude estimation. This low-frequency component is what lets
+  /// learning-based trackers recover heading from consumer IMUs.
+  double gravity_leak = 0.15;
+  /// Interval between logged reference locations (s).
+  double ref_interval_s = 12.0;
+};
+
+/// One continuous recording: synchronized IMU samples, ground-truth
+/// positions, and the sample indices at which reference locations were
+/// logged.
+struct ImuRecording {
+  /// Per-sample channels: ax, ay, az, gx, gy, gz.
+  std::vector<std::array<float, 6>> samples;
+  /// Ground-truth walker position per sample.
+  std::vector<geo::Point2> positions;
+  /// Sample indices of reference-location logs (ascending; includes 0).
+  std::vector<std::size_t> ref_sample_idx;
+
+  std::size_t num_refs() const { return ref_sample_idx.size(); }
+  geo::Point2 ref_position(std::size_t r) const { return positions[ref_sample_idx[r]]; }
+};
+
+/// Simulates one walk of `duration_s` seconds over the outdoor track.
+ImuRecording simulate_walk(const geo::OutdoorWorld& world, const ImuConfig& config,
+                           double duration_s, Rng& rng);
+
+}  // namespace noble::sim
+
+#endif  // NOBLE_SIM_IMU_H_

@@ -1,0 +1,80 @@
+#include "sim/imu_dataset.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace noble::sim {
+
+std::vector<float> resample_window(const ImuRecording& rec, std::size_t begin,
+                                   std::size_t end, std::size_t readings) {
+  NOBLE_EXPECTS(begin < end && end <= rec.samples.size());
+  NOBLE_EXPECTS(readings >= 1);
+  const std::size_t raw = end - begin;
+  std::vector<float> out(readings * 6, 0.0f);
+  for (std::size_t r = 0; r < readings; ++r) {
+    // Block [lo, hi) of raw samples contributing to resampled reading r.
+    const std::size_t lo = begin + r * raw / readings;
+    std::size_t hi = begin + (r + 1) * raw / readings;
+    if (hi <= lo) hi = lo + 1;
+    double acc[6] = {0, 0, 0, 0, 0, 0};
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (int c = 0; c < 6; ++c) acc[c] += rec.samples[i][static_cast<std::size_t>(c)];
+    }
+    const double inv = 1.0 / static_cast<double>(hi - lo);
+    for (int c = 0; c < 6; ++c) {
+      out[r * 6 + static_cast<std::size_t>(c)] = static_cast<float>(acc[c] * inv);
+    }
+  }
+  return out;
+}
+
+data::ImuDataset build_imu_paths(const std::vector<ImuRecording>& recordings,
+                                 const PathConfig& config, Rng& rng) {
+  NOBLE_EXPECTS(!recordings.empty());
+  NOBLE_EXPECTS(config.max_segments >= 1);
+  data::ImuDataset ds;
+  ds.segment_dim = config.readings_per_segment * 6;
+  ds.max_segments = config.max_segments;
+  ds.paths.reserve(config.num_paths);
+
+  const double dt_per_sample = 1.0;  // durations are derived from indices below
+
+  for (std::size_t n = 0; n < config.num_paths; ++n) {
+    const auto& rec = recordings[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(recordings.size()) - 1))];
+    const std::size_t refs = rec.num_refs();
+    NOBLE_CHECK(refs >= 2);
+    // (1) random start reference; (2) random length < max_segments.
+    const auto start = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(refs) - 2));
+    const std::size_t max_len = std::min(config.max_segments, refs - 1 - start);
+    const auto len = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(max_len)));
+
+    data::ImuPath path;
+    path.features.assign(ds.feature_dim(), 0.0f);
+    path.num_segments = len;
+    path.start_ref = static_cast<int>(start);
+    path.end_ref = static_cast<int>(start + len);
+    path.start = rec.ref_position(start);
+    path.end = rec.ref_position(start + len);
+    // (3) concatenate the resampled inter-reference windows.
+    path.segment_endpoints.reserve(len);
+    for (std::size_t s = 0; s < len; ++s) {
+      const std::size_t lo = rec.ref_sample_idx[start + s];
+      const std::size_t hi = rec.ref_sample_idx[start + s + 1];
+      const auto window = resample_window(rec, lo, hi, config.readings_per_segment);
+      std::copy(window.begin(), window.end(),
+                path.features.begin() + static_cast<std::ptrdiff_t>(s * ds.segment_dim));
+      path.segment_endpoints.push_back(rec.ref_position(start + s + 1));
+    }
+    path.duration_s =
+        static_cast<double>(rec.ref_sample_idx[start + len] - rec.ref_sample_idx[start]) *
+        dt_per_sample / 50.0;
+    ds.paths.push_back(std::move(path));
+  }
+  return ds;
+}
+
+}  // namespace noble::sim

@@ -1,0 +1,112 @@
+#include "sim/wifi.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "data/dataset.h"
+
+namespace noble::sim {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Deterministic standard-normal-ish value derived from a hash (sum of four
+/// uniforms, variance-corrected; adequate for a shadowing field).
+double hash_normal(std::uint64_t key) {
+  double acc = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    key = mix64(key + 0x9E3779B97F4A7C15ULL);
+    acc += static_cast<double>(key >> 11) * 0x1.0p-53;
+  }
+  // Sum of 4 U(0,1): mean 2, variance 4/12 -> scale to unit variance.
+  return (acc - 2.0) / std::sqrt(4.0 / 12.0);
+}
+
+}  // namespace
+
+WifiWorld::WifiWorld(const geo::IndoorWorld& world, WifiConfig config, std::uint64_t seed)
+    : config_(config), shadow_seed_(seed) {
+  for (const auto& b : world.plan.buildings()) floor_heights_.push_back(b.floor_height());
+  NOBLE_EXPECTS(config.aps_per_floor >= 1);
+  NOBLE_EXPECTS(config.path_loss_exponent > 1.0);
+  NOBLE_EXPECTS(config.shadowing_cell_m > 0.0);
+  Rng rng(seed);
+  // Deploy APs uniformly over each building's accessible area per floor
+  // (rejection sampling inside the footprint, outside holes).
+  for (const auto& b : world.plan.buildings()) {
+    const geo::Aabb& box = b.footprint().bounds();
+    for (int f = 0; f < b.num_floors(); ++f) {
+      for (std::size_t a = 0; a < config.aps_per_floor; ++a) {
+        geo::Point2 p;
+        int guard = 0;
+        do {
+          p = {rng.uniform(box.min_x, box.max_x), rng.uniform(box.min_y, box.max_y)};
+          NOBLE_CHECK(++guard < 10000);
+        } while (!b.accessible(p));
+        aps_.push_back({p, b.id(), f});
+      }
+    }
+  }
+  NOBLE_ENSURES(!aps_.empty());
+}
+
+double WifiWorld::shadowing_db(std::size_t ap, const geo::Point2& p) const {
+  // Piecewise-constant value noise on a grid of side shadowing_cell_m,
+  // bilinearly interpolated for spatial smoothness.
+  const double gx = p.x / config_.shadowing_cell_m;
+  const double gy = p.y / config_.shadowing_cell_m;
+  const auto x0 = static_cast<std::int64_t>(std::floor(gx));
+  const auto y0 = static_cast<std::int64_t>(std::floor(gy));
+  const double fx = gx - static_cast<double>(x0);
+  const double fy = gy - static_cast<double>(y0);
+  auto corner = [&](std::int64_t cx, std::int64_t cy) {
+    const std::uint64_t key = shadow_seed_ ^ (static_cast<std::uint64_t>(ap) << 48) ^
+                              (static_cast<std::uint64_t>(cx) << 24) ^
+                              static_cast<std::uint64_t>(cy & 0xFFFFFF);
+    return hash_normal(key);
+  };
+  const double v = corner(x0, y0) * (1 - fx) * (1 - fy) +
+                   corner(x0 + 1, y0) * fx * (1 - fy) +
+                   corner(x0, y0 + 1) * (1 - fx) * fy +
+                   corner(x0 + 1, y0 + 1) * fx * fy;
+  return v * config_.shadowing_sigma_db;
+}
+
+double WifiWorld::mean_rssi(std::size_t ap, const geo::Point2& p, int building,
+                            int floor) const {
+  NOBLE_EXPECTS(ap < aps_.size());
+  const AccessPoint& a = aps_[ap];
+  const double dz = static_cast<double>(floor - a.floor) *
+                    floor_heights_[static_cast<std::size_t>(a.building)];
+  const double d2 = geo::distance(p, a.position);
+  const double d3 = std::max(1.0, std::sqrt(d2 * d2 + dz * dz));
+  double rssi = config_.tx_power_dbm -
+                10.0 * config_.path_loss_exponent * std::log10(d3);
+  if (a.building != building) rssi -= config_.wall_attenuation_db;
+  rssi -= std::fabs(static_cast<double>(floor - a.floor)) * config_.floor_attenuation_db;
+  rssi += shadowing_db(ap, p);
+  return rssi;
+}
+
+std::vector<float> WifiWorld::measure(const geo::Point2& p, int building, int floor,
+                                      Rng& rng) const {
+  std::vector<float> out(aps_.size(), data::kNotDetectedRssi);
+  for (std::size_t ap = 0; ap < aps_.size(); ++ap) {
+    const double rssi =
+        mean_rssi(ap, p, building, floor) + rng.normal(0.0, config_.measurement_noise_db);
+    if (rssi < config_.detect_threshold_dbm) continue;
+    if (rng.bernoulli(config_.detect_dropout)) continue;
+    out[ap] = static_cast<float>(rssi);
+  }
+  return out;
+}
+
+}  // namespace noble::sim

@@ -1,0 +1,84 @@
+// Wi-Fi RSSI propagation world (the UJIIndoorLoc substitute).
+//
+// Access points are placed per building/floor; received signal strength
+// follows a log-distance path-loss model with floor/wall attenuation,
+// spatially-correlated static shadowing (so fingerprinting is physically
+// meaningful: the same location re-measures similarly) and per-measurement
+// device noise. Signals below the detection threshold, or randomly dropped,
+// report the UJI sentinel +100.
+#ifndef NOBLE_SIM_WIFI_H_
+#define NOBLE_SIM_WIFI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/campus.h"
+
+namespace noble::sim {
+
+/// Radio propagation and measurement parameters.
+struct WifiConfig {
+  /// Access points deployed per (building, floor).
+  std::size_t aps_per_floor = 10;
+  /// Transmit power measured at 1 m (dBm).
+  double tx_power_dbm = -28.0;
+  /// Log-distance path-loss exponent (indoor: 2.5 - 4).
+  double path_loss_exponent = 3.2;
+  /// Extra attenuation when receiver and AP are in different buildings (dB).
+  double wall_attenuation_db = 18.0;
+  /// Attenuation per floor of separation (dB).
+  double floor_attenuation_db = 13.0;
+  /// Std-dev of static log-normal shadowing (dB).
+  double shadowing_sigma_db = 5.0;
+  /// Spatial correlation length of the shadowing field (m).
+  double shadowing_cell_m = 6.0;
+  /// Std-dev of per-measurement device noise (dB).
+  double measurement_noise_db = 2.5;
+  /// Weakest detectable RSSI (dBm); below this the AP is "not detected".
+  double detect_threshold_dbm = -96.0;
+  /// Probability of a random missed detection even above threshold.
+  double detect_dropout = 0.04;
+};
+
+/// A deployed access point.
+struct AccessPoint {
+  geo::Point2 position;
+  int building = 0;
+  int floor = 0;
+};
+
+/// Deterministic RSSI world over an IndoorWorld.
+class WifiWorld {
+ public:
+  /// Deploys APs and freezes the shadowing field from `seed`.
+  WifiWorld(const geo::IndoorWorld& world, WifiConfig config, std::uint64_t seed);
+
+  std::size_t num_aps() const { return aps_.size(); }
+  const std::vector<AccessPoint>& aps() const { return aps_; }
+  const WifiConfig& config() const { return config_; }
+
+  /// Noise-free mean RSSI (dBm) from AP `ap` at (p, building, floor),
+  /// including path loss, attenuation and static shadowing (no device noise,
+  /// no detection logic). Exposed for tests of propagation monotonicity.
+  double mean_rssi(std::size_t ap, const geo::Point2& p, int building, int floor) const;
+
+  /// One RSSI measurement vector at a location. Applies device noise,
+  /// detection threshold and dropout; undetected APs report
+  /// data::kNotDetectedRssi (+100).
+  std::vector<float> measure(const geo::Point2& p, int building, int floor,
+                             Rng& rng) const;
+
+ private:
+  double shadowing_db(std::size_t ap, const geo::Point2& p) const;
+
+  WifiConfig config_;
+  std::vector<AccessPoint> aps_;
+  std::vector<double> floor_heights_;  // per building id (world copied here
+                                       // so WifiWorld owns all state it needs)
+  std::uint64_t shadow_seed_;
+};
+
+}  // namespace noble::sim
+
+#endif  // NOBLE_SIM_WIFI_H_

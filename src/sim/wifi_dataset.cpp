@@ -1,0 +1,64 @@
+#include "sim/wifi_dataset.h"
+
+#include "common/check.h"
+
+namespace noble::sim {
+
+data::WifiDataset collect_wifi_dataset(const geo::IndoorWorld& world,
+                                       const WifiWorld& wifi,
+                                       const CollectionConfig& config, Rng& rng) {
+  NOBLE_EXPECTS(config.spacing_m > 0.0);
+  NOBLE_EXPECTS(config.measurements_per_point >= 1);
+
+  // Enumerate collection points: corridor polylines per building/floor.
+  struct CollectPoint {
+    geo::Point2 p;
+    int building;
+    int floor;
+  };
+  std::vector<CollectPoint> points;
+  for (const auto& corridor : world.corridors) {
+    for (const auto& p : corridor.graph.sample_along_edges(config.spacing_m)) {
+      points.push_back({p, corridor.building, corridor.floor});
+    }
+  }
+  NOBLE_CHECK(!points.empty());
+  // Shuffle so a max_samples cap still covers every building/floor evenly.
+  rng.shuffle(points);
+
+  data::WifiDataset ds;
+  ds.num_aps = wifi.num_aps();
+  const std::size_t total_target =
+      config.max_samples == 0 ? points.size() * config.measurements_per_point
+                              : config.max_samples;
+  ds.samples.reserve(total_target);
+
+  std::size_t emitted = 0;
+  for (std::size_t round = 0; emitted < total_target; ++round) {
+    for (std::size_t i = 0; i < points.size() && emitted < total_target; ++i) {
+      const CollectPoint& cp = points[i];
+      // Surveyor stands near (not exactly at) the nominal point; keep the
+      // jittered position inside the building's accessible region.
+      geo::Point2 pos = cp.p;
+      const geo::Point2 jittered{
+          cp.p.x + rng.normal(0.0, config.position_jitter_m),
+          cp.p.y + rng.normal(0.0, config.position_jitter_m)};
+      const auto& b = world.plan.building(static_cast<std::size_t>(cp.building));
+      if (b.accessible(jittered)) pos = jittered;
+
+      data::WifiSample s;
+      s.building = cp.building;
+      s.floor = cp.floor;
+      s.position = pos;
+      s.rssi = wifi.measure(pos, cp.building, cp.floor, rng);
+      ds.samples.push_back(std::move(s));
+      ++emitted;
+    }
+    // When max_samples is unlimited, a single round of
+    // measurements_per_point passes suffices.
+    if (config.max_samples == 0 && round + 1 >= config.measurements_per_point) break;
+  }
+  return ds;
+}
+
+}  // namespace noble::sim

@@ -1,0 +1,31 @@
+// Offline fingerprint collection: walks the corridor network of every
+// building/floor and records (s⃗, b, f, (x, y)) samples, reproducing the
+// UJIIndoorLoc collection protocol on the synthetic world.
+#ifndef NOBLE_SIM_WIFI_DATASET_H_
+#define NOBLE_SIM_WIFI_DATASET_H_
+
+#include "data/dataset.h"
+#include "sim/wifi.h"
+
+namespace noble::sim {
+
+/// Collection parameters.
+struct CollectionConfig {
+  /// Spacing of collection points along corridors (m).
+  double spacing_m = 1.5;
+  /// Independent measurements taken per collection point.
+  std::size_t measurements_per_point = 3;
+  /// Positional jitter of the surveyor around each point (m, std-dev).
+  double position_jitter_m = 0.4;
+  /// Cap on total samples (0 = unlimited); points are cycled uniformly.
+  std::size_t max_samples = 0;
+};
+
+/// Collects a fingerprint dataset over the whole indoor world.
+data::WifiDataset collect_wifi_dataset(const geo::IndoorWorld& world,
+                                       const WifiWorld& wifi,
+                                       const CollectionConfig& config, Rng& rng);
+
+}  // namespace noble::sim
+
+#endif  // NOBLE_SIM_WIFI_DATASET_H_

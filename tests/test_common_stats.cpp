@@ -1,0 +1,105 @@
+// Tests for descriptive statistics and CSV/config utilities.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/config.h"
+#include "common/csv.h"
+#include "common/stats.h"
+
+namespace noble {
+namespace {
+
+TEST(Stats, MeanMedianBasic) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(mean(v), 3.0);
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+}
+
+TEST(Stats, MedianEvenCountInterpolates) {
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Stats, MedianUnsortedInput) {
+  EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(rms({}), 0.0);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+}
+
+TEST(Stats, VarianceAndStddev) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(variance(v), 4.0, 1e-12);
+  EXPECT_NEAR(stddev(v), 2.0, 1e-12);
+}
+
+TEST(Stats, RmsOfConstant) {
+  EXPECT_DOUBLE_EQ(rms({3.0, 3.0, 3.0}), 3.0);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  const std::vector<double> v{1.5, 2.5, -0.5, 4.0, 10.0, -3.0};
+  RunningStats rs;
+  for (double x : v) rs.push(x);
+  EXPECT_EQ(rs.count(), v.size());
+  EXPECT_NEAR(rs.mean(), mean(v), 1e-12);
+  // RunningStats uses the sample (n-1) variance.
+  const double sample_var = variance(v) * static_cast<double>(v.size()) /
+                            static_cast<double>(v.size() - 1);
+  EXPECT_NEAR(rs.variance(), sample_var, 1e-12);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> v{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_value(v), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 7.0);
+}
+
+TEST(Csv, RoundTrip) {
+  const std::string path = std::filesystem::temp_directory_path() / "noble_csv_test.csv";
+  CsvWriter writer({"x", "y", "label"});
+  writer.add_numeric_row({1.5, 2.5, 0.0});
+  writer.add_row({"3", "4", "foo"});
+  ASSERT_TRUE(writer.save(path));
+  EXPECT_EQ(writer.row_count(), 2u);
+
+  CsvTable table;
+  ASSERT_TRUE(load_csv(path, /*has_header=*/true, table));
+  ASSERT_EQ(table.header.size(), 3u);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.column_index("label"), 2);
+  EXPECT_EQ(table.column_index("missing"), -1);
+  EXPECT_DOUBLE_EQ(table.number(0, "x"), 1.5);
+  EXPECT_DOUBLE_EQ(table.number(1, "y"), 4.0);
+  EXPECT_EQ(table.rows[1][2], "foo");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, MissingFileFails) {
+  CsvTable table;
+  EXPECT_FALSE(load_csv("/nonexistent/path/file.csv", true, table));
+}
+
+TEST(Config, EnvDefaults) {
+  EXPECT_DOUBLE_EQ(env_double("NOBLE_UNSET_KNOB_X", 3.5), 3.5);
+  EXPECT_EQ(env_int("NOBLE_UNSET_KNOB_Y", 42), 42);
+  EXPECT_EQ(env_string("NOBLE_UNSET_KNOB_Z", "abc"), "abc");
+}
+
+TEST(Config, ScaledHasFloor) {
+  EXPECT_GE(scaled(100, 8), 8u);
+}
+
+}  // namespace
+}  // namespace noble

@@ -1,0 +1,146 @@
+// Tests for the evaluation harness and experiment builders.
+#include <gtest/gtest.h>
+
+#include "core/evaluate.h"
+#include "core/experiment.h"
+
+namespace noble::core {
+namespace {
+
+TEST(Evaluate, WifiReportPerfectPredictions) {
+  // Build a tiny dataset and quantizer, then evaluate the ground truth
+  // decoded through the quantizer: class/building/floor accuracies are 100%
+  // and the position error is bounded by the cell half-diagonal.
+  data::WifiDataset ds;
+  ds.num_aps = 1;
+  Rng rng(801);
+  std::vector<geo::Point2> positions;
+  for (int i = 0; i < 50; ++i) {
+    data::WifiSample s;
+    s.building = i % 2;
+    s.floor = i % 3;
+    s.position = {rng.uniform(0, 30), rng.uniform(0, 30)};
+    s.rssi = {-50.0f};
+    positions.push_back(s.position);
+    ds.samples.push_back(std::move(s));
+  }
+  SpaceQuantizer q;
+  QuantizeConfig qc;
+  qc.tau = 2.0;
+  qc.use_coarse = false;
+  q.fit(positions, qc);
+
+  std::vector<WifiPrediction> preds;
+  for (const auto& s : ds.samples) {
+    WifiPrediction p;
+    p.building = s.building;
+    p.floor = s.floor;
+    p.fine_class = q.fine_class_of(s.position);
+    p.position = q.fine().center(p.fine_class);
+    preds.push_back(p);
+  }
+  const auto report = evaluate_wifi(preds, ds, q, nullptr);
+  EXPECT_DOUBLE_EQ(report.building_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(report.floor_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(report.class_accuracy, 1.0);
+  EXPECT_LE(report.errors.max, 2.0 * std::sqrt(2.0) / 2.0 + 1e-9);
+}
+
+TEST(Evaluate, ImuReportMatchesManualComputation) {
+  data::ImuDataset ds;
+  ds.segment_dim = 6;
+  ds.max_segments = 1;
+  for (int i = 0; i < 3; ++i) {
+    data::ImuPath p;
+    p.features.assign(6, 0.0f);
+    p.num_segments = 1;
+    p.end = {static_cast<double>(i), 0.0};
+    p.segment_endpoints = {p.end};
+    ds.paths.push_back(std::move(p));
+  }
+  const std::vector<geo::Point2> preds{{0, 0}, {1, 1}, {2, 2}};
+  const auto report = evaluate_imu(preds, ds, nullptr);
+  EXPECT_DOUBLE_EQ(report.errors.mean, (0.0 + 1.0 + 2.0) / 3.0);
+  EXPECT_DOUBLE_EQ(report.errors.median, 1.0);
+}
+
+TEST(Evaluate, PositionsOfExtractors) {
+  std::vector<WifiPrediction> wp(2);
+  wp[0].position = {1, 2};
+  wp[1].position = {3, 4};
+  const auto pts = positions_of(wp);
+  EXPECT_EQ(pts[1], (geo::Point2{3, 4}));
+
+  std::vector<ImuPrediction> ip(1);
+  ip[0].position = {5, 6};
+  EXPECT_EQ(positions_of(ip)[0], (geo::Point2{5, 6}));
+}
+
+TEST(Experiment, UjiBuilderProducesConsistentWorld) {
+  WifiExperimentConfig cfg;
+  cfg.total_samples = 400;
+  const auto exp = make_uji_experiment(cfg);
+  EXPECT_EQ(exp.world.plan.building_count(), 3u);
+  EXPECT_EQ(exp.split.train.num_aps, exp.wifi->num_aps());
+  EXPECT_EQ(exp.split.train.size() + exp.split.val.size() + exp.split.test.size(),
+            400u);
+  // All sampled positions are on accessible space of their building.
+  for (const auto& s : exp.split.train.samples) {
+    EXPECT_TRUE(
+        exp.world.plan.building(static_cast<std::size_t>(s.building)).accessible(s.position));
+  }
+}
+
+TEST(Experiment, DeterministicAcrossCalls) {
+  WifiExperimentConfig cfg;
+  cfg.total_samples = 200;
+  const auto a = make_uji_experiment(cfg);
+  const auto b = make_uji_experiment(cfg);
+  ASSERT_EQ(a.split.train.size(), b.split.train.size());
+  for (std::size_t i = 0; i < a.split.train.size(); ++i) {
+    EXPECT_EQ(a.split.train.samples[i].position.x, b.split.train.samples[i].position.x);
+    EXPECT_EQ(a.split.train.samples[i].rssi, b.split.train.samples[i].rssi);
+  }
+}
+
+TEST(Experiment, SeedChangesData) {
+  WifiExperimentConfig cfg;
+  cfg.total_samples = 200;
+  const auto a = make_uji_experiment(cfg);
+  cfg.seed += 1;
+  const auto b = make_uji_experiment(cfg);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.split.train.size() && i < b.split.train.size(); ++i) {
+    if (a.split.train.samples[i].rssi != b.split.train.samples[i].rssi) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Experiment, IpinBuilderSingleBuilding) {
+  WifiExperimentConfig cfg;
+  cfg.total_samples = 300;
+  const auto exp = make_ipin_experiment(cfg);
+  EXPECT_EQ(exp.world.plan.building_count(), 1u);
+  for (const auto& s : exp.split.train.samples) {
+    EXPECT_EQ(s.building, 0);
+  }
+}
+
+TEST(Experiment, ImuBuilderRespectsPathProtocol) {
+  ImuExperimentConfig cfg;
+  cfg.num_paths = 150;
+  cfg.total_walk_time_s = 600.0;
+  const auto exp = make_imu_experiment(cfg);
+  EXPECT_EQ(exp.split.train.size() + exp.split.val.size() + exp.split.test.size(), 150u);
+  for (const auto& p : exp.split.train.paths) {
+    EXPECT_GE(p.num_segments, 1u);
+    EXPECT_LE(p.num_segments, cfg.max_segments);
+    EXPECT_EQ(p.segment_endpoints.size(), p.num_segments);
+  }
+}
+
+}  // namespace
+}  // namespace noble::core

@@ -1,0 +1,201 @@
+// SpaceQuantizer and multi-label target/decoding tests (§III-B machinery).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/quantize.h"
+
+namespace noble::core {
+namespace {
+
+std::vector<geo::Point2> grid_cloud() {
+  std::vector<geo::Point2> pts;
+  Rng rng(501);
+  for (int i = 0; i < 400; ++i) {
+    pts.push_back({rng.uniform(0.0, 40.0), rng.uniform(0.0, 40.0)});
+  }
+  return pts;
+}
+
+TEST(SpaceQuantizer, LayoutOffsetsArePacked) {
+  SpaceQuantizer q;
+  QuantizeConfig cfg;
+  cfg.tau = 2.0;
+  cfg.coarse_l = 8.0;
+  q.fit(grid_cloud(), cfg);
+  const LabelLayout layout = q.layout(3, 5);
+  EXPECT_EQ(layout.building_offset(), 0u);
+  EXPECT_EQ(layout.floor_offset(), 3u);
+  EXPECT_EQ(layout.fine_offset(), 8u);
+  EXPECT_EQ(layout.coarse_offset(), 8u + layout.num_fine);
+  EXPECT_EQ(layout.total(),
+            3u + 5u + layout.num_fine + layout.num_coarse);
+  EXPECT_EQ(layout.num_fine, q.num_fine_classes());
+  EXPECT_EQ(layout.num_coarse, q.num_coarse_classes());
+}
+
+TEST(SpaceQuantizer, TargetsAreMultiHot) {
+  SpaceQuantizer q;
+  QuantizeConfig cfg;
+  cfg.tau = 2.0;
+  cfg.coarse_l = 8.0;
+  const auto pts = grid_cloud();
+  q.fit(pts, cfg);
+  const LabelLayout layout = q.layout(2, 4);
+  std::vector<int> b(pts.size(), 1), f(pts.size(), 3);
+  const auto t = q.build_targets(layout, pts, b, f);
+  ASSERT_EQ(t.rows(), pts.size());
+  ASSERT_EQ(t.cols(), layout.total());
+  for (std::size_t i = 0; i < 20; ++i) {
+    // Exactly one building and one floor hot.
+    EXPECT_FLOAT_EQ(t(i, 1), 1.0f);
+    EXPECT_FLOAT_EQ(t(i, 0), 0.0f);
+    EXPECT_FLOAT_EQ(t(i, layout.floor_offset() + 3), 1.0f);
+    // Exactly one full-strength fine positive; adjacency at 0.5.
+    std::size_t full = 0, half = 0;
+    for (std::size_t c = 0; c < layout.num_fine; ++c) {
+      const float v = t(i, layout.fine_offset() + c);
+      if (v == 1.0f) ++full;
+      if (v == 0.5f) ++half;
+    }
+    EXPECT_EQ(full, 1u);
+    EXPECT_GE(half, 1u);  // dense cloud: neighbors exist
+    // One coarse positive.
+    std::size_t coarse = 0;
+    for (std::size_t c = 0; c < layout.num_coarse; ++c) {
+      if (t(i, layout.coarse_offset() + c) == 1.0f) ++coarse;
+    }
+    EXPECT_EQ(coarse, 1u);
+  }
+}
+
+TEST(SpaceQuantizer, AdjacencyOffRemovesSoftLabels) {
+  SpaceQuantizer q;
+  QuantizeConfig cfg;
+  cfg.tau = 2.0;
+  cfg.use_coarse = false;
+  cfg.adjacency_labels = false;
+  const auto pts = grid_cloud();
+  q.fit(pts, cfg);
+  const LabelLayout layout = q.layout(0, 0);
+  const auto t = q.build_targets(layout, pts, {}, {});
+  for (std::size_t i = 0; i < 10; ++i) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < layout.total(); ++c) sum += t(i, c);
+    EXPECT_DOUBLE_EQ(sum, 1.0);  // single hard label only
+  }
+}
+
+TEST(SpaceQuantizer, DecodeRoundTripsPerfectLogits) {
+  SpaceQuantizer q;
+  QuantizeConfig cfg;
+  cfg.tau = 2.0;
+  cfg.coarse_l = 8.0;
+  cfg.adjacency_labels = false;
+  const auto pts = grid_cloud();
+  q.fit(pts, cfg);
+  const LabelLayout layout = q.layout(3, 4);
+  std::vector<int> b(pts.size()), f(pts.size());
+  Rng rng(503);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    b[i] = static_cast<int>(rng.uniform_int(0, 2));
+    f[i] = static_cast<int>(rng.uniform_int(0, 3));
+  }
+  const auto t = q.build_targets(layout, pts, b, f);
+  // Feeding the targets back as logits must decode to the truth.
+  for (std::size_t i = 0; i < 50; ++i) {
+    const DecodedPrediction d = q.decode(layout, t.row(i));
+    EXPECT_EQ(d.building, b[i]);
+    EXPECT_EQ(d.floor, f[i]);
+    EXPECT_EQ(d.fine_class, q.fine_class_of(pts[i]));
+    // Decoded position is the cell center: within half diagonal.
+    EXPECT_LE(geo::distance(d.position, pts[i]), 2.0 * std::sqrt(2.0) / 2.0 + 1e-9);
+  }
+}
+
+TEST(SpaceQuantizer, DecodePositionIsCellCenter) {
+  SpaceQuantizer q;
+  QuantizeConfig cfg;
+  cfg.tau = 1.0;
+  cfg.use_coarse = false;
+  std::vector<geo::Point2> pts{{0.5, 0.5}, {5.5, 5.5}};
+  q.fit(pts, cfg);
+  const LabelLayout layout = q.layout(0, 0);
+  linalg::Mat logits(1, layout.total());
+  logits(0, layout.fine_offset() + static_cast<std::size_t>(q.fine_class_of({5.5, 5.5}))) =
+      5.0f;
+  const auto d = q.decode(layout, logits.row(0));
+  // The decoded position is the center of the cell containing the point:
+  // within the half-diagonal of the 1 m cell.
+  EXPECT_LE(geo::distance(d.position, {5.5, 5.5}), std::sqrt(2.0) / 2.0 + 1e-9);
+  // And it is exactly the center the quantizer reports for that class.
+  const auto center = q.fine().center(q.fine_class_of({5.5, 5.5}));
+  EXPECT_NEAR(d.position.x, center.x, 1e-12);
+  EXPECT_NEAR(d.position.y, center.y, 1e-12);
+}
+
+TEST(SpaceQuantizer, HierarchicalDecodeRestrictsToCoarseCell) {
+  SpaceQuantizer q;
+  QuantizeConfig cfg;
+  cfg.tau = 1.0;
+  cfg.coarse_l = 10.0;
+  cfg.adjacency_labels = false;
+  // Two dense clusters far apart -> two coarse cells.
+  std::vector<geo::Point2> pts;
+  Rng rng(505);
+  for (int i = 0; i < 100; ++i) pts.push_back({rng.uniform(0, 8), rng.uniform(0, 8)});
+  for (int i = 0; i < 100; ++i)
+    pts.push_back({rng.uniform(50, 58), rng.uniform(0, 8)});
+  q.fit(pts, cfg);
+  const LabelLayout layout = q.layout(0, 0);
+
+  // Craft logits: the globally-highest fine logit sits in cluster A, but the
+  // coarse head confidently points at cluster B.
+  linalg::Mat logits(1, layout.total());
+  const int fine_a = q.fine().nearest_class({4.0, 4.0});
+  const int fine_b = q.fine().nearest_class({54.0, 4.0});
+  const int coarse_b = q.coarse().nearest_class({54.0, 4.0});
+  logits(0, layout.fine_offset() + static_cast<std::size_t>(fine_a)) = 10.0f;
+  logits(0, layout.fine_offset() + static_cast<std::size_t>(fine_b)) = 5.0f;
+  logits(0, layout.coarse_offset() + static_cast<std::size_t>(coarse_b)) = 10.0f;
+
+  const auto flat = q.decode(layout, logits.row(0));
+  EXPECT_EQ(flat.fine_class, fine_a);  // plain decode follows the fine argmax
+
+  const auto hier = q.decode_hierarchical(layout, logits.row(0));
+  EXPECT_EQ(hier.coarse_class, coarse_b);
+  EXPECT_EQ(hier.fine_class, fine_b);  // restricted to coarse cell B
+  EXPECT_GT(hier.position.x, 40.0);
+}
+
+TEST(SpaceQuantizer, HierarchicalDecodeAgreesWhenConsistent) {
+  SpaceQuantizer q;
+  QuantizeConfig cfg;
+  cfg.tau = 2.0;
+  cfg.coarse_l = 8.0;
+  cfg.adjacency_labels = false;
+  const auto pts = grid_cloud();
+  q.fit(pts, cfg);
+  const LabelLayout layout = q.layout(0, 0);
+  const auto targets = q.build_targets(layout, pts, {}, {});
+  // Perfect logits: hierarchical and flat decode agree everywhere.
+  for (std::size_t i = 0; i < 30; ++i) {
+    const auto flat = q.decode(layout, targets.row(i));
+    const auto hier = q.decode_hierarchical(layout, targets.row(i));
+    EXPECT_EQ(flat.fine_class, hier.fine_class);
+  }
+}
+
+TEST(SpaceQuantizer, CoarseGrainsFewerThanFine) {
+  SpaceQuantizer q;
+  QuantizeConfig cfg;
+  cfg.tau = 1.0;
+  cfg.coarse_l = 10.0;
+  q.fit(grid_cloud(), cfg);
+  EXPECT_GT(q.num_fine_classes(), q.num_coarse_classes());
+  EXPECT_GT(q.num_coarse_classes(), 0u);
+}
+
+}  // namespace
+}  // namespace noble::core

@@ -1,0 +1,223 @@
+// Tests for dataset schemas, splits, preprocessing and metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/metrics.h"
+#include "data/preprocess.h"
+#include "linalg/ops.h"
+#include "geo/floorplan.h"
+
+namespace noble::data {
+namespace {
+
+WifiDataset make_wifi_dataset(std::size_t n, std::size_t aps, Rng& rng) {
+  WifiDataset ds;
+  ds.num_aps = aps;
+  for (std::size_t i = 0; i < n; ++i) {
+    WifiSample s;
+    s.building = static_cast<int>(i % 3);
+    s.floor = static_cast<int>(i % 4);
+    s.position = {rng.uniform(0, 100), rng.uniform(0, 50)};
+    for (std::size_t a = 0; a < aps; ++a) {
+      s.rssi.push_back(rng.bernoulli(0.3)
+                           ? kNotDetectedRssi
+                           : static_cast<float>(rng.uniform(-100.0, -30.0)));
+    }
+    ds.samples.push_back(std::move(s));
+  }
+  return ds;
+}
+
+TEST(WifiSplitting, FractionsRespected) {
+  Rng rng(601);
+  const auto all = make_wifi_dataset(1000, 4, rng);
+  Rng split_rng(602);
+  const auto split = split_wifi(all, 0.1, 0.2, split_rng);
+  EXPECT_EQ(split.val.size(), 100u);
+  EXPECT_EQ(split.test.size(), 200u);
+  EXPECT_EQ(split.train.size(), 700u);
+  EXPECT_EQ(split.train.num_aps, 4u);
+}
+
+TEST(WifiSplitting, PartitionIsExactAndDisjoint) {
+  Rng rng(603);
+  auto all = make_wifi_dataset(300, 2, rng);
+  // Tag each sample uniquely via position.x.
+  for (std::size_t i = 0; i < all.size(); ++i) all.samples[i].position.x = double(i);
+  Rng split_rng(604);
+  const auto split = split_wifi(all, 0.25, 0.25, split_rng);
+  std::set<double> seen;
+  for (const auto* part : {&split.train, &split.val, &split.test}) {
+    for (const auto& s : part->samples) {
+      EXPECT_TRUE(seen.insert(s.position.x).second) << "duplicate sample in split";
+    }
+  }
+  EXPECT_EQ(seen.size(), 300u);
+}
+
+TEST(WifiSplitting, DeterministicInSeed) {
+  Rng rng(605);
+  const auto all = make_wifi_dataset(100, 2, rng);
+  Rng a(7), b(7);
+  const auto s1 = split_wifi(all, 0.2, 0.2, a);
+  const auto s2 = split_wifi(all, 0.2, 0.2, b);
+  ASSERT_EQ(s1.train.size(), s2.train.size());
+  for (std::size_t i = 0; i < s1.train.size(); ++i) {
+    EXPECT_EQ(s1.train.samples[i].position.x, s2.train.samples[i].position.x);
+  }
+}
+
+TEST(FeatureMatrices, WifiShapesAndValues) {
+  Rng rng(607);
+  const auto ds = make_wifi_dataset(10, 3, rng);
+  const auto x = wifi_feature_matrix(ds);
+  const auto y = wifi_position_matrix(ds);
+  EXPECT_EQ(x.rows(), 10u);
+  EXPECT_EQ(x.cols(), 3u);
+  EXPECT_EQ(y.cols(), 2u);
+  EXPECT_FLOAT_EQ(x(4, 1), ds.samples[4].rssi[1]);
+  EXPECT_FLOAT_EQ(y(4, 0), static_cast<float>(ds.samples[4].position.x));
+}
+
+TEST(NormalizeRssi, NotDetectedMapsToZero) {
+  linalg::Mat raw{{kNotDetectedRssi, -104.0f, -30.0f}};
+  const auto norm = normalize_rssi(raw, RssiRepresentation::kLinear);
+  EXPECT_FLOAT_EQ(norm(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(norm(0, 1), 0.0f);  // weakest observable -> 0
+  EXPECT_NEAR(norm(0, 2), (104.0f - 30.0f) / 104.0f, 1e-6f);
+}
+
+TEST(NormalizeRssi, StrongerSignalLargerFeature) {
+  linalg::Mat raw{{-90.0f, -50.0f}};
+  for (auto rep : {RssiRepresentation::kLinear, RssiRepresentation::kPowed}) {
+    const auto norm = normalize_rssi(raw, rep);
+    EXPECT_GT(norm(0, 1), norm(0, 0));
+  }
+}
+
+TEST(NormalizeRssi, PowedCompressesWeakSignals) {
+  linalg::Mat raw{{-90.0f}};
+  const auto lin = normalize_rssi(raw, RssiRepresentation::kLinear);
+  const auto pow2 = normalize_rssi(raw, RssiRepresentation::kPowed);
+  EXPECT_LT(pow2(0, 0), lin(0, 0));  // x^2 < x for x in (0,1)
+}
+
+TEST(NormalizeRssi, OutputInUnitInterval) {
+  Rng rng(609);
+  linalg::Mat raw(20, 5);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    raw.data()[i] = rng.bernoulli(0.2) ? kNotDetectedRssi
+                                       : static_cast<float>(rng.uniform(-120, -20));
+  }
+  const auto norm = normalize_rssi(raw);
+  for (std::size_t i = 0; i < norm.size(); ++i) {
+    EXPECT_GE(norm.data()[i], 0.0f);
+    EXPECT_LE(norm.data()[i], 1.0f);
+  }
+}
+
+TEST(Standardizer, TransformIsZeroMeanUnitVar) {
+  Rng rng(611);
+  linalg::Mat x(200, 3);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    x(i, 0) = static_cast<float>(rng.normal(10.0, 5.0));
+    x(i, 1) = static_cast<float>(rng.normal(-4.0, 0.5));
+    x(i, 2) = 7.0f;  // constant column
+  }
+  Standardizer sc;
+  sc.fit(x);
+  const auto z = sc.transform(x);
+  const auto mu = linalg::col_mean(z);
+  const auto var = linalg::col_var(z);
+  EXPECT_NEAR(mu[0], 0.0f, 1e-4f);
+  EXPECT_NEAR(var[0], 1.0f, 1e-2f);
+  EXPECT_NEAR(mu[2], 0.0f, 1e-4f);  // constant column centered, not exploded
+}
+
+TEST(Standardizer, InverseTransformRoundTrips) {
+  Rng rng(613);
+  linalg::Mat x(50, 2);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x.data()[i] = static_cast<float>(rng.normal(3.0, 2.0));
+  Standardizer sc;
+  sc.fit(x);
+  const auto back = sc.inverse_transform(sc.transform(x));
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(back.data()[i], x.data()[i], 1e-3f);
+}
+
+TEST(OneHot, EncodesCorrectly) {
+  const auto m = one_hot({2, 0, 1}, 3);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FLOAT_EQ(m(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(m(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m(2, 1), 1.0f);
+  double sum = 0;
+  for (std::size_t i = 0; i < m.size(); ++i) sum += m.data()[i];
+  EXPECT_DOUBLE_EQ(sum, 3.0);
+}
+
+TEST(Metrics, PositionErrorsEuclidean) {
+  const std::vector<geo::Point2> pred{{0, 0}, {3, 4}};
+  const std::vector<geo::Point2> truth{{0, 0}, {0, 0}};
+  const auto errs = position_errors(pred, truth);
+  EXPECT_DOUBLE_EQ(errs[0], 0.0);
+  EXPECT_DOUBLE_EQ(errs[1], 5.0);
+}
+
+TEST(Metrics, SummaryStats) {
+  const auto s = summarize_errors({1.0, 2.0, 3.0, 4.0, 10.0});
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_GT(s.p90, s.median);
+}
+
+TEST(Metrics, HitRate) {
+  EXPECT_DOUBLE_EQ(hit_rate({1, 2, 3}, {1, 2, 4}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(hit_rate({}, {}), 0.0);
+}
+
+TEST(Metrics, StructureScoreFloorPlan) {
+  geo::FloorPlan plan;
+  plan.add_building(geo::Building(0, "A", geo::Polygon::rectangle(0, 0, 10, 10), 1));
+  const std::vector<geo::Point2> pts{{5, 5}, {20, 20}, {1, 1}, {-5, 0}};
+  EXPECT_DOUBLE_EQ(structure_score(pts, plan), 0.5);
+}
+
+TEST(Metrics, StructureScoreWalkways) {
+  geo::PathGraph g;
+  g.add_polyline({{0, 0}, {10, 0}});
+  const std::vector<geo::Point2> pts{{5, 0.5}, {5, 10}};
+  EXPECT_DOUBLE_EQ(structure_score(pts, g, 1.0), 0.5);
+}
+
+TEST(ImuSplitting, LayoutMetadataPreserved) {
+  ImuDataset all;
+  all.segment_dim = 96;
+  all.max_segments = 50;
+  Rng rng(615);
+  for (int i = 0; i < 100; ++i) {
+    ImuPath p;
+    p.features.assign(all.feature_dim(), 0.0f);
+    p.num_segments = 1;
+    p.segment_endpoints = {{1.0, 1.0}};
+    all.paths.push_back(std::move(p));
+  }
+  Rng split_rng(616);
+  const auto split = split_imu(all, 0.2, 0.3, split_rng);
+  EXPECT_EQ(split.train.segment_dim, 96u);
+  EXPECT_EQ(split.test.max_segments, 50u);
+  EXPECT_EQ(split.train.size() + split.val.size() + split.test.size(), 100u);
+  EXPECT_EQ(split.val.size(), 20u);
+  EXPECT_EQ(split.test.size(), 30u);
+}
+
+}  // namespace
+}  // namespace noble::data

@@ -1,0 +1,195 @@
+// Geometry tests: polygons, floor plans, projection, path graphs.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geo/campus.h"
+#include "geo/floorplan.h"
+#include "geo/pathgraph.h"
+#include "geo/polygon.h"
+
+namespace noble::geo {
+namespace {
+
+TEST(Polygon, RectangleContainment) {
+  const auto rect = Polygon::rectangle(0, 0, 10, 5);
+  EXPECT_TRUE(rect.contains({5, 2.5}));
+  EXPECT_TRUE(rect.contains({0, 0}));    // boundary counts inside
+  EXPECT_TRUE(rect.contains({10, 5}));   // corner
+  EXPECT_FALSE(rect.contains({10.1, 2}));
+  EXPECT_FALSE(rect.contains({-0.1, 2}));
+  EXPECT_FALSE(rect.contains({5, 5.2}));
+}
+
+TEST(Polygon, NonConvexContainment) {
+  // L-shape.
+  const Polygon l({{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}});
+  EXPECT_TRUE(l.contains({1, 3}));
+  EXPECT_TRUE(l.contains({3, 1}));
+  EXPECT_FALSE(l.contains({3, 3}));  // the notch
+}
+
+TEST(Polygon, AreaAndCentroid) {
+  const auto rect = Polygon::rectangle(2, 3, 6, 7);
+  EXPECT_DOUBLE_EQ(rect.area(), 16.0);
+  const Point2 c = rect.centroid();
+  EXPECT_NEAR(c.x, 4.0, 1e-12);
+  EXPECT_NEAR(c.y, 5.0, 1e-12);
+}
+
+TEST(Polygon, NearestBoundaryPoint) {
+  const auto rect = Polygon::rectangle(0, 0, 10, 10);
+  const Point2 p = rect.nearest_boundary_point({15, 5});
+  EXPECT_NEAR(p.x, 10.0, 1e-12);
+  EXPECT_NEAR(p.y, 5.0, 1e-12);
+  EXPECT_NEAR(rect.boundary_distance({15, 5}), 5.0, 1e-12);
+}
+
+TEST(Segment, NearestPointClamps) {
+  const Point2 a{0, 0}, b{10, 0};
+  EXPECT_NEAR(nearest_point_on_segment(a, b, {-5, 3}).x, 0.0, 1e-12);
+  EXPECT_NEAR(nearest_point_on_segment(a, b, {15, 3}).x, 10.0, 1e-12);
+  EXPECT_NEAR(nearest_point_on_segment(a, b, {4, 3}).x, 4.0, 1e-12);
+}
+
+TEST(Building, CourtyardIsInaccessible) {
+  Building b(0, "B", Polygon::rectangle(0, 0, 20, 20), 2);
+  b.add_hole(Polygon::rectangle(5, 5, 15, 15));
+  EXPECT_TRUE(b.accessible({2, 2}));
+  EXPECT_FALSE(b.accessible({10, 10}));
+  EXPECT_FALSE(b.accessible({25, 2}));
+}
+
+TEST(Building, ProjectInsideFromOutside) {
+  Building b(0, "B", Polygon::rectangle(0, 0, 20, 20), 1);
+  const Point2 p = b.project_inside({30, 10});
+  EXPECT_TRUE(b.accessible(p));
+  EXPECT_NEAR(p.x, 20.0, 1e-3);
+  EXPECT_NEAR(p.y, 10.0, 1e-3);
+}
+
+TEST(Building, ProjectInsideFromCourtyard) {
+  Building b(0, "B", Polygon::rectangle(0, 0, 20, 20), 1);
+  b.add_hole(Polygon::rectangle(8, 8, 12, 12));
+  const Point2 p = b.project_inside({10, 10});
+  EXPECT_TRUE(b.accessible(p));
+  // Must land on the hole boundary, not the outer wall.
+  EXPECT_NEAR(distance(p, {10, 10}), 2.0, 0.1);
+}
+
+TEST(FloorPlan, BuildingAt) {
+  FloorPlan plan;
+  plan.add_building(Building(0, "A", Polygon::rectangle(0, 0, 10, 10), 1));
+  plan.add_building(Building(1, "B", Polygon::rectangle(20, 0, 30, 10), 1));
+  EXPECT_EQ(plan.building_at({5, 5}), 0);
+  EXPECT_EQ(plan.building_at({25, 5}), 1);
+  EXPECT_EQ(plan.building_at({15, 5}), -1);
+}
+
+TEST(FloorPlan, ProjectionPicksNearestBuilding) {
+  FloorPlan plan;
+  plan.add_building(Building(0, "A", Polygon::rectangle(0, 0, 10, 10), 1));
+  plan.add_building(Building(1, "B", Polygon::rectangle(20, 0, 30, 10), 1));
+  const Point2 p = plan.project_to_accessible({12, 5});  // nearer to A
+  EXPECT_TRUE(plan.building(0).accessible(p));
+  const Point2 q = plan.project_to_accessible({18, 5});  // nearer to B
+  EXPECT_TRUE(plan.building(1).accessible(q));
+}
+
+TEST(FloorPlan, AccessiblePointUnchangedByProjection) {
+  FloorPlan plan;
+  plan.add_building(Building(0, "A", Polygon::rectangle(0, 0, 10, 10), 1));
+  const Point2 p{3, 3};
+  const Point2 proj = plan.project_to_accessible(p);
+  EXPECT_EQ(proj, p);
+}
+
+TEST(PathGraph, SnapAndDistance) {
+  PathGraph g;
+  const auto a = g.add_node({0, 0});
+  const auto b = g.add_node({10, 0});
+  g.add_edge(a, b);
+  const Point2 s = g.snap_to_path({5, 3});
+  EXPECT_NEAR(s.x, 5.0, 1e-12);
+  EXPECT_NEAR(s.y, 0.0, 1e-12);
+  EXPECT_NEAR(g.distance_to_path({5, 3}), 3.0, 1e-12);
+}
+
+TEST(PathGraph, NearestEdgeDirectionIsUnitAndParallel) {
+  PathGraph g;
+  const auto a = g.add_node({0, 0});
+  const auto b = g.add_node({10, 0});
+  const auto c = g.add_node({10, 10});
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  // Near the horizontal edge: direction parallel to x.
+  const Point2 dh = g.nearest_edge_direction({5, 1});
+  EXPECT_NEAR(dh.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(std::fabs(dh.x), 1.0, 1e-12);
+  // Near the vertical edge: direction parallel to y.
+  const Point2 dv = g.nearest_edge_direction({9.5, 7});
+  EXPECT_NEAR(std::fabs(dv.y), 1.0, 1e-12);
+}
+
+TEST(PathGraph, RandomWalkStaysOnGraph) {
+  PathGraph g;
+  const auto ids = g.add_polyline({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  g.add_edge(ids.back(), ids.front());
+  Rng rng(77);
+  const auto walk = g.random_walk(0, 50, rng);
+  EXPECT_EQ(walk.size(), 51u);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    // Consecutive nodes must be adjacent.
+    bool adjacent = false;
+    for (auto nb : g.neighbors(walk[i - 1])) adjacent |= (nb == walk[i]);
+    EXPECT_TRUE(adjacent);
+  }
+}
+
+TEST(PathGraph, SampleAlongEdgesSpacing) {
+  PathGraph g;
+  g.add_polyline({{0, 0}, {10, 0}});
+  const auto pts = g.sample_along_edges(2.0);
+  EXPECT_EQ(pts.size(), 6u);  // 0, 2, 4, 6, 8, 10
+  for (const auto& p : pts) EXPECT_NEAR(p.y, 0.0, 1e-12);
+}
+
+TEST(Campus, UjiLikeHasThreeBuildingsWithCourtyards) {
+  const auto world = make_uji_like_campus();
+  ASSERT_EQ(world.plan.building_count(), 3u);
+  for (const auto& b : world.plan.buildings()) {
+    EXPECT_EQ(b.num_floors(), 4);
+    ASSERT_FALSE(b.holes().empty());
+    // Courtyard center is inaccessible.
+    EXPECT_FALSE(b.accessible(b.holes()[0].centroid()));
+  }
+  // 3 buildings x 4 floors of corridors.
+  EXPECT_EQ(world.corridors.size(), 12u);
+}
+
+TEST(Campus, CorridorsLieInAccessibleSpace) {
+  const auto world = make_uji_like_campus();
+  for (const auto& c : world.corridors) {
+    const auto& b = world.plan.building(static_cast<std::size_t>(c.building));
+    for (const auto& p : c.graph.sample_along_edges(3.0)) {
+      EXPECT_TRUE(b.accessible(p)) << "corridor point off-map in building "
+                                   << c.building;
+    }
+  }
+}
+
+TEST(Campus, OutdoorTrackReferencesOnWalkways) {
+  const auto world = make_outdoor_track(177);
+  EXPECT_EQ(world.reference_points.size(), 177u);
+  for (const auto& r : world.reference_points) {
+    EXPECT_LT(world.walkways.distance_to_path(r), 1e-6);
+  }
+}
+
+TEST(Campus, IpinSingleBuilding) {
+  const auto world = make_ipin_like_building();
+  EXPECT_EQ(world.plan.building_count(), 1u);
+  EXPECT_EQ(world.plan.building(0).num_floors(), 3);
+}
+
+}  // namespace
+}  // namespace noble::geo

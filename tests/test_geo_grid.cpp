@@ -1,0 +1,171 @@
+// Grid quantizer tests, including the parameterized property sweep over tau:
+// decode error of an in-distribution point is bounded by the cell
+// half-diagonal (tau * sqrt(2) / 2) — the core invariant behind NObLe's
+// median error being tiny when the class is predicted correctly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "geo/grid.h"
+
+namespace noble::geo {
+namespace {
+
+std::vector<Point2> random_cloud(std::size_t n, double extent, Rng& rng) {
+  std::vector<Point2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, extent), rng.uniform(0.0, extent)});
+  }
+  return pts;
+}
+
+TEST(GridQuantizer, ClassesCoverAllTrainingPoints) {
+  Rng rng(301);
+  const auto pts = random_cloud(500, 50.0, rng);
+  GridQuantizer q;
+  q.fit(pts, 2.0);
+  EXPECT_GT(q.num_classes(), 0u);
+  for (const auto& p : pts) {
+    EXPECT_GE(q.class_of(p), 0);
+  }
+}
+
+TEST(GridQuantizer, EmptyCellsAreDiscarded) {
+  // Two clusters far apart: the space between them holds no classes.
+  std::vector<Point2> pts;
+  Rng rng(302);
+  for (int i = 0; i < 50; ++i) pts.push_back({rng.uniform(0, 5), rng.uniform(0, 5)});
+  for (int i = 0; i < 50; ++i)
+    pts.push_back({rng.uniform(100, 105), rng.uniform(0, 5)});
+  GridQuantizer q;
+  q.fit(pts, 1.0);
+  EXPECT_EQ(q.class_of({50.0, 2.5}), -1);  // midpoint cell is empty
+  // There are at most ceil(5)^2 * 2 + margin occupied cells, far fewer than
+  // the full 105x5 grid.
+  EXPECT_LT(q.num_classes(), 120u);
+}
+
+TEST(GridQuantizer, CenterIsInsideCell) {
+  Rng rng(303);
+  const auto pts = random_cloud(100, 20.0, rng);
+  GridQuantizer q;
+  q.fit(pts, 3.0);
+  for (const auto& p : pts) {
+    const int c = q.class_of(p);
+    const Point2 center = q.center(c);
+    // p and its cell center differ by at most the half-diagonal.
+    EXPECT_LE(distance(p, center), 3.0 * std::sqrt(2.0) / 2.0 + 1e-9);
+  }
+}
+
+TEST(GridQuantizer, DataCentroidTighterOrEqualOnAverage) {
+  Rng rng(304);
+  const auto pts = random_cloud(400, 30.0, rng);
+  GridQuantizer q;
+  q.fit(pts, 4.0);
+  double center_err = 0.0, centroid_err = 0.0;
+  for (const auto& p : pts) {
+    const int c = q.class_of(p);
+    center_err += distance(p, q.center(c));
+    centroid_err += distance(p, q.data_centroid(c));
+  }
+  EXPECT_LE(centroid_err, center_err + 1e-9);
+}
+
+TEST(GridQuantizer, NearestClassForOutOfDistribution) {
+  std::vector<Point2> pts{{0, 0}, {0.1, 0.1}, {10, 10}};
+  GridQuantizer q;
+  q.fit(pts, 1.0);
+  // A far query still decodes to some valid class (the closest).
+  const int c = q.nearest_class({10.4, 10.4});
+  EXPECT_GE(c, 0);
+  EXPECT_LT(distance(q.center(c), {10.5, 10.5}), 1.5);
+}
+
+TEST(GridQuantizer, NeighborClassesAreAdjacent) {
+  std::vector<Point2> pts;
+  for (int x = 0; x < 5; ++x)
+    for (int y = 0; y < 5; ++y) pts.push_back({x + 0.5, y + 0.5});
+  GridQuantizer q;
+  q.fit(pts, 1.0);
+  ASSERT_EQ(q.num_classes(), 25u);
+  const auto nbs = q.neighbor_classes({2.5, 2.5}, 1);
+  EXPECT_EQ(nbs.size(), 8u);  // full 8-neighborhood occupied
+  const int own = q.class_of({2.5, 2.5});
+  for (int nb : nbs) {
+    EXPECT_NE(nb, own);
+    EXPECT_LE(distance(q.center(nb), q.center(own)), std::sqrt(2.0) + 1e-9);
+  }
+}
+
+TEST(GridQuantizer, ResidualBounded) {
+  Rng rng(305);
+  const auto pts = random_cloud(200, 25.0, rng);
+  GridQuantizer q;
+  q.fit(pts, 2.5);
+  for (const auto& p : pts) {
+    EXPECT_LE(q.residual(p), 2.5 * std::sqrt(2.0) / 2.0 + 1e-9);
+  }
+}
+
+TEST(MultiResolution, CoarseHasFewerClasses) {
+  Rng rng(306);
+  const auto pts = random_cloud(800, 60.0, rng);
+  MultiResolutionQuantizer mr;
+  mr.fit(pts, 2.0, 10.0);
+  EXPECT_GT(mr.fine().num_classes(), mr.coarse().num_classes());
+}
+
+TEST(MultiResolution, FineCellMapsIntoSingleCoarseCellMostly) {
+  // With aligned origins a fine cell is contained in one coarse cell when
+  // l is a multiple of tau; here we just verify centers map consistently.
+  Rng rng(307);
+  const auto pts = random_cloud(500, 40.0, rng);
+  MultiResolutionQuantizer mr;
+  mr.fit(pts, 2.0, 8.0);
+  for (const auto& p : pts) {
+    const int fine = mr.fine().class_of(p);
+    const int coarse = mr.coarse().class_of(p);
+    ASSERT_GE(fine, 0);
+    ASSERT_GE(coarse, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: decode error <= tau * sqrt(2)/2 for every tau.
+// ---------------------------------------------------------------------------
+
+class GridTauProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(GridTauProperty, DecodeErrorBoundedByHalfDiagonal) {
+  const double tau = GetParam();
+  Rng rng(static_cast<std::uint64_t>(tau * 1000) + 7);
+  const auto pts = random_cloud(300, 80.0, rng);
+  GridQuantizer q;
+  q.fit(pts, tau);
+  const double bound = tau * std::sqrt(2.0) / 2.0 + 1e-9;
+  for (const auto& p : pts) {
+    const int c = q.class_of(p);
+    ASSERT_GE(c, 0);
+    EXPECT_LE(distance(p, q.center(c)), bound);
+  }
+}
+
+TEST_P(GridTauProperty, ClassCountShrinksWithTau) {
+  const double tau = GetParam();
+  Rng rng(99);
+  const auto pts = random_cloud(500, 80.0, rng);
+  GridQuantizer fine_q, coarse_q;
+  fine_q.fit(pts, tau);
+  coarse_q.fit(pts, tau * 2.0);
+  EXPECT_GE(fine_q.num_classes(), coarse_q.num_classes());
+}
+
+INSTANTIATE_TEST_SUITE_P(TauSweep, GridTauProperty,
+                         ::testing::Values(0.2, 0.4, 1.0, 2.0, 4.0, 8.0));
+
+}  // namespace
+}  // namespace noble::geo

@@ -1,0 +1,200 @@
+// Tests for matrices, GEMM kernels, solvers and distances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/distance.h"
+#include "linalg/matrix.h"
+#include "linalg/ops.h"
+#include "linalg/solve.h"
+
+namespace noble::linalg {
+namespace {
+
+Mat random_mat(std::size_t r, std::size_t c, Rng& rng) {
+  Mat m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = static_cast<float>(rng.normal());
+  return m;
+}
+
+TEST(Matrix, InitializerListAndAccess) {
+  Mat m{{1.0f, 2.0f}, {3.0f, 4.0f}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_FLOAT_EQ(m(0, 1), 2.0f);
+  m(1, 0) = 7.0f;
+  EXPECT_FLOAT_EQ(m(1, 0), 7.0f);
+}
+
+TEST(Matrix, TransposedIsInvolutive) {
+  Rng rng(3);
+  const Mat m = random_mat(4, 7, rng);
+  EXPECT_EQ(m.transposed().transposed(), m);
+}
+
+TEST(Matrix, IdentityDiagonal) {
+  const Mat i3 = Mat::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_FLOAT_EQ(i3(r, c), r == c ? 1.0f : 0.0f);
+}
+
+TEST(Ops, GemmSmallKnown) {
+  const Mat a{{1.0f, 2.0f}, {3.0f, 4.0f}};
+  const Mat b{{5.0f, 6.0f}, {7.0f, 8.0f}};
+  Mat c;
+  gemm(a, b, c);
+  EXPECT_FLOAT_EQ(c(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 50.0f);
+}
+
+TEST(Ops, GemmIdentityIsNoop) {
+  Rng rng(5);
+  const Mat a = random_mat(6, 6, rng);
+  Mat c;
+  gemm(a, Mat::identity(6), c);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(c.data()[i], a.data()[i], 1e-5f);
+}
+
+TEST(Ops, GemmTnMatchesExplicitTranspose) {
+  Rng rng(7);
+  const Mat a = random_mat(5, 3, rng);
+  const Mat b = random_mat(5, 4, rng);
+  Mat expect, got;
+  gemm(a.transposed(), b, expect);
+  gemm_tn(a, b, got);
+  ASSERT_EQ(got.rows(), expect.rows());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_NEAR(got.data()[i], expect.data()[i], 1e-4f);
+}
+
+TEST(Ops, GemmNtMatchesExplicitTranspose) {
+  Rng rng(9);
+  const Mat a = random_mat(5, 3, rng);
+  const Mat b = random_mat(4, 3, rng);
+  Mat expect, got;
+  gemm(a, b.transposed(), expect);
+  gemm_nt(a, b, got);
+  ASSERT_EQ(got.cols(), expect.cols());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_NEAR(got.data()[i], expect.data()[i], 1e-4f);
+}
+
+TEST(Ops, GemvMatchesGemm) {
+  Rng rng(11);
+  const Mat a = random_mat(6, 4, rng);
+  const Mat x_col = random_mat(4, 1, rng);
+  std::vector<float> x(4);
+  for (std::size_t i = 0; i < 4; ++i) x[i] = x_col(i, 0);
+  Mat expect;
+  gemm(a, x_col, expect);
+  std::vector<float> y;
+  gemv(a, x, y);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(y[i], expect(i, 0), 1e-5f);
+}
+
+TEST(Ops, ColMeanVar) {
+  Mat m{{1.0f, 10.0f}, {3.0f, 10.0f}};
+  const auto mu = col_mean(m);
+  const auto var = col_var(m);
+  EXPECT_FLOAT_EQ(mu[0], 2.0f);
+  EXPECT_FLOAT_EQ(mu[1], 10.0f);
+  EXPECT_FLOAT_EQ(var[0], 1.0f);
+  EXPECT_FLOAT_EQ(var[1], 0.0f);
+}
+
+TEST(Ops, TakeRows) {
+  Mat m{{0.0f, 1.0f}, {10.0f, 11.0f}, {20.0f, 21.0f}};
+  const Mat sub = take_rows(m, {2, 0});
+  EXPECT_EQ(sub.rows(), 2u);
+  EXPECT_FLOAT_EQ(sub(0, 0), 20.0f);
+  EXPECT_FLOAT_EQ(sub(1, 1), 1.0f);
+}
+
+TEST(Ops, AxpyAndScale) {
+  Mat a{{1.0f, 2.0f}};
+  Mat b{{10.0f, 20.0f}};
+  axpy(2.0f, a, b);
+  EXPECT_FLOAT_EQ(b(0, 0), 12.0f);
+  EXPECT_FLOAT_EQ(b(0, 1), 24.0f);
+  scale(b, 0.5f);
+  EXPECT_FLOAT_EQ(b(0, 0), 6.0f);
+}
+
+TEST(Solve, CholeskySpd) {
+  // A = [[4,2],[2,3]], b = [8, 7] -> x = [1.3..., 1.4...]; verify A x = b.
+  const MatD a{{4.0, 2.0}, {2.0, 3.0}};
+  std::vector<double> x;
+  ASSERT_TRUE(cholesky_solve(a, {8.0, 7.0}, x));
+  EXPECT_NEAR(4.0 * x[0] + 2.0 * x[1], 8.0, 1e-10);
+  EXPECT_NEAR(2.0 * x[0] + 3.0 * x[1], 7.0, 1e-10);
+}
+
+TEST(Solve, CholeskyRejectsIndefinite) {
+  const MatD a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  std::vector<double> x;
+  EXPECT_FALSE(cholesky_solve(a, {1.0, 1.0}, x));
+}
+
+TEST(Solve, LuSolveGeneral) {
+  const MatD a{{0.0, 2.0, 1.0}, {1.0, -2.0, -3.0}, {-1.0, 1.0, 2.0}};
+  std::vector<double> x;
+  ASSERT_TRUE(lu_solve(a, {-8.0, 0.0, 3.0}, x));
+  // Verify residual instead of hard-coding the solution.
+  EXPECT_NEAR(0.0 * x[0] + 2.0 * x[1] + 1.0 * x[2], -8.0, 1e-10);
+  EXPECT_NEAR(1.0 * x[0] - 2.0 * x[1] - 3.0 * x[2], 0.0, 1e-10);
+  EXPECT_NEAR(-1.0 * x[0] + 1.0 * x[1] + 2.0 * x[2], 3.0, 1e-10);
+}
+
+TEST(Solve, LuDetectsSingular) {
+  const MatD a{{1.0, 2.0}, {2.0, 4.0}};
+  std::vector<double> x;
+  EXPECT_FALSE(lu_solve(a, {1.0, 2.0}, x));
+}
+
+TEST(Solve, RegularizedSolveRecoversFromSemidefinite) {
+  const MatD a{{1.0, 1.0}, {1.0, 1.0}};  // singular PSD
+  std::vector<double> x;
+  ASSERT_TRUE(regularized_spd_solve(a, {1.0, 1.0}, 1e-8, 1.0, x));
+  EXPECT_TRUE(std::isfinite(x[0]) && std::isfinite(x[1]));
+}
+
+TEST(Solve, LeastSquaresRecoversLine) {
+  // Fit y = 2x + 1 exactly through three points.
+  const MatD a{{0.0, 1.0}, {1.0, 1.0}, {2.0, 1.0}};
+  std::vector<double> coef;
+  ASSERT_TRUE(least_squares(a, {1.0, 3.0, 5.0}, 1e-10, coef));
+  EXPECT_NEAR(coef[0], 2.0, 1e-5);
+  EXPECT_NEAR(coef[1], 1.0, 1e-5);
+}
+
+TEST(Distance, PairwiseMatchesDirect) {
+  Rng rng(13);
+  const Mat x = random_mat(8, 5, rng);
+  const Mat y = random_mat(6, 5, rng);
+  Mat d;
+  pairwise_sq_dist(x, y, d);
+  ASSERT_EQ(d.rows(), 8u);
+  ASSERT_EQ(d.cols(), 6u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(d(i, j), sq_dist(x.row(i), y.row(j), 5), 1e-3);
+    }
+  }
+}
+
+TEST(Distance, SelfDistanceIsZero) {
+  Rng rng(15);
+  const Mat x = random_mat(5, 4, rng);
+  Mat d;
+  pairwise_sq_dist(x, x, d);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(d(i, i), 0.0f, 1e-4f);
+}
+
+}  // namespace
+}  // namespace noble::linalg

@@ -1,0 +1,129 @@
+// Tests for the symmetric eigensolvers: Jacobi (full) and subspace iteration
+// (extremal eigenpairs), including agreement between the two.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/eigen.h"
+#include "linalg/ops.h"
+
+namespace noble::linalg {
+namespace {
+
+/// Builds a random symmetric matrix with known spectrum Q diag(vals) Q^T.
+MatD symmetric_with_spectrum(const std::vector<double>& vals, Rng& rng) {
+  const std::size_t n = vals.size();
+  // Random orthonormal Q via Gram-Schmidt on a Gaussian matrix.
+  MatD q(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) q(i, j) = rng.normal();
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t p = 0; p < c; ++p) {
+      double proj = 0.0;
+      for (std::size_t i = 0; i < n; ++i) proj += q(i, c) * q(i, p);
+      for (std::size_t i = 0; i < n; ++i) q(i, c) -= proj * q(i, p);
+    }
+    double nrm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) nrm += q(i, c) * q(i, c);
+    nrm = std::sqrt(nrm);
+    for (std::size_t i = 0; i < n; ++i) q(i, c) /= nrm;
+  }
+  MatD a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k) s += q(i, k) * vals[k] * q(j, k);
+      a(i, j) = s;
+    }
+  return a;
+}
+
+Mat to_float(const MatD& a) {
+  Mat out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      out(i, j) = static_cast<float>(a(i, j));
+  return out;
+}
+
+TEST(JacobiEigen, DiagonalMatrix) {
+  const MatD a{{3.0, 0.0}, {0.0, 1.0}};
+  const auto res = jacobi_eigen(a);
+  ASSERT_EQ(res.values.size(), 2u);
+  EXPECT_NEAR(res.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(res.values[1], 1.0, 1e-10);
+}
+
+TEST(JacobiEigen, KnownSpectrumRecovered) {
+  Rng rng(21);
+  const std::vector<double> spectrum{9.0, 4.0, 1.0, 0.5, 0.1};
+  const MatD a = symmetric_with_spectrum(spectrum, rng);
+  const auto res = jacobi_eigen(a);
+  for (std::size_t i = 0; i < spectrum.size(); ++i)
+    EXPECT_NEAR(res.values[i], spectrum[i], 1e-8);
+}
+
+TEST(JacobiEigen, VectorsSatisfyDefinition) {
+  Rng rng(23);
+  const MatD a = symmetric_with_spectrum({5.0, 2.0, -1.0}, rng);
+  const auto res = jacobi_eigen(a);
+  // Check A v = lambda v for each eigenpair.
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      double av = 0.0;
+      for (std::size_t j = 0; j < 3; ++j) av += a(i, j) * res.vectors(j, c);
+      EXPECT_NEAR(av, res.values[c] * res.vectors(i, c), 1e-7);
+    }
+  }
+}
+
+TEST(TopKEigen, MatchesJacobiOnModerateMatrix) {
+  Rng rng(25);
+  std::vector<double> spectrum;
+  for (int i = 0; i < 30; ++i) spectrum.push_back(30.0 - i);
+  const MatD a = symmetric_with_spectrum(spectrum, rng);
+  const Mat af = to_float(a);
+  const auto res = top_k_eigen_symmetric(af, 4, /*seed=*/3);
+  ASSERT_EQ(res.values.size(), 4u);
+  EXPECT_NEAR(res.values[0], 30.0, 1e-2);
+  EXPECT_NEAR(res.values[1], 29.0, 1e-2);
+  EXPECT_NEAR(res.values[2], 28.0, 1e-2);
+  EXPECT_NEAR(res.values[3], 27.0, 1e-2);
+}
+
+TEST(TopKEigen, VectorsAreOrthonormal) {
+  Rng rng(27);
+  std::vector<double> spectrum;
+  for (int i = 0; i < 20; ++i) spectrum.push_back(std::exp(-0.3 * i) * 10.0);
+  const Mat a = to_float(symmetric_with_spectrum(spectrum, rng));
+  const auto res = top_k_eigen_symmetric(a, 3, 5);
+  for (std::size_t c1 = 0; c1 < 3; ++c1) {
+    for (std::size_t c2 = 0; c2 <= c1; ++c2) {
+      double d = 0.0;
+      for (std::size_t i = 0; i < a.rows(); ++i)
+        d += static_cast<double>(res.vectors(i, c1)) * res.vectors(i, c2);
+      EXPECT_NEAR(d, c1 == c2 ? 1.0 : 0.0, 1e-4);
+    }
+  }
+}
+
+TEST(BottomKEigen, FindsSmallest) {
+  Rng rng(29);
+  const std::vector<double> spectrum{10.0, 8.0, 6.0, 4.0, 2.0, 0.5, 0.25};
+  const Mat a = to_float(symmetric_with_spectrum(spectrum, rng));
+  const auto res = bottom_k_eigen_symmetric(a, 2, 7, 600, 1e-9);
+  ASSERT_EQ(res.values.size(), 2u);
+  EXPECT_NEAR(res.values[0], 0.25, 5e-2);
+  EXPECT_NEAR(res.values[1], 0.5, 5e-2);
+}
+
+TEST(Gershgorin, BoundsLargestEigenvalue) {
+  Rng rng(31);
+  const std::vector<double> spectrum{7.0, 3.0, 1.0};
+  const Mat a = to_float(symmetric_with_spectrum(spectrum, rng));
+  EXPECT_GE(gershgorin_upper_bound(a), 7.0 - 1e-5);
+}
+
+}  // namespace
+}  // namespace noble::linalg

@@ -1,0 +1,253 @@
+// Manifold learning tests: kNN exactness, geodesics, MDS recovery of
+// isometric configurations, Isomap unrolling a curved manifold, LLE weight
+// reconstruction and embedding locality.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+#include "linalg/distance.h"
+#include "manifold/geodesic.h"
+#include "manifold/isomap.h"
+#include "manifold/knn.h"
+#include "manifold/lle.h"
+#include "manifold/mds.h"
+
+namespace noble::manifold {
+namespace {
+
+using linalg::Mat;
+
+TEST(Knn, FindsExactNeighborsOnGrid) {
+  // 1-D lattice embedded in 2-D: neighbors of x=5 are 4 and 6.
+  Mat x(11, 2);
+  for (std::size_t i = 0; i < 11; ++i) x(i, 0) = static_cast<float>(i);
+  const auto nbs = knn_search(x, x, 2, /*exclude_self=*/true);
+  EXPECT_EQ(nbs[5][0].index % 2, 0u);  // 4 or 6
+  const std::set<std::size_t> found{nbs[5][0].index, nbs[5][1].index};
+  EXPECT_TRUE(found.count(4) == 1 && found.count(6) == 1);
+  EXPECT_NEAR(nbs[5][0].distance, 1.0, 1e-6);
+}
+
+TEST(Knn, QueryMatchesBatchSearch) {
+  Rng rng(401);
+  Mat refs(50, 4);
+  for (std::size_t i = 0; i < refs.size(); ++i)
+    refs.data()[i] = static_cast<float>(rng.normal());
+  Mat q(1, 4);
+  for (std::size_t i = 0; i < 4; ++i) q(0, i) = static_cast<float>(rng.normal());
+  const auto batch = knn_search(refs, q, 5);
+  const auto single = knn_query(refs, q.row(0), 5);
+  ASSERT_EQ(batch[0].size(), single.size());
+  for (std::size_t i = 0; i < single.size(); ++i) {
+    EXPECT_EQ(batch[0][i].index, single[i].index);
+    EXPECT_NEAR(batch[0][i].distance, single[i].distance, 1e-5);
+  }
+}
+
+TEST(Knn, ExcludeSelfWorks) {
+  Mat x(5, 1);
+  for (std::size_t i = 0; i < 5; ++i) x(i, 0) = static_cast<float>(i);
+  const auto with_self = knn_search(x, x, 1, false);
+  const auto without = knn_search(x, x, 1, true);
+  EXPECT_EQ(with_self[2][0].index, 2u);
+  EXPECT_NE(without[2][0].index, 2u);
+}
+
+TEST(Geodesic, LineGraphDistancesAreCumulative) {
+  // Points on a line, k=2: geodesic between ends = straight distance.
+  Mat x(10, 1);
+  for (std::size_t i = 0; i < 10; ++i) x(i, 0) = static_cast<float>(i);
+  const auto g = build_knn_graph(x, 2);
+  const auto d = dijkstra(g, 0);
+  EXPECT_NEAR(d[9], 9.0, 1e-5);
+  EXPECT_NEAR(d[5], 5.0, 1e-5);
+}
+
+TEST(Geodesic, CurvedManifoldGeodesicExceedsEuclidean) {
+  // Points on a semicircle: geodesic (arc) > chord.
+  const std::size_t n = 60;
+  Mat x(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = std::numbers::pi * static_cast<double>(i) / (n - 1);
+    x(i, 0) = static_cast<float>(std::cos(t));
+    x(i, 1) = static_cast<float>(std::sin(t));
+  }
+  const auto g = build_knn_graph(x, 3);
+  const auto d = dijkstra(g, 0);
+  const double chord = 2.0;               // diameter
+  const double arc = std::numbers::pi;    // half circumference
+  EXPECT_GT(d[n - 1], chord + 0.5);
+  EXPECT_NEAR(d[n - 1], arc, 0.15);
+}
+
+TEST(Geodesic, DisconnectedComponentsArePatched) {
+  // Two distant clusters with k=1: disconnected graph.
+  Mat x(6, 1);
+  for (std::size_t i = 0; i < 3; ++i) x(i, 0) = static_cast<float>(i) * 0.1f;
+  for (std::size_t i = 3; i < 6; ++i) x(i, 0) = 100.0f + static_cast<float>(i) * 0.1f;
+  const auto g = build_knn_graph(x, 1);
+  const auto d = geodesic_distance_matrix(g, 1.5);
+  // All entries finite and the cross-cluster entries are the patched max.
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j) EXPECT_TRUE(std::isfinite(d(i, j)));
+  EXPECT_GT(d(0, 5), d(0, 2));
+}
+
+TEST(Mds, RecoversPlanarConfigurationDistances) {
+  // Distances from a known 2-D configuration must be reproduced by a 2-D
+  // classical MDS embedding (up to rigid motion — compare distances).
+  Rng rng(403);
+  const std::size_t n = 40;
+  Mat pts(n, 2);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    pts.data()[i] = static_cast<float>(rng.uniform(0.0, 10.0));
+  Mat d;
+  linalg::pairwise_dist(pts, pts, d);
+  const auto res = classical_mds(d, 2);
+  Mat d2;
+  linalg::pairwise_dist(res.embedding, res.embedding, d2);
+  for (std::size_t i = 0; i < n; i += 5) {
+    for (std::size_t j = 0; j < n; j += 7) {
+      EXPECT_NEAR(d2(i, j), d(i, j), 0.05 * (1.0 + d(i, j)));
+    }
+  }
+}
+
+TEST(Mds, EigenvaluesOfPlanarDataAreTwoDominant) {
+  Rng rng(405);
+  const std::size_t n = 30;
+  Mat pts(n, 2);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    pts.data()[i] = static_cast<float>(rng.uniform(0.0, 10.0));
+  Mat d;
+  linalg::pairwise_dist(pts, pts, d);
+  const auto res = classical_mds(d, 4);
+  // 3rd/4th eigenvalues are ~0 for truly planar data.
+  EXPECT_LT(std::fabs(res.eigenvalues[2]), 0.02 * res.eigenvalues[0]);
+}
+
+TEST(Mds, OutOfSampleEmbedsTrainingPointConsistently) {
+  Rng rng(407);
+  const std::size_t n = 35;
+  Mat pts(n, 2);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    pts.data()[i] = static_cast<float>(rng.uniform(0.0, 5.0));
+  Mat d;
+  linalg::pairwise_dist(pts, pts, d);
+  const auto res = classical_mds(d, 2);
+  // Re-embed training point 3 via the Nystrom formula: must match row 3.
+  std::vector<double> sq(n);
+  for (std::size_t i = 0; i < n; ++i)
+    sq[i] = static_cast<double>(d(3, i)) * d(3, i);
+  const auto y = mds_out_of_sample(res, sq);
+  EXPECT_NEAR(y[0], res.embedding(3, 0), 0.05);
+  EXPECT_NEAR(y[1], res.embedding(3, 1), 0.05);
+}
+
+/// S-curve sampled along arclength: 1-D manifold in 2-D.
+Mat make_s_curve(std::size_t n) {
+  Mat x(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = 3.0 * std::numbers::pi * static_cast<double>(i) / (n - 1);
+    x(i, 0) = static_cast<float>(std::sin(t));
+    x(i, 1) = static_cast<float>(t * 0.3);
+  }
+  return x;
+}
+
+TEST(Isomap, UnrollsCurveMonotonically) {
+  const std::size_t n = 120;
+  const Mat x = make_s_curve(n);
+  Isomap iso(1, 4);
+  iso.fit(x);
+  const Mat& e = iso.train_embedding();
+  // The 1-D embedding must be monotone along the curve (up to global sign).
+  double sign = e(1, 0) > e(0, 0) ? 1.0 : -1.0;
+  std::size_t violations = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (sign * (e(i, 0) - e(i - 1, 0)) <= 0.0) ++violations;
+  }
+  EXPECT_LT(violations, n / 20);
+}
+
+TEST(Isomap, TransformPlacesQueriesNearTrainNeighbors) {
+  const Mat x = make_s_curve(100);
+  Isomap iso(1, 4);
+  iso.fit(x);
+  // Query = midpoint of points 40 and 41: embedding must land between their
+  // embeddings (within slack).
+  Mat q(1, 2);
+  q(0, 0) = 0.5f * (x(40, 0) + x(41, 0));
+  q(0, 1) = 0.5f * (x(40, 1) + x(41, 1));
+  const Mat e = iso.transform(q);
+  const float lo = std::min(iso.train_embedding()(40, 0), iso.train_embedding()(41, 0));
+  const float hi = std::max(iso.train_embedding()(40, 0), iso.train_embedding()(41, 0));
+  const float slack = 2.0f * (hi - lo) + 0.5f;
+  EXPECT_GT(e(0, 0), lo - slack);
+  EXPECT_LT(e(0, 0), hi + slack);
+}
+
+TEST(Lle, WeightsReconstructInteriorPoints) {
+  // On a dense line, each interior point is the average of its two
+  // neighbors: weights must reconstruct it (near) exactly.
+  const std::size_t n = 50;
+  Mat x(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = static_cast<float>(i);
+    x(i, 1) = static_cast<float>(2.0 * i);
+  }
+  Lle lle(1, 2);
+  lle.fit(x);
+  const Mat& e = lle.train_embedding();
+  // Embedding must order points along the line (monotone up to sign).
+  double sign = e(1, 0) > e(0, 0) ? 1.0 : -1.0;
+  std::size_t violations = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (sign * (e(i, 0) - e(i - 1, 0)) <= 0.0) ++violations;
+  }
+  EXPECT_LT(violations, n / 10);
+}
+
+TEST(Lle, OutOfSampleNearTrainingNeighbors) {
+  const std::size_t n = 60;
+  Mat x(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = static_cast<float>(i);
+    x(i, 1) = 0.0f;
+  }
+  Lle lle(1, 3);
+  lle.fit(x);
+  Mat q(1, 2);
+  q(0, 0) = 30.5f;
+  q(0, 1) = 0.0f;
+  const Mat e = lle.transform(q);
+  const float a = lle.train_embedding()(30, 0);
+  const float b = lle.train_embedding()(31, 0);
+  const float lo = std::min(a, b), hi = std::max(a, b);
+  EXPECT_GT(e(0, 0), lo - 0.5f * (hi - lo) - 1e-3f);
+  EXPECT_LT(e(0, 0), hi + 0.5f * (hi - lo) + 1e-3f);
+}
+
+TEST(Lle, EmbeddingIsCentered) {
+  Rng rng(409);
+  Mat x(80, 3);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x.data()[i] = static_cast<float>(rng.normal());
+  Lle lle(2, 6);
+  lle.fit(x);
+  const Mat& e = lle.train_embedding();
+  // Bottom eigenvectors are orthogonal to the constant vector -> near-zero
+  // column means.
+  double m0 = 0.0, m1 = 0.0;
+  for (std::size_t i = 0; i < e.rows(); ++i) {
+    m0 += e(i, 0);
+    m1 += e(i, 1);
+  }
+  EXPECT_NEAR(m0 / static_cast<double>(e.rows()), 0.0, 0.05);
+  EXPECT_NEAR(m1 / static_cast<double>(e.rows()), 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace noble::manifold

@@ -1,0 +1,164 @@
+// Parameterized property tests for the manifold substrate: invariants that
+// must hold across neighborhood sizes and embedding dimensions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+#include "linalg/distance.h"
+#include "manifold/geodesic.h"
+#include "manifold/isomap.h"
+#include "manifold/lle.h"
+#include "manifold/mds.h"
+
+namespace noble::manifold {
+namespace {
+
+using linalg::Mat;
+
+Mat make_arc(std::size_t n, double turns) {
+  Mat x(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = turns * std::numbers::pi * static_cast<double>(i) / (n - 1);
+    x(i, 0) = static_cast<float>(std::cos(t));
+    x(i, 1) = static_cast<float>(std::sin(t));
+  }
+  return x;
+}
+
+// ---------------------------------------------------------------------------
+// kNN-graph sweep: geodesics are symmetric, satisfy the triangle inequality
+// on samples, and dominate Euclidean distances for every k.
+// ---------------------------------------------------------------------------
+
+class GeodesicProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GeodesicProperty, SymmetricAndDominatesEuclidean) {
+  const std::size_t k = GetParam();
+  const Mat x = make_arc(60, 1.0);
+  const auto graph = build_knn_graph(x, k);
+  const Mat geo = geodesic_distance_matrix(graph);
+  Mat euclid;
+  linalg::pairwise_dist(x, x, euclid);
+  for (std::size_t i = 0; i < x.rows(); i += 7) {
+    for (std::size_t j = 0; j < x.rows(); j += 5) {
+      EXPECT_NEAR(geo(i, j), geo(j, i), 1e-3f);
+      // Tolerance covers the float roundoff of the GEMM-expansion distance
+      // (||x||^2 + ||y||^2 - 2<x,y> cancels catastrophically near zero).
+      EXPECT_GE(geo(i, j) + 2e-3f, euclid(i, j));
+    }
+  }
+}
+
+TEST_P(GeodesicProperty, TriangleInequalityOnSamples) {
+  const std::size_t k = GetParam();
+  Rng rng(801);
+  Mat x(40, 3);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x.data()[i] = static_cast<float>(rng.normal());
+  const auto graph = build_knn_graph(x, k);
+  const Mat geo = geodesic_distance_matrix(graph);
+  for (std::size_t a = 0; a < 40; a += 9) {
+    for (std::size_t b = 0; b < 40; b += 7) {
+      for (std::size_t c = 0; c < 40; c += 11) {
+        EXPECT_LE(geo(a, c), geo(a, b) + geo(b, c) + 1e-3f);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NeighborhoodSizes, GeodesicProperty,
+                         ::testing::Values(std::size_t{2}, std::size_t{4},
+                                           std::size_t{8}));
+
+// ---------------------------------------------------------------------------
+// MDS dimension sweep: embedding at dimension d reproduces distances at
+// least as well as d-1 (stress is monotone in d).
+// ---------------------------------------------------------------------------
+
+class MdsDimProperty : public ::testing::TestWithParam<std::size_t> {};
+
+double mds_stress(const Mat& d_orig, const Mat& embedding) {
+  Mat d_emb;
+  linalg::pairwise_dist(embedding, embedding, d_emb);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < d_orig.rows(); ++i) {
+    for (std::size_t j = 0; j < d_orig.cols(); ++j) {
+      const double diff = static_cast<double>(d_orig(i, j)) - d_emb(i, j);
+      num += diff * diff;
+      den += static_cast<double>(d_orig(i, j)) * d_orig(i, j);
+    }
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+TEST_P(MdsDimProperty, StressDecreasesWithDimension) {
+  const std::size_t dim = GetParam();
+  Rng rng(803);
+  Mat pts(50, 4);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    pts.data()[i] = static_cast<float>(rng.uniform(0.0, 5.0));
+  Mat d;
+  linalg::pairwise_dist(pts, pts, d);
+  const auto lo = classical_mds(d, dim);
+  const auto hi = classical_mds(d, dim + 1);
+  EXPECT_LE(mds_stress(d, hi.embedding), mds_stress(d, lo.embedding) + 1e-6);
+}
+
+TEST_P(MdsDimProperty, EigenvaluesDescending) {
+  const std::size_t dim = GetParam();
+  Rng rng(805);
+  Mat pts(40, 5);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    pts.data()[i] = static_cast<float>(rng.normal());
+  Mat d;
+  linalg::pairwise_dist(pts, pts, d);
+  const auto res = classical_mds(d, dim);
+  for (std::size_t k = 1; k < res.eigenvalues.size(); ++k) {
+    EXPECT_GE(res.eigenvalues[k - 1], res.eigenvalues[k] - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, MdsDimProperty,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{3}));
+
+// ---------------------------------------------------------------------------
+// Isomap/LLE k-sweep: the 1-D embedding of a curve stays near-monotone for
+// reasonable neighborhood sizes.
+// ---------------------------------------------------------------------------
+
+class CurveUnrollProperty : public ::testing::TestWithParam<std::size_t> {};
+
+std::size_t monotonicity_violations(const Mat& e) {
+  const double sign = e(1, 0) > e(0, 0) ? 1.0 : -1.0;
+  std::size_t violations = 0;
+  for (std::size_t i = 1; i < e.rows(); ++i) {
+    if (sign * (e(i, 0) - e(i - 1, 0)) <= 0.0) ++violations;
+  }
+  return violations;
+}
+
+TEST_P(CurveUnrollProperty, IsomapNearMonotone) {
+  const std::size_t k = GetParam();
+  const Mat x = make_arc(90, 1.5);
+  Isomap iso(1, k);
+  iso.fit(x);
+  EXPECT_LT(monotonicity_violations(iso.train_embedding()), 90u / 15u);
+}
+
+TEST_P(CurveUnrollProperty, LleNearMonotone) {
+  const std::size_t k = GetParam();
+  const Mat x = make_arc(90, 1.5);
+  Lle lle(1, k);
+  lle.fit(x);
+  EXPECT_LT(monotonicity_violations(lle.train_embedding()), 90u / 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(NeighborhoodSizes, CurveUnrollProperty,
+                         ::testing::Values(std::size_t{3}, std::size_t{4},
+                                           std::size_t{6}));
+
+}  // namespace
+}  // namespace noble::manifold

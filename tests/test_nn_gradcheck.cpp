@@ -1,0 +1,212 @@
+// Central-difference gradient checks for every layer and loss: the backbone
+// guarantee that the from-scratch backprop is correct.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "nn/network.h"
+
+namespace noble::nn {
+namespace {
+
+using linalg::Mat;
+
+Mat random_mat(std::size_t r, std::size_t c, Rng& rng, double scale = 1.0) {
+  Mat m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = static_cast<float>(rng.normal() * scale);
+  return m;
+}
+
+/// Scalar objective: sum of elementwise-weighted layer output, so that
+/// dL/dy is a fixed weight matrix.
+double layer_objective(Layer& layer, const Mat& x, const Mat& weights) {
+  Mat y;
+  layer.forward(x, y, /*training=*/true);
+  double s = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    s += static_cast<double>(y.data()[i]) * weights.data()[i];
+  return s;
+}
+
+/// Checks analytic input and parameter gradients of a layer against central
+/// differences. `weights` defines the objective; `eps` is the probe step.
+void check_layer_gradients(Layer& layer, Mat x, const Mat& weights, double eps = 1e-3,
+                           double tol = 2e-2) {
+  // Analytic gradients.
+  Mat y;
+  layer.forward(x, y, /*training=*/true);
+  ASSERT_EQ(y.rows(), weights.rows());
+  ASSERT_EQ(y.cols(), weights.cols());
+  layer.zero_grads();
+  Mat dx;
+  layer.backward(x, weights, dx);
+
+  // Input gradient check.
+  for (std::size_t i = 0; i < x.size(); i += std::max<std::size_t>(1, x.size() / 23)) {
+    const float orig = x.data()[i];
+    x.data()[i] = orig + static_cast<float>(eps);
+    const double up = layer_objective(layer, x, weights);
+    x.data()[i] = orig - static_cast<float>(eps);
+    const double down = layer_objective(layer, x, weights);
+    x.data()[i] = orig;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(dx.data()[i], numeric, tol * std::max(1.0, std::fabs(numeric)))
+        << "input grad mismatch at flat index " << i;
+  }
+
+  // Parameter gradient check (restore forward cache first).
+  layer.forward(x, y, /*training=*/true);
+  layer.zero_grads();
+  layer.backward(x, weights, dx);
+  auto params = layer.params();
+  auto grads = layer.grads();
+  ASSERT_EQ(params.size(), grads.size());
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    Mat& w = *params[p];
+    const Mat& g = *grads[p];
+    for (std::size_t i = 0; i < w.size(); i += std::max<std::size_t>(1, w.size() / 17)) {
+      const float orig = w.data()[i];
+      w.data()[i] = orig + static_cast<float>(eps);
+      const double up = layer_objective(layer, x, weights);
+      w.data()[i] = orig - static_cast<float>(eps);
+      const double down = layer_objective(layer, x, weights);
+      w.data()[i] = orig;
+      const double numeric = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(g.data()[i], numeric, tol * std::max(1.0, std::fabs(numeric)))
+          << "param " << p << " grad mismatch at flat index " << i;
+    }
+  }
+}
+
+TEST(GradCheck, Dense) {
+  Rng rng(101);
+  Dense layer(7, 5, rng);
+  check_layer_gradients(layer, random_mat(6, 7, rng), random_mat(6, 5, rng));
+}
+
+TEST(GradCheck, TimeDistributedDense) {
+  Rng rng(103);
+  TimeDistributedDense layer(4, 6, 3, rng);  // 4 segments of dim 6 -> 3
+  check_layer_gradients(layer, random_mat(5, 24, rng), random_mat(5, 12, rng));
+}
+
+TEST(GradCheck, Tanh) {
+  Rng rng(105);
+  Tanh layer;
+  check_layer_gradients(layer, random_mat(4, 9, rng), random_mat(4, 9, rng));
+}
+
+TEST(GradCheck, Relu) {
+  Rng rng(107);
+  Relu layer;
+  // Keep activations away from the kink at 0 for finite differences.
+  Mat x = random_mat(4, 9, rng);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::fabs(x.data()[i]) < 0.05f) x.data()[i] = 0.3f;
+  }
+  check_layer_gradients(layer, x, random_mat(4, 9, rng));
+}
+
+TEST(GradCheck, Sigmoid) {
+  Rng rng(109);
+  Sigmoid layer;
+  check_layer_gradients(layer, random_mat(4, 9, rng), random_mat(4, 9, rng));
+}
+
+TEST(GradCheck, BatchNorm) {
+  Rng rng(111);
+  BatchNorm1d layer(6, /*momentum=*/0.9f);
+  check_layer_gradients(layer, random_mat(8, 6, rng, 2.0), random_mat(8, 6, rng));
+}
+
+/// Loss gradient check against central differences.
+void check_loss_gradients(const Loss& loss, Mat pred, const Mat& target,
+                          double eps = 1e-3, double tol = 2e-2) {
+  Mat grad;
+  loss.compute(pred, target, grad);
+  for (std::size_t i = 0; i < pred.size();
+       i += std::max<std::size_t>(1, pred.size() / 29)) {
+    const float orig = pred.data()[i];
+    Mat tmp;
+    pred.data()[i] = orig + static_cast<float>(eps);
+    const double up = loss.compute(pred, target, tmp);
+    pred.data()[i] = orig - static_cast<float>(eps);
+    const double down = loss.compute(pred, target, tmp);
+    pred.data()[i] = orig;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(grad.data()[i], numeric, tol * std::max(0.05, std::fabs(numeric)))
+        << "loss grad mismatch at flat index " << i;
+  }
+}
+
+TEST(GradCheck, MseLoss) {
+  Rng rng(113);
+  check_loss_gradients(MseLoss{}, random_mat(5, 3, rng), random_mat(5, 3, rng));
+}
+
+TEST(GradCheck, BceWithLogits) {
+  Rng rng(115);
+  Mat target(5, 7);
+  for (std::size_t i = 0; i < target.size(); ++i)
+    target.data()[i] = rng.bernoulli(0.3) ? 1.0f : 0.0f;
+  check_loss_gradients(BceWithLogitsLoss{}, random_mat(5, 7, rng), target);
+}
+
+TEST(GradCheck, BceWithLogitsPositiveWeight) {
+  Rng rng(117);
+  Mat target(4, 6);
+  for (std::size_t i = 0; i < target.size(); ++i)
+    target.data()[i] = rng.bernoulli(0.25) ? 1.0f : 0.0f;
+  check_loss_gradients(BceWithLogitsLoss{5.0}, random_mat(4, 6, rng), target);
+}
+
+TEST(GradCheck, SoftmaxCrossEntropy) {
+  Rng rng(119);
+  Mat target(5, 4);
+  for (std::size_t i = 0; i < 5; ++i)
+    target(i, static_cast<std::size_t>(rng.uniform_int(0, 3))) = 1.0f;
+  check_loss_gradients(SoftmaxCrossEntropyLoss{}, random_mat(5, 4, rng), target);
+}
+
+TEST(GradCheck, TwoLayerNetworkEndToEnd) {
+  // Full end-to-end: d(loss)/d(first-layer weights) via the Sequential.
+  Rng rng(121);
+  Sequential net;
+  auto& d1 = net.emplace<Dense>(5, 4, rng);
+  net.emplace<Tanh>();
+  net.emplace<Dense>(4, 3, rng);
+  const Mat x = random_mat(6, 5, rng);
+  Mat target = random_mat(6, 3, rng);
+  const MseLoss loss;
+
+  const Mat& pred = net.forward(x, true);
+  Mat grad, dx;
+  loss.compute(pred, target, grad);
+  net.zero_grads();
+  net.backward(grad, dx);
+  const Mat analytic = *d1.grads()[0];
+
+  const double eps = 1e-3;
+  Mat& w = d1.weights();
+  for (std::size_t i = 0; i < w.size(); i += 3) {
+    const float orig = w.data()[i];
+    Mat tmp;
+    w.data()[i] = orig + static_cast<float>(eps);
+    const double up = loss.compute(net.forward(x, true), target, tmp);
+    w.data()[i] = orig - static_cast<float>(eps);
+    const double down = loss.compute(net.forward(x, true), target, tmp);
+    w.data()[i] = orig;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic.data()[i], numeric, 2e-2 * std::max(0.05, std::fabs(numeric)));
+  }
+}
+
+}  // namespace
+}  // namespace noble::nn

@@ -1,0 +1,343 @@
+// Behavioral tests of layers, optimizers, serialization and the trainer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "common/rng.h"
+#include "linalg/ops.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/init.h"
+#include "nn/loss.h"
+#include "nn/network.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "nn/trainer.h"
+
+namespace noble::nn {
+namespace {
+
+using linalg::Mat;
+
+Mat random_mat(std::size_t r, std::size_t c, Rng& rng) {
+  Mat m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = static_cast<float>(rng.normal());
+  return m;
+}
+
+TEST(Init, XavierUniformBounds) {
+  Rng rng(200);
+  Mat w(64, 32);
+  xavier_uniform(w, 64, 32, rng);
+  const double bound = std::sqrt(6.0 / (64 + 32));
+  float min_v = 0.0f, max_v = 0.0f;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    min_v = std::min(min_v, w.data()[i]);
+    max_v = std::max(max_v, w.data()[i]);
+  }
+  EXPECT_GE(min_v, -bound - 1e-6);
+  EXPECT_LE(max_v, bound + 1e-6);
+  EXPECT_LT(min_v, -bound * 0.5);  // actually spreads out
+  EXPECT_GT(max_v, bound * 0.5);
+}
+
+TEST(Init, XavierNormalVariance) {
+  Rng rng(201);
+  Mat w(128, 128);
+  xavier_normal(w, 128, 128, rng);
+  double sum = 0.0, sq = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    sum += w.data()[i];
+    sq += static_cast<double>(w.data()[i]) * w.data()[i];
+  }
+  const double n = static_cast<double>(w.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sq / n, 2.0 / 256.0, 0.002);
+}
+
+TEST(Dense, ForwardAffine) {
+  Rng rng(202);
+  Dense layer(2, 2, rng);
+  // Overwrite weights with a known affine map.
+  layer.weights() = Mat{{1.0f, 2.0f}, {3.0f, 4.0f}};
+  Mat y;
+  const Mat x{{1.0f, 1.0f}};
+  layer.forward(x, y, false);
+  EXPECT_FLOAT_EQ(y(0, 0), 4.0f);  // 1*1 + 1*3 + bias 0
+  EXPECT_FLOAT_EQ(y(0, 1), 6.0f);
+}
+
+TEST(TimeDistributedDense, SharesWeightsAcrossSegments) {
+  Rng rng(203);
+  TimeDistributedDense layer(3, 2, 2, rng);
+  // Same sub-vector in each segment must produce the same sub-output.
+  Mat x(1, 6);
+  x(0, 0) = 0.5f;
+  x(0, 1) = -1.0f;
+  x(0, 2) = 0.5f;
+  x(0, 3) = -1.0f;
+  x(0, 4) = 0.5f;
+  x(0, 5) = -1.0f;
+  Mat y;
+  layer.forward(x, y, false);
+  ASSERT_EQ(y.cols(), 6u);
+  EXPECT_FLOAT_EQ(y(0, 0), y(0, 2));
+  EXPECT_FLOAT_EQ(y(0, 0), y(0, 4));
+  EXPECT_FLOAT_EQ(y(0, 1), y(0, 3));
+  EXPECT_FLOAT_EQ(y(0, 1), y(0, 5));
+}
+
+TEST(Activations, TanhRange) {
+  Rng rng(204);
+  Tanh layer;
+  Mat y;
+  layer.forward(random_mat(4, 8, rng), y, false);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_GT(y.data()[i], -1.0f);
+    EXPECT_LT(y.data()[i], 1.0f);
+  }
+}
+
+TEST(Activations, ReluClamps) {
+  Relu layer;
+  Mat y;
+  layer.forward(Mat{{-1.0f, 0.0f, 2.0f}}, y, false);
+  EXPECT_FLOAT_EQ(y(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(y(0, 2), 2.0f);
+}
+
+TEST(Activations, SigmoidMidpoint) {
+  Sigmoid layer;
+  Mat y;
+  layer.forward(Mat{{0.0f}}, y, false);
+  EXPECT_NEAR(y(0, 0), 0.5f, 1e-6f);
+}
+
+TEST(BatchNorm, NormalizesTrainingBatch) {
+  Rng rng(205);
+  BatchNorm1d layer(3);
+  Mat x = random_mat(64, 3, rng);
+  // Shift/scale columns to be far from standard.
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    x(i, 0) = x(i, 0) * 5.0f + 10.0f;
+    x(i, 1) = x(i, 1) * 0.1f - 3.0f;
+  }
+  Mat y;
+  layer.forward(x, y, /*training=*/true);
+  const auto mu = linalg::col_mean(y);
+  const auto var = linalg::col_var(y);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(mu[j], 0.0f, 1e-4f);
+    EXPECT_NEAR(var[j], 1.0f, 1e-2f);
+  }
+}
+
+TEST(BatchNorm, InferenceUsesRunningStats) {
+  Rng rng(206);
+  BatchNorm1d layer(2);
+  // Train on many batches with mean ~ 4.
+  for (int it = 0; it < 200; ++it) {
+    Mat x = random_mat(32, 2, rng);
+    for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] += 4.0f;
+    Mat y;
+    layer.forward(x, y, true);
+  }
+  // At inference a batch at the training mean maps near zero.
+  Mat x(4, 2, 4.0f);
+  Mat y;
+  layer.forward(x, y, false);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y.data()[i], 0.0f, 0.3f);
+}
+
+TEST(Dropout, InferenceIsIdentity) {
+  Rng rng(207);
+  Dropout layer(0.5, 99);
+  const Mat x = random_mat(3, 5, rng);
+  Mat y;
+  layer.forward(x, y, /*training=*/false);
+  EXPECT_EQ(x, y);
+}
+
+TEST(Dropout, TrainingZeroesApproxRate) {
+  Rng rng(208);
+  Dropout layer(0.4, 99);
+  const Mat x(10, 100, 1.0f);
+  Mat y;
+  layer.forward(x, y, /*training=*/true);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y.data()[i] == 0.0f) ++zeros;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(y.size()), 0.4, 0.05);
+}
+
+TEST(Optimizer, SgdReducesQuadratic) {
+  // Minimize ||w||^2 with SGD: gradient 2w.
+  Mat w{{1.0f, -2.0f, 3.0f}};
+  Mat g(1, 3);
+  Sgd opt(0.1, 0.0);
+  for (int it = 0; it < 100; ++it) {
+    for (std::size_t i = 0; i < 3; ++i) g.data()[i] = 2.0f * w.data()[i];
+    opt.step({&w}, {&g});
+  }
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(w.data()[i], 0.0f, 1e-3f);
+}
+
+TEST(Optimizer, AdamReducesQuadratic) {
+  Mat w{{1.0f, -2.0f, 3.0f}};
+  Mat g(1, 3);
+  Adam opt(0.05);
+  for (int it = 0; it < 400; ++it) {
+    for (std::size_t i = 0; i < 3; ++i) g.data()[i] = 2.0f * w.data()[i];
+    opt.step({&w}, {&g});
+  }
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(w.data()[i], 0.0f, 1e-2f);
+}
+
+TEST(Optimizer, MomentumAcceleratesAlongConsistentGradient) {
+  Mat w1{{10.0f}}, w2{{10.0f}};
+  Mat g(1, 1, 1.0f);  // constant gradient
+  Sgd plain(0.01, 0.0), momentum(0.01, 0.9);
+  for (int it = 0; it < 20; ++it) {
+    plain.step({&w1}, {&g});
+    momentum.step({&w2}, {&g});
+  }
+  EXPECT_LT(w2(0, 0), w1(0, 0));  // momentum travelled farther
+}
+
+TEST(Network, PredictMatchesForwardInference) {
+  Rng rng(209);
+  Sequential net;
+  net.emplace<Dense>(4, 8, rng);
+  net.emplace<Tanh>();
+  net.emplace<Dense>(8, 2, rng);
+  const Mat x = random_mat(5, 4, rng);
+  const Mat a = net.predict(x);
+  const Mat& b = net.forward(x, /*training=*/false);
+  ASSERT_EQ(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(Network, ParameterCount) {
+  Rng rng(210);
+  Sequential net;
+  net.emplace<Dense>(10, 7, rng);  // 70 + 7
+  net.emplace<Dense>(7, 3, rng);   // 21 + 3
+  EXPECT_EQ(net.parameter_count(), 70u + 7u + 21u + 3u);
+}
+
+TEST(Network, MacsPerInference) {
+  Rng rng(211);
+  Sequential net;
+  net.emplace<Dense>(10, 7, rng);
+  net.emplace<Tanh>();
+  net.emplace<Dense>(7, 3, rng);
+  EXPECT_EQ(net.macs_per_inference(10), 10u * 7u + 7u * 3u);
+}
+
+TEST(Serialize, RoundTripRestoresOutputs) {
+  Rng rng(212);
+  Sequential net;
+  net.emplace<Dense>(6, 5, rng);
+  net.emplace<Tanh>();
+  net.emplace<Dense>(5, 2, rng);
+  const Mat x = random_mat(3, 6, rng);
+  const Mat before = net.predict(x);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "noble_weights_test.bin").string();
+  ASSERT_TRUE(save_weights(net, path));
+
+  Rng rng2(999);  // different init
+  Sequential net2;
+  net2.emplace<Dense>(6, 5, rng2);
+  net2.emplace<Tanh>();
+  net2.emplace<Dense>(5, 2, rng2);
+  ASSERT_TRUE(load_weights(net2, path));
+  const Mat after = net2.predict(x);
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_FLOAT_EQ(before.data()[i], after.data()[i]);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, ShapeMismatchRejected) {
+  Rng rng(213);
+  Sequential net;
+  net.emplace<Dense>(6, 5, rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "noble_weights_test2.bin").string();
+  ASSERT_TRUE(save_weights(net, path));
+  Sequential other;
+  other.emplace<Dense>(7, 5, rng);
+  EXPECT_FALSE(load_weights(other, path));
+  std::filesystem::remove(path);
+}
+
+TEST(Trainer, LearnsLinearMap) {
+  // y = x A + b is exactly representable: the trainer must drive MSE ~ 0.
+  Rng rng(214);
+  const Mat a_true{{2.0f, -1.0f}, {0.5f, 1.5f}, {-1.0f, 0.0f}};
+  Mat x = random_mat(256, 3, rng);
+  Mat y;
+  linalg::gemm(x, a_true, y);
+
+  Sequential net;
+  net.emplace<Dense>(3, 2, rng);
+  Adam opt(0.02);
+  const MseLoss loss;
+  TrainConfig tc;
+  tc.epochs = 60;
+  tc.batch_size = 32;
+  Trainer trainer(opt, loss, tc);
+  const auto result = trainer.fit(net, x, y);
+  EXPECT_LT(result.final_train_loss, 1e-3);
+}
+
+TEST(Trainer, EarlyStoppingTriggers) {
+  Rng rng(215);
+  // Pure-noise target: validation loss cannot improve for long.
+  const Mat x = random_mat(128, 4, rng);
+  const Mat y = random_mat(128, 2, rng);
+  const Mat xv = random_mat(64, 4, rng);
+  const Mat yv = random_mat(64, 2, rng);
+  Sequential net;
+  net.emplace<Dense>(4, 16, rng);
+  net.emplace<Tanh>();
+  net.emplace<Dense>(16, 2, rng);
+  Adam opt(0.01);
+  const MseLoss loss;
+  TrainConfig tc;
+  tc.epochs = 200;
+  tc.batch_size = 32;
+  tc.patience = 3;
+  Trainer trainer(opt, loss, tc);
+  const auto result = trainer.fit(net, x, y, &xv, &yv);
+  EXPECT_LT(result.epochs_run, 200u);
+}
+
+TEST(Trainer, EpochCallbackInvoked) {
+  Rng rng(216);
+  const Mat x = random_mat(32, 2, rng);
+  const Mat y = random_mat(32, 1, rng);
+  Sequential net;
+  net.emplace<Dense>(2, 1, rng);
+  Adam opt(0.01);
+  const MseLoss loss;
+  TrainConfig tc;
+  tc.epochs = 5;
+  tc.batch_size = 16;
+  std::size_t calls = 0;
+  tc.on_epoch = [&](std::size_t, double, double) { ++calls; };
+  Trainer trainer(opt, loss, tc);
+  trainer.fit(net, x, y);
+  EXPECT_EQ(calls, 5u);
+}
+
+}  // namespace
+}  // namespace noble::nn

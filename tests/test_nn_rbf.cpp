@@ -1,0 +1,192 @@
+// Tests for the distance-based output layer (RbfOutput) — gradient check,
+// nearest-prototype semantics, serialization with batch-norm state.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "common/rng.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "nn/network.h"
+#include "nn/optimizer.h"
+#include "nn/rbf_output.h"
+#include "nn/serialize.h"
+#include "nn/trainer.h"
+
+namespace noble::nn {
+namespace {
+
+using linalg::Mat;
+
+Mat random_mat(std::size_t r, std::size_t c, Rng& rng) {
+  Mat m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = static_cast<float>(rng.normal());
+  return m;
+}
+
+TEST(RbfOutput, LogitsAreNegativeHalfSquaredDistance) {
+  Rng rng(701);
+  RbfOutput layer(2, 3, rng);
+  // Overwrite prototypes with known values.
+  layer.prototypes() = Mat{{0.0f, 0.0f}, {3.0f, 4.0f}, {1.0f, 0.0f}};
+  Mat y;
+  const Mat x{{0.0f, 0.0f}};
+  layer.forward(x, y, false);
+  EXPECT_FLOAT_EQ(y(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y(0, 1), -12.5f);  // -0.5 * 25
+  EXPECT_FLOAT_EQ(y(0, 2), -0.5f);
+}
+
+TEST(RbfOutput, ArgmaxIsNearestPrototype) {
+  Rng rng(703);
+  RbfOutput layer(2, 4, rng);
+  layer.prototypes() = Mat{{0.0f, 0.0f}, {10.0f, 0.0f}, {0.0f, 10.0f}, {10.0f, 10.0f}};
+  Mat y;
+  layer.forward(Mat{{9.0f, 9.5f}}, y, false);
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < 4; ++c) {
+    if (y(0, c) > y(0, best)) best = c;
+  }
+  EXPECT_EQ(best, 3u);
+}
+
+TEST(RbfOutput, GradientCheck) {
+  Rng rng(705);
+  RbfOutput layer(3, 4, rng);
+  Mat x = random_mat(5, 3, rng);
+  const Mat weights = random_mat(5, 4, rng);
+
+  // Analytic.
+  Mat y;
+  layer.forward(x, y, true);
+  layer.zero_grads();
+  Mat dx;
+  layer.backward(x, weights, dx);
+  const Mat dw = *layer.grads()[0];
+
+  auto objective = [&]() {
+    Mat out;
+    layer.forward(x, out, true);
+    double s = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i)
+      s += static_cast<double>(out.data()[i]) * weights.data()[i];
+    return s;
+  };
+  const double eps = 1e-3;
+  // Input gradient.
+  for (std::size_t i = 0; i < x.size(); i += 2) {
+    const float orig = x.data()[i];
+    x.data()[i] = orig + static_cast<float>(eps);
+    const double up = objective();
+    x.data()[i] = orig - static_cast<float>(eps);
+    const double down = objective();
+    x.data()[i] = orig;
+    const double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(dx.data()[i], numeric, 2e-2 * std::max(1.0, std::fabs(numeric)));
+  }
+  // Prototype gradient.
+  Mat& w = layer.prototypes();
+  for (std::size_t i = 0; i < w.size(); i += 3) {
+    const float orig = w.data()[i];
+    w.data()[i] = orig + static_cast<float>(eps);
+    const double up = objective();
+    w.data()[i] = orig - static_cast<float>(eps);
+    const double down = objective();
+    w.data()[i] = orig;
+    const double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(dw.data()[i], numeric, 2e-2 * std::max(1.0, std::fabs(numeric)));
+  }
+}
+
+TEST(RbfOutput, RefinesInitializedPrototypesTowardCentroids) {
+  // 2-D points in 3 clusters. Following the library's usage pattern
+  // (physics-informed initialization, as in the IMU location network),
+  // prototypes start at coarse guesses of the class centers and training
+  // pulls them onto the true cluster centroids.
+  Rng rng(707);
+  const float centers[3][2] = {{0.0f, 0.0f}, {6.0f, 0.0f}, {0.0f, 6.0f}};
+  Mat x(150, 2), t(150, 3);
+  for (std::size_t i = 0; i < 150; ++i) {
+    const std::size_t c = i % 3;
+    x(i, 0) = centers[c][0] + static_cast<float>(rng.normal(0.0, 0.3));
+    x(i, 1) = centers[c][1] + static_cast<float>(rng.normal(0.0, 0.3));
+    t(i, c) = 1.0f;
+  }
+  Sequential net;
+  auto& rbf = net.emplace<RbfOutput>(2, 3, rng, 0.01f);
+  // Coarse initial guesses, each ~2 m off its true center.
+  rbf.prototypes()(0, 0) += 1.5f;
+  rbf.prototypes()(0, 1) += 1.0f;
+  rbf.prototypes()(1, 0) += 6.0f - 1.5f;
+  rbf.prototypes()(1, 1) += 1.0f;
+  rbf.prototypes()(2, 0) += 1.0f;
+  rbf.prototypes()(2, 1) += 6.0f + 1.5f;
+
+  Adam opt(0.05);
+  const SoftmaxCrossEntropyLoss loss;
+  TrainConfig tc;
+  tc.epochs = 80;
+  tc.batch_size = 32;
+  Trainer trainer(opt, loss, tc);
+  trainer.fit(net, x, t);
+
+  // Training must tighten every prototype onto its cluster center.
+  for (std::size_t c = 0; c < 3; ++c) {
+    const double d = std::hypot(rbf.prototypes()(c, 0) - centers[c][0],
+                                rbf.prototypes()(c, 1) - centers[c][1]);
+    EXPECT_LT(d, 1.0) << "prototype " << c << " not refined toward its cluster";
+  }
+  // And classification on the training data is essentially perfect.
+  const Mat logits = net.predict(x);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < 3; ++c) {
+      if (logits(i, c) > logits(i, best)) best = c;
+    }
+    hits += (t(i, best) == 1.0f);
+  }
+  EXPECT_GT(static_cast<double>(hits) / static_cast<double>(x.rows()), 0.97);
+}
+
+TEST(Serialize, BatchNormRunningStatsSurviveRoundTrip) {
+  Rng rng(709);
+  Sequential net;
+  net.emplace<Dense>(4, 6, rng);
+  net.emplace<BatchNorm1d>(6);
+  net.emplace<Tanh>();
+  net.emplace<Dense>(6, 2, rng);
+  // Train-mode passes to move the running statistics away from defaults.
+  for (int i = 0; i < 50; ++i) {
+    Mat x = random_mat(32, 4, rng);
+    for (std::size_t j = 0; j < x.size(); ++j) x.data()[j] += 3.0f;
+    net.forward(x, /*training=*/true);
+  }
+  const Mat probe = random_mat(5, 4, rng);
+  const Mat before = net.predict(probe);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "noble_bn_state.bin").string();
+  ASSERT_TRUE(save_weights(net, path));
+
+  Rng rng2(999);
+  Sequential fresh;
+  fresh.emplace<Dense>(4, 6, rng2);
+  fresh.emplace<BatchNorm1d>(6);
+  fresh.emplace<Tanh>();
+  fresh.emplace<Dense>(6, 2, rng2);
+  ASSERT_TRUE(load_weights(fresh, path));
+  const Mat after = fresh.predict(probe);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_FLOAT_EQ(before.data()[i], after.data()[i])
+        << "inference differs after reload (running stats lost?)";
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace noble::nn

@@ -1,0 +1,160 @@
+// Parameterized property tests of the IMU walk simulator and path builder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geo/campus.h"
+#include "sim/imu.h"
+#include "sim/imu_dataset.h"
+
+namespace noble::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sweep over walking speeds: covered distance scales with speed; the walker
+// never leaves the walkway network.
+// ---------------------------------------------------------------------------
+
+class WalkSpeedProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(WalkSpeedProperty, DistanceScalesWithSpeed) {
+  const double speed = GetParam();
+  const auto world = geo::make_outdoor_track();
+  ImuConfig cfg;
+  cfg.walk_speed_mps = speed;
+  cfg.speed_jitter = 0.0;
+  Rng rng(41);
+  const auto rec = simulate_walk(world, cfg, 150.0, rng);
+  double dist = 0.0;
+  for (std::size_t i = 1; i < rec.positions.size(); ++i) {
+    dist += geo::distance(rec.positions[i - 1], rec.positions[i]);
+  }
+  EXPECT_NEAR(dist, speed * 150.0, 0.2 * speed * 150.0);
+}
+
+TEST_P(WalkSpeedProperty, WalkerStaysOnWalkways) {
+  const double speed = GetParam();
+  const auto world = geo::make_outdoor_track();
+  ImuConfig cfg;
+  cfg.walk_speed_mps = speed;
+  Rng rng(43);
+  const auto rec = simulate_walk(world, cfg, 100.0, rng);
+  for (std::size_t i = 0; i < rec.positions.size(); i += 25) {
+    EXPECT_LT(world.walkways.distance_to_path(rec.positions[i]), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, WalkSpeedProperty,
+                         ::testing::Values(0.8, 1.2, 1.6, 2.0));
+
+// ---------------------------------------------------------------------------
+// Sweep over resampling widths: block averaging preserves channel means
+// exactly when the raw window divides evenly.
+// ---------------------------------------------------------------------------
+
+class ResampleProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ResampleProperty, BlockMeansPreserveChannelMean) {
+  const std::size_t readings = GetParam();
+  ImuRecording rec;
+  Rng rng(47);
+  const std::size_t raw = readings * 8;  // even division
+  double channel_sum[6] = {0};
+  for (std::size_t i = 0; i < raw; ++i) {
+    std::array<float, 6> s;
+    for (int c = 0; c < 6; ++c) {
+      s[static_cast<std::size_t>(c)] = static_cast<float>(rng.normal());
+      channel_sum[c] += s[static_cast<std::size_t>(c)];
+    }
+    rec.samples.push_back(s);
+    rec.positions.push_back({0, 0});
+  }
+  const auto window = resample_window(rec, 0, raw, readings);
+  ASSERT_EQ(window.size(), readings * 6);
+  for (int c = 0; c < 6; ++c) {
+    double resampled_mean = 0.0;
+    for (std::size_t r = 0; r < readings; ++r) {
+      resampled_mean += window[r * 6 + static_cast<std::size_t>(c)];
+    }
+    resampled_mean /= static_cast<double>(readings);
+    EXPECT_NEAR(resampled_mean, channel_sum[c] / static_cast<double>(raw), 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ResampleProperty,
+                         ::testing::Values(std::size_t{4}, std::size_t{8},
+                                           std::size_t{16}, std::size_t{32}));
+
+// ---------------------------------------------------------------------------
+// Sweep over maximum path lengths: the §V-A protocol invariants hold for any
+// cap.
+// ---------------------------------------------------------------------------
+
+class PathLengthProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PathLengthProperty, ProtocolInvariants) {
+  const std::size_t max_segments = GetParam();
+  const auto world = geo::make_outdoor_track();
+  ImuConfig icfg;
+  icfg.ref_interval_s = 8.0;
+  Rng rng(53);
+  std::vector<ImuRecording> recs{simulate_walk(world, icfg, 400.0, rng)};
+  PathConfig pc;
+  pc.readings_per_segment = 8;
+  pc.max_segments = max_segments;
+  pc.num_paths = 80;
+  Rng prng(59);
+  const auto ds = build_imu_paths(recs, pc, prng);
+  EXPECT_EQ(ds.max_segments, max_segments);
+  for (const auto& p : ds.paths) {
+    EXPECT_GE(p.num_segments, 1u);
+    EXPECT_LE(p.num_segments, max_segments);
+    EXPECT_EQ(p.features.size(), ds.feature_dim());
+    EXPECT_EQ(p.segment_endpoints.back(), p.end);
+    // Duration equals segments x ref interval.
+    EXPECT_NEAR(p.duration_s, static_cast<double>(p.num_segments) * icfg.ref_interval_s,
+                1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, PathLengthProperty,
+                         ::testing::Values(std::size_t{1}, std::size_t{5},
+                                           std::size_t{20}, std::size_t{50}));
+
+// ---------------------------------------------------------------------------
+// Gravity-leak observability: the world-frame accelerometer means point
+// along the heading — the property that makes displacement learnable.
+// ---------------------------------------------------------------------------
+
+TEST(ImuSignal, AccelMeansTrackHeading) {
+  const auto world = geo::make_outdoor_track();
+  ImuConfig cfg;
+  cfg.accel_noise = 0.05;  // quiet sensor to isolate the leak term
+  Rng rng(61);
+  const auto rec = simulate_walk(world, cfg, 300.0, rng);
+  // Over windows between references, mean (ax, ay) should align with the
+  // actual displacement direction.
+  std::size_t checked = 0, aligned = 0;
+  for (std::size_t r = 1; r < rec.num_refs(); ++r) {
+    const std::size_t lo = rec.ref_sample_idx[r - 1];
+    const std::size_t hi = rec.ref_sample_idx[r];
+    double ax = 0, ay = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      ax += rec.samples[i][0];
+      ay += rec.samples[i][1];
+    }
+    const geo::Point2 disp = rec.positions[hi] - rec.positions[lo];
+    if (disp.norm() < 3.0) continue;  // skip near-stationary windows
+    const double cosine =
+        (ax * disp.x + ay * disp.y) /
+        (std::hypot(ax, ay) * disp.norm() + 1e-12);
+    ++checked;
+    aligned += (cosine > 0.7);
+  }
+  ASSERT_GT(checked, 5u);
+  EXPECT_GT(static_cast<double>(aligned) / static_cast<double>(checked), 0.8);
+}
+
+}  // namespace
+}  // namespace noble::sim

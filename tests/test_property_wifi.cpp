@@ -1,0 +1,136 @@
+// Parameterized property tests of the Wi-Fi propagation world: invariants
+// that must hold for every radio configuration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "data/dataset.h"
+#include "geo/campus.h"
+#include "sim/wifi.h"
+
+namespace noble::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sweep over path-loss exponents: signal strength must decay monotonically
+// with distance for any exponent, and steeper exponents decay faster.
+// ---------------------------------------------------------------------------
+
+class PathLossProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(PathLossProperty, MonotoneDecayWithDistance) {
+  const double exponent = GetParam();
+  const auto world = geo::make_ipin_like_building();
+  WifiConfig cfg;
+  cfg.path_loss_exponent = exponent;
+  cfg.shadowing_sigma_db = 0.0;
+  const WifiWorld wifi(world, cfg, 5);
+  const auto& ap = wifi.aps()[0];
+  double prev = 1e9;
+  for (double d = 2.0; d <= 30.0; d += 4.0) {
+    const double rssi =
+        wifi.mean_rssi(0, {ap.position.x + d, ap.position.y}, ap.building, ap.floor);
+    EXPECT_LT(rssi, prev) << "no decay at distance " << d << " exponent " << exponent;
+    prev = rssi;
+  }
+}
+
+TEST_P(PathLossProperty, TenXDistanceCostsTenNdB) {
+  const double exponent = GetParam();
+  const auto world = geo::make_uji_like_campus();
+  WifiConfig cfg;
+  cfg.path_loss_exponent = exponent;
+  cfg.shadowing_sigma_db = 0.0;
+  const WifiWorld wifi(world, cfg, 5);
+  const auto& ap = wifi.aps()[0];
+  const double near = wifi.mean_rssi(0, {ap.position.x + 3.0, ap.position.y},
+                                     ap.building, ap.floor);
+  const double far = wifi.mean_rssi(0, {ap.position.x + 30.0, ap.position.y},
+                                    ap.building, ap.floor);
+  EXPECT_NEAR(near - far, 10.0 * exponent, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, PathLossProperty,
+                         ::testing::Values(2.0, 2.5, 3.0, 3.5, 4.0));
+
+// ---------------------------------------------------------------------------
+// Sweep over shadowing strengths: the field stays deterministic and its
+// spatial variance tracks the configured sigma.
+// ---------------------------------------------------------------------------
+
+class ShadowingProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ShadowingProperty, DeterministicField) {
+  const double sigma = GetParam();
+  const auto world = geo::make_ipin_like_building();
+  WifiConfig cfg;
+  cfg.shadowing_sigma_db = sigma;
+  const WifiWorld a(world, cfg, 99);
+  const WifiWorld b(world, cfg, 99);
+  for (double x = 5.0; x < 60.0; x += 7.0) {
+    EXPECT_DOUBLE_EQ(a.mean_rssi(0, {x, 15.0}, 0, 0), b.mean_rssi(0, {x, 15.0}, 0, 0));
+  }
+}
+
+TEST_P(ShadowingProperty, SpatialStdTracksSigma) {
+  const double sigma = GetParam();
+  const auto world = geo::make_uji_like_campus();
+  WifiConfig cfg;
+  cfg.shadowing_sigma_db = sigma;
+  cfg.path_loss_exponent = 3.0;
+  const WifiWorld with(world, cfg, 31);
+  cfg.shadowing_sigma_db = 0.0;
+  const WifiWorld without(world, cfg, 31);
+  // Shadowing residual = field with shadowing minus pure path loss.
+  RunningStats residuals;
+  Rng rng(33);
+  for (int i = 0; i < 400; ++i) {
+    const geo::Point2 p{rng.uniform(20, 175), rng.uniform(150, 253)};
+    residuals.push(with.mean_rssi(0, p, 0, 0) - without.mean_rssi(0, p, 0, 0));
+  }
+  if (sigma == 0.0) {
+    EXPECT_NEAR(residuals.stddev(), 0.0, 1e-9);
+  } else {
+    // Bilinear interpolation shrinks per-point variance a bit; allow 40%.
+    EXPECT_NEAR(residuals.stddev(), sigma, 0.4 * sigma);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, ShadowingProperty,
+                         ::testing::Values(0.0, 2.0, 4.0, 8.0));
+
+// ---------------------------------------------------------------------------
+// Sweep over detection thresholds: weaker thresholds must detect at least as
+// many APs per measurement.
+// ---------------------------------------------------------------------------
+
+class DetectionProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(DetectionProperty, ThresholdControlsVisibility) {
+  const double threshold = GetParam();
+  const auto world = geo::make_uji_like_campus();
+  WifiConfig strict;
+  strict.detect_threshold_dbm = threshold;
+  strict.detect_dropout = 0.0;
+  WifiConfig loose = strict;
+  loose.detect_threshold_dbm = threshold - 15.0;
+  const WifiWorld wifi_strict(world, strict, 11);
+  const WifiWorld wifi_loose(world, loose, 11);
+
+  Rng rng_a(13), rng_b(13);
+  const geo::Point2 p{60.0, 200.0};
+  const auto v_strict = wifi_strict.measure(p, 0, 1, rng_a);
+  const auto v_loose = wifi_loose.measure(p, 0, 1, rng_b);
+  std::size_t n_strict = 0, n_loose = 0;
+  for (float r : v_strict) n_strict += (r != data::kNotDetectedRssi);
+  for (float r : v_loose) n_loose += (r != data::kNotDetectedRssi);
+  EXPECT_LE(n_strict, n_loose);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, DetectionProperty,
+                         ::testing::Values(-80.0, -90.0, -100.0));
+
+}  // namespace
+}  // namespace noble::sim

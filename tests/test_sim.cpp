@@ -1,0 +1,248 @@
+// Simulator tests: Wi-Fi propagation physics, dataset collection, IMU walk
+// synthesis, path construction, and the energy model's calibration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "geo/campus.h"
+#include "sim/energy.h"
+#include "sim/imu.h"
+#include "sim/imu_dataset.h"
+#include "sim/wifi.h"
+#include "sim/wifi_dataset.h"
+
+namespace noble::sim {
+namespace {
+
+TEST(WifiWorld, DeploysExpectedApCount) {
+  const auto world = geo::make_uji_like_campus();
+  WifiConfig cfg;
+  cfg.aps_per_floor = 5;
+  const WifiWorld wifi(world, cfg, 7);
+  // 3 buildings x 4 floors x 5 APs.
+  EXPECT_EQ(wifi.num_aps(), 60u);
+  for (const auto& ap : wifi.aps()) {
+    const auto& b = world.plan.building(static_cast<std::size_t>(ap.building));
+    EXPECT_TRUE(b.accessible(ap.position));
+  }
+}
+
+TEST(WifiWorld, SignalDecaysWithDistance) {
+  const auto world = geo::make_ipin_like_building();
+  WifiConfig cfg;
+  cfg.shadowing_sigma_db = 0.0;  // isolate path loss
+  const WifiWorld wifi(world, cfg, 7);
+  const auto& ap = wifi.aps()[0];
+  const double near = wifi.mean_rssi(0, {ap.position.x + 2.0, ap.position.y},
+                                     ap.building, ap.floor);
+  const double far = wifi.mean_rssi(0, {ap.position.x + 20.0, ap.position.y},
+                                    ap.building, ap.floor);
+  EXPECT_GT(near, far);
+}
+
+TEST(WifiWorld, FloorSeparationAttenuates) {
+  const auto world = geo::make_ipin_like_building();
+  WifiConfig cfg;
+  cfg.shadowing_sigma_db = 0.0;
+  const WifiWorld wifi(world, cfg, 7);
+  const auto& ap = wifi.aps()[0];
+  const geo::Point2 p{ap.position.x + 3.0, ap.position.y};
+  const double same = wifi.mean_rssi(0, p, ap.building, ap.floor);
+  const double other = wifi.mean_rssi(0, p, ap.building, ap.floor + 1);
+  EXPECT_GT(same, other + cfg.floor_attenuation_db - 1.0);
+}
+
+TEST(WifiWorld, OtherBuildingAttenuates) {
+  const auto world = geo::make_uji_like_campus();
+  WifiConfig cfg;
+  cfg.shadowing_sigma_db = 0.0;
+  const WifiWorld wifi(world, cfg, 7);
+  const auto& ap = wifi.aps()[0];
+  const geo::Point2 p{ap.position.x + 5.0, ap.position.y};
+  const double same = wifi.mean_rssi(0, p, ap.building, ap.floor);
+  const double cross = wifi.mean_rssi(0, p, ap.building + 1, ap.floor);
+  EXPECT_NEAR(same - cross, cfg.wall_attenuation_db, 1e-9);
+}
+
+TEST(WifiWorld, ShadowingIsStaticAcrossMeasurements) {
+  const auto world = geo::make_ipin_like_building();
+  const WifiWorld wifi(world, WifiConfig{}, 7);
+  const geo::Point2 p{20, 15};
+  // mean_rssi is deterministic: identical on repeated evaluation.
+  EXPECT_DOUBLE_EQ(wifi.mean_rssi(0, p, 0, 0), wifi.mean_rssi(0, p, 0, 0));
+}
+
+TEST(WifiWorld, MeasurementUsesNotDetectedSentinel) {
+  const auto world = geo::make_uji_like_campus();
+  const WifiWorld wifi(world, WifiConfig{}, 7);
+  Rng rng(9);
+  // A point in building 0 cannot hear most APs in building 2.
+  const auto v = wifi.measure({60, 160}, 0, 0, rng);
+  std::size_t undetected = 0;
+  for (float r : v) {
+    if (r == data::kNotDetectedRssi) ++undetected;
+  }
+  EXPECT_GT(undetected, v.size() / 4);
+  EXPECT_LT(undetected, v.size());  // but some APs are audible
+}
+
+TEST(WifiDataset, CollectionCoversAllBuildingsAndFloors) {
+  const auto world = geo::make_uji_like_campus();
+  const WifiWorld wifi(world, WifiConfig{}, 7);
+  Rng rng(11);
+  CollectionConfig cc;
+  cc.max_samples = 1200;
+  const auto ds = collect_wifi_dataset(world, wifi, cc, rng);
+  EXPECT_EQ(ds.size(), 1200u);
+  EXPECT_EQ(ds.num_aps, wifi.num_aps());
+  std::set<std::pair<int, int>> seen;
+  for (const auto& s : ds.samples) {
+    seen.insert({s.building, s.floor});
+    const auto& b = world.plan.building(static_cast<std::size_t>(s.building));
+    EXPECT_TRUE(b.accessible(s.position));
+  }
+  EXPECT_EQ(seen.size(), 12u);  // 3 buildings x 4 floors
+}
+
+TEST(ImuWalk, StaysOnWalkways) {
+  const auto world = geo::make_outdoor_track();
+  Rng rng(13);
+  const auto rec = simulate_walk(world, ImuConfig{}, 120.0, rng);
+  EXPECT_EQ(rec.samples.size(), rec.positions.size());
+  for (std::size_t i = 0; i < rec.positions.size(); i += 50) {
+    EXPECT_LT(world.walkways.distance_to_path(rec.positions[i]), 0.5);
+  }
+}
+
+TEST(ImuWalk, ReferenceIntervalRespected) {
+  const auto world = geo::make_outdoor_track();
+  ImuConfig cfg;
+  cfg.ref_interval_s = 10.0;
+  Rng rng(15);
+  const auto rec = simulate_walk(world, cfg, 100.0, rng);
+  // 100 s / 10 s = 10 references (plus the one at t=0).
+  EXPECT_NEAR(static_cast<double>(rec.num_refs()), 10.0, 1.5);
+  for (std::size_t r = 1; r < rec.num_refs(); ++r) {
+    EXPECT_EQ(rec.ref_sample_idx[r] - rec.ref_sample_idx[r - 1],
+              static_cast<std::size_t>(10.0 * cfg.sample_rate_hz));
+  }
+}
+
+TEST(ImuWalk, GravityOnZAxis) {
+  const auto world = geo::make_outdoor_track();
+  Rng rng(17);
+  const auto rec = simulate_walk(world, ImuConfig{}, 60.0, rng);
+  double mean_az = 0.0;
+  for (const auto& s : rec.samples) mean_az += s[2];
+  mean_az /= static_cast<double>(rec.samples.size());
+  EXPECT_NEAR(mean_az, 9.81, 1.5);  // gravity + bounce offset
+}
+
+TEST(ImuWalk, WalkedDistanceMatchesSpeed) {
+  const auto world = geo::make_outdoor_track();
+  ImuConfig cfg;
+  Rng rng(19);
+  const auto rec = simulate_walk(world, cfg, 200.0, rng);
+  double dist = 0.0;
+  for (std::size_t i = 1; i < rec.positions.size(); ++i) {
+    dist += geo::distance(rec.positions[i - 1], rec.positions[i]);
+  }
+  EXPECT_NEAR(dist, cfg.walk_speed_mps * 200.0, 0.25 * cfg.walk_speed_mps * 200.0);
+}
+
+TEST(ImuDataset, ResampleWindowAverages) {
+  ImuRecording rec;
+  for (int i = 0; i < 8; ++i) {
+    std::array<float, 6> s{};
+    s[0] = static_cast<float>(i);  // ax ramps 0..7
+    rec.samples.push_back(s);
+    rec.positions.push_back({0, 0});
+  }
+  const auto w = resample_window(rec, 0, 8, 2);
+  ASSERT_EQ(w.size(), 12u);
+  EXPECT_FLOAT_EQ(w[0], 1.5f);  // mean of 0,1,2,3
+  EXPECT_FLOAT_EQ(w[6], 5.5f);  // mean of 4,5,6,7
+}
+
+TEST(ImuDataset, PathConstructionRespectsProtocol) {
+  const auto world = geo::make_outdoor_track();
+  ImuConfig icfg;
+  icfg.ref_interval_s = 8.0;
+  Rng rng(21);
+  std::vector<ImuRecording> recs{simulate_walk(world, icfg, 600.0, rng)};
+  PathConfig pc;
+  pc.readings_per_segment = 16;
+  pc.max_segments = 50;
+  pc.num_paths = 200;
+  Rng prng(23);
+  const auto ds = build_imu_paths(recs, pc, prng);
+  EXPECT_EQ(ds.size(), 200u);
+  EXPECT_EQ(ds.segment_dim, 16u * 6u);
+  for (const auto& p : ds.paths) {
+    EXPECT_GE(p.num_segments, 1u);
+    EXPECT_LE(p.num_segments, 50u);  // paper: path length < 50
+    EXPECT_EQ(p.segment_endpoints.size(), p.num_segments);
+    EXPECT_EQ(p.segment_endpoints.back(), p.end);
+    // Padding past num_segments is zero.
+    for (std::size_t j = p.num_segments * ds.segment_dim; j < p.features.size(); ++j) {
+      EXPECT_EQ(p.features[j], 0.0f);
+    }
+  }
+}
+
+TEST(ImuDataset, SegmentDisplacementsSumToTotal) {
+  const auto world = geo::make_outdoor_track();
+  Rng rng(25);
+  std::vector<ImuRecording> recs{simulate_walk(world, ImuConfig{}, 400.0, rng)};
+  PathConfig pc;
+  pc.num_paths = 50;
+  Rng prng(27);
+  const auto ds = build_imu_paths(recs, pc, prng);
+  for (const auto& p : ds.paths) {
+    geo::Point2 acc = p.start;
+    geo::Point2 prev = p.start;
+    for (const auto& ep : p.segment_endpoints) {
+      acc = acc + (ep - prev);
+      prev = ep;
+    }
+    EXPECT_NEAR(acc.x, p.end.x, 1e-9);
+    EXPECT_NEAR(acc.y, p.end.y, 1e-9);
+  }
+}
+
+TEST(Energy, JetsonCalibrationMatchesPaperWifiPoint) {
+  // §IV-C: UJI inference = 0.00518 J, 2 ms. Model sized like the paper's:
+  // 520 inputs, 2x128 hidden, ~2000 output labels.
+  const EnergyModel model(jetson_tx2_profile());
+  const std::size_t macs = 520 * 128 + 128 * 128 + 128 * 2000;
+  const std::size_t bytes = macs * 4;  // weights dominate
+  const auto cost = model.inference(macs, bytes);
+  EXPECT_NEAR(cost.energy_j, 0.00518, 0.0018);
+  EXPECT_NEAR(cost.latency_s, 0.002, 0.0008);
+}
+
+TEST(Energy, ImuSensingMatchesPaper) {
+  // §V-D: inertial sensors cost 0.1356 J over 8 s.
+  const EnergyModel model(jetson_tx2_profile());
+  EXPECT_NEAR(model.imu_sensing(8.0), 0.1356, 1e-9);
+}
+
+TEST(Energy, GpsRatioAbout27x) {
+  // §V-D headline: IMU tracking total ~0.22159 J vs GPS 5.925 J = ~27x.
+  const EnergyModel model(jetson_tx2_profile());
+  const double total = model.imu_sensing(8.0) + 0.08599;  // paper's inference J
+  EXPECT_NEAR(model.gps_fix() / total, 26.7, 1.0);
+}
+
+TEST(Energy, ScalesLinearlyInMacs) {
+  const EnergyModel model(jetson_tx2_profile());
+  const auto c1 = model.inference(1000000, 0);
+  const auto c2 = model.inference(2000000, 0);
+  const double overhead = jetson_tx2_profile().joules_overhead;
+  EXPECT_NEAR((c2.energy_j - overhead) / (c1.energy_j - overhead), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace noble::sim
