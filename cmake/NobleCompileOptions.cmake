@@ -1,0 +1,19 @@
+# Shared compile options, attached to every target through the
+# noble::compile_options interface library so flags live in one place.
+
+add_library(noble_compile_options INTERFACE)
+add_library(noble::compile_options ALIAS noble_compile_options)
+
+target_compile_features(noble_compile_options INTERFACE cxx_std_20)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(noble_compile_options INTERFACE -Wall -Wextra)
+  if(NOBLE_WERROR)
+    target_compile_options(noble_compile_options INTERFACE -Werror)
+  endif()
+elseif(MSVC)
+  target_compile_options(noble_compile_options INTERFACE /W4)
+  if(NOBLE_WERROR)
+    target_compile_options(noble_compile_options INTERFACE /WX)
+  endif()
+endif()

@@ -1,0 +1,19 @@
+# Opt-in sanitizer instrumentation for the whole tree:
+#   cmake -B build -S . -DNOBLE_SANITIZE=address
+#   cmake -B build -S . -DNOBLE_SANITIZE=address,undefined
+# Applied through noble::compile_options so every library, test, bench and
+# example is instrumented consistently (mixing is an ODR hazard).
+
+if(NOBLE_SANITIZE)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    target_compile_options(noble_compile_options INTERFACE
+      -fsanitize=${NOBLE_SANITIZE} -fno-omit-frame-pointer -g)
+    target_link_options(noble_compile_options INTERFACE
+      -fsanitize=${NOBLE_SANITIZE})
+    message(STATUS "NObLe: building with -fsanitize=${NOBLE_SANITIZE}")
+  else()
+    message(WARNING
+      "NOBLE_SANITIZE=${NOBLE_SANITIZE} requested but compiler "
+      "'${CMAKE_CXX_COMPILER_ID}' is not GNU/Clang; ignoring")
+  endif()
+endif()
