@@ -1,0 +1,88 @@
+// Serve-path latency: single-query locate() vs batched locate_batch()
+// through the noble::serve Wi-Fi localizer, reported as per-query p50/p99.
+//
+// This is the deployment-facing counterpart of bench_inference_latency:
+// instead of timing a bare network forward, it times the full request path
+// a device runs — raw RSSI scan in, normalized features, network, decode,
+// Fix out — and quantifies how much a batch window amortizes the GEMM.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common/stats.h"
+#include "serve/artifact.h"
+#include "serve/wifi_localizer.h"
+#include "support/bench_util.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(const Clock::time_point& t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+void print_row(const char* mode, std::size_t batch, std::vector<double> per_query_us) {
+  const double p50 = noble::percentile(per_query_us, 50.0);
+  const double p99 = noble::percentile(std::move(per_query_us), 99.0);
+  std::printf("  %-14s batch %4zu   p50 %8.1f us/query   p99 %8.1f us/query\n",
+              mode, batch, p50, p99);
+}
+
+}  // namespace
+
+int main() {
+  using namespace noble;
+
+  bench::print_banner("serve_latency", "deployment single-query vs batched serving");
+
+  core::WifiExperiment experiment = core::make_uji_experiment(bench::uji_config());
+  core::NobleWifiModel model(bench::noble_wifi_config());
+  model.fit(experiment.split.train, &experiment.split.val);
+  const serve::WifiLocalizer localizer = serve::WifiLocalizer::from_model(model);
+
+  std::vector<serve::RssiVector> queries;
+  for (const auto& sample : experiment.split.test.samples)
+    queries.push_back(sample.rssi);
+  std::printf("localizer: %zu APs, %zu output labels, %zu test queries\n\n",
+              localizer.num_aps(), model.layout().total(), queries.size());
+
+  // Warm-up pass (page in weights, stabilize allocator).
+  for (std::size_t i = 0; i < std::min<std::size_t>(64, queries.size()); ++i) {
+    (void)localizer.locate(queries[i]);
+  }
+
+  // Single-query serving: one timed locate() per request.
+  std::vector<double> single_us;
+  single_us.reserve(queries.size());
+  for (const auto& q : queries) {
+    const auto t0 = Clock::now();
+    const serve::Fix fix = localizer.locate(q);
+    single_us.push_back(seconds_since(t0) * 1e6);
+    (void)fix;
+  }
+  print_row("single-query", 1, single_us);
+
+  // Batched serving: per-query latency amortized over one locate_batch call
+  // per window. Every query in a window observes the whole window's time.
+  for (const std::size_t batch : {std::size_t{16}, std::size_t{64}, std::size_t{256}}) {
+    std::vector<double> batched_us;
+    batched_us.reserve(queries.size());
+    for (std::size_t start = 0; start + batch <= queries.size(); start += batch) {
+      const std::vector<serve::RssiVector> window(
+          queries.begin() + static_cast<std::ptrdiff_t>(start),
+          queries.begin() + static_cast<std::ptrdiff_t>(start + batch));
+      const auto t0 = Clock::now();
+      const auto fixes = localizer.locate_batch(window);
+      const double us = seconds_since(t0) * 1e6;
+      for (std::size_t i = 0; i < fixes.size(); ++i) {
+        batched_us.push_back(us / static_cast<double>(batch));
+      }
+    }
+    if (!batched_us.empty()) print_row("batched", batch, std::move(batched_us));
+  }
+
+  std::printf("\nnote: batched rows divide the window's wall time evenly per "
+              "query; queuing delay to fill a window is not modeled.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Serve tour — train once, ship one artifact, localize single queries:
+//  1. train a NObLe Wi-Fi model on a synthetic campus,
+//  2. save the complete deployable state to one artifact file,
+//  3. reload it into an immutable WifiLocalizer (no training data needed),
+//  4. serve raw RSSI scans through the const, thread-safe locate(),
+//  5. bonus: stream an IMU walk through a TrackingSession, one segment at
+//     a time — the paper's §V on-device usage.
+//
+// Run: ./example_serve_localizer
+#include <cstdio>
+#include <filesystem>
+
+#include "core/experiment.h"
+#include "core/noble_imu.h"
+#include "core/noble_wifi.h"
+#include "serve/artifact.h"
+#include "serve/imu_localizer.h"
+#include "serve/wifi_localizer.h"
+
+int main() {
+  using namespace noble;
+  using namespace noble::core;
+  using namespace noble::serve;
+
+  std::printf("noble::serve tour: artifact -> localizer -> single queries\n\n");
+
+  // 1. Train (the only step that ever sees datasets).
+  WifiExperimentConfig config;
+  config.total_samples = 3000;
+  config.seed = 7;
+  WifiExperiment experiment = make_uji_experiment(config);
+  NobleWifiConfig model_config;
+  model_config.quantize.tau = 3.0;
+  model_config.quantize.coarse_l = 15.0;
+  model_config.epochs = 12;
+  NobleWifiModel model(model_config);
+  model.fit(experiment.split.train, &experiment.split.val);
+  std::printf("trained: %zu APs -> %zu neighborhood classes\n", model.input_dim(),
+              model.quantizer().num_fine_classes());
+
+  // 2. One artifact file carries config + quantizer + normalization + weights.
+  const std::string artifact =
+      (std::filesystem::temp_directory_path() / "noble_wifi_model.nbl").string();
+  if (!save_model(model, artifact)) {
+    std::printf("failed to write %s\n", artifact.c_str());
+    return 1;
+  }
+  std::printf("saved artifact: %s (%ju bytes, kind '%s')\n", artifact.c_str(),
+              static_cast<std::uintmax_t>(std::filesystem::file_size(artifact)),
+              artifact_kind(artifact).value_or("?").c_str());
+
+  // 3. Reload on the "device": just the artifact, no experiment, no dataset.
+  const auto localizer = WifiLocalizer::load(artifact);
+  if (!localizer.has_value()) {
+    std::printf("failed to load artifact\n");
+    return 1;
+  }
+
+  // 4. Serve raw scans. locate() is const — share the localizer across
+  // request threads freely.
+  std::printf("\nserving 5 raw scans:\n");
+  for (std::size_t i = 0; i < 5 && i < experiment.split.test.size(); ++i) {
+    const auto& sample = experiment.split.test.samples[i];
+    const Fix fix = localizer->locate(sample.rssi);
+    std::printf("  scan %zu -> building %d floor %d cell %3d at (%6.1f, %6.1f)"
+                " conf %.2f | truth (%6.1f, %6.1f)\n",
+                i, fix.building, fix.floor, fix.fine_class, fix.position.x,
+                fix.position.y, fix.confidence, sample.position.x,
+                sample.position.y);
+  }
+
+  // 5. IMU streaming: train a tracker, clone it into a localizer, and feed
+  // one walk segment-by-segment — a position fix after every update.
+  std::printf("\nIMU streaming session:\n");
+  ImuExperimentConfig imu_config;
+  imu_config.num_paths = 800;
+  imu_config.total_walk_time_s = 1800.0;
+  imu_config.readings_per_segment = 16;
+  imu_config.seed = 7;
+  ImuExperiment imu_experiment = make_imu_experiment(imu_config);
+  NobleImuConfig tracker_config;
+  tracker_config.quantize.tau = 2.0;
+  tracker_config.epochs = 12;
+  tracker_config.projection_dim = 8;
+  NobleImuTracker tracker(tracker_config);
+  tracker.fit(imu_experiment.split.train);
+
+  const ImuLocalizer imu_localizer = ImuLocalizer::from_model(tracker);
+  const auto& path = imu_experiment.split.test.paths.front();
+  TrackingSession session = imu_localizer.start_session(path.start);
+  for (std::size_t s = 0; s < path.num_segments; ++s) {
+    ImuSegment segment(
+        path.features.begin() +
+            static_cast<std::ptrdiff_t>(s * imu_localizer.segment_dim()),
+        path.features.begin() +
+            static_cast<std::ptrdiff_t>((s + 1) * imu_localizer.segment_dim()));
+    const Fix fix = session.update(segment);
+    std::printf("  after segment %2zu: cell %3d at (%6.1f, %6.1f) conf %.2f\n", s,
+                fix.fine_class, fix.position.x, fix.position.y, fix.confidence);
+  }
+  std::printf("walk truth end: (%6.1f, %6.1f)\n", path.end.x, path.end.y);
+
+  std::filesystem::remove(artifact);
+  return 0;
+}

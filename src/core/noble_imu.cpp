@@ -88,7 +88,6 @@ ImuTrainResult NobleImuTracker::fit(const data::ImuDataset& train) {
   }
   quantizer_.fit(all_pos, config_.quantize);
   layout_ = quantizer_.layout(/*num_buildings=*/0, /*num_floors=*/0);
-  const std::size_t num_classes = layout_.num_fine;
 
   // Per-channel statistics over real (non-padded) readings.
   double sum[6] = {0}, sq[6] = {0};
@@ -110,36 +109,7 @@ ImuTrainResult NobleImuTracker::fit(const data::ImuDataset& train) {
     channel_inv_std_[ch] = var > 1e-12 ? 1.0 / std::sqrt(var) : 1.0;
   }
 
-  // --- Networks (Fig. 5a) --------------------------------------------------
-  // The displacement module is realized as a weight-shared per-segment
-  // displacement estimator (seghead_) whose outputs are summed over the real
-  // segments of a path: projection -> per-segment displacement -> sum. The
-  // per-segment estimates are supervised from the reference coordinates
-  // (§V-A makes them available); the summed vector feeds the location net.
-  Rng rng(config_.seed);
-  projnet_ = nn::Sequential();
-  projnet_.emplace<nn::TimeDistributedDense>(max_segments_, segment_dim_,
-                                             config_.projection_dim, rng);
-  projnet_.emplace<nn::Tanh>();
-
-  seghead_ = nn::Sequential();
-  seghead_.emplace<nn::TimeDistributedDense>(max_segments_, config_.projection_dim, 2,
-                                             rng);
-
-  // Location network: the one-hot start class is embedded through the same
-  // class -> cell-center lookup used at inference (§IV-A), added to the
-  // displacement vector, and classified by a distance-based output layer
-  // (§III-C's Euclidean form of the classification head). Prototypes are
-  // initialized at the quantizer cell centers — the geometric solution —
-  // and refined jointly by training.
-  locnet_ = nn::Sequential();
-  auto& rbf = locnet_.emplace<nn::RbfOutput>(2, num_classes, rng, 0.01f);
-  const auto cs = static_cast<float>(config_.location_input_scale);
-  for (std::size_t c = 0; c < num_classes; ++c) {
-    const geo::Point2 center = quantizer_.fine().center(static_cast<int>(c));
-    rbf.prototypes()(c, 0) += static_cast<float>(center.x) * cs;
-    rbf.prototypes()(c, 1) += static_cast<float>(center.y) * cs;
-  }
+  build_networks();
 
   // --- Training data --------------------------------------------------------
   const float inv_scale = static_cast<float>(1.0 / config_.displacement_scale);
@@ -254,6 +224,73 @@ ImuTrainResult NobleImuTracker::fit(const data::ImuDataset& train) {
   return result;
 }
 
+void NobleImuTracker::build_networks() {
+  // --- Networks (Fig. 5a) --------------------------------------------------
+  // The displacement module is realized as a weight-shared per-segment
+  // displacement estimator (seghead_) whose outputs are summed over the real
+  // segments of a path: projection -> per-segment displacement -> sum. The
+  // per-segment estimates are supervised from the reference coordinates
+  // (§V-A makes them available); the summed vector feeds the location net.
+  Rng rng(config_.seed);
+  projnet_ = nn::Sequential();
+  projnet_.emplace<nn::TimeDistributedDense>(max_segments_, segment_dim_,
+                                             config_.projection_dim, rng);
+  projnet_.emplace<nn::Tanh>();
+
+  seghead_ = nn::Sequential();
+  seghead_.emplace<nn::TimeDistributedDense>(max_segments_, config_.projection_dim, 2,
+                                             rng);
+
+  // Location network: the one-hot start class is embedded through the same
+  // class -> cell-center lookup used at inference (§IV-A), added to the
+  // displacement vector, and classified by a distance-based output layer
+  // (§III-C's Euclidean form of the classification head). Prototypes are
+  // initialized at the quantizer cell centers — the geometric solution —
+  // and refined jointly by training.
+  const std::size_t num_classes = layout_.num_fine;
+  locnet_ = nn::Sequential();
+  auto& rbf = locnet_.emplace<nn::RbfOutput>(2, num_classes, rng, 0.01f);
+  const auto cs = static_cast<float>(config_.location_input_scale);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    const geo::Point2 center = quantizer_.fine().center(static_cast<int>(c));
+    rbf.prototypes()(c, 0) += static_cast<float>(center.x) * cs;
+    rbf.prototypes()(c, 1) += static_cast<float>(center.y) * cs;
+  }
+}
+
+void NobleImuTracker::restore(const SpaceQuantizer& quantizer,
+                              std::size_t max_segments, std::size_t segment_dim,
+                              const std::array<double, 6>& mean,
+                              const std::array<double, 6>& inv_std) {
+  NOBLE_EXPECTS(quantizer.fitted());
+  NOBLE_EXPECTS(max_segments > 0 && segment_dim > 0);
+  NOBLE_EXPECTS(segment_dim % 6 == 0);  // six IMU channels per reading
+  quantizer_ = quantizer;
+  layout_ = quantizer_.layout(/*num_buildings=*/0, /*num_floors=*/0);
+  max_segments_ = max_segments;
+  segment_dim_ = segment_dim;
+  feature_dim_ = max_segments * segment_dim;
+  for (int ch = 0; ch < 6; ++ch) {
+    channel_mean_[ch] = mean[static_cast<std::size_t>(ch)];
+    channel_inv_std_[ch] = inv_std[static_cast<std::size_t>(ch)];
+  }
+  build_networks();
+  fitted_ = true;
+}
+
+std::array<double, 6> NobleImuTracker::channel_mean() const {
+  std::array<double, 6> out;
+  for (int ch = 0; ch < 6; ++ch) out[static_cast<std::size_t>(ch)] = channel_mean_[ch];
+  return out;
+}
+
+std::array<double, 6> NobleImuTracker::channel_inv_std() const {
+  std::array<double, 6> out;
+  for (int ch = 0; ch < 6; ++ch)
+    out[static_cast<std::size_t>(ch)] = channel_inv_std_[ch];
+  return out;
+}
+
 linalg::Mat NobleImuTracker::location_inputs(const linalg::Mat& displacement,
                                              const std::vector<int>& start_classes) const {
   // Embedding of (start class, displacement): the start class decodes to its
@@ -273,7 +310,7 @@ linalg::Mat NobleImuTracker::location_inputs(const linalg::Mat& displacement,
   return in;
 }
 
-std::vector<ImuPrediction> NobleImuTracker::predict(const data::ImuDataset& test) {
+std::vector<ImuPrediction> NobleImuTracker::predict(const data::ImuDataset& test) const {
   NOBLE_EXPECTS(fitted_);
   NOBLE_EXPECTS(test.segment_dim == segment_dim_ && test.max_segments == max_segments_);
   const linalg::Mat x = scaled_features(test);
@@ -299,7 +336,7 @@ std::vector<ImuPrediction> NobleImuTracker::predict(const data::ImuDataset& test
 }
 
 std::vector<std::vector<geo::Point2>> NobleImuTracker::predict_segment_displacements(
-    const data::ImuDataset& test) {
+    const data::ImuDataset& test) const {
   NOBLE_EXPECTS(fitted_);
   const linalg::Mat x = scaled_features(test);
   const linalg::Mat proj = projnet_.predict(x);
@@ -323,7 +360,7 @@ std::size_t NobleImuTracker::macs_per_inference() const {
          locnet_.macs_per_inference(2 + layout_.num_fine);
 }
 
-std::size_t NobleImuTracker::parameter_bytes() {
+std::size_t NobleImuTracker::parameter_bytes() const {
   return (projnet_.parameter_count() + seghead_.parameter_count() +
           locnet_.parameter_count()) *
          sizeof(float);

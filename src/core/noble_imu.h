@@ -19,6 +19,7 @@
 #ifndef NOBLE_CORE_NOBLE_IMU_H_
 #define NOBLE_CORE_NOBLE_IMU_H_
 
+#include <array>
 #include <cstdint>
 
 #include "core/quantize.h"
@@ -83,14 +84,24 @@ class NobleImuTracker {
   /// Fits the quantizer and all modules on training paths.
   ImuTrainResult fit(const data::ImuDataset& train);
 
-  /// Predicts the ending position of each test path.
-  std::vector<ImuPrediction> predict(const data::ImuDataset& test);
+  /// Predicts the ending position of each test path. Const: inference runs
+  /// through the networks' mutation-free path, so a fitted tracker is safe
+  /// to share across threads.
+  std::vector<ImuPrediction> predict(const data::ImuDataset& test) const;
 
   /// Per-segment displacement estimates from the shared projection +
   /// segment head (meters; one Point2 per real segment of each path).
   /// The §V-B "plug into other environments" reuse path.
   std::vector<std::vector<geo::Point2>> predict_segment_displacements(
-      const data::ImuDataset& test);
+      const data::ImuDataset& test) const;
+
+  /// Rebuilds a fitted tracker from deployable state — the serve artifact
+  /// load path. Installs the quantizer, layout dimensions and per-channel
+  /// normalization, reconstructs the three modules (freshly initialized),
+  /// and marks the tracker fitted; the caller then overwrites the weights.
+  void restore(const SpaceQuantizer& quantizer, std::size_t max_segments,
+               std::size_t segment_dim, const std::array<double, 6>& mean,
+               const std::array<double, 6>& inv_std);
 
   bool fitted() const { return fitted_; }
   const NobleImuConfig& config() const { return config_; }
@@ -98,14 +109,38 @@ class NobleImuTracker {
   /// Number of neighborhood classes (output and start-encoding size).
   std::size_t num_classes() const { return quantizer_.num_fine_classes(); }
 
+  /// Fixed feature-layout dimensions the tracker was fitted on.
+  std::size_t feature_dim() const { return feature_dim_; }
+  std::size_t max_segments() const { return max_segments_; }
+  std::size_t segment_dim() const { return segment_dim_; }
+
+  /// Per-channel normalization fitted on train data (artifact export; the
+  /// serve localizer standardizes streamed segments with these).
+  std::array<double, 6> channel_mean() const;
+  std::array<double, 6> channel_inv_std() const;
+
+  /// The three fitted modules (artifact export / weight install).
+  nn::Sequential& projection_network() { return projnet_; }
+  const nn::Sequential& projection_network() const { return projnet_; }
+  nn::Sequential& segment_head() { return seghead_; }
+  const nn::Sequential& segment_head() const { return seghead_; }
+  nn::Sequential& location_network() { return locnet_; }
+  const nn::Sequential& location_network() const { return locnet_; }
+
   /// MACs of one inference (projection + displacement + location nets).
   std::size_t macs_per_inference() const;
   /// Total parameter bytes across all modules.
-  std::size_t parameter_bytes();
+  std::size_t parameter_bytes() const;
 
- private:
+  /// Location-head inputs from a displacement batch (scaled units) and
+  /// per-sample start classes — exposed for the serve streaming session,
+  /// which must reproduce batch inference exactly.
   linalg::Mat location_inputs(const linalg::Mat& displacement,
                               const std::vector<int>& start_classes) const;
+
+ private:
+  /// Builds the three Fig. 5(a) modules for the current dimensions.
+  void build_networks();
 
   /// Per-channel standardization that preserves zero padding: only the
   /// entries of real (non-padded) segments are scaled.

@@ -59,16 +59,7 @@ nn::TrainResult NobleWifiModel::fit(const data::WifiDataset& train,
       layout_, pos, config_.predict_building ? bld : std::vector<int>{},
       config_.predict_floor ? flr : std::vector<int>{});
 
-  // §IV-A network: two hidden tanh layers of 128 with batch norm.
-  Rng rng(config_.seed);
-  net_ = nn::Sequential();
-  net_.emplace<nn::Dense>(input_dim_, config_.hidden_units, rng);
-  net_.emplace<nn::BatchNorm1d>(config_.hidden_units);
-  net_.emplace<nn::Tanh>();
-  net_.emplace<nn::Dense>(config_.hidden_units, config_.hidden_units, rng);
-  net_.emplace<nn::BatchNorm1d>(config_.hidden_units);
-  net_.emplace<nn::Tanh>();
-  net_.emplace<nn::Dense>(config_.hidden_units, layout_.total(), rng);
+  build_network();
 
   nn::Adam opt(config_.learning_rate);
   const nn::BceWithLogitsLoss loss(config_.positive_weight);
@@ -98,7 +89,34 @@ nn::TrainResult NobleWifiModel::fit(const data::WifiDataset& train,
   return result;
 }
 
-std::vector<WifiPrediction> NobleWifiModel::predict(const data::WifiDataset& test) {
+void NobleWifiModel::build_network() {
+  // §IV-A network: two hidden tanh layers of 128 with batch norm.
+  Rng rng(config_.seed);
+  net_ = nn::Sequential();
+  net_.emplace<nn::Dense>(input_dim_, config_.hidden_units, rng);
+  net_.emplace<nn::BatchNorm1d>(config_.hidden_units);
+  net_.emplace<nn::Tanh>();
+  net_.emplace<nn::Dense>(config_.hidden_units, config_.hidden_units, rng);
+  net_.emplace<nn::BatchNorm1d>(config_.hidden_units);
+  net_.emplace<nn::Tanh>();
+  net_.emplace<nn::Dense>(config_.hidden_units, layout_.total(), rng);
+}
+
+void NobleWifiModel::restore(const SpaceQuantizer& quantizer, std::size_t input_dim,
+                             std::size_t num_buildings, std::size_t num_floors) {
+  NOBLE_EXPECTS(quantizer.fitted());
+  NOBLE_EXPECTS(input_dim > 0);
+  quantizer_ = quantizer;
+  input_dim_ = input_dim;
+  num_buildings_ = num_buildings;
+  num_floors_ = num_floors;
+  layout_ = quantizer_.layout(num_buildings_, num_floors_);
+  build_network();
+  fitted_ = true;
+}
+
+std::vector<WifiPrediction> NobleWifiModel::predict(
+    const data::WifiDataset& test) const {
   NOBLE_EXPECTS(fitted_);
   NOBLE_EXPECTS(test.num_aps == input_dim_);
   const linalg::Mat x = data::normalize_rssi(data::wifi_feature_matrix(test),
@@ -120,7 +138,7 @@ std::size_t NobleWifiModel::macs_per_inference() const {
   return net_.macs_per_inference(input_dim_);
 }
 
-std::size_t NobleWifiModel::parameter_bytes() {
+std::size_t NobleWifiModel::parameter_bytes() const {
   return net_.parameter_count() * sizeof(float);
 }
 

@@ -58,20 +58,38 @@ class NobleWifiModel {
                       const data::WifiDataset* val = nullptr);
 
   /// Predicts (building, floor, class, position) for every test sample.
-  std::vector<WifiPrediction> predict(const data::WifiDataset& test);
+  /// Const: inference runs through the network's mutation-free path, so a
+  /// fitted model is safe to share across threads.
+  std::vector<WifiPrediction> predict(const data::WifiDataset& test) const;
+
+  /// Rebuilds a fitted model from deployable state — the serve artifact
+  /// load path. Installs the quantizer and dimensions, reconstructs the
+  /// network architecture (freshly initialized), and marks the model
+  /// fitted; the caller then overwrites the weights (nn::decode_network).
+  void restore(const SpaceQuantizer& quantizer, std::size_t input_dim,
+               std::size_t num_buildings, std::size_t num_floors);
 
   bool fitted() const { return fitted_; }
   const NobleWifiConfig& config() const { return config_; }
   const SpaceQuantizer& quantizer() const { return quantizer_; }
   const LabelLayout& layout() const { return layout_; }
   nn::Sequential& network() { return net_; }
+  const nn::Sequential& network() const { return net_; }
+
+  /// Input dimension (AP count) the model was fitted on.
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t num_buildings() const { return num_buildings_; }
+  std::size_t num_floors() const { return num_floors_; }
 
   /// Dense-layer MAC count of one inference (energy model input).
   std::size_t macs_per_inference() const;
   /// Total parameter bytes (energy model input).
-  std::size_t parameter_bytes();
+  std::size_t parameter_bytes() const;
 
  private:
+  /// Builds the §IV-A network for the current input_dim_/layout_.
+  void build_network();
+
   NobleWifiConfig config_;
   SpaceQuantizer quantizer_;
   LabelLayout layout_;

@@ -24,6 +24,25 @@ void SpaceQuantizer::fit(const std::vector<geo::Point2>& positions,
   fitted_ = true;
 }
 
+void SpaceQuantizer::restore(const QuantizeConfig& config,
+                             const geo::GridQuantizerState& fine,
+                             const geo::GridQuantizerState* coarse) {
+  NOBLE_EXPECTS(config.tau > 0.0);
+  NOBLE_EXPECTS(config.use_coarse == (coarse != nullptr));
+  config_ = config;
+  fine_.restore_state(fine);
+  coarse_ = geo::GridQuantizer();
+  fine_to_coarse_.clear();
+  if (coarse != nullptr) {
+    coarse_.restore_state(*coarse);
+    fine_to_coarse_.resize(fine_.num_classes());
+    for (std::size_t c = 0; c < fine_.num_classes(); ++c) {
+      fine_to_coarse_[c] = coarse_.nearest_class(fine_.center(static_cast<int>(c)));
+    }
+  }
+  fitted_ = true;
+}
+
 LabelLayout SpaceQuantizer::layout(std::size_t num_buildings,
                                    std::size_t num_floors) const {
   NOBLE_EXPECTS(fitted_);

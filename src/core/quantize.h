@@ -32,6 +32,8 @@ struct QuantizeConfig {
   int adjacency_ring = 1;
   /// Target value given to adjacent-cell positives (1.0 = full positives).
   float adjacency_value = 0.5f;
+
+  bool operator==(const QuantizeConfig&) const = default;
 };
 
 /// Layout of the concatenated multi-label output vector.
@@ -64,6 +66,13 @@ class SpaceQuantizer {
 
   /// Fits fine (and optionally coarse) grids on training positions.
   void fit(const std::vector<geo::Point2>& positions, const QuantizeConfig& config);
+
+  /// Rebuilds a fitted quantizer from exported grid snapshots — the serve
+  /// artifact load path, which has no training positions. `coarse` must be
+  /// non-null exactly when `config.use_coarse`; the fine-to-coarse map is
+  /// recomputed from the restored grids.
+  void restore(const QuantizeConfig& config, const geo::GridQuantizerState& fine,
+               const geo::GridQuantizerState* coarse);
 
   bool fitted() const { return fitted_; }
   const QuantizeConfig& config() const { return config_; }

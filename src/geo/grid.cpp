@@ -51,6 +51,36 @@ void GridQuantizer::fit(const std::vector<Point2>& positions, double tau) {
   NOBLE_ENSURES(!centers_.empty());
 }
 
+GridQuantizerState GridQuantizer::export_state() const {
+  NOBLE_EXPECTS(!centers_.empty());
+  return {tau_, origin_x_, origin_y_, cell_ix_, cell_iy_, data_centroid_};
+}
+
+void GridQuantizer::restore_state(const GridQuantizerState& state) {
+  NOBLE_EXPECTS(state.tau > 0.0);
+  NOBLE_EXPECTS(!state.cell_ix.empty());
+  NOBLE_EXPECTS(state.cell_ix.size() == state.cell_iy.size());
+  NOBLE_EXPECTS(state.cell_ix.size() == state.data_centroid.size());
+  tau_ = state.tau;
+  origin_x_ = state.origin_x;
+  origin_y_ = state.origin_y;
+  cell_ix_ = state.cell_ix;
+  cell_iy_ = state.cell_iy;
+  data_centroid_ = state.data_centroid;
+  centers_.clear();
+  centers_.reserve(cell_ix_.size());
+  class_by_cell_.clear();
+  for (std::size_t c = 0; c < cell_ix_.size(); ++c) {
+    centers_.push_back({origin_x_ + (cell_ix_[c] + 0.5) * tau_,
+                        origin_y_ + (cell_iy_[c] + 0.5) * tau_});
+    const bool inserted =
+        class_by_cell_
+            .try_emplace(key_of_cell(cell_ix_[c], cell_iy_[c]), static_cast<int>(c))
+            .second;
+    NOBLE_EXPECTS(inserted);  // duplicate cells mean a corrupt snapshot
+  }
+}
+
 GridQuantizer::CellKey GridQuantizer::key_of(const Point2& p) const {
   const auto ix = static_cast<std::int32_t>(std::floor((p.x - origin_x_) / tau_));
   const auto iy = static_cast<std::int32_t>(std::floor((p.y - origin_y_) / tau_));

@@ -14,6 +14,17 @@
 
 namespace noble::geo {
 
+/// Complete fitted state of a GridQuantizer in exportable form — the grid
+/// anchor plus one (cell index, data centroid) entry per class. Cell centers
+/// and the cell->class map are derived, so this is the minimal state a model
+/// artifact must ship (serve/artifact.h).
+struct GridQuantizerState {
+  double tau = 0.0;
+  double origin_x = 0.0, origin_y = 0.0;
+  std::vector<std::int32_t> cell_ix, cell_iy;  ///< per class id.
+  std::vector<Point2> data_centroid;           ///< per class id.
+};
+
 /// Quantizes 2-D space into occupied square cells, assigning dense class ids.
 class GridQuantizer {
  public:
@@ -23,6 +34,14 @@ class GridQuantizer {
   /// meters; `origin` anchors the grid (defaults to the data's min corner
   /// snapped outward by one cell).
   void fit(const std::vector<Point2>& positions, double tau);
+
+  /// Snapshot of the fitted state (model artifact export).
+  GridQuantizerState export_state() const;
+
+  /// Rebuilds a fitted quantizer from an exported snapshot. The state must
+  /// be internally consistent (tau > 0, aligned per-class vectors, at least
+  /// one class, no duplicate cells).
+  void restore_state(const GridQuantizerState& state);
 
   /// Cell side length.
   double tau() const { return tau_; }

@@ -5,11 +5,15 @@
 namespace noble::nn {
 
 void Tanh::forward(const Mat& x, Mat& y, bool /*training*/) {
+  infer(x, y);
+  y_cache_ = y;
+}
+
+void Tanh::infer(const Mat& x, Mat& y) const {
   y.resize(x.rows(), x.cols());
   const float* px = x.data();
   float* py = y.data();
   for (std::size_t i = 0; i < x.size(); ++i) py[i] = std::tanh(px[i]);
-  y_cache_ = y;
 }
 
 void Tanh::backward(const Mat& x, const Mat& dy, Mat& dx) {
@@ -22,7 +26,9 @@ void Tanh::backward(const Mat& x, const Mat& dy, Mat& dx) {
   for (std::size_t i = 0; i < dy.size(); ++i) pdx[i] = pdy[i] * (1.0f - py[i] * py[i]);
 }
 
-void Relu::forward(const Mat& x, Mat& y, bool /*training*/) {
+void Relu::forward(const Mat& x, Mat& y, bool /*training*/) { infer(x, y); }
+
+void Relu::infer(const Mat& x, Mat& y) const {
   y.resize(x.rows(), x.cols());
   const float* px = x.data();
   float* py = y.data();
@@ -39,11 +45,15 @@ void Relu::backward(const Mat& x, const Mat& dy, Mat& dx) {
 }
 
 void Sigmoid::forward(const Mat& x, Mat& y, bool /*training*/) {
+  infer(x, y);
+  y_cache_ = y;
+}
+
+void Sigmoid::infer(const Mat& x, Mat& y) const {
   y.resize(x.rows(), x.cols());
   const float* px = x.data();
   float* py = y.data();
   for (std::size_t i = 0; i < x.size(); ++i) py[i] = 1.0f / (1.0f + std::exp(-px[i]));
-  y_cache_ = y;
 }
 
 void Sigmoid::backward(const Mat& x, const Mat& dy, Mat& dx) {

@@ -11,6 +11,7 @@ namespace noble::nn {
 class Tanh : public Layer {
  public:
   void forward(const Mat& x, Mat& y, bool training) override;
+  void infer(const Mat& x, Mat& y) const override;
   void backward(const Mat& x, const Mat& dy, Mat& dx) override;
   std::string name() const override { return "Tanh"; }
   std::size_t output_dim(std::size_t input_dim) const override { return input_dim; }
@@ -23,6 +24,7 @@ class Tanh : public Layer {
 class Relu : public Layer {
  public:
   void forward(const Mat& x, Mat& y, bool training) override;
+  void infer(const Mat& x, Mat& y) const override;
   void backward(const Mat& x, const Mat& dy, Mat& dx) override;
   std::string name() const override { return "Relu"; }
   std::size_t output_dim(std::size_t input_dim) const override { return input_dim; }
@@ -32,6 +34,7 @@ class Relu : public Layer {
 class Sigmoid : public Layer {
  public:
   void forward(const Mat& x, Mat& y, bool training) override;
+  void infer(const Mat& x, Mat& y) const override;
   void backward(const Mat& x, const Mat& dy, Mat& dx) override;
   std::string name() const override { return "Sigmoid"; }
   std::size_t output_dim(std::size_t input_dim) const override { return input_dim; }

@@ -47,13 +47,20 @@ void BatchNorm1d::forward(const Mat& x, Mat& y, bool training) {
       }
     }
   } else {
-    for (std::size_t i = 0; i < n; ++i) {
-      const float* xi = x.row(i);
-      float* yi = y.row(i);
-      for (std::size_t j = 0; j < dim_; ++j) {
-        const float inv = 1.0f / std::sqrt(running_var_(0, j) + eps_);
-        yi[j] = gamma_(0, j) * (xi[j] - running_mean_(0, j)) * inv + beta_(0, j);
-      }
+    infer(x, y);
+  }
+}
+
+void BatchNorm1d::infer(const Mat& x, Mat& y) const {
+  NOBLE_EXPECTS(x.cols() == dim_);
+  const std::size_t n = x.rows();
+  y.resize(n, dim_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* xi = x.row(i);
+    float* yi = y.row(i);
+    for (std::size_t j = 0; j < dim_; ++j) {
+      const float inv = 1.0f / std::sqrt(running_var_(0, j) + eps_);
+      yi[j] = gamma_(0, j) * (xi[j] - running_mean_(0, j)) * inv + beta_(0, j);
     }
   }
 }

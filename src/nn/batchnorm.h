@@ -14,10 +14,15 @@ class BatchNorm1d : public Layer {
   explicit BatchNorm1d(std::size_t dim, float momentum = 0.9f, float eps = 1e-5f);
 
   void forward(const Mat& x, Mat& y, bool training) override;
+  void infer(const Mat& x, Mat& y) const override;
   void backward(const Mat& x, const Mat& dy, Mat& dx) override;
   std::vector<Mat*> params() override { return {&gamma_, &beta_}; }
+  std::vector<const Mat*> params() const override { return {&gamma_, &beta_}; }
   std::vector<Mat*> grads() override { return {&dgamma_, &dbeta_}; }
   std::vector<Mat*> state() override { return {&running_mean_, &running_var_}; }
+  std::vector<const Mat*> state() const override {
+    return {&running_mean_, &running_var_};
+  }
   std::string name() const override { return "BatchNorm1d"; }
   std::size_t output_dim(std::size_t) const override { return dim_; }
 

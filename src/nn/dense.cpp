@@ -21,7 +21,9 @@ Dense::Dense(std::size_t in_dim, std::size_t out_dim, Rng& rng)
   xavier_uniform(w_, in_dim, out_dim, rng);
 }
 
-void Dense::forward(const Mat& x, Mat& y, bool /*training*/) {
+void Dense::forward(const Mat& x, Mat& y, bool /*training*/) { infer(x, y); }
+
+void Dense::infer(const Mat& x, Mat& y) const {
   NOBLE_EXPECTS(x.cols() == in_dim_);
   gemm(x, w_, y);
   for (std::size_t i = 0; i < y.rows(); ++i) {
@@ -58,6 +60,10 @@ TimeDistributedDense::TimeDistributedDense(std::size_t segments, std::size_t in_
 }
 
 void TimeDistributedDense::forward(const Mat& x, Mat& y, bool /*training*/) {
+  infer(x, y);
+}
+
+void TimeDistributedDense::infer(const Mat& x, Mat& y) const {
   NOBLE_EXPECTS(x.cols() == segments_ * in_dim_);
   const std::size_t n = x.rows();
   y.resize(n, segments_ * out_dim_);

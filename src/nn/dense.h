@@ -14,8 +14,10 @@ class Dense : public Layer {
   Dense(std::size_t in_dim, std::size_t out_dim, Rng& rng);
 
   void forward(const Mat& x, Mat& y, bool training) override;
+  void infer(const Mat& x, Mat& y) const override;
   void backward(const Mat& x, const Mat& dy, Mat& dx) override;
   std::vector<Mat*> params() override { return {&w_, &b_}; }
+  std::vector<const Mat*> params() const override { return {&w_, &b_}; }
   std::vector<Mat*> grads() override { return {&dw_, &db_}; }
   std::string name() const override { return "Dense"; }
   std::size_t output_dim(std::size_t) const override { return out_dim_; }
@@ -45,8 +47,10 @@ class TimeDistributedDense : public Layer {
                        Rng& rng);
 
   void forward(const Mat& x, Mat& y, bool training) override;
+  void infer(const Mat& x, Mat& y) const override;
   void backward(const Mat& x, const Mat& dy, Mat& dx) override;
   std::vector<Mat*> params() override { return {&w_, &b_}; }
+  std::vector<const Mat*> params() const override { return {&w_, &b_}; }
   std::vector<Mat*> grads() override { return {&dw_, &db_}; }
   std::string name() const override { return "TimeDistributedDense"; }
   std::size_t output_dim(std::size_t) const override { return segments_ * out_dim_; }

@@ -6,6 +6,8 @@ Dropout::Dropout(double rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
   NOBLE_EXPECTS(rate >= 0.0 && rate < 1.0);
 }
 
+void Dropout::infer(const Mat& x, Mat& y) const { y = x; }
+
 void Dropout::forward(const Mat& x, Mat& y, bool training) {
   y.resize(x.rows(), x.cols());
   if (!training || rate_ == 0.0) {

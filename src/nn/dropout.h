@@ -14,6 +14,7 @@ class Dropout : public Layer {
   Dropout(double rate, std::uint64_t seed);
 
   void forward(const Mat& x, Mat& y, bool training) override;
+  void infer(const Mat& x, Mat& y) const override;
   void backward(const Mat& x, const Mat& dy, Mat& dx) override;
   std::string name() const override { return "Dropout"; }
   std::size_t output_dim(std::size_t input_dim) const override { return input_dim; }

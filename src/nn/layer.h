@@ -30,11 +30,19 @@ class Layer {
   /// (batch-norm batch statistics, dropout masks).
   virtual void forward(const Mat& x, Mat& y, bool training) = 0;
 
+  /// Inference-only forward: y = f(x) in evaluation mode. Must not mutate
+  /// the layer — no activation caches, no running-statistic updates — so a
+  /// const network can be shared across threads (the serve API contract).
+  virtual void infer(const Mat& x, Mat& y) const = 0;
+
   /// Given dL/dy, accumulates parameter gradients and computes dL/dx.
   virtual void backward(const Mat& x, const Mat& dy, Mat& dx) = 0;
 
   /// Trainable parameters (may be empty). Order is stable across calls.
   virtual std::vector<Mat*> params() { return {}; }
+
+  /// Read-only view of `params()`, aligned with the mutable overload.
+  virtual std::vector<const Mat*> params() const { return {}; }
 
   /// Gradients aligned 1:1 with `params()`.
   virtual std::vector<Mat*> grads() { return {}; }
@@ -42,6 +50,9 @@ class Layer {
   /// Non-trainable state tensors that must survive serialization
   /// (batch-norm running statistics). Not touched by optimizers.
   virtual std::vector<Mat*> state() { return {}; }
+
+  /// Read-only view of `state()`, aligned with the mutable overload.
+  virtual std::vector<const Mat*> state() const { return {}; }
 
   /// Zeroes accumulated parameter gradients.
   void zero_grads() {

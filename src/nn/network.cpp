@@ -1,5 +1,7 @@
 #include "nn/network.h"
 
+#include <utility>
+
 #include "nn/dense.h"
 
 namespace noble::nn {
@@ -25,10 +27,10 @@ void Sequential::backward(const Mat& dy, Mat& dx) {
   dx = std::move(grad);
 }
 
-Mat Sequential::predict(const Mat& x) {
+Mat Sequential::predict(const Mat& x) const {
   Mat cur = x, next;
-  for (auto& layer : layers_) {
-    layer->forward(cur, next, /*training=*/false);
+  for (const auto& layer : layers_) {
+    layer->infer(cur, next);
     std::swap(cur, next);
   }
   return cur;
@@ -38,6 +40,13 @@ std::vector<Mat*> Sequential::params() {
   std::vector<Mat*> out;
   for (auto& layer : layers_)
     for (Mat* p : layer->params()) out.push_back(p);
+  return out;
+}
+
+std::vector<const Mat*> Sequential::params() const {
+  std::vector<const Mat*> out;
+  for (const auto& layer : layers_)
+    for (const Mat* p : std::as_const(*layer).params()) out.push_back(p);
   return out;
 }
 
@@ -55,13 +64,20 @@ std::vector<Mat*> Sequential::state() {
   return out;
 }
 
+std::vector<const Mat*> Sequential::state() const {
+  std::vector<const Mat*> out;
+  for (const auto& layer : layers_)
+    for (const Mat* s : std::as_const(*layer).state()) out.push_back(s);
+  return out;
+}
+
 void Sequential::zero_grads() {
   for (auto& layer : layers_) layer->zero_grads();
 }
 
-std::size_t Sequential::parameter_count() {
+std::size_t Sequential::parameter_count() const {
   std::size_t n = 0;
-  for (Mat* p : params()) n += p->size();
+  for (const Mat* p : params()) n += p->size();
   return n;
 }
 

@@ -38,20 +38,24 @@ class Sequential {
   /// dL/d(input) into `dx` (usable by upstream composite models).
   void backward(const Mat& dy, Mat& dx);
 
-  /// Convenience inference (training=false), no gradient bookkeeping reuse.
-  Mat predict(const Mat& x);
+  /// Convenience inference (evaluation mode) through the const `infer` path
+  /// of every layer: mutates nothing, so a const network is safe to share
+  /// across concurrently predicting threads.
+  Mat predict(const Mat& x) const;
 
   /// All trainable parameters in layer order.
   std::vector<Mat*> params();
+  std::vector<const Mat*> params() const;
   /// Gradients aligned with `params()`.
   std::vector<Mat*> grads();
   /// Non-trainable state tensors (batch-norm running stats) for
   /// serialization.
   std::vector<Mat*> state();
+  std::vector<const Mat*> state() const;
   /// Zeroes all parameter gradients.
   void zero_grads();
   /// Number of scalar trainable parameters.
-  std::size_t parameter_count();
+  std::size_t parameter_count() const;
   /// Multiply-accumulate count of one forward pass for a single input row
   /// (dense layers only) — consumed by the energy model (§IV-C).
   std::size_t macs_per_inference(std::size_t input_dim) const;

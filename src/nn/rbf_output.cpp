@@ -14,7 +14,9 @@ RbfOutput::RbfOutput(std::size_t in_dim, std::size_t num_classes, Rng& rng,
     p[i] = static_cast<float>(rng.normal(0.0, init_scale));
 }
 
-void RbfOutput::forward(const Mat& x, Mat& y, bool /*training*/) {
+void RbfOutput::forward(const Mat& x, Mat& y, bool /*training*/) { infer(x, y); }
+
+void RbfOutput::infer(const Mat& x, Mat& y) const {
   NOBLE_EXPECTS(x.cols() == in_dim_);
   const std::size_t n = x.rows();
   y.resize(n, num_classes_);

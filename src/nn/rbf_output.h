@@ -23,8 +23,10 @@ class RbfOutput : public Layer {
             float init_scale = 0.5f);
 
   void forward(const Mat& x, Mat& y, bool training) override;
+  void infer(const Mat& x, Mat& y) const override;
   void backward(const Mat& x, const Mat& dy, Mat& dx) override;
   std::vector<Mat*> params() override { return {&w_}; }
+  std::vector<const Mat*> params() const override { return {&w_}; }
   std::vector<Mat*> grads() override { return {&dw_}; }
   std::string name() const override { return "RbfOutput"; }
   std::size_t output_dim(std::size_t) const override { return num_classes_; }

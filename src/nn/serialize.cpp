@@ -1,23 +1,26 @@
 #include "nn/serialize.h"
 
-#include <cstdint>
+#include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 namespace noble::nn {
 
 namespace {
-constexpr char kMagic[6] = "NOBL1";
-}
+constexpr char kWeightsMagic[6] = "NOBL1";
+constexpr char kSectionMagic[6] = "NOBS1";
+constexpr std::uint32_t kSectionVersion = 1;
+}  // namespace
 
-bool save_weights(Sequential& net, const std::string& path) {
+bool save_weights(const Sequential& net, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return false;
-  out.write(kMagic, sizeof kMagic);
+  out.write(kWeightsMagic, sizeof kWeightsMagic);
   auto params = net.params();
   // Non-trainable state (batch-norm running statistics) is appended after
   // the parameters so reloaded models infer identically.
-  for (Mat* s : net.state()) params.push_back(s);
+  for (const Mat* s : net.state()) params.push_back(s);
   const std::uint64_t count = params.size();
   out.write(reinterpret_cast<const char*>(&count), sizeof count);
   for (const Mat* p : params) {
@@ -33,9 +36,9 @@ bool save_weights(Sequential& net, const std::string& path) {
 bool load_weights(Sequential& net, const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
-  char magic[sizeof kMagic];
+  char magic[sizeof kWeightsMagic];
   in.read(magic, sizeof magic);
-  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) return false;
+  if (!in || std::memcmp(magic, kWeightsMagic, sizeof kWeightsMagic) != 0) return false;
   std::uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof count);
   auto params = net.params();
@@ -50,7 +53,153 @@ bool load_weights(Sequential& net, const std::string& path) {
             static_cast<std::streamsize>(p->size() * sizeof(float)));
     if (!in) return false;
   }
+  // A well-formed file ends exactly after the last tensor; trailing bytes
+  // mean the file was written by something else (or corrupted).
+  return in.peek() == std::ifstream::traits_type::eof();
+}
+
+// --- ByteWriter / ByteReader -------------------------------------------------
+
+void ByteWriter::raw(const void* p, std::size_t n) {
+  buf_.append(static_cast<const char*>(p), n);
+}
+
+void ByteWriter::u32(std::uint32_t v) { raw(&v, sizeof v); }
+void ByteWriter::u64(std::uint64_t v) { raw(&v, sizeof v); }
+void ByteWriter::f64(double v) { raw(&v, sizeof v); }
+
+void ByteWriter::str(std::string_view s) {
+  u64(s.size());
+  raw(s.data(), s.size());
+}
+
+void ByteWriter::mat(const Mat& m) {
+  u64(m.rows());
+  u64(m.cols());
+  raw(m.data(), m.size() * sizeof(float));
+}
+
+bool ByteReader::raw(void* p, std::size_t n) {
+  if (n > data_.size() - pos_) return false;
+  std::memcpy(p, data_.data() + pos_, n);
+  pos_ += n;
   return true;
+}
+
+bool ByteReader::u32(std::uint32_t& v) { return raw(&v, sizeof v); }
+bool ByteReader::u64(std::uint64_t& v) { return raw(&v, sizeof v); }
+bool ByteReader::f64(double& v) { return raw(&v, sizeof v); }
+
+bool ByteReader::str(std::string& s) {
+  std::uint64_t n = 0;
+  if (!u64(n) || n > data_.size() - pos_) return false;
+  s.assign(data_.data() + pos_, static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return true;
+}
+
+bool ByteReader::mat(Mat& m) {
+  std::uint64_t rows = 0, cols = 0;
+  if (!u64(rows) || !u64(cols)) return false;
+  // Reject sizes the remaining payload cannot possibly hold before
+  // allocating, so a corrupted header fails cleanly instead of by bad_alloc.
+  const std::uint64_t remaining = data_.size() - pos_;
+  if (rows != 0 && cols != 0 &&
+      (rows > remaining / sizeof(float) ||
+       cols > remaining / (rows * sizeof(float)))) {
+    return false;
+  }
+  m.resize(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  return raw(m.data(), m.size() * sizeof(float));
+}
+
+// --- Named-section container -------------------------------------------------
+
+void SectionWriter::add(std::string name, std::string payload) {
+  NOBLE_EXPECTS(!name.empty());
+  for (const auto& [existing, _] : sections_) NOBLE_EXPECTS(existing != name);
+  sections_.emplace_back(std::move(name), std::move(payload));
+}
+
+std::string SectionWriter::encode() const {
+  ByteWriter w;
+  w.u32(kSectionVersion);
+  w.u64(sections_.size());
+  for (const auto& [name, payload] : sections_) {
+    w.str(name);
+    w.str(payload);
+  }
+  std::string out(kSectionMagic, sizeof kSectionMagic);
+  out += w.bytes();
+  return out;
+}
+
+bool SectionWriter::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const std::string data = encode();
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  return static_cast<bool>(out);
+}
+
+bool SectionReader::parse(std::string data) {
+  sections_.clear();
+  if (data.size() < sizeof kSectionMagic ||
+      std::memcmp(data.data(), kSectionMagic, sizeof kSectionMagic) != 0) {
+    return false;
+  }
+  ByteReader r(std::string_view(data).substr(sizeof kSectionMagic));
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  if (!r.u32(version) || version != kSectionVersion || !r.u64(count)) return false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string name, payload;
+    if (!r.str(name) || name.empty() || !r.str(payload)) return false;
+    if (find(name) != nullptr) return false;
+    sections_.emplace_back(std::move(name), std::move(payload));
+  }
+  return r.exhausted();
+}
+
+bool SectionReader::read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in) return false;
+  return parse(std::move(buf).str());
+}
+
+const std::string* SectionReader::find(std::string_view name) const {
+  const auto it = std::find_if(sections_.begin(), sections_.end(),
+                               [&](const auto& s) { return s.first == name; });
+  return it == sections_.end() ? nullptr : &it->second;
+}
+
+// --- Whole-network codec -----------------------------------------------------
+
+std::string encode_network(const Sequential& net) {
+  auto tensors = net.params();
+  for (const Mat* s : net.state()) tensors.push_back(s);
+  ByteWriter w;
+  w.u64(tensors.size());
+  for (const Mat* t : tensors) w.mat(*t);
+  return w.take();
+}
+
+bool decode_network(Sequential& net, std::string_view payload) {
+  auto tensors = net.params();
+  for (Mat* s : net.state()) tensors.push_back(s);
+  ByteReader r(payload);
+  std::uint64_t count = 0;
+  if (!r.u64(count) || count != tensors.size()) return false;
+  for (Mat* t : tensors) {
+    Mat loaded;
+    if (!r.mat(loaded)) return false;
+    if (loaded.rows() != t->rows() || loaded.cols() != t->cols()) return false;
+    *t = std::move(loaded);
+  }
+  return r.exhausted();
 }
 
 }  // namespace noble::nn

@@ -1,10 +1,25 @@
 // Binary (de)serialization of network parameters, so trained localization
 // models can be shipped to a device and reloaded (the paper's deployment
 // story targets energy-constrained mobile hardware).
+//
+// Two formats live here:
+//  * the flat weights file ("NOBL1"): all tensors of one network, in
+//    `params()` + `state()` order — save_weights / load_weights;
+//  * the named-section container ("NOBS1"): a tagged sequence of
+//    (name, payload) binary sections with random access on read. Model
+//    artifacts (serve/artifact.h) are built on it, storing config,
+//    quantizer, normalization stats and each network in its own section.
+//
+// Both formats store native-endian scalars: artifacts are device-local
+// deployment state, not an interchange format.
 #ifndef NOBLE_NN_SERIALIZE_H_
 #define NOBLE_NN_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "nn/network.h"
 
@@ -13,11 +28,99 @@ namespace noble::nn {
 /// Writes all parameters (in `params()` order) to `path`.
 /// Format: magic "NOBL1", u64 tensor count, then per tensor u64 rows, u64
 /// cols, raw float32 data. Returns false on I/O failure.
-bool save_weights(Sequential& net, const std::string& path);
+bool save_weights(const Sequential& net, const std::string& path);
 
 /// Loads parameters written by `save_weights` into an architecturally
-/// identical network. Returns false on I/O failure or shape mismatch.
+/// identical network. Strict: fails on bad magic, tensor-count or shape
+/// mismatch, truncated tensor data, and trailing bytes after the last
+/// tensor. Returns false on any such failure (the network may be left
+/// partially overwritten — reload or rebuild before using it).
 bool load_weights(Sequential& net, const std::string& path);
+
+/// Append-only little codec for artifact payloads: scalars, strings and
+/// matrices serialized into one byte string.
+class ByteWriter {
+ public:
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  /// u64 length + raw bytes.
+  void str(std::string_view s);
+  /// u64 rows, u64 cols, raw float32 data.
+  void mat(const Mat& m);
+
+  const std::string& bytes() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n);
+  std::string buf_;
+};
+
+/// Matching reader; every getter returns false on truncation instead of
+/// reading past the payload, so corrupt artifacts fail cleanly.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool u32(std::uint32_t& v);
+  bool u64(std::uint64_t& v);
+  bool f64(double& v);
+  bool str(std::string& s);
+  bool mat(Mat& m);
+
+  /// True when the payload has been consumed exactly.
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  bool raw(void* p, std::size_t n);
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// Builder for the "NOBS1" named-section container.
+class SectionWriter {
+ public:
+  /// Appends a section; names must be unique and non-empty.
+  void add(std::string name, std::string payload);
+
+  /// Encodes magic + version + section table into one byte string.
+  std::string encode() const;
+
+  /// Writes the encoded container to `path`; false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+/// Parsed view of a "NOBS1" container.
+class SectionReader {
+ public:
+  /// Parses a container image; false on bad magic, unsupported version,
+  /// duplicate names or truncation.
+  bool parse(std::string data);
+
+  /// Reads and parses `path`; false on I/O or format failure.
+  bool read_file(const std::string& path);
+
+  /// Payload of the named section, or nullptr when absent.
+  const std::string* find(std::string_view name) const;
+
+  std::size_t count() const { return sections_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+/// Encodes every tensor of `net` (params, then non-trainable state) as one
+/// section payload: u64 tensor count + mats.
+std::string encode_network(const Sequential& net);
+
+/// Decodes an `encode_network` payload into an architecturally identical
+/// network. Returns false on count/shape mismatch, truncation, or trailing
+/// bytes.
+bool decode_network(Sequential& net, std::string_view payload);
 
 }  // namespace noble::nn
 

@@ -1,0 +1,411 @@
+#include "serve/artifact.h"
+
+#include <array>
+#include <fstream>
+#include <limits>
+#include <unordered_set>
+#include <utility>
+
+#include "nn/serialize.h"
+
+namespace noble::serve {
+
+namespace {
+
+using nn::ByteReader;
+using nn::ByteWriter;
+using nn::SectionReader;
+using nn::SectionWriter;
+
+// --- shared sub-codecs -------------------------------------------------------
+
+void write_quantize_config(ByteWriter& w, const core::QuantizeConfig& q) {
+  w.f64(q.tau);
+  w.f64(q.coarse_l);
+  w.u32(q.use_coarse ? 1 : 0);
+  w.u32(q.adjacency_labels ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(q.adjacency_ring));
+  w.f64(q.adjacency_value);
+}
+
+bool read_quantize_config(ByteReader& r, core::QuantizeConfig& q) {
+  std::uint32_t use_coarse = 0, adjacency = 0, ring = 0;
+  double adjacency_value = 0.0;
+  if (!r.f64(q.tau) || !r.f64(q.coarse_l) || !r.u32(use_coarse) ||
+      !r.u32(adjacency) || !r.u32(ring) || !r.f64(adjacency_value)) {
+    return false;
+  }
+  q.use_coarse = use_coarse != 0;
+  q.adjacency_labels = adjacency != 0;
+  q.adjacency_ring = static_cast<int>(ring);
+  q.adjacency_value = static_cast<float>(adjacency_value);
+  // The same invariants SpaceQuantizer::fit asserts — checked here so a
+  // corrupt artifact returns nullopt instead of tripping a contract abort.
+  return q.tau > 0.0 && (!q.use_coarse || q.coarse_l > q.tau) &&
+         q.adjacency_ring >= 1 && q.adjacency_value >= 0.0f &&
+         q.adjacency_value <= 1.0f;
+}
+
+void write_grid(ByteWriter& w, const geo::GridQuantizerState& g) {
+  w.f64(g.tau);
+  w.f64(g.origin_x);
+  w.f64(g.origin_y);
+  w.u64(g.cell_ix.size());
+  for (std::size_t c = 0; c < g.cell_ix.size(); ++c) {
+    w.u32(static_cast<std::uint32_t>(g.cell_ix[c]));
+    w.u32(static_cast<std::uint32_t>(g.cell_iy[c]));
+    w.f64(g.data_centroid[c].x);
+    w.f64(g.data_centroid[c].y);
+  }
+}
+
+bool read_grid(ByteReader& r, geo::GridQuantizerState& g) {
+  std::uint64_t classes = 0;
+  if (!r.f64(g.tau) || !r.f64(g.origin_x) || !r.f64(g.origin_y) ||
+      !r.u64(classes)) {
+    return false;
+  }
+  if (g.tau <= 0.0 || classes == 0) return false;
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t c = 0; c < classes; ++c) {
+    std::uint32_t ix = 0, iy = 0;
+    geo::Point2 centroid;
+    if (!r.u32(ix) || !r.u32(iy) || !r.f64(centroid.x) || !r.f64(centroid.y)) {
+      return false;
+    }
+    // restore_state treats duplicate cells as a contract violation; reject
+    // them here so corrupt files fail soft.
+    if (!seen.insert((std::uint64_t{ix} << 32) | iy).second) return false;
+    g.cell_ix.push_back(static_cast<std::int32_t>(ix));
+    g.cell_iy.push_back(static_cast<std::int32_t>(iy));
+    g.data_centroid.push_back(centroid);
+  }
+  return true;
+}
+
+std::string encode_quantizer(const core::SpaceQuantizer& quantizer) {
+  ByteWriter w;
+  write_quantize_config(w, quantizer.config());
+  write_grid(w, quantizer.fine().export_state());
+  if (quantizer.config().use_coarse) write_grid(w, quantizer.coarse().export_state());
+  return w.take();
+}
+
+bool decode_quantizer(const std::string& payload, core::SpaceQuantizer& quantizer) {
+  ByteReader r(payload);
+  core::QuantizeConfig config;
+  if (!read_quantize_config(r, config)) return false;
+  geo::GridQuantizerState fine;
+  if (!read_grid(r, fine)) return false;
+  if (config.use_coarse) {
+    geo::GridQuantizerState coarse;
+    if (!read_grid(r, coarse) || !r.exhausted()) return false;
+    quantizer.restore(config, fine, &coarse);
+  } else {
+    if (!r.exhausted()) return false;
+    quantizer.restore(config, fine, nullptr);
+  }
+  return true;
+}
+
+std::string encode_meta(const char* kind) {
+  ByteWriter w;
+  w.u32(kArtifactVersion);
+  w.str(kind);
+  return w.take();
+}
+
+/// Checks the "meta" section and returns its kind tag; nullopt on any
+/// version or format mismatch.
+std::optional<std::string> read_meta(const SectionReader& sections) {
+  const std::string* meta = sections.find("meta");
+  if (meta == nullptr) return std::nullopt;
+  ByteReader r(*meta);
+  std::uint32_t version = 0;
+  std::string kind;
+  if (!r.u32(version) || version != kArtifactVersion || !r.str(kind) ||
+      !r.exhausted()) {
+    return std::nullopt;
+  }
+  return kind;
+}
+
+// --- Wi-Fi codec -------------------------------------------------------------
+
+std::string encode_wifi_config(const core::NobleWifiConfig& c) {
+  ByteWriter w;
+  write_quantize_config(w, c.quantize);
+  w.u64(c.hidden_units);
+  w.u32(c.predict_building ? 1 : 0);
+  w.u32(c.predict_floor ? 1 : 0);
+  w.u32(c.hierarchical_decode ? 1 : 0);
+  w.f64(c.learning_rate);
+  w.f64(c.lr_decay);
+  w.u64(c.epochs);
+  w.u64(c.batch_size);
+  w.u64(c.patience);
+  w.f64(c.positive_weight);
+  w.u32(static_cast<std::uint32_t>(c.representation));
+  w.u64(c.seed);
+  return w.take();
+}
+
+bool decode_wifi_config(const std::string& payload, core::NobleWifiConfig& c) {
+  ByteReader r(payload);
+  std::uint32_t building = 0, floor = 0, hierarchical = 0, representation = 0;
+  std::uint64_t hidden = 0, epochs = 0, batch = 0, patience = 0, seed = 0;
+  if (!read_quantize_config(r, c.quantize) || !r.u64(hidden) || !r.u32(building) ||
+      !r.u32(floor) || !r.u32(hierarchical) || !r.f64(c.learning_rate) ||
+      !r.f64(c.lr_decay) || !r.u64(epochs) || !r.u64(batch) || !r.u64(patience) ||
+      !r.f64(c.positive_weight) || !r.u32(representation) || !r.u64(seed) ||
+      !r.exhausted()) {
+    return false;
+  }
+  if (hidden < 2 || representation > 1) return false;  // model-constructor contracts
+  c.hidden_units = hidden;
+  c.predict_building = building != 0;
+  c.predict_floor = floor != 0;
+  c.hierarchical_decode = hierarchical != 0;
+  c.epochs = epochs;
+  c.batch_size = batch;
+  c.patience = patience;
+  c.representation = static_cast<data::RssiRepresentation>(representation);
+  c.seed = seed;
+  return true;
+}
+
+// --- IMU codec ---------------------------------------------------------------
+
+std::string encode_imu_config(const core::NobleImuConfig& c) {
+  ByteWriter w;
+  write_quantize_config(w, c.quantize);
+  w.u64(c.projection_dim);
+  w.f64(c.learning_rate);
+  w.f64(c.lr_decay);
+  w.u64(c.epochs);
+  w.u64(c.batch_size);
+  w.f64(c.displacement_weight);
+  w.f64(c.segment_supervision_weight);
+  w.f64(c.displacement_scale);
+  w.f64(c.location_input_scale);
+  w.f64(c.positive_weight);
+  w.u64(c.seed);
+  return w.take();
+}
+
+bool decode_imu_config(const std::string& payload, core::NobleImuConfig& c) {
+  ByteReader r(payload);
+  std::uint64_t projection = 0, epochs = 0, batch = 0, seed = 0;
+  if (!read_quantize_config(r, c.quantize) || !r.u64(projection) ||
+      !r.f64(c.learning_rate) || !r.f64(c.lr_decay) || !r.u64(epochs) ||
+      !r.u64(batch) || !r.f64(c.displacement_weight) ||
+      !r.f64(c.segment_supervision_weight) || !r.f64(c.displacement_scale) ||
+      !r.f64(c.location_input_scale) || !r.f64(c.positive_weight) || !r.u64(seed) ||
+      !r.exhausted()) {
+    return false;
+  }
+  if (projection < 1 || c.displacement_weight < 0.0 ||
+      c.segment_supervision_weight < 0.0 || c.displacement_scale <= 0.0) {
+    return false;  // tracker-constructor contracts
+  }
+  c.projection_dim = projection;
+  c.epochs = epochs;
+  c.batch_size = batch;
+  c.seed = seed;
+  return true;
+}
+
+}  // namespace
+
+// --- public API --------------------------------------------------------------
+
+std::string encode_model(const core::NobleWifiModel& model) {
+  NOBLE_EXPECTS(model.fitted());
+  SectionWriter sections;
+  sections.add("meta", encode_meta(kWifiKind));
+  sections.add("config", encode_wifi_config(model.config()));
+  sections.add("quantizer", encode_quantizer(model.quantizer()));
+  ByteWriter dims;
+  dims.u64(model.input_dim());
+  dims.u64(model.num_buildings());
+  dims.u64(model.num_floors());
+  sections.add("dims", dims.take());
+  sections.add("net", nn::encode_network(model.network()));
+  return sections.encode();
+}
+
+std::string encode_model(const core::NobleImuTracker& tracker) {
+  NOBLE_EXPECTS(tracker.fitted());
+  SectionWriter sections;
+  sections.add("meta", encode_meta(kImuKind));
+  sections.add("config", encode_imu_config(tracker.config()));
+  sections.add("quantizer", encode_quantizer(tracker.quantizer()));
+  ByteWriter dims;
+  dims.u64(tracker.max_segments());
+  dims.u64(tracker.segment_dim());
+  sections.add("dims", dims.take());
+  ByteWriter norm;
+  for (double m : tracker.channel_mean()) norm.f64(m);
+  for (double s : tracker.channel_inv_std()) norm.f64(s);
+  sections.add("norm", norm.take());
+  sections.add("projnet", nn::encode_network(tracker.projection_network()));
+  sections.add("seghead", nn::encode_network(tracker.segment_head()));
+  sections.add("locnet", nn::encode_network(tracker.location_network()));
+  return sections.encode();
+}
+
+namespace {
+
+std::optional<core::NobleWifiModel> wifi_from_sections(const SectionReader& sections) {
+  const auto kind = read_meta(sections);
+  if (!kind.has_value() || *kind != kWifiKind) return std::nullopt;
+
+  const std::string* config_payload = sections.find("config");
+  const std::string* quantizer_payload = sections.find("quantizer");
+  const std::string* dims_payload = sections.find("dims");
+  const std::string* net_payload = sections.find("net");
+  if (config_payload == nullptr || quantizer_payload == nullptr ||
+      dims_payload == nullptr || net_payload == nullptr) {
+    return std::nullopt;
+  }
+
+  core::NobleWifiConfig config;
+  if (!decode_wifi_config(*config_payload, config)) return std::nullopt;
+  core::SpaceQuantizer quantizer;
+  if (!decode_quantizer(*quantizer_payload, quantizer)) return std::nullopt;
+  // The quantize config is stored in both the "config" and "quantizer"
+  // sections (the latter keeps the quantizer self-contained); a file where
+  // the two copies disagree was edited or corrupted.
+  if (!(config.quantize == quantizer.config())) return std::nullopt;
+
+  ByteReader dims(*dims_payload);
+  std::uint64_t input_dim = 0, num_buildings = 0, num_floors = 0;
+  if (!dims.u64(input_dim) || !dims.u64(num_buildings) || !dims.u64(num_floors) ||
+      !dims.exhausted() || input_dim == 0) {
+    return std::nullopt;
+  }
+  // Necessary-condition bound before building the network: a valid artifact's
+  // "net" payload holds the (input_dim x hidden) and (hidden x layout-total)
+  // weight tensors, so dims exceeding it are corrupt — reject them here
+  // rather than dying on a gigantic allocation inside restore().
+  const std::uint64_t net_floats = net_payload->size() / sizeof(float);
+  if (input_dim > net_floats / config.hidden_units ||
+      num_buildings > net_floats / config.hidden_units ||
+      num_floors > net_floats / config.hidden_units) {
+    return std::nullopt;
+  }
+
+  core::NobleWifiModel model(config);
+  model.restore(quantizer, static_cast<std::size_t>(input_dim),
+                static_cast<std::size_t>(num_buildings),
+                static_cast<std::size_t>(num_floors));
+  if (!nn::decode_network(model.network(), *net_payload)) return std::nullopt;
+  return model;
+}
+
+std::optional<core::NobleImuTracker> imu_from_sections(const SectionReader& sections) {
+  const auto kind = read_meta(sections);
+  if (!kind.has_value() || *kind != kImuKind) return std::nullopt;
+
+  const std::string* config_payload = sections.find("config");
+  const std::string* quantizer_payload = sections.find("quantizer");
+  const std::string* dims_payload = sections.find("dims");
+  const std::string* norm_payload = sections.find("norm");
+  const std::string* proj_payload = sections.find("projnet");
+  const std::string* seg_payload = sections.find("seghead");
+  const std::string* loc_payload = sections.find("locnet");
+  if (config_payload == nullptr || quantizer_payload == nullptr ||
+      dims_payload == nullptr || norm_payload == nullptr || proj_payload == nullptr ||
+      seg_payload == nullptr || loc_payload == nullptr) {
+    return std::nullopt;
+  }
+
+  core::NobleImuConfig config;
+  if (!decode_imu_config(*config_payload, config)) return std::nullopt;
+  core::SpaceQuantizer quantizer;
+  if (!decode_quantizer(*quantizer_payload, quantizer)) return std::nullopt;
+  if (!(config.quantize == quantizer.config())) return std::nullopt;
+
+  ByteReader dims(*dims_payload);
+  std::uint64_t max_segments = 0, segment_dim = 0;
+  if (!dims.u64(max_segments) || !dims.u64(segment_dim) || !dims.exhausted() ||
+      max_segments == 0 || segment_dim == 0 || segment_dim % 6 != 0) {
+    return std::nullopt;
+  }
+  // Corrupt-dims bounds (see the wifi loader): the projection payload must
+  // hold the (segment_dim x projection_dim) weights, and feature_dim =
+  // max_segments * segment_dim must not overflow size_t.
+  const std::uint64_t proj_floats = proj_payload->size() / sizeof(float);
+  if (segment_dim > proj_floats / config.projection_dim ||
+      max_segments > std::numeric_limits<std::size_t>::max() / segment_dim) {
+    return std::nullopt;
+  }
+
+  ByteReader norm(*norm_payload);
+  std::array<double, 6> mean{}, inv_std{};
+  for (double& m : mean)
+    if (!norm.f64(m)) return std::nullopt;
+  for (double& s : inv_std)
+    if (!norm.f64(s)) return std::nullopt;
+  if (!norm.exhausted()) return std::nullopt;
+
+  core::NobleImuTracker tracker(config);
+  tracker.restore(quantizer, static_cast<std::size_t>(max_segments),
+                  static_cast<std::size_t>(segment_dim), mean, inv_std);
+  if (!nn::decode_network(tracker.projection_network(), *proj_payload) ||
+      !nn::decode_network(tracker.segment_head(), *seg_payload) ||
+      !nn::decode_network(tracker.location_network(), *loc_payload)) {
+    return std::nullopt;
+  }
+  return tracker;
+}
+
+}  // namespace
+
+std::optional<core::NobleWifiModel> decode_wifi_model(std::string data) {
+  SectionReader sections;
+  if (!sections.parse(std::move(data))) return std::nullopt;
+  return wifi_from_sections(sections);
+}
+
+std::optional<core::NobleImuTracker> decode_imu_model(std::string data) {
+  SectionReader sections;
+  if (!sections.parse(std::move(data))) return std::nullopt;
+  return imu_from_sections(sections);
+}
+
+bool save_model(const core::NobleWifiModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const std::string data = encode_model(model);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  return static_cast<bool>(out);
+}
+
+bool save_model(const core::NobleImuTracker& tracker, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const std::string data = encode_model(tracker);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<core::NobleWifiModel> load_wifi_model(const std::string& path) {
+  SectionReader sections;
+  if (!sections.read_file(path)) return std::nullopt;
+  return wifi_from_sections(sections);
+}
+
+std::optional<core::NobleImuTracker> load_imu_model(const std::string& path) {
+  SectionReader sections;
+  if (!sections.read_file(path)) return std::nullopt;
+  return imu_from_sections(sections);
+}
+
+std::optional<std::string> artifact_kind(const std::string& path) {
+  SectionReader sections;
+  if (!sections.read_file(path)) return std::nullopt;
+  return read_meta(sections);
+}
+
+}  // namespace noble::serve

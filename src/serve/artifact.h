@@ -1,0 +1,61 @@
+// Versioned single-file model artifacts: the complete deployable state of a
+// fitted model — config, space quantizer, label layout dimensions,
+// per-channel normalization, and every network tensor — in one tagged
+// binary container (nn/serialize's "NOBS1" named sections).
+//
+// This is what `nn::save_weights` alone cannot do: a weights file needs the
+// training pipeline alive to rebuild the architecture and quantizer, while
+// an artifact reloads into a serving localizer with nothing but this file.
+//
+// Layout (container sections):
+//   "meta"      u32 artifact version, string kind ("wifi" | "imu")
+//   "config"    full model hyperparameter struct
+//   "quantizer" QuantizeConfig + fine grid snapshot [+ coarse grid snapshot]
+//   "dims"      model input-layout dimensions
+//   "norm"      (imu) 6 channel means + 6 inverse stds
+//   "net"       (wifi) all network tensors    — nn::encode_network
+//   "projnet" / "seghead" / "locnet" (imu)    — nn::encode_network each
+#ifndef NOBLE_SERVE_ARTIFACT_H_
+#define NOBLE_SERVE_ARTIFACT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/noble_imu.h"
+#include "core/noble_wifi.h"
+
+namespace noble::serve {
+
+/// Bumped when any section payload changes shape.
+inline constexpr std::uint32_t kArtifactVersion = 1;
+
+/// Artifact kind tags stored in the "meta" section.
+inline constexpr char kWifiKind[] = "wifi";
+inline constexpr char kImuKind[] = "imu";
+
+/// Serializes a fitted model into one artifact file. Returns false on I/O
+/// failure. Precondition: model.fitted().
+bool save_model(const core::NobleWifiModel& model, const std::string& path);
+bool save_model(const core::NobleImuTracker& tracker, const std::string& path);
+
+/// Reloads a fitted model from an artifact, without any training data.
+/// Returns nullopt when the file is missing, malformed, truncated, of the
+/// wrong kind, or carries an unsupported version.
+std::optional<core::NobleWifiModel> load_wifi_model(const std::string& path);
+std::optional<core::NobleImuTracker> load_imu_model(const std::string& path);
+
+/// Kind tag of an artifact ("wifi" / "imu") without loading the model;
+/// nullopt when the file is not a readable artifact.
+std::optional<std::string> artifact_kind(const std::string& path);
+
+/// In-memory codecs behind the file API — also the deep-copy path the
+/// localizers use to clone a fitted model without consuming it.
+std::string encode_model(const core::NobleWifiModel& model);
+std::string encode_model(const core::NobleImuTracker& tracker);
+std::optional<core::NobleWifiModel> decode_wifi_model(std::string data);
+std::optional<core::NobleImuTracker> decode_imu_model(std::string data);
+
+}  // namespace noble::serve
+
+#endif  // NOBLE_SERVE_ARTIFACT_H_

@@ -1,0 +1,40 @@
+// noble::serve — deployable inference API: request/response types.
+//
+// The training side of the repo (core/) speaks datasets; the serve side
+// speaks single queries. These are the wire-shaped structs a device or RPC
+// layer would marshal: a raw RSSI scan or IMU segment in, a position fix
+// out. No dataset machinery, no training state.
+#ifndef NOBLE_SERVE_FIX_H_
+#define NOBLE_SERVE_FIX_H_
+
+#include <vector>
+
+#include "geo/point.h"
+
+namespace noble::serve {
+
+/// One raw Wi-Fi scan: an RSSI value per access point in dBm, with
+/// data::kNotDetectedRssi (+100) for APs not seen — exactly the offline
+/// fingerprint layout, so a deployed scanner needs no preprocessing.
+using RssiVector = std::vector<float>;
+
+/// One inter-reference IMU window, resampled to the fixed per-segment
+/// layout the model was trained with (`segment_dim` floats, reading-major
+/// [ax ay az gx gy gz] per reading — sim::resample_window's output).
+using ImuSegment = std::vector<float>;
+
+/// A single localization answer.
+struct Fix {
+  int building = -1;  ///< -1 when the model has no building head.
+  int floor = -1;     ///< -1 when the model has no floor head.
+  int fine_class = 0;  ///< predicted neighborhood class (§III-B).
+  geo::Point2 position;  ///< decoded cell-center position (meters).
+  /// Sigmoid of the winning fine-class logit: the BCE-trained network's own
+  /// score that the query lies in the predicted cell. Monotone in the
+  /// logit, not a calibrated probability.
+  double confidence = 0.0;
+};
+
+}  // namespace noble::serve
+
+#endif  // NOBLE_SERVE_FIX_H_

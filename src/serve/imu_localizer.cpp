@@ -1,0 +1,139 @@
+#include "serve/imu_localizer.h"
+
+#include <cmath>
+#include <utility>
+
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/serialize.h"
+#include "serve/artifact.h"
+
+namespace noble::serve {
+
+ImuLocalizer::ImuLocalizer(core::NobleImuTracker tracker)
+    : tracker_(std::move(tracker)) {
+  NOBLE_EXPECTS(tracker_.fitted());
+  build_segment_nets();
+}
+
+void ImuLocalizer::build_segment_nets() {
+  // The projection and displacement modules are weight-shared across
+  // segments, so their tensors are segment-count independent: a segments=1
+  // clone accepts the fitted weights unchanged and processes one window at
+  // a fraction of the padded-layout cost.
+  Rng rng(0);  // placeholder init, overwritten below
+  seg_proj_ = nn::Sequential();
+  seg_proj_.emplace<nn::TimeDistributedDense>(1, tracker_.segment_dim(),
+                                              tracker_.config().projection_dim, rng);
+  seg_proj_.emplace<nn::Tanh>();
+  seg_head_ = nn::Sequential();
+  seg_head_.emplace<nn::TimeDistributedDense>(1, tracker_.config().projection_dim, 2,
+                                              rng);
+  NOBLE_CHECK(
+      nn::decode_network(seg_proj_, nn::encode_network(tracker_.projection_network())));
+  NOBLE_CHECK(
+      nn::decode_network(seg_head_, nn::encode_network(tracker_.segment_head())));
+}
+
+ImuLocalizer ImuLocalizer::from_model(const core::NobleImuTracker& tracker) {
+  auto clone = decode_imu_model(encode_model(tracker));
+  NOBLE_CHECK(clone.has_value());  // a fitted tracker always round-trips
+  return ImuLocalizer(std::move(*clone));
+}
+
+std::optional<ImuLocalizer> ImuLocalizer::load(const std::string& path) {
+  auto tracker = load_imu_model(path);
+  if (!tracker.has_value()) return std::nullopt;
+  return ImuLocalizer(std::move(*tracker));
+}
+
+geo::Point2 ImuLocalizer::segment_output_scaled(const ImuSegment& segment) const {
+  NOBLE_EXPECTS(segment.size() == tracker_.segment_dim());
+  // Per-channel standardization, float-cast exactly like the batch path's
+  // scaled_features so streamed and padded inference stay bit-identical.
+  const auto mean = tracker_.channel_mean();
+  const auto inv_std = tracker_.channel_inv_std();
+  linalg::Mat x(1, segment.size());
+  float* row = x.row(0);
+  for (std::size_t j = 0; j < segment.size(); ++j) {
+    const std::size_t ch = j % 6;
+    row[j] = static_cast<float>((segment[j] - mean[ch]) * inv_std[ch]);
+  }
+  const linalg::Mat d = seg_head_.predict(seg_proj_.predict(x));
+  return {static_cast<double>(d(0, 0)), static_cast<double>(d(0, 1))};
+}
+
+geo::Point2 ImuLocalizer::segment_displacement(const ImuSegment& segment) const {
+  const geo::Point2 scaled = segment_output_scaled(segment);
+  return scaled * tracker_.config().displacement_scale;
+}
+
+Fix ImuLocalizer::fix_from(int start_class, const geo::Point2& scaled_displacement) const {
+  linalg::Mat v(1, 2);
+  v(0, 0) = static_cast<float>(scaled_displacement.x);
+  v(0, 1) = static_cast<float>(scaled_displacement.y);
+  const linalg::Mat in = tracker_.location_inputs(v, {start_class});
+  const linalg::Mat logits = tracker_.location_network().predict(in);
+  const core::LabelLayout layout =
+      tracker_.quantizer().layout(/*num_buildings=*/0, /*num_floors=*/0);
+  const core::DecodedPrediction d = tracker_.quantizer().decode(layout, logits.row(0));
+  Fix fix;
+  fix.fine_class = d.fine_class;
+  fix.position = d.position;
+  const double logit =
+      logits(0, layout.fine_offset() + static_cast<std::size_t>(d.fine_class));
+  fix.confidence = 1.0 / (1.0 + std::exp(-logit));
+  return fix;
+}
+
+Fix ImuLocalizer::locate(const geo::Point2& start,
+                         const std::vector<ImuSegment>& segments) const {
+  // Same double accumulator a streaming session maintains, but only one
+  // location-head pass at the end — whole-path queries don't pay for the
+  // per-update fixes they would discard.
+  double sum_x = 0.0, sum_y = 0.0;
+  for (const ImuSegment& segment : segments) {
+    const geo::Point2 scaled = segment_output_scaled(segment);
+    sum_x += scaled.x;
+    sum_y += scaled.y;
+  }
+  return fix_from(tracker_.quantizer().fine_class_of(start), {sum_x, sum_y});
+}
+
+TrackingSession ImuLocalizer::start_session(const geo::Point2& start) const {
+  return TrackingSession(this, start);
+}
+
+TrackingSession::TrackingSession(const ImuLocalizer* owner, const geo::Point2& start)
+    : owner_(owner),
+      start_(start),
+      start_class_(owner->tracker_.quantizer().fine_class_of(start)) {}
+
+Fix TrackingSession::update(const ImuSegment& segment) {
+  // Weight sharing + sum decomposition: the path displacement is the sum of
+  // per-segment estimates, so each arriving window folds into a running
+  // double sum — the same accumulator the batch path's masked segment sum
+  // uses over the padded layout.
+  const geo::Point2 scaled = owner_->segment_output_scaled(segment);
+  sum_x_ += scaled.x;
+  sum_y_ += scaled.y;
+  ++consumed_;
+  return current();
+}
+
+Fix TrackingSession::current() const {
+  return owner_->fix_from(start_class_, {sum_x_, sum_y_});
+}
+
+geo::Point2 TrackingSession::displacement() const {
+  // Round the sums to float first, matching the batch path (which stores
+  // them in a float32 matrix). volatile is load-bearing: GCC 12's SLP
+  // vectorizer otherwise deletes the paired double->float->double casts
+  // (no cvtsd2ss in the emitted code), breaking bit-equivalence with batch.
+  volatile float vx = static_cast<float>(sum_x_);
+  volatile float vy = static_cast<float>(sum_y_);
+  const double scale = owner_->tracker_.config().displacement_scale;
+  return {static_cast<double>(vx) * scale, static_cast<double>(vy) * scale};
+}
+
+}  // namespace noble::serve

@@ -1,0 +1,115 @@
+// Immutable IMU serving front end plus streaming tracking sessions.
+//
+// Batch training-side inference (§V) pads every path to max_segments and
+// runs the weight-shared projection / displacement modules over the whole
+// layout at once. At serve time a device produces one inter-reference
+// window at a time; because those modules are weight-shared and the path
+// displacement is their masked sum, each segment can be processed the
+// moment it arrives. `TrackingSession` does exactly that: one small
+// single-segment pass per update, an accumulated displacement sum, and a
+// position fix after every segment — numerically identical to the batch
+// path on the same (<= max_segments) windows, with no pre-padded dataset.
+#ifndef NOBLE_SERVE_IMU_LOCALIZER_H_
+#define NOBLE_SERVE_IMU_LOCALIZER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/noble_imu.h"
+#include "serve/fix.h"
+
+namespace noble::serve {
+
+class TrackingSession;
+
+class ImuLocalizer {
+ public:
+  /// Takes ownership of a fitted tracker. Precondition: tracker.fitted().
+  explicit ImuLocalizer(core::NobleImuTracker tracker);
+
+  /// Deep-copies the deployable state of a fitted tracker, leaving the
+  /// original usable (the in-memory counterpart of save + load).
+  static ImuLocalizer from_model(const core::NobleImuTracker& tracker);
+
+  /// Loads from an artifact written by serve::save_model; nullopt when the
+  /// file is unreadable, malformed or not an "imu" artifact.
+  static std::optional<ImuLocalizer> load(const std::string& path);
+
+  /// End-of-path fix for a complete walk from `start` over `segments`
+  /// (each segment_dim() floats). Thread-safe. Equivalent to streaming the
+  /// segments through one session.
+  Fix locate(const geo::Point2& start, const std::vector<ImuSegment>& segments) const;
+
+  /// Opens a streaming session anchored at `start`. The localizer must
+  /// outlive every session it spawns; sessions are independent, so one
+  /// localizer can serve many concurrent tracks.
+  TrackingSession start_session(const geo::Point2& start) const;
+
+  /// Displacement estimate (meters) of one segment through the shared
+  /// projection + displacement modules — the §V-B environment-agnostic
+  /// reuse path, exposed per segment.
+  geo::Point2 segment_displacement(const ImuSegment& segment) const;
+
+  /// Expected floats per segment window.
+  std::size_t segment_dim() const { return tracker_.segment_dim(); }
+
+  const core::SpaceQuantizer& quantizer() const { return tracker_.quantizer(); }
+  const core::NobleImuTracker& tracker() const { return tracker_; }
+
+ private:
+  friend class TrackingSession;
+
+  /// Builds the single-segment clones of the weight-shared modules.
+  void build_segment_nets();
+
+  /// Raw displacement of one standardized segment in the model's scaled
+  /// units (meters / displacement_scale) — the unit the batch path sums in,
+  /// so sessions accumulate it to stay bit-identical with batch inference.
+  geo::Point2 segment_output_scaled(const ImuSegment& segment) const;
+
+  /// Fix for an accumulated scaled displacement from `start_class`.
+  Fix fix_from(int start_class, const geo::Point2& scaled_displacement) const;
+
+  core::NobleImuTracker tracker_;
+  /// Single-segment (segments=1) clones sharing the fitted weights: the
+  /// per-update cost is one segment's work, not a full padded layout.
+  nn::Sequential seg_proj_;
+  nn::Sequential seg_head_;
+};
+
+/// One live track: consumes IMU segments incrementally, emits a fix per
+/// update (the paper's §V usage). Cheap value object; holds a pointer to
+/// its parent localizer. Not thread-safe itself — use one session per
+/// track — but any number of sessions may share a localizer.
+class TrackingSession {
+ public:
+  /// Consumes one segment and returns the updated end-position fix.
+  Fix update(const ImuSegment& segment);
+
+  /// Current fix without consuming anything (the start-cell fix before the
+  /// first update).
+  Fix current() const;
+
+  /// Accumulated displacement estimate since start (meters).
+  geo::Point2 displacement() const;
+
+  std::size_t segments_consumed() const { return consumed_; }
+  const geo::Point2& start() const { return start_; }
+
+ private:
+  friend class ImuLocalizer;
+  TrackingSession(const ImuLocalizer* owner, const geo::Point2& start);
+
+  const ImuLocalizer* owner_;
+  geo::Point2 start_;
+  int start_class_;
+  /// Scaled-unit running sum, accumulated in double exactly like the batch
+  /// path's masked segment sum.
+  double sum_x_ = 0.0, sum_y_ = 0.0;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace noble::serve
+
+#endif  // NOBLE_SERVE_IMU_LOCALIZER_H_

@@ -1,0 +1,57 @@
+// Immutable Wi-Fi serving front end: single-query and batched localization
+// over a fitted NObLe model, decoupled from the dataset machinery.
+//
+// Construction is the only mutation. `locate` / `locate_batch` are const
+// and run through the network's mutation-free inference path, so one
+// localizer can serve concurrent threads without synchronization — the
+// paper's on-device deployment story (§IV-C) as an API contract.
+#ifndef NOBLE_SERVE_WIFI_LOCALIZER_H_
+#define NOBLE_SERVE_WIFI_LOCALIZER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/noble_wifi.h"
+#include "serve/fix.h"
+
+namespace noble::serve {
+
+class WifiLocalizer {
+ public:
+  /// Takes ownership of a fitted model. Precondition: model.fitted().
+  explicit WifiLocalizer(core::NobleWifiModel model);
+
+  /// Deep-copies the deployable state of a fitted model, leaving the
+  /// original usable (the in-memory counterpart of save + load).
+  static WifiLocalizer from_model(const core::NobleWifiModel& model);
+
+  /// Loads from an artifact written by serve::save_model; nullopt when the
+  /// file is unreadable, malformed or not a "wifi" artifact.
+  static std::optional<WifiLocalizer> load(const std::string& path);
+
+  /// Localizes one raw RSSI scan (rssi.size() == num_aps()). Thread-safe.
+  Fix locate(const RssiVector& rssi) const;
+
+  /// Localizes a batch in one network pass (amortizes the GEMM); returns
+  /// one Fix per query, identical to per-query `locate` results.
+  std::vector<Fix> locate_batch(const std::vector<RssiVector>& queries) const;
+
+  /// Expected scan width (access-point count the model was fitted on).
+  std::size_t num_aps() const { return model_.input_dim(); }
+
+  const core::SpaceQuantizer& quantizer() const { return model_.quantizer(); }
+  const core::NobleWifiModel& model() const { return model_; }
+
+ private:
+  /// Stacks raw scans into a normalized feature matrix.
+  linalg::Mat features(const std::vector<const RssiVector*>& queries) const;
+  /// Decodes one logits row into a Fix.
+  Fix decode_row(const float* logits) const;
+
+  core::NobleWifiModel model_;
+};
+
+}  // namespace noble::serve
+
+#endif  // NOBLE_SERVE_WIFI_LOCALIZER_H_

@@ -3,6 +3,8 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "common/rng.h"
 #include "linalg/ops.h"
@@ -276,6 +278,63 @@ TEST(Serialize, ShapeMismatchRejected) {
   Sequential other;
   other.emplace<Dense>(7, 5, rng);
   EXPECT_FALSE(load_weights(other, path));
+  std::filesystem::remove(path);
+}
+
+/// Reads a whole file into a byte string (test helper).
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+/// Writes a byte string to a file (test helper).
+void write_file(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+TEST(Serialize, CorruptFilesRejectedCleanly) {
+  // The corrupt-file regression: a weights file truncated anywhere — inside
+  // the magic, the tensor-count header, a shape header or tensor data —
+  // must fail load_weights, as must trailing garbage and a wrong magic.
+  Rng rng(215);
+  Sequential net;
+  net.emplace<Dense>(6, 5, rng);
+  net.emplace<BatchNorm1d>(5);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "noble_weights_corrupt.bin").string();
+  ASSERT_TRUE(save_weights(net, path));
+  const std::string good = read_file(path);
+  ASSERT_GT(good.size(), 30u);
+
+  Rng rng2(216);
+  Sequential fresh;
+  fresh.emplace<Dense>(6, 5, rng2);
+  fresh.emplace<BatchNorm1d>(5);
+
+  // Truncations: mid-magic, mid-count, mid-shape-header, mid-data, one short.
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{3}, std::size_t{10}, std::size_t{20},
+        good.size() / 2, good.size() - 1}) {
+    write_file(path, good.substr(0, cut));
+    EXPECT_FALSE(load_weights(fresh, path)) << "cut at " << cut;
+  }
+
+  // Trailing bytes after the last tensor are not a valid weights file.
+  write_file(path, good + std::string(4, '\0'));
+  EXPECT_FALSE(load_weights(fresh, path));
+
+  // Wrong magic.
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  write_file(path, bad_magic);
+  EXPECT_FALSE(load_weights(fresh, path));
+
+  // The untouched image still loads.
+  write_file(path, good);
+  EXPECT_TRUE(load_weights(fresh, path));
   std::filesystem::remove(path);
 }
 

@@ -1,0 +1,265 @@
+// Serve artifact tests: the named-section container, and the guarantee the
+// serve API is built on — a model trained once, saved to one artifact file
+// and reloaded without any training data predicts bit-identically.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/experiment.h"
+#include "core/noble_imu.h"
+#include "core/noble_wifi.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/serialize.h"
+#include "serve/artifact.h"
+
+namespace noble::serve {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+void write_file(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+TEST(Sections, RoundTripAndLookup) {
+  nn::SectionWriter w;
+  w.add("meta", "abc");
+  w.add("net", std::string("\x00\x01\x7f", 3));
+  w.add("empty", "");
+  nn::SectionReader r;
+  ASSERT_TRUE(r.parse(w.encode()));
+  EXPECT_EQ(r.count(), 3u);
+  ASSERT_NE(r.find("meta"), nullptr);
+  EXPECT_EQ(*r.find("meta"), "abc");
+  ASSERT_NE(r.find("net"), nullptr);
+  EXPECT_EQ(r.find("net")->size(), 3u);
+  ASSERT_NE(r.find("empty"), nullptr);
+  EXPECT_TRUE(r.find("empty")->empty());
+  EXPECT_EQ(r.find("absent"), nullptr);
+}
+
+TEST(Sections, MalformedContainersRejected) {
+  nn::SectionWriter w;
+  w.add("a", "payload");
+  const std::string good = w.encode();
+
+  nn::SectionReader r;
+  EXPECT_FALSE(r.parse(""));
+  EXPECT_FALSE(r.parse("NOT_A_CONTAINER"));
+  // Truncation anywhere must fail, not crash or mis-parse.
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_FALSE(r.parse(good.substr(0, cut))) << "cut at " << cut;
+  }
+  // Trailing bytes are rejected too.
+  EXPECT_FALSE(r.parse(good + "x"));
+  EXPECT_TRUE(r.parse(good));
+}
+
+TEST(Sections, NetworkCodecRoundTrip) {
+  Rng rng(31);
+  nn::Sequential net;
+  net.emplace<nn::Dense>(4, 3, rng);
+  net.emplace<nn::Tanh>();
+  net.emplace<nn::Dense>(3, 2, rng);
+  const std::string payload = nn::encode_network(net);
+
+  Rng rng2(99);
+  nn::Sequential other;
+  other.emplace<nn::Dense>(4, 3, rng2);
+  other.emplace<nn::Tanh>();
+  other.emplace<nn::Dense>(3, 2, rng2);
+  ASSERT_TRUE(nn::decode_network(other, payload));
+
+  linalg::Mat x(2, 4);
+  Rng rng3(7);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x.data()[i] = static_cast<float>(rng3.normal());
+  EXPECT_EQ(net.predict(x), other.predict(x));
+
+  // Architecture mismatch and truncation fail cleanly.
+  nn::Sequential narrow;
+  narrow.emplace<nn::Dense>(4, 2, rng2);
+  EXPECT_FALSE(nn::decode_network(narrow, payload));
+  EXPECT_FALSE(nn::decode_network(other, std::string_view(payload).substr(
+                                             0, payload.size() - 2)));
+}
+
+/// Small, fast Wi-Fi experiment + fitted model shared by artifact tests.
+struct WifiFixture {
+  core::WifiExperiment exp;
+  core::NobleWifiModel model;
+};
+
+const WifiFixture& wifi_fixture() {
+  static const WifiFixture* fixture = [] {
+    core::WifiExperimentConfig cfg;
+    cfg.total_samples = 1200;
+    cfg.seed = 91;
+    auto* f = new WifiFixture{make_uji_experiment(cfg), core::NobleWifiModel([] {
+                                core::NobleWifiConfig mc;
+                                mc.quantize.tau = 6.0;
+                                mc.quantize.coarse_l = 24.0;
+                                mc.epochs = 6;
+                                mc.hidden_units = 32;
+                                return mc;
+                              }())};
+    f->model.fit(f->exp.split.train);
+    return f;
+  }();
+  return *fixture;
+}
+
+TEST(WifiArtifact, RoundTripPredictsBitIdentically) {
+  const auto& f = wifi_fixture();
+  const std::string path = temp_path("noble_wifi_artifact.bin");
+  ASSERT_TRUE(save_model(f.model, path));
+
+  auto reloaded = load_wifi_model(path);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_TRUE(reloaded->fitted());
+  EXPECT_EQ(reloaded->input_dim(), f.model.input_dim());
+  EXPECT_EQ(reloaded->quantizer().num_fine_classes(),
+            f.model.quantizer().num_fine_classes());
+
+  // Held-out queries: every decoded field must match bit-for-bit.
+  const auto expected = f.model.predict(f.exp.split.test);
+  const auto actual = reloaded->predict(f.exp.split.test);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].building, expected[i].building);
+    EXPECT_EQ(actual[i].floor, expected[i].floor);
+    EXPECT_EQ(actual[i].fine_class, expected[i].fine_class);
+    EXPECT_EQ(actual[i].position, expected[i].position);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(WifiArtifact, KindTagAndCrossKindRejection) {
+  const auto& f = wifi_fixture();
+  const std::string path = temp_path("noble_wifi_artifact_kind.bin");
+  ASSERT_TRUE(save_model(f.model, path));
+  const auto kind = artifact_kind(path);
+  ASSERT_TRUE(kind.has_value());
+  EXPECT_EQ(*kind, kWifiKind);
+  // A wifi artifact is not an imu model.
+  EXPECT_FALSE(load_imu_model(path).has_value());
+  std::filesystem::remove(path);
+}
+
+TEST(WifiArtifact, CorruptFilesRejectedCleanly) {
+  const auto& f = wifi_fixture();
+  const std::string path = temp_path("noble_wifi_artifact_corrupt.bin");
+  ASSERT_TRUE(save_model(f.model, path));
+  const std::string good = read_file(path);
+
+  EXPECT_FALSE(load_wifi_model(temp_path("noble_absent_artifact.bin")).has_value());
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{4}, good.size() / 3,
+                                good.size() / 2, good.size() - 1}) {
+    write_file(path, good.substr(0, cut));
+    EXPECT_FALSE(load_wifi_model(path).has_value()) << "cut at " << cut;
+    EXPECT_FALSE(artifact_kind(path).has_value()) << "cut at " << cut;
+  }
+  std::string bad_magic = good;
+  bad_magic[0] = 'Z';
+  write_file(path, bad_magic);
+  EXPECT_FALSE(load_wifi_model(path).has_value());
+
+  write_file(path, good);
+  EXPECT_TRUE(load_wifi_model(path).has_value());
+  std::filesystem::remove(path);
+}
+
+TEST(WifiArtifact, AbsurdDimsRejectedBeforeAllocation) {
+  // A crafted artifact with gigantic dims must fail soft, not die trying to
+  // allocate the network it describes.
+  const auto& f = wifi_fixture();
+  const std::string good = encode_model(f.model);
+  nn::SectionReader r;
+  ASSERT_TRUE(r.parse(good));
+  nn::SectionWriter w;
+  for (const char* name : {"meta", "config", "quantizer"}) {
+    ASSERT_NE(r.find(name), nullptr);
+    w.add(name, *r.find(name));
+  }
+  nn::ByteWriter dims;
+  dims.u64(std::uint64_t{1} << 62);  // absurd input_dim
+  dims.u64(0);
+  dims.u64(0);
+  w.add("dims", dims.take());
+  ASSERT_NE(r.find("net"), nullptr);
+  w.add("net", *r.find("net"));
+  EXPECT_FALSE(decode_wifi_model(w.encode()).has_value());
+}
+
+/// Small, fast IMU experiment + fitted tracker shared by artifact tests.
+struct ImuFixture {
+  core::ImuExperiment exp;
+  core::NobleImuTracker tracker;
+};
+
+const ImuFixture& imu_fixture() {
+  static const ImuFixture* fixture = [] {
+    core::ImuExperimentConfig cfg;
+    cfg.num_paths = 500;
+    cfg.total_walk_time_s = 1200.0;
+    cfg.readings_per_segment = 8;
+    cfg.imu.ref_interval_s = 15.0;
+    cfg.seed = 92;
+    auto* f = new ImuFixture{make_imu_experiment(cfg), core::NobleImuTracker([] {
+                               core::NobleImuConfig mc;
+                               mc.quantize.tau = 2.0;
+                               mc.epochs = 8;
+                               mc.projection_dim = 6;
+                               return mc;
+                             }())};
+    f->tracker.fit(f->exp.split.train);
+    return f;
+  }();
+  return *fixture;
+}
+
+TEST(ImuArtifact, RoundTripPredictsBitIdentically) {
+  const auto& f = imu_fixture();
+  const std::string path = temp_path("noble_imu_artifact.bin");
+  ASSERT_TRUE(save_model(f.tracker, path));
+  const auto kind = artifact_kind(path);
+  ASSERT_TRUE(kind.has_value());
+  EXPECT_EQ(*kind, kImuKind);
+
+  auto reloaded = load_imu_model(path);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_TRUE(reloaded->fitted());
+  EXPECT_EQ(reloaded->segment_dim(), f.tracker.segment_dim());
+  EXPECT_EQ(reloaded->max_segments(), f.tracker.max_segments());
+  EXPECT_EQ(reloaded->channel_mean(), f.tracker.channel_mean());
+  EXPECT_EQ(reloaded->channel_inv_std(), f.tracker.channel_inv_std());
+
+  const auto expected = f.tracker.predict(f.exp.split.test);
+  const auto actual = reloaded->predict(f.exp.split.test);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].fine_class, expected[i].fine_class);
+    EXPECT_EQ(actual[i].position, expected[i].position);
+    EXPECT_EQ(actual[i].displacement, expected[i].displacement);
+  }
+  // A fitted imu artifact is not a wifi model.
+  EXPECT_FALSE(load_wifi_model(path).has_value());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace noble::serve

@@ -1,0 +1,279 @@
+// Serve localizer tests: single-query == batched == dataset inference,
+// const thread-safe locate(), and streaming TrackingSession equivalence
+// with whole-path batch prediction.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/noble_imu.h"
+#include "core/noble_wifi.h"
+#include "serve/artifact.h"
+#include "serve/imu_localizer.h"
+#include "serve/wifi_localizer.h"
+
+namespace noble::serve {
+namespace {
+
+/// Small, fast Wi-Fi experiment + localizer shared by this suite.
+struct WifiFixture {
+  core::WifiExperiment exp;
+  core::NobleWifiModel model;
+};
+
+const WifiFixture& wifi_fixture() {
+  static const WifiFixture* fixture = [] {
+    core::WifiExperimentConfig cfg;
+    cfg.total_samples = 1200;
+    cfg.seed = 101;
+    auto* f = new WifiFixture{make_uji_experiment(cfg), core::NobleWifiModel([] {
+                                core::NobleWifiConfig mc;
+                                mc.quantize.tau = 6.0;
+                                mc.quantize.coarse_l = 24.0;
+                                mc.epochs = 6;
+                                mc.hidden_units = 32;
+                                return mc;
+                              }())};
+    f->model.fit(f->exp.split.train);
+    return f;
+  }();
+  return *fixture;
+}
+
+std::vector<RssiVector> test_queries(const WifiFixture& f, std::size_t count) {
+  std::vector<RssiVector> queries;
+  for (std::size_t i = 0; i < count && i < f.exp.split.test.size(); ++i) {
+    queries.push_back(f.exp.split.test.samples[i].rssi);
+  }
+  return queries;
+}
+
+TEST(WifiLocalizer, MatchesDatasetPredictionWithoutDatasets) {
+  const auto& f = wifi_fixture();
+  const WifiLocalizer localizer = WifiLocalizer::from_model(f.model);
+  EXPECT_EQ(localizer.num_aps(), f.model.input_dim());
+
+  const auto expected = f.model.predict(f.exp.split.test);
+  const auto queries = test_queries(f, 40);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Fix fix = localizer.locate(queries[i]);
+    EXPECT_EQ(fix.building, expected[i].building);
+    EXPECT_EQ(fix.floor, expected[i].floor);
+    EXPECT_EQ(fix.fine_class, expected[i].fine_class);
+    EXPECT_EQ(fix.position, expected[i].position);
+    EXPECT_GT(fix.confidence, 0.0);
+    EXPECT_LT(fix.confidence, 1.0);
+  }
+}
+
+TEST(WifiLocalizer, BatchEqualsSingleQuery) {
+  const auto& f = wifi_fixture();
+  const WifiLocalizer localizer = WifiLocalizer::from_model(f.model);
+  const auto queries = test_queries(f, 64);
+  const auto batched = localizer.locate_batch(queries);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Fix single = localizer.locate(queries[i]);
+    EXPECT_EQ(batched[i].fine_class, single.fine_class);
+    EXPECT_EQ(batched[i].position, single.position);
+    EXPECT_EQ(batched[i].confidence, single.confidence);
+  }
+  EXPECT_TRUE(localizer.locate_batch({}).empty());
+}
+
+TEST(WifiLocalizer, ConstLocateIsThreadSafe) {
+  // The serve contract: one localizer, many threads, no synchronization.
+  // Run under -DNOBLE_SANITIZE=address,undefined in CI; any mutation in the
+  // const inference path would also show up as cross-thread flakiness here.
+  const auto& f = wifi_fixture();
+  const WifiLocalizer localizer = WifiLocalizer::from_model(f.model);
+  const auto queries = test_queries(f, 48);
+  std::vector<Fix> expected;
+  for (const auto& q : queries) expected.push_back(localizer.locate(q));
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 16;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (std::size_t i = 0; i < queries.size(); ++i) {
+          const Fix fix = localizer.locate(queries[i]);
+          if (fix.fine_class != expected[i].fine_class ||
+              fix.position != expected[i].position ||
+              fix.confidence != expected[i].confidence) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(WifiLocalizer, LoadedFromArtifactServesIdentically) {
+  const auto& f = wifi_fixture();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "noble_serve_wifi.bin").string();
+  ASSERT_TRUE(save_model(f.model, path));
+  const auto loaded = WifiLocalizer::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  const WifiLocalizer in_memory = WifiLocalizer::from_model(f.model);
+  for (const auto& q : test_queries(f, 24)) {
+    const Fix a = loaded->locate(q);
+    const Fix b = in_memory.locate(q);
+    EXPECT_EQ(a.fine_class, b.fine_class);
+    EXPECT_EQ(a.position, b.position);
+    EXPECT_EQ(a.confidence, b.confidence);
+  }
+  EXPECT_FALSE(WifiLocalizer::load(path + ".absent").has_value());
+  std::filesystem::remove(path);
+}
+
+/// Small, fast IMU experiment + tracker shared by this suite.
+struct ImuFixture {
+  core::ImuExperiment exp;
+  core::NobleImuTracker tracker;
+};
+
+const ImuFixture& imu_fixture() {
+  static const ImuFixture* fixture = [] {
+    core::ImuExperimentConfig cfg;
+    cfg.num_paths = 500;
+    cfg.total_walk_time_s = 1200.0;
+    cfg.readings_per_segment = 8;
+    cfg.imu.ref_interval_s = 15.0;
+    cfg.seed = 102;
+    auto* f = new ImuFixture{make_imu_experiment(cfg), core::NobleImuTracker([] {
+                               core::NobleImuConfig mc;
+                               mc.quantize.tau = 2.0;
+                               mc.epochs = 8;
+                               mc.projection_dim = 6;
+                               return mc;
+                             }())};
+    f->tracker.fit(f->exp.split.train);
+    return f;
+  }();
+  return *fixture;
+}
+
+/// Splits one padded path into its real per-segment windows.
+std::vector<ImuSegment> segments_of(const data::ImuPath& path,
+                                    std::size_t segment_dim) {
+  std::vector<ImuSegment> out;
+  out.reserve(path.num_segments);
+  for (std::size_t s = 0; s < path.num_segments; ++s) {
+    out.emplace_back(path.features.begin() + static_cast<std::ptrdiff_t>(s * segment_dim),
+                     path.features.begin() +
+                         static_cast<std::ptrdiff_t>((s + 1) * segment_dim));
+  }
+  return out;
+}
+
+TEST(TrackingSession, StreamingEqualsBatchPrediction) {
+  // The §V deployment path: segments arrive one at a time, no pre-padded
+  // dataset — yet the final fix must be bit-identical to batch inference.
+  const auto& f = imu_fixture();
+  const ImuLocalizer localizer = ImuLocalizer::from_model(f.tracker);
+  const auto expected = f.tracker.predict(f.exp.split.test);
+
+  const std::size_t checked = std::min<std::size_t>(f.exp.split.test.size(), 60);
+  for (std::size_t i = 0; i < checked; ++i) {
+    const auto& path = f.exp.split.test.paths[i];
+    TrackingSession session = localizer.start_session(path.start);
+    Fix fix = session.current();
+    for (const auto& segment : segments_of(path, f.tracker.segment_dim())) {
+      fix = session.update(segment);
+    }
+    EXPECT_EQ(session.segments_consumed(), path.num_segments);
+    EXPECT_EQ(fix.fine_class, expected[i].fine_class) << "path " << i;
+    EXPECT_EQ(fix.position, expected[i].position) << "path " << i;
+    EXPECT_EQ(session.displacement(), expected[i].displacement) << "path " << i;
+
+    // locate() is the one-shot form of the same session.
+    const Fix whole =
+        localizer.locate(path.start, segments_of(path, f.tracker.segment_dim()));
+    EXPECT_EQ(whole.fine_class, fix.fine_class);
+    EXPECT_EQ(whole.position, fix.position);
+  }
+}
+
+TEST(TrackingSession, EveryIntermediateFixMatchesTruncatedBatch) {
+  // Each mid-walk fix must equal batch prediction on the path truncated to
+  // the segments seen so far — streaming is not just end-to-end equivalent.
+  const auto& f = imu_fixture();
+  const ImuLocalizer localizer = ImuLocalizer::from_model(f.tracker);
+  const auto& path = f.exp.split.test.paths[0];
+  ASSERT_GE(path.num_segments, 2u);
+
+  data::ImuDataset prefixes;
+  prefixes.segment_dim = f.exp.split.test.segment_dim;
+  prefixes.max_segments = f.exp.split.test.max_segments;
+  for (std::size_t s = 1; s <= path.num_segments; ++s) {
+    data::ImuPath prefix = path;
+    prefix.num_segments = s;
+    prefixes.paths.push_back(std::move(prefix));
+  }
+  const auto expected = f.tracker.predict(prefixes);
+
+  TrackingSession session = localizer.start_session(path.start);
+  const auto segments = segments_of(path, f.tracker.segment_dim());
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const Fix fix = session.update(segments[s]);
+    EXPECT_EQ(fix.fine_class, expected[s].fine_class) << "prefix " << s + 1;
+    EXPECT_EQ(fix.position, expected[s].position) << "prefix " << s + 1;
+  }
+}
+
+TEST(TrackingSession, SegmentDisplacementsMatchBatchReusePath) {
+  const auto& f = imu_fixture();
+  const ImuLocalizer localizer = ImuLocalizer::from_model(f.tracker);
+  data::ImuDataset one;
+  one.segment_dim = f.exp.split.test.segment_dim;
+  one.max_segments = f.exp.split.test.max_segments;
+  one.paths.push_back(f.exp.split.test.paths[1]);
+  const auto batch = f.tracker.predict_segment_displacements(one);
+  ASSERT_EQ(batch.size(), 1u);
+
+  const auto segments = segments_of(one.paths[0], f.tracker.segment_dim());
+  ASSERT_EQ(batch[0].size(), segments.size());
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    EXPECT_EQ(localizer.segment_displacement(segments[s]), batch[0][s]);
+  }
+}
+
+TEST(TrackingSession, ConcurrentSessionsShareOneLocalizer) {
+  const auto& f = imu_fixture();
+  const ImuLocalizer localizer = ImuLocalizer::from_model(f.tracker);
+  const auto& path = f.exp.split.test.paths[0];
+  const auto segments = segments_of(path, f.tracker.segment_dim());
+  const Fix expected = localizer.locate(path.start, segments);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int round = 0; round < 8; ++round) {
+        TrackingSession session = localizer.start_session(path.start);
+        Fix fix = session.current();
+        for (const auto& segment : segments) fix = session.update(segment);
+        if (fix.fine_class != expected.fine_class || fix.position != expected.position) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace noble::serve
