@@ -1,5 +1,6 @@
 // Serve-path latency: single-query locate() vs batched locate_batch()
-// through the noble::serve Wi-Fi localizer, reported as per-query p50/p99.
+// through the noble::serve Wi-Fi localizer, reported as per-query
+// p50/p95/p99 from the shared noble::Histogram latency layout.
 //
 // This is the deployment-facing counterpart of bench_inference_latency:
 // instead of timing a bare network forward, it times the full request path
@@ -20,13 +21,6 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(const Clock::time_point& t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
-void print_row(const char* mode, std::size_t batch, std::vector<double> per_query_us) {
-  const double p50 = noble::percentile(per_query_us, 50.0);
-  const double p99 = noble::percentile(std::move(per_query_us), 99.0);
-  std::printf("  %-14s batch %4zu   p50 %8.1f us/query   p99 %8.1f us/query\n",
-              mode, batch, p50, p99);
 }
 
 }  // namespace
@@ -52,22 +46,21 @@ int main() {
     (void)localizer.locate(queries[i]);
   }
 
-  // Single-query serving: one timed locate() per request.
-  std::vector<double> single_us;
-  single_us.reserve(queries.size());
+  // Single-query serving: one timed locate() per request, recorded into the
+  // shared log-binned latency histogram (constant memory, no sample copies).
+  Histogram single_us = bench::latency_histogram();
   for (const auto& q : queries) {
     const auto t0 = Clock::now();
     const serve::Fix fix = localizer.locate(q);
-    single_us.push_back(seconds_since(t0) * 1e6);
+    single_us.record(seconds_since(t0) * 1e6);
     (void)fix;
   }
-  print_row("single-query", 1, single_us);
+  bench::print_latency_row("single-query", 1, single_us);
 
   // Batched serving: per-query latency amortized over one locate_batch call
   // per window. Every query in a window observes the whole window's time.
   for (const std::size_t batch : {std::size_t{16}, std::size_t{64}, std::size_t{256}}) {
-    std::vector<double> batched_us;
-    batched_us.reserve(queries.size());
+    Histogram batched_us = bench::latency_histogram();
     for (std::size_t start = 0; start + batch <= queries.size(); start += batch) {
       const std::vector<serve::RssiVector> window(
           queries.begin() + static_cast<std::ptrdiff_t>(start),
@@ -76,10 +69,10 @@ int main() {
       const auto fixes = localizer.locate_batch(window);
       const double us = seconds_since(t0) * 1e6;
       for (std::size_t i = 0; i < fixes.size(); ++i) {
-        batched_us.push_back(us / static_cast<double>(batch));
+        batched_us.record(us / static_cast<double>(batch));
       }
     }
-    if (!batched_us.empty()) print_row("batched", batch, std::move(batched_us));
+    if (batched_us.count() > 0) bench::print_latency_row("batched", batch, batched_us);
   }
 
   std::printf("\nnote: batched rows divide the window's wall time evenly per "

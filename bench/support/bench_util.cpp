@@ -79,6 +79,17 @@ void print_position_row(const std::string& model, const core::PositionReport& re
               100.0 * report.structure_score);
 }
 
+Histogram latency_histogram() { return Histogram::latency_us(); }
+
+void print_latency_row(const std::string& mode, std::size_t batch,
+                       const Histogram& latencies_us) {
+  std::printf("  %-14s batch %4zu   p50 %8.1f us   p95 %8.1f us   "
+              "p99 %8.1f us   (%llu samples)\n",
+              mode.c_str(), batch, latencies_us.percentile(50.0),
+              latencies_us.percentile(95.0), latencies_us.percentile(99.0),
+              static_cast<unsigned long long>(latencies_us.count()));
+}
+
 std::string artifact_path(const std::string& filename) {
   return env_string("NOBLE_BENCH_OUT", ".") + "/" + filename;
 }

@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "common/stats.h"
 #include "core/baselines.h"
 #include "core/evaluate.h"
 #include "core/experiment.h"
@@ -44,6 +45,16 @@ void print_wifi_report(const std::string& model, const core::WifiReport& report)
 /// Prints one PositionReport row (mean/median/structure).
 void print_position_row(const std::string& model, const core::PositionReport& report,
                         const std::string& paper_mean, const std::string& paper_median);
+
+/// Latency histogram with the shared serving layout (1 us .. 10 s,
+/// log-spaced) — record once per request, print with print_latency_row.
+/// Same layout as the engine's EngineStats latencies, so bench-side and
+/// engine-side histograms can be merge()d.
+noble::Histogram latency_histogram();
+
+/// Prints one latency row (p50/p95/p99 per query) from a histogram.
+void print_latency_row(const std::string& mode, std::size_t batch,
+                       const noble::Histogram& latencies_us);
 
 /// Output path for figure CSV artifacts (honors NOBLE_BENCH_OUT, default ".").
 std::string artifact_path(const std::string& filename);

@@ -1,11 +1,27 @@
 # Opt-in sanitizer instrumentation for the whole tree:
 #   cmake -B build -S . -DNOBLE_SANITIZE=address
 #   cmake -B build -S . -DNOBLE_SANITIZE=address,undefined
+#   cmake -B build -S . -DNOBLE_SANITIZE=thread
 # Applied through noble::compile_options so every library, test, bench and
 # example is instrumented consistently (mixing is an ODR hazard).
+#
+# ThreadSanitizer is incompatible with AddressSanitizer/LeakSanitizer at the
+# runtime level (and UBSan alongside it is unsupported by GCC), so `thread`
+# must be requested alone — the configure step fails fast instead of
+# producing a binary that dies at load time.
 
 if(NOBLE_SANITIZE)
   if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    string(REPLACE "," ";" _noble_sanitize_list "${NOBLE_SANITIZE}")
+    if("thread" IN_LIST _noble_sanitize_list)
+      list(LENGTH _noble_sanitize_list _noble_sanitize_count)
+      if(NOT _noble_sanitize_count EQUAL 1)
+        message(FATAL_ERROR
+          "NOBLE_SANITIZE=thread cannot be combined with other sanitizers "
+          "(got '${NOBLE_SANITIZE}'); TSan and ASan/LSan runtimes are "
+          "mutually exclusive")
+      endif()
+    endif()
     target_compile_options(noble_compile_options INTERFACE
       -fsanitize=${NOBLE_SANITIZE} -fno-omit-frame-pointer -g)
     target_link_options(noble_compile_options INTERFACE

@@ -57,6 +57,87 @@ double max_value(const std::vector<double>& v) {
   return m;
 }
 
+Histogram::Histogram(double lo, double hi, std::size_t num_bins)
+    : lo_(lo),
+      hi_(hi),
+      log_lo_(std::log(lo)),
+      inv_log_step_(static_cast<double>(num_bins) / (std::log(hi) - std::log(lo))),
+      counts_(num_bins + 2, 0),
+      min_rec_(std::numeric_limits<double>::infinity()),
+      max_rec_(-std::numeric_limits<double>::infinity()) {
+  NOBLE_EXPECTS(lo > 0.0 && hi > lo && num_bins >= 1);
+}
+
+void Histogram::record(double x) {
+  if (std::isnan(x)) return;  // not an observation; ignore entirely
+  ++total_;
+  sum_ += x;
+  min_rec_ = std::min(min_rec_, x);
+  max_rec_ = std::max(max_rec_, x);
+  if (x < lo_) {  // negatives and zero land in underflow
+    ++counts_.front();
+  } else if (x >= hi_) {
+    ++counts_.back();
+  } else {
+    auto bin = static_cast<std::size_t>((std::log(x) - log_lo_) * inv_log_step_);
+    bin = std::min(bin, num_bins() - 1);  // guard rounding at the upper edge
+    ++counts_[bin + 1];
+  }
+}
+
+void Histogram::merge(const Histogram& other) {
+  NOBLE_EXPECTS(same_layout(other));
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  sum_ += other.sum_;
+  min_rec_ = std::min(min_rec_, other.min_rec_);
+  max_rec_ = std::max(max_rec_, other.max_rec_);
+}
+
+double Histogram::bin_lower(std::size_t i) const {
+  return std::exp(log_lo_ + static_cast<double>(i) / inv_log_step_);
+}
+
+bool Histogram::same_layout(const Histogram& other) const {
+  return lo_ == other.lo_ && hi_ == other.hi_ && counts_.size() == other.counts_.size();
+}
+
+double Histogram::percentile(double q) const {
+  NOBLE_EXPECTS(q >= 0.0 && q <= 100.0);
+  if (total_ == 0) return 0.0;
+  const double need = q / 100.0 * static_cast<double>(total_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (static_cast<double>(cum) < need || counts_[i] == 0) continue;
+    const double into = std::max(0.0, need - static_cast<double>(cum - counts_[i]));
+    const double frac = std::min(1.0, into / static_cast<double>(counts_[i]));
+    double value;
+    if (i == 0) {
+      // Underflow bin: no log edges below lo; interpolate linearly from the
+      // exact recorded min up to the bin's effective upper edge. The min()
+      // keeps an all-underflow stream exact at both tails.
+      const double upper = std::min(lo_, max_rec_);
+      value = min_rec_ + frac * (upper - min_rec_);
+    } else if (i + 1 == counts_.size()) {
+      const double lower = std::max(hi_, min_rec_);
+      value = lower + frac * (max_rec_ - lower);
+    } else {
+      // Geometric interpolation inside the covering bin, matching the
+      // log-spaced edges.
+      const double lower = bin_lower(i - 1);
+      value = lower * std::pow(bin_upper(i - 1) / lower, frac);
+    }
+    return std::clamp(value, min_rec_, max_rec_);
+  }
+  return max_rec_;  // q == 100 with all mass already consumed
+}
+
+double Histogram::mean() const {
+  if (total_ == 0) return 0.0;
+  return sum_ / static_cast<double>(total_);
+}
+
 void RunningStats::push(double x) {
   ++n_;
   const double delta = x - mean_;

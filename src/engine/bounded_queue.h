@@ -1,0 +1,106 @@
+// Bounded MPMC queue with batched, deadline-bounded consumption — the
+// admission-control and micro-batching substrate of noble::engine.
+//
+// Producers never block: `try_push` reports kFull/kClosed instead of
+// waiting, so overload turns into an explicit reject the caller can surface
+// (degrade predictably, don't OOM). Consumers block in `pop_batch`, which
+// gathers up to `max_items` entries, waiting at most `max_wait` after the
+// first entry for stragglers — the micro-batching window.
+#ifndef NOBLE_ENGINE_BOUNDED_QUEUE_H_
+#define NOBLE_ENGINE_BOUNDED_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace noble::engine {
+
+enum class PushResult {
+  kOk,      ///< item enqueued
+  kFull,    ///< capacity reached; item not enqueued
+  kClosed,  ///< queue closed; item not enqueued
+};
+
+template <class T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    NOBLE_EXPECTS(capacity >= 1);
+  }
+
+  /// Non-blocking enqueue; the caller owns rejection handling.
+  PushResult try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kFull;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Blocks until at least one item is available (or the queue is closed),
+  /// then gathers up to `max_items`, waiting at most `max_wait` past the
+  /// first take for more to arrive. Returns an empty vector only when the
+  /// queue is closed and fully drained — the consumer's exit signal.
+  std::vector<T> pop_batch(std::size_t max_items, std::chrono::microseconds max_wait) {
+    NOBLE_EXPECTS(max_items >= 1);
+    std::vector<T> batch;
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return batch;  // closed and drained
+    const auto deadline = std::chrono::steady_clock::now() + max_wait;
+    for (;;) {
+      while (!items_.empty() && batch.size() < max_items) {
+        batch.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+      if (batch.size() >= max_items || closed_) break;
+      // Wait out the rest of the batching window for stragglers.
+      if (!cv_.wait_until(lock, deadline, [&] { return !items_.empty() || closed_; })) {
+        break;  // window expired; serve what we have
+      }
+    }
+    return batch;
+  }
+
+  /// Closes the queue: producers get kClosed, consumers drain what remains
+  /// and then receive empty batches. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace noble::engine
+
+#endif  // NOBLE_ENGINE_BOUNDED_QUEUE_H_

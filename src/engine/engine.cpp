@@ -1,0 +1,243 @@
+#include "engine/engine.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace noble::engine {
+
+namespace {
+
+constexpr auto us_since = [](const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
+      .count();
+};
+
+}  // namespace
+
+Engine::Engine(const serve::WifiLocalizer& wifi, EngineConfig config)
+    : config_(config), queue_(config.queue_cap) {
+  NOBLE_EXPECTS(config_.workers >= 1);
+  NOBLE_EXPECTS(config_.max_batch >= 1);
+  NOBLE_EXPECTS(config_.session_backlog >= 1);
+  replicas_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    // Shared-nothing: each worker serves from its own deep copy, so the
+    // batched hot path touches no cross-thread state at all.
+    replicas_.push_back(serve::WifiLocalizer::from_model(wifi.model()));
+  }
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Engine::Engine(const serve::WifiLocalizer& wifi, const serve::ImuLocalizer& imu,
+               EngineConfig config)
+    : Engine(wifi, config) {
+  // Safe after delegation: workers only touch imu_ via session tokens, and
+  // no session can be opened before this constructor returns.
+  imu_.emplace(serve::ImuLocalizer::from_model(imu.tracker()));
+}
+
+Engine::~Engine() { shutdown(); }
+
+void Engine::shutdown() {
+  stopped_.store(true);
+  queue_.close();
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+Submission Engine::submit(serve::RssiVector rssi) {
+  if (rssi.size() != num_aps()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return {SubmitStatus::kBadDimension, {}};
+  }
+  WifiRequest request{std::move(rssi), {}, Clock::now()};
+  std::future<serve::Fix> result = request.promise.get_future();
+  // Counted before the push: once the queue has the request a worker may
+  // complete it immediately, and stats() must never observe
+  // completed > submitted.
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const PushResult pushed = queue_.try_push(Request{std::move(request)});
+  if (pushed != PushResult::kOk) {
+    submitted_.fetch_sub(1, std::memory_order_relaxed);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return {pushed == PushResult::kClosed ? SubmitStatus::kStopped
+                                          : SubmitStatus::kQueueFull,
+            {}};
+  }
+  return {SubmitStatus::kAccepted, std::move(result)};
+}
+
+std::optional<SessionId> Engine::open_session(const geo::Point2& start) {
+  if (!imu_.has_value() || stopped_.load()) return std::nullopt;
+  const SessionId id = next_session_.fetch_add(1);
+  auto state = std::make_shared<SessionState>(imu_->start_session(start));
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.emplace(id, std::move(state));
+  return id;
+}
+
+Submission Engine::track(SessionId session, serve::ImuSegment segment) {
+  std::shared_ptr<SessionState> state;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    const auto it = sessions_.find(session);
+    if (it != sessions_.end()) state = it->second;
+  }
+  if (state == nullptr) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return {SubmitStatus::kNoSession, {}};
+  }
+  if (segment.size() != imu_->segment_dim()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return {SubmitStatus::kBadDimension, {}};
+  }
+
+  std::lock_guard<std::mutex> lock(state->mu);
+  if (state->closed) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return {SubmitStatus::kNoSession, {}};
+  }
+  if (state->pending.size() >= config_.session_backlog) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return {SubmitStatus::kQueueFull, {}};
+  }
+  PendingUpdate update{std::move(segment), {}, Clock::now()};
+  std::future<serve::Fix> result = update.promise.get_future();
+  // Same ordering as submit(): count before the work can become visible to
+  // a worker, roll back on rejection.
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  state->pending.push_back(std::move(update));
+  if (!state->scheduled) {
+    const PushResult pushed = queue_.try_push(Request{SessionWork{session}});
+    if (pushed != PushResult::kOk) {
+      state->pending.pop_back();
+      submitted_.fetch_sub(1, std::memory_order_relaxed);
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return {pushed == PushResult::kClosed ? SubmitStatus::kStopped
+                                            : SubmitStatus::kQueueFull,
+              {}};
+    }
+    state->scheduled = true;
+  }
+  return {SubmitStatus::kAccepted, std::move(result)};
+}
+
+bool Engine::close_session(SessionId session) {
+  std::shared_ptr<SessionState> state;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end()) return false;
+    state = std::move(it->second);
+    sessions_.erase(it);
+  }
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->closed = true;
+  for (PendingUpdate& pending : state->pending) {
+    pending.promise.set_exception(std::make_exception_ptr(
+        std::runtime_error("noble::engine: session closed with pending updates")));
+  }
+  state->pending.clear();
+  return true;
+}
+
+EngineStats Engine::stats() const {
+  EngineStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    snapshot.completed = completed_;
+    snapshot.batches = batches_;
+    snapshot.batch_size = batch_hist_;
+    snapshot.latency_us = latency_hist_;
+  }
+  // Read after completed_: every completion was counted in submitted_
+  // first, so this order keeps submitted >= completed in the snapshot.
+  snapshot.submitted = submitted_.load(std::memory_order_relaxed);
+  snapshot.rejected = rejected_.load(std::memory_order_relaxed);
+  snapshot.queue_depth = queue_.depth();
+  snapshot.latency_p50_us = snapshot.latency_us.percentile(50.0);
+  snapshot.latency_p95_us = snapshot.latency_us.percentile(95.0);
+  snapshot.latency_p99_us = snapshot.latency_us.percentile(99.0);
+  return snapshot;
+}
+
+void Engine::worker_loop(std::size_t worker_index) {
+  serve::WifiLocalizer& replica = replicas_[worker_index];
+  for (;;) {
+    std::vector<Request> batch =
+        queue_.pop_batch(config_.max_batch, std::chrono::microseconds(config_.max_wait_us));
+    if (batch.empty()) return;  // queue closed and fully drained
+    // Partition the takes: independent Wi-Fi queries coalesce into one
+    // network pass; session tokens are drained per-track afterwards (their
+    // ordering lives in the per-session FIFO, not the shared queue).
+    std::vector<WifiRequest> wifi;
+    std::vector<SessionId> tokens;
+    for (Request& request : batch) {
+      if (auto* query = std::get_if<WifiRequest>(&request)) {
+        wifi.push_back(std::move(*query));
+      } else {
+        tokens.push_back(std::get<SessionWork>(request).id);
+      }
+    }
+    if (!wifi.empty()) run_wifi_batch(replica, std::move(wifi));
+    for (const SessionId id : tokens) drain_session(id);
+  }
+}
+
+void Engine::run_wifi_batch(serve::WifiLocalizer& replica,
+                            std::vector<WifiRequest> batch) {
+  std::vector<serve::RssiVector> queries;
+  queries.reserve(batch.size());
+  for (WifiRequest& request : batch) queries.push_back(std::move(request.rssi));
+  const std::vector<serve::Fix> fixes = replica.locate_batch(queries);
+  const Clock::time_point done = Clock::now();  // one read for the batch
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++batches_;
+    batch_hist_.record(static_cast<double>(batch.size()));
+    completed_ += batch.size();
+    for (const WifiRequest& request : batch) {
+      latency_hist_.record(
+          std::chrono::duration<double, std::micro>(done - request.submitted_at)
+              .count());
+    }
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(fixes[i]);
+  }
+}
+
+void Engine::drain_session(SessionId id) {
+  std::shared_ptr<SessionState> state;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;  // closed while the token was queued
+    state = it->second;
+  }
+  // Per-session mutex held across the updates: serialization per track is
+  // the session contract, and only same-session submissions wait on it.
+  std::lock_guard<std::mutex> lock(state->mu);
+  while (!state->pending.empty()) {
+    PendingUpdate update = std::move(state->pending.front());
+    state->pending.pop_front();
+    const serve::Fix fix = state->session.update(update.segment);
+    record_completion(update.submitted_at);
+    update.promise.set_value(fix);
+  }
+  state->scheduled = false;
+}
+
+void Engine::record_completion(const Clock::time_point& submitted_at) {
+  const double latency_us = us_since(submitted_at);  // clock read outside the lock
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++completed_;
+  latency_hist_.record(latency_us);
+}
+
+}  // namespace noble::engine

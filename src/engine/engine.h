@@ -1,0 +1,208 @@
+// noble::engine — concurrent micro-batching inference engine.
+//
+// PR 2's localizers are thread-safe but single-query: many concurrent
+// clients each paying a one-row network pass forfeit the batched-GEMM
+// amortization `locate_batch` already proves out. The engine closes that
+// serving gap:
+//
+//   clients ── submit() ──▶ bounded queue ── pop_batch ──▶ worker 0 ─ replica 0
+//      ▲          │            (admission control)         worker 1 ─ replica 1
+//      │          └─ kQueueFull / kBadDimension / kStopped    ...        ...
+//      └──────────── std::future<Fix> fulfilled per micro-batch
+//
+// Requests are coalesced under a max-batch-size / max-wait-deadline policy
+// and executed on a worker pool over shared-nothing WifiLocalizer replicas
+// (deep copies via the artifact machinery — no cross-worker sharing, no
+// locks on the hot path). Output is bit-identical to a direct `locate()`
+// for every request regardless of how requests get batched.
+//
+// A session registry multiplexes many concurrent IMU TrackingSessions
+// behind the same worker pool: per-session FIFOs keep each track's updates
+// ordered while different tracks proceed in parallel.
+//
+// Telemetry: `stats()` snapshots queue depth, accept/reject/complete
+// counters, the micro-batch-size distribution and end-to-end latency
+// percentiles, all built on noble::Histogram.
+#ifndef NOBLE_ENGINE_ENGINE_H_
+#define NOBLE_ENGINE_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/stats.h"
+#include "engine/bounded_queue.h"
+#include "serve/imu_localizer.h"
+#include "serve/wifi_localizer.h"
+
+namespace noble::engine {
+
+/// Admission-control verdict for one submitted request.
+enum class SubmitStatus {
+  kAccepted,      ///< queued; `result` will be fulfilled
+  kQueueFull,     ///< backpressure: bounded queue (or session backlog) full
+  kBadDimension,  ///< payload size does not match the model's input layout
+  kNoSession,     ///< unknown or already-closed session id
+  kStopped,       ///< engine is shut down
+};
+
+/// One submit() outcome: a status plus — only when accepted — a future that
+/// the worker pool fulfills with the localization fix.
+struct Submission {
+  SubmitStatus status = SubmitStatus::kStopped;
+  std::future<serve::Fix> result;  ///< valid only when status == kAccepted
+
+  bool accepted() const { return status == SubmitStatus::kAccepted; }
+};
+
+struct EngineConfig {
+  /// Worker threads; each owns one shared-nothing WifiLocalizer replica.
+  std::size_t workers = 2;
+  /// Most requests coalesced into one network pass.
+  std::size_t max_batch = 32;
+  /// Batching window: how long a worker holds an under-full batch open for
+  /// stragglers after taking its first request. 0 = serve whatever is there.
+  std::uint64_t max_wait_us = 200;
+  /// Bounded request-queue capacity; submissions beyond it are rejected
+  /// with kQueueFull (explicit backpressure instead of unbounded memory).
+  std::size_t queue_cap = 1024;
+  /// Most not-yet-processed segments one tracking session may buffer before
+  /// its submissions are rejected with kQueueFull.
+  std::size_t session_backlog = 64;
+};
+
+/// Telemetry snapshot. Histograms share noble::Histogram's fixed layouts,
+/// so snapshots from several engines can be merge()d for fleet views.
+struct EngineStats {
+  std::uint64_t submitted = 0;  ///< accepted into the queue
+  std::uint64_t rejected = 0;   ///< every non-kAccepted submission
+  std::uint64_t completed = 0;  ///< futures fulfilled
+  std::uint64_t batches = 0;    ///< Wi-Fi micro-batches executed
+  std::size_t queue_depth = 0;  ///< instantaneous shared-queue depth
+  Histogram batch_size = Histogram::batch_sizes();  ///< Wi-Fi batch sizes
+  Histogram latency_us = Histogram::latency_us();   ///< submit -> fulfilled
+  /// Convenience percentiles extracted from latency_us at snapshot time.
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
+};
+
+/// Handle for one registered IMU tracking session.
+using SessionId = std::uint64_t;
+
+class Engine {
+ public:
+  /// Wi-Fi-only engine: replicates `wifi` once per worker (deep copies via
+  /// the artifact codec) and starts the worker pool.
+  explicit Engine(const serve::WifiLocalizer& wifi, EngineConfig config = {});
+
+  /// Engine that additionally serves streaming IMU sessions. The single
+  /// `imu` localizer is shared by all sessions — its inference path is
+  /// const and thread-safe, so replicas would buy nothing.
+  Engine(const serve::WifiLocalizer& wifi, const serve::ImuLocalizer& imu,
+         EngineConfig config = {});
+
+  /// Drains and joins (see shutdown()).
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Asynchronous localization of one raw RSSI scan. Never blocks: the scan
+  /// is either queued (kAccepted, fulfilled by a worker micro-batch) or
+  /// rejected with an explicit status.
+  Submission submit(serve::RssiVector rssi);
+
+  /// Registers a streaming IMU track anchored at `start`. nullopt when the
+  /// engine was built without an IMU localizer or is stopped.
+  std::optional<SessionId> open_session(const geo::Point2& start);
+
+  /// Queues one IMU segment for `session`. Updates to one session are
+  /// applied strictly in submission order; distinct sessions proceed in
+  /// parallel on the worker pool.
+  Submission track(SessionId session, serve::ImuSegment segment);
+
+  /// Unregisters a session. Pending (unprocessed) updates fail their
+  /// futures with std::runtime_error. Returns false for unknown ids.
+  bool close_session(SessionId session);
+
+  /// Stops admission, drains every queued request (all accepted futures are
+  /// fulfilled), and joins the workers. Idempotent; the destructor calls it.
+  void shutdown();
+
+  /// Telemetry snapshot; safe to call concurrently with serving.
+  EngineStats stats() const;
+
+  const EngineConfig& config() const { return config_; }
+  std::size_t num_aps() const { return replicas_.front().num_aps(); }
+  bool has_imu() const { return imu_.has_value(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct WifiRequest {
+    serve::RssiVector rssi;
+    std::promise<serve::Fix> promise;
+    Clock::time_point submitted_at;
+  };
+  /// Queue token: "this session has pending segments". One token is in
+  /// flight per session regardless of backlog depth, so a busy track cannot
+  /// starve the shared queue.
+  struct SessionWork {
+    SessionId id;
+  };
+  using Request = std::variant<WifiRequest, SessionWork>;
+
+  struct PendingUpdate {
+    serve::ImuSegment segment;
+    std::promise<serve::Fix> promise;
+    Clock::time_point submitted_at;
+  };
+  struct SessionState {
+    explicit SessionState(serve::TrackingSession s) : session(std::move(s)) {}
+    std::mutex mu;
+    serve::TrackingSession session;
+    std::deque<PendingUpdate> pending;
+    bool scheduled = false;  ///< a SessionWork token is queued or running
+    bool closed = false;
+  };
+
+  void worker_loop(std::size_t worker_index);
+  void run_wifi_batch(serve::WifiLocalizer& replica, std::vector<WifiRequest> batch);
+  void drain_session(SessionId id);
+  void record_completion(const Clock::time_point& submitted_at);
+
+  EngineConfig config_;
+  std::vector<serve::WifiLocalizer> replicas_;  ///< one per worker
+  std::optional<serve::ImuLocalizer> imu_;
+  BoundedQueue<Request> queue_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  mutable std::mutex stats_mu_;  ///< guards the fields below
+  Histogram batch_hist_ = Histogram::batch_sizes();
+  Histogram latency_hist_ = Histogram::latency_us();
+  std::uint64_t completed_ = 0;
+  std::uint64_t batches_ = 0;
+
+  mutable std::mutex sessions_mu_;  ///< guards the registry map only
+  std::unordered_map<SessionId, std::shared_ptr<SessionState>> sessions_;
+  std::atomic<SessionId> next_session_{1};
+
+  std::atomic<bool> stopped_{false};
+  std::mutex shutdown_mu_;  ///< serializes the join in shutdown()
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace noble::engine
+
+#endif  // NOBLE_ENGINE_ENGINE_H_

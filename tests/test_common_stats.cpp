@@ -1,8 +1,11 @@
 // Tests for descriptive statistics and CSV/config utilities.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <random>
 
 #include "common/config.h"
 #include "common/csv.h"
@@ -64,6 +67,164 @@ TEST(Stats, MinMax) {
   const std::vector<double> v{3.0, -1.0, 7.0};
   EXPECT_DOUBLE_EQ(min_value(v), -1.0);
   EXPECT_DOUBLE_EQ(max_value(v), 7.0);
+}
+
+TEST(Histogram, EmptyAndBasicCounts) {
+  Histogram h(1.0, 1000.0, 30);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+
+  h.record(10.0);
+  h.record(0.5);     // below lo -> underflow
+  h.record(0.0);     // zero -> underflow (no log of 0)
+  h.record(-3.0);    // negative -> underflow
+  h.record(2000.0);  // >= hi -> overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.underflow_count(), 3u);
+  EXPECT_EQ(h.overflow_count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min_recorded(), -3.0);
+  EXPECT_DOUBLE_EQ(h.max_recorded(), 2000.0);
+}
+
+TEST(Histogram, BinEdgesAreLogSpaced) {
+  Histogram h(1.0, 1000.0, 3);  // decade bins: [1,10), [10,100), [100,1000)
+  EXPECT_EQ(h.num_bins(), 3u);
+  EXPECT_NEAR(h.bin_lower(0), 1.0, 1e-9);
+  EXPECT_NEAR(h.bin_lower(1), 10.0, 1e-6);
+  EXPECT_NEAR(h.bin_lower(2), 100.0, 1e-6);
+  EXPECT_NEAR(h.bin_upper(2), 1000.0, 1e-6);
+  h.record(5.0);
+  h.record(50.0);
+  h.record(500.0);
+  h.record(999.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(2), 2u);
+}
+
+TEST(Histogram, PercentileTailsAreExact) {
+  Histogram h = Histogram::latency_us();
+  for (double x : {12.0, 40.0, 90.0, 250.0, 8000.0}) h.record(x);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 12.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 8000.0);
+}
+
+TEST(Histogram, AllUnderflowAndAllOverflowKeepExactTails) {
+  // Regression: a stream living entirely outside [lo, hi) must still honor
+  // the exact-tails contract instead of collapsing every quantile to one
+  // recorded extremum.
+  Histogram under = Histogram::latency_us();
+  under.record(0.2);
+  under.record(0.9);
+  EXPECT_DOUBLE_EQ(under.percentile(0.0), 0.2);
+  EXPECT_DOUBLE_EQ(under.percentile(100.0), 0.9);
+  EXPECT_GE(under.percentile(50.0), 0.2);
+  EXPECT_LE(under.percentile(50.0), 0.9);
+
+  Histogram over = Histogram::latency_us();
+  over.record(2e7);
+  over.record(5e7);
+  EXPECT_DOUBLE_EQ(over.percentile(0.0), 2e7);
+  EXPECT_DOUBLE_EQ(over.percentile(100.0), 5e7);
+}
+
+TEST(Histogram, NanIsIgnoredNotRecorded) {
+  Histogram h = Histogram::latency_us();
+  h.record(std::nan(""));
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);  // still the empty histogram
+  h.record(40.0);
+  h.record(std::nan(""));
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 40.0);  // no NaN poisoning
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 40.0);
+}
+
+TEST(Histogram, PercentilesAreMonotone) {
+  Histogram h = Histogram::latency_us();
+  std::mt19937 rng(7);
+  std::lognormal_distribution<double> dist(4.0, 1.5);
+  for (int i = 0; i < 5000; ++i) h.record(dist(rng));
+  double prev = h.percentile(0.0);
+  for (double q = 5.0; q <= 100.0; q += 5.0) {
+    const double cur = h.percentile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
+
+TEST(Histogram, PercentileWithinOneBinOfExact) {
+  // The documented accuracy contract: for in-range samples the estimate is
+  // within one bin's width ratio of the exact sample percentile.
+  Histogram h = Histogram::latency_us();
+  const double bin_ratio =
+      std::pow(h.upper_bound() / h.lower_bound(), 1.0 / static_cast<double>(h.num_bins()));
+  std::vector<double> samples;
+  std::mt19937 rng(21);
+  std::lognormal_distribution<double> dist(5.0, 2.0);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = std::clamp(dist(rng), 2.0, 1e6);
+    samples.push_back(x);
+    h.record(x);
+  }
+  for (double q : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9}) {
+    const double exact = percentile(samples, q);
+    const double est = h.percentile(q);
+    EXPECT_LE(est, exact * bin_ratio * (1.0 + 1e-9)) << "q=" << q;
+    EXPECT_GE(est, exact / bin_ratio * (1.0 - 1e-9)) << "q=" << q;
+  }
+}
+
+TEST(Histogram, MergeEqualsSingleRecording) {
+  Histogram a = Histogram::latency_us();
+  Histogram b = Histogram::latency_us();
+  Histogram all = Histogram::latency_us();
+  std::mt19937 rng(33);
+  std::lognormal_distribution<double> dist(3.0, 1.0);
+  for (int i = 0; i < 4000; ++i) {
+    const double x = dist(rng);
+    ((i % 2 == 0) ? a : b).record(x);
+    all.record(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+  EXPECT_DOUBLE_EQ(a.min_recorded(), all.min_recorded());
+  EXPECT_DOUBLE_EQ(a.max_recorded(), all.max_recorded());
+  for (double q : {10.0, 50.0, 95.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(q), all.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(Histogram, CrossChecksRunningStatsOnSameStream) {
+  // Histogram, RunningStats and the exact percentile() must tell one
+  // consistent story about the same sample stream.
+  Histogram h = Histogram::latency_us();
+  RunningStats rs;
+  std::vector<double> samples;
+  std::mt19937 rng(55);
+  std::lognormal_distribution<double> dist(4.5, 0.8);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = dist(rng);
+    h.record(x);
+    rs.push(x);
+    samples.push_back(x);
+  }
+  EXPECT_EQ(h.count(), rs.count());
+  // Histogram tracks the exact sum, so its mean matches Welford's exactly
+  // (up to accumulation-order rounding).
+  EXPECT_NEAR(h.mean(), rs.mean(), 1e-9 * rs.mean());
+  EXPECT_NEAR(h.mean(), mean(samples), 1e-9 * rs.mean());
+  // Median estimate agrees with the exact percentile within bin resolution.
+  const double bin_ratio =
+      std::pow(h.upper_bound() / h.lower_bound(), 1.0 / static_cast<double>(h.num_bins()));
+  const double exact_median = percentile(samples, 50.0);
+  EXPECT_LE(h.percentile(50.0), exact_median * bin_ratio);
+  EXPECT_GE(h.percentile(50.0), exact_median / bin_ratio);
+  // And the exact extrema match min_value/max_value on the same samples.
+  EXPECT_DOUBLE_EQ(h.min_recorded(), min_value(samples));
+  EXPECT_DOUBLE_EQ(h.max_recorded(), max_value(samples));
 }
 
 TEST(Csv, RoundTrip) {

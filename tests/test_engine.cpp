@@ -1,0 +1,462 @@
+// Engine tests: bounded-queue semantics (deterministic backpressure and
+// batching), the engine equivalence contract (batched output bit-identical
+// to direct locate() under concurrency), session multiplexing, admission
+// control under flood, telemetry, and graceful shutdown.
+//
+// The concurrency tests here carry the `concurrency` CTest label and run
+// under -DNOBLE_SANITIZE=thread in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/noble_imu.h"
+#include "core/noble_wifi.h"
+#include "engine/bounded_queue.h"
+#include "engine/engine.h"
+#include "serve/imu_localizer.h"
+#include "serve/wifi_localizer.h"
+
+namespace noble::engine {
+namespace {
+
+// ---------------------------------------------------------------------------
+// BoundedQueue: the deterministic half of admission control.
+// ---------------------------------------------------------------------------
+
+TEST(BoundedQueue, RejectsWhenFull) {
+  BoundedQueue<int> queue(2);
+  EXPECT_EQ(queue.try_push(1), PushResult::kOk);
+  EXPECT_EQ(queue.try_push(2), PushResult::kOk);
+  EXPECT_EQ(queue.try_push(3), PushResult::kFull);
+  EXPECT_EQ(queue.depth(), 2u);
+
+  const auto batch = queue.pop_batch(8, std::chrono::microseconds(0));
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], 1);
+  EXPECT_EQ(batch[1], 2);
+  EXPECT_EQ(queue.try_push(4), PushResult::kOk);  // capacity freed
+}
+
+TEST(BoundedQueue, PopBatchHonorsMaxItems) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(queue.try_push(i), PushResult::kOk);
+  const auto first = queue.pop_batch(3, std::chrono::microseconds(0));
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[2], 2);
+  EXPECT_EQ(queue.depth(), 2u);
+  const auto rest = queue.pop_batch(3, std::chrono::microseconds(0));
+  EXPECT_EQ(rest.size(), 2u);
+}
+
+TEST(BoundedQueue, FullBatchReturnsWithoutWaitingOutTheWindow) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(queue.try_push(i), PushResult::kOk);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto batch = queue.pop_batch(4, std::chrono::seconds(30));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(batch.size(), 4u);
+  EXPECT_LT(elapsed, std::chrono::seconds(5));  // did not sit out the window
+}
+
+TEST(BoundedQueue, UnderfullBatchServedAfterWindowExpires) {
+  BoundedQueue<int> queue(8);
+  EXPECT_EQ(queue.try_push(42), PushResult::kOk);
+  const auto batch = queue.pop_batch(4, std::chrono::milliseconds(5));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], 42);
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsShutdown) {
+  BoundedQueue<int> queue(8);
+  EXPECT_EQ(queue.try_push(1), PushResult::kOk);
+  queue.close();
+  EXPECT_EQ(queue.try_push(2), PushResult::kClosed);
+  const auto drained = queue.pop_batch(8, std::chrono::microseconds(0));
+  ASSERT_EQ(drained.size(), 1u);  // close() does not drop queued work
+  EXPECT_TRUE(queue.pop_batch(8, std::chrono::microseconds(0)).empty());
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> queue(4);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    (void)queue.pop_batch(4, std::chrono::seconds(30));
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+// ---------------------------------------------------------------------------
+// Engine: shared small fixtures (mirrors test_serve_localizer's sizing).
+// ---------------------------------------------------------------------------
+
+struct EngineFixture {
+  core::WifiExperiment exp;
+  core::NobleWifiModel model;
+};
+
+const EngineFixture& engine_fixture() {
+  static const EngineFixture* fixture = [] {
+    core::WifiExperimentConfig cfg;
+    cfg.total_samples = 1200;
+    cfg.seed = 303;
+    auto* f = new EngineFixture{core::make_uji_experiment(cfg), core::NobleWifiModel([] {
+                                  core::NobleWifiConfig mc;
+                                  mc.quantize.tau = 6.0;
+                                  mc.quantize.coarse_l = 24.0;
+                                  mc.epochs = 6;
+                                  mc.hidden_units = 32;
+                                  return mc;
+                                }())};
+    f->model.fit(f->exp.split.train);
+    return f;
+  }();
+  return *fixture;
+}
+
+const serve::WifiLocalizer& reference_localizer() {
+  static const serve::WifiLocalizer* localizer =
+      new serve::WifiLocalizer(serve::WifiLocalizer::from_model(engine_fixture().model));
+  return *localizer;
+}
+
+std::vector<serve::RssiVector> query_pool(std::size_t count) {
+  const auto& f = engine_fixture();
+  std::vector<serve::RssiVector> queries;
+  for (std::size_t i = 0; i < count && i < f.exp.split.test.size(); ++i) {
+    queries.push_back(f.exp.split.test.samples[i].rssi);
+  }
+  return queries;
+}
+
+bool fixes_identical(const serve::Fix& a, const serve::Fix& b) {
+  return a.building == b.building && a.floor == b.floor &&
+         a.fine_class == b.fine_class && a.position == b.position &&
+         a.confidence == b.confidence;
+}
+
+// The tentpole contract: for >= 1000 randomly timed concurrent requests,
+// every future is bit-identical to a direct locate() on the same query, no
+// matter how the batcher grouped them.
+TEST(Engine, ConcurrentResultsBitIdenticalToDirectLocate) {
+  const auto& localizer = reference_localizer();
+  const auto queries = query_pool(96);
+  ASSERT_FALSE(queries.empty());
+  std::vector<serve::Fix> expected;
+  expected.reserve(queries.size());
+  for (const auto& q : queries) expected.push_back(localizer.locate(q));
+
+  EngineConfig cfg;
+  cfg.workers = 3;
+  cfg.max_batch = 16;
+  cfg.max_wait_us = 100;
+  cfg.queue_cap = 4096;
+  Engine engine(localizer, cfg);
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 160;  // 8 * 160 = 1280 >= 1000 requests
+  std::atomic<int> mismatches{0};
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937 rng(static_cast<unsigned>(1000 + c));
+      std::uniform_int_distribution<std::size_t> pick(0, queries.size() - 1);
+      std::uniform_int_distribution<int> jitter_us(0, 200);
+      for (int r = 0; r < kPerClient; ++r) {
+        const std::size_t q = pick(rng);
+        Submission submission = engine.submit(queries[q]);
+        while (submission.status == SubmitStatus::kQueueFull) {
+          std::this_thread::yield();
+          submission = engine.submit(queries[q]);
+        }
+        ASSERT_TRUE(submission.accepted());
+        const serve::Fix fix = submission.result.get();
+        if (!fixes_identical(fix, expected[q])) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+        accepted.fetch_add(1, std::memory_order_relaxed);
+        // Randomly timed arrivals: sometimes bursty, sometimes spaced, so
+        // the batcher sees every micro-batch size.
+        if (r % 3 == 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(jitter_us(rng)));
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(accepted.load(), kClients * kPerClient);
+  const EngineStats stats = engine.stats();
+  EXPECT_GE(stats.completed, static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_GE(stats.batch_size.max_recorded(), 1.0);
+  EXPECT_LE(stats.batch_size.max_recorded(), static_cast<double>(cfg.max_batch));
+}
+
+TEST(Engine, RejectsWrongDimensionWithoutQueueing) {
+  Engine engine(reference_localizer());
+  const Submission s = engine.submit(serve::RssiVector(3, 0.0f));
+  EXPECT_EQ(s.status, SubmitStatus::kBadDimension);
+  EXPECT_FALSE(s.result.valid());
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 0u);
+  EXPECT_EQ(stats.rejected, 1u);
+}
+
+TEST(Engine, FloodAgainstTinyQueueDegradesPredictably) {
+  // Admission control under overload: with a deliberately tiny queue and a
+  // slow single worker, tight-loop submitters must see explicit kQueueFull
+  // rejections — and every accepted future must still resolve correctly.
+  const auto& localizer = reference_localizer();
+  const auto queries = query_pool(8);
+  std::vector<serve::Fix> expected;
+  for (const auto& q : queries) expected.push_back(localizer.locate(q));
+
+  EngineConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 2;
+  cfg.max_wait_us = 0;
+  cfg.queue_cap = 4;
+  Engine engine(localizer, cfg);
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 500;
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<std::pair<std::size_t, std::future<serve::Fix>>> inflight;
+      for (int r = 0; r < kPerClient; ++r) {
+        const std::size_t q = static_cast<std::size_t>(c + r) % queries.size();
+        Submission s = engine.submit(queries[q]);
+        if (s.accepted()) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+          inflight.emplace_back(q, std::move(s.result));
+        } else {
+          ASSERT_EQ(s.status, SubmitStatus::kQueueFull);
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (inflight.size() >= 64) {
+          for (auto& [qi, fut] : inflight) {
+            if (!fixes_identical(fut.get(), expected[qi])) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+          inflight.clear();
+        }
+      }
+      for (auto& [qi, fut] : inflight) {
+        if (!fixes_identical(fut.get(), expected[qi])) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(accepted.load() + rejected.load(),
+            static_cast<std::uint64_t>(kClients * kPerClient));
+  // 4 tight-loop submitters against a 4-slot queue: overload is certain.
+  EXPECT_GT(rejected.load(), 0u);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, accepted.load());
+  EXPECT_EQ(stats.rejected, rejected.load());
+  EXPECT_EQ(stats.completed, accepted.load());
+}
+
+TEST(Engine, ShutdownDrainsEveryAcceptedRequest) {
+  const auto& localizer = reference_localizer();
+  const auto queries = query_pool(32);
+  EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.max_batch = 8;
+  cfg.queue_cap = 1024;
+  Engine engine(localizer, cfg);
+
+  std::vector<std::pair<std::size_t, std::future<serve::Fix>>> inflight;
+  for (int r = 0; r < 128; ++r) {
+    const std::size_t q = static_cast<std::size_t>(r) % queries.size();
+    Submission s = engine.submit(queries[q]);
+    if (s.accepted()) inflight.emplace_back(q, std::move(s.result));
+  }
+  engine.shutdown();
+
+  // Every accepted future is fulfilled by the drain, none abandoned.
+  for (auto& [q, fut] : inflight) {
+    const serve::Fix fix = fut.get();
+    EXPECT_TRUE(fixes_identical(fix, localizer.locate(queries[q])));
+  }
+  const Submission late = engine.submit(queries[0]);
+  EXPECT_EQ(late.status, SubmitStatus::kStopped);
+  EXPECT_EQ(engine.stats().queue_depth, 0u);
+}
+
+TEST(Engine, StatsTelemetryIsCoherent) {
+  const auto& localizer = reference_localizer();
+  const auto queries = query_pool(16);
+  EngineConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 500;
+  Engine engine(localizer, cfg);
+
+  std::vector<std::future<serve::Fix>> futures;
+  for (int r = 0; r < 40; ++r) {
+    Submission s = engine.submit(queries[static_cast<std::size_t>(r) % queries.size()]);
+    ASSERT_TRUE(s.accepted());
+    futures.push_back(std::move(s.result));
+  }
+  for (auto& f : futures) (void)f.get();
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 40u);
+  EXPECT_EQ(stats.completed, 40u);
+  EXPECT_EQ(stats.batch_size.count(), stats.batches);
+  EXPECT_EQ(stats.latency_us.count(), stats.completed);
+  EXPECT_GT(stats.latency_p50_us, 0.0);
+  EXPECT_LE(stats.latency_p50_us, stats.latency_p95_us);
+  EXPECT_LE(stats.latency_p95_us, stats.latency_p99_us);
+  // Batches never exceed the configured cap.
+  EXPECT_LE(stats.batch_size.max_recorded(), static_cast<double>(cfg.max_batch));
+}
+
+// ---------------------------------------------------------------------------
+// IMU session registry.
+// ---------------------------------------------------------------------------
+
+struct ImuEngineFixture {
+  core::ImuExperiment exp;
+  core::NobleImuTracker tracker;
+};
+
+const ImuEngineFixture& imu_engine_fixture() {
+  static const ImuEngineFixture* fixture = [] {
+    core::ImuExperimentConfig cfg;
+    cfg.num_paths = 400;
+    cfg.total_walk_time_s = 1000.0;
+    cfg.readings_per_segment = 8;
+    cfg.imu.ref_interval_s = 15.0;
+    cfg.seed = 304;
+    auto* f = new ImuEngineFixture{core::make_imu_experiment(cfg), core::NobleImuTracker([] {
+                                     core::NobleImuConfig mc;
+                                     mc.quantize.tau = 2.0;
+                                     mc.epochs = 6;
+                                     mc.projection_dim = 6;
+                                     return mc;
+                                   }())};
+    f->tracker.fit(f->exp.split.train);
+    return f;
+  }();
+  return *fixture;
+}
+
+std::vector<serve::ImuSegment> segments_of(const data::ImuPath& path,
+                                           std::size_t segment_dim) {
+  std::vector<serve::ImuSegment> out;
+  out.reserve(path.num_segments);
+  for (std::size_t s = 0; s < path.num_segments; ++s) {
+    out.emplace_back(
+        path.features.begin() + static_cast<std::ptrdiff_t>(s * segment_dim),
+        path.features.begin() + static_cast<std::ptrdiff_t>((s + 1) * segment_dim));
+  }
+  return out;
+}
+
+TEST(EngineSessions, ConcurrentSessionsMatchDirectTrackingSessions) {
+  const auto& wf = engine_fixture();
+  const auto& imf = imu_engine_fixture();
+  const serve::WifiLocalizer wifi = serve::WifiLocalizer::from_model(wf.model);
+  const serve::ImuLocalizer imu = serve::ImuLocalizer::from_model(imf.tracker);
+
+  EngineConfig cfg;
+  cfg.workers = 3;
+  cfg.max_batch = 8;
+  cfg.queue_cap = 1024;
+  Engine engine(wifi, imu, cfg);
+  ASSERT_TRUE(engine.has_imu());
+
+  const std::size_t num_tracks = std::min<std::size_t>(imf.exp.split.test.size(), 8);
+  ASSERT_GE(num_tracks, 2u);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> tracks;
+  for (std::size_t p = 0; p < num_tracks; ++p) {
+    tracks.emplace_back([&, p] {
+      const auto& path = imf.exp.split.test.paths[p];
+      const auto segments = segments_of(path, imf.tracker.segment_dim());
+      // Reference: a direct session on the same localizer replica family.
+      serve::TrackingSession direct = imu.start_session(path.start);
+      std::vector<serve::Fix> expected;
+      expected.reserve(segments.size());
+      for (const auto& segment : segments) expected.push_back(direct.update(segment));
+
+      const auto session = engine.open_session(path.start);
+      ASSERT_TRUE(session.has_value());
+      // Pipelined submission: all segments in flight at once; the
+      // per-session FIFO must still apply them strictly in order.
+      std::vector<std::future<serve::Fix>> fixes;
+      fixes.reserve(segments.size());
+      for (const auto& segment : segments) {
+        Submission s = engine.track(*session, segment);
+        while (s.status == SubmitStatus::kQueueFull) {
+          std::this_thread::yield();
+          s = engine.track(*session, segment);
+        }
+        ASSERT_TRUE(s.accepted());
+        fixes.push_back(std::move(s.result));
+      }
+      for (std::size_t i = 0; i < fixes.size(); ++i) {
+        if (!fixes_identical(fixes[i].get(), expected[i])) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      EXPECT_TRUE(engine.close_session(*session));
+    });
+  }
+  for (auto& t : tracks) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(EngineSessions, RegistryRejectsBadHandlesAndDimensions) {
+  const auto& wf = engine_fixture();
+  const auto& imf = imu_engine_fixture();
+  const serve::WifiLocalizer wifi = serve::WifiLocalizer::from_model(wf.model);
+  const serve::ImuLocalizer imu = serve::ImuLocalizer::from_model(imf.tracker);
+  Engine engine(wifi, imu);
+
+  // Unknown session id.
+  EXPECT_EQ(engine.track(9999, serve::ImuSegment(imu.segment_dim(), 0.0f)).status,
+            SubmitStatus::kNoSession);
+  EXPECT_FALSE(engine.close_session(9999));
+
+  const auto session = engine.open_session(imf.exp.split.test.paths[0].start);
+  ASSERT_TRUE(session.has_value());
+  // Wrong segment width.
+  EXPECT_EQ(engine.track(*session, serve::ImuSegment(3, 0.0f)).status,
+            SubmitStatus::kBadDimension);
+  // Close, then the handle is dead.
+  EXPECT_TRUE(engine.close_session(*session));
+  EXPECT_EQ(engine.track(*session, serve::ImuSegment(imu.segment_dim(), 0.0f)).status,
+            SubmitStatus::kNoSession);
+
+  // Wi-Fi-only engines have no session registry.
+  Engine wifi_only(wifi);
+  EXPECT_FALSE(wifi_only.has_imu());
+  EXPECT_FALSE(wifi_only.open_session(geo::Point2{0.0, 0.0}).has_value());
+}
+
+}  // namespace
+}  // namespace noble::engine

@@ -84,6 +84,48 @@ TEST(WifiLocalizer, BatchEqualsSingleQuery) {
   EXPECT_TRUE(localizer.locate_batch({}).empty());
 }
 
+TEST(WifiLocalizer, EmptyBatchReturnsEmptyWithoutGemm) {
+  // Regression: the empty batch must short-circuit before the feature
+  // matrix is built — no zero-row GEMM, no allocation-size edge cases.
+  const auto& f = wifi_fixture();
+  const WifiLocalizer localizer = WifiLocalizer::from_model(f.model);
+  EXPECT_TRUE(localizer.locate_batch({}).empty());
+  EXPECT_TRUE(localizer.locate_batch(std::vector<RssiVector>{}).empty());
+}
+
+TEST(WifiLocalizer, DuplicatedQueriesInOneBatchReturnIdenticalFixes) {
+  // Regression: batching is per-row independent, so the same scan appearing
+  // several times in one batch must decode to bit-identical fixes — and to
+  // the single-query answer.
+  const auto& f = wifi_fixture();
+  const WifiLocalizer localizer = WifiLocalizer::from_model(f.model);
+  const auto pool = test_queries(f, 8);
+  ASSERT_GE(pool.size(), 3u);
+
+  std::vector<RssiVector> batch;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    for (const auto& q : pool) batch.push_back(q);
+  }
+  batch.push_back(pool[1]);  // one extra straggler duplicate
+
+  const auto fixes = localizer.locate_batch(batch);
+  ASSERT_EQ(fixes.size(), batch.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const Fix single = localizer.locate(pool[i]);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      const Fix& dup = fixes[static_cast<std::size_t>(repeat) * pool.size() + i];
+      EXPECT_EQ(dup.building, single.building);
+      EXPECT_EQ(dup.floor, single.floor);
+      EXPECT_EQ(dup.fine_class, single.fine_class);
+      EXPECT_EQ(dup.position, single.position);
+      EXPECT_EQ(dup.confidence, single.confidence);
+    }
+  }
+  const Fix& straggler = fixes.back();
+  EXPECT_EQ(straggler.position, fixes[1].position);
+  EXPECT_EQ(straggler.confidence, fixes[1].confidence);
+}
+
 TEST(WifiLocalizer, ConstLocateIsThreadSafe) {
   // The serve contract: one localizer, many threads, no synchronization.
   // Run under -DNOBLE_SANITIZE=address,undefined in CI; any mutation in the
