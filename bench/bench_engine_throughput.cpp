@@ -7,8 +7,7 @@
 // micro-batches even from few clients). The acceptance bar for this repo:
 // engine QPS at 8 client threads >= 2x the sequential baseline.
 //
-// Knobs: NOBLE_ENGINE_WORKERS (worker pool size, default min(hw, 8)),
-// NOBLE_ENGINE_MAX_BATCH, NOBLE_ENGINE_MAX_WAIT_US, NOBLE_ENGINE_QUEUE_CAP,
+// Knobs: the shared NOBLE_ENGINE_* set (see bench::engine_config_from_env),
 // NOBLE_ENGINE_REQUESTS (per client thread), plus the usual NOBLE_SCALE /
 // NOBLE_EPOCHS experiment sizing.
 #include <algorithm>
@@ -99,24 +98,17 @@ int main() {
     return 1;
   }
 
-  engine::EngineConfig cfg;
-  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
-  cfg.workers = static_cast<std::size_t>(
-      env_int("NOBLE_ENGINE_WORKERS",
-              static_cast<long>(std::clamp<std::size_t>(hw, 2, 8))));
-  cfg.max_batch =
-      static_cast<std::size_t>(env_int("NOBLE_ENGINE_MAX_BATCH", 32));
-  cfg.max_wait_us =
-      static_cast<std::uint64_t>(env_int("NOBLE_ENGINE_MAX_WAIT_US", 100));
-  cfg.queue_cap =
-      static_cast<std::size_t>(env_int("NOBLE_ENGINE_QUEUE_CAP", 4096));
+  engine::EngineConfig defaults;
+  defaults.workers = 0;  // auto: min(hardware, 8)
+  defaults.max_wait_us = 100;
+  defaults.queue_cap = 4096;
+  const engine::EngineConfig cfg = bench::engine_config_from_env(defaults);
   const auto per_client = static_cast<std::size_t>(
       env_int("NOBLE_ENGINE_REQUESTS", static_cast<long>(scaled(4000, 256))));
 
-  std::printf("localizer: %zu APs, %zu test queries | engine: %zu workers, "
-              "max_batch %zu, max_wait %llu us, queue_cap %zu\n\n",
-              localizer.num_aps(), queries.size(), cfg.workers, cfg.max_batch,
-              static_cast<unsigned long long>(cfg.max_wait_us), cfg.queue_cap);
+  std::printf("localizer: %zu APs, %zu test queries | engine: %s\n\n",
+              localizer.num_aps(), queries.size(),
+              bench::describe_engine_config(cfg).c_str());
 
   // Warm-up.
   for (std::size_t i = 0; i < std::min<std::size_t>(64, queries.size()); ++i) {

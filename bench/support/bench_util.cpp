@@ -1,6 +1,8 @@
 #include "support/bench_util.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <thread>
 
 #include "common/config.h"
 
@@ -49,6 +51,43 @@ core::NobleImuConfig noble_imu_config() {
   core::NobleImuConfig cfg;
   cfg.epochs = static_cast<std::size_t>(env_int("NOBLE_IMU_EPOCHS", 60));
   return cfg;
+}
+
+engine::EngineConfig engine_config_from_env(engine::EngineConfig defaults) {
+  engine::EngineConfig cfg = defaults;
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t worker_default =
+      defaults.workers == 0 ? std::clamp<std::size_t>(hw, 2, 8) : defaults.workers;
+  cfg.workers = static_cast<std::size_t>(
+      env_int("NOBLE_ENGINE_WORKERS", static_cast<long>(worker_default)));
+  cfg.max_batch = static_cast<std::size_t>(
+      env_int("NOBLE_ENGINE_MAX_BATCH", static_cast<long>(defaults.max_batch)));
+  cfg.max_wait_us = static_cast<std::uint64_t>(
+      env_int("NOBLE_ENGINE_MAX_WAIT_US", static_cast<long>(defaults.max_wait_us)));
+  cfg.queue_cap = static_cast<std::size_t>(
+      env_int("NOBLE_ENGINE_QUEUE_CAP", static_cast<long>(defaults.queue_cap)));
+  cfg.adaptive_wait = env_int("NOBLE_ENGINE_ADAPTIVE", defaults.adaptive_wait ? 1 : 0) != 0;
+  cfg.backend = env_string("NOBLE_ENGINE_BACKEND",
+                           engine::backend_kind_name(defaults.backend)) == "quantized"
+                    ? engine::BackendKind::kQuantized
+                    : engine::BackendKind::kDense;
+  cfg.cache_capacity = static_cast<std::size_t>(
+      env_int("NOBLE_ENGINE_CACHE_CAP", static_cast<long>(defaults.cache_capacity)));
+  cfg.cache_key_step_db =
+      env_double("NOBLE_ENGINE_CACHE_STEP_DB", defaults.cache_key_step_db);
+  return cfg;
+}
+
+std::string describe_engine_config(const engine::EngineConfig& cfg) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "%zu workers, max_batch %zu, max_wait %llu us%s, queue_cap %zu, "
+                "backend %s, cache %zu",
+                cfg.workers, cfg.max_batch,
+                static_cast<unsigned long long>(cfg.max_wait_us),
+                cfg.adaptive_wait ? " (adaptive)" : "", cfg.queue_cap,
+                engine::backend_kind_name(cfg.backend), cfg.cache_capacity);
+  return buffer;
 }
 
 void print_banner(const std::string& bench_name, const std::string& paper_ref) {

@@ -15,6 +15,7 @@
 #include "core/experiment.h"
 #include "core/noble_imu.h"
 #include "core/noble_wifi.h"
+#include "engine/engine.h"
 
 namespace noble::bench {
 
@@ -35,6 +36,19 @@ core::RegressionConfig regression_config();
 
 /// NObLe IMU hyperparameters.
 core::NobleImuConfig noble_imu_config();
+
+/// Engine knobs shared by the engine/fleet/cache benches, applied over
+/// `defaults` (every field falls back to the passed default):
+/// NOBLE_ENGINE_WORKERS, NOBLE_ENGINE_MAX_BATCH, NOBLE_ENGINE_MAX_WAIT_US,
+/// NOBLE_ENGINE_QUEUE_CAP, NOBLE_ENGINE_ADAPTIVE (0/1),
+/// NOBLE_ENGINE_BACKEND (dense|quantized), NOBLE_ENGINE_CACHE_CAP and
+/// NOBLE_ENGINE_CACHE_STEP_DB. `defaults.workers == 0` means auto: size
+/// the pool to min(hardware, 8), at least 2 — what the throughput benches
+/// want on any host.
+engine::EngineConfig engine_config_from_env(engine::EngineConfig defaults = {});
+
+/// One-line engine-config summary for bench banners.
+std::string describe_engine_config(const engine::EngineConfig& cfg);
 
 /// Prints the run banner: experiment sizes, seed, scale.
 void print_banner(const std::string& bench_name, const std::string& paper_ref);

@@ -1,0 +1,131 @@
+// Fleet tour — one campus, many buildings, one router:
+//  1. train a NObLe Wi-Fi model on a synthetic campus,
+//  2. stand up a noble::fleet::Router with two shards: "bldg-A" on the
+//     dense float32 backend with the fingerprint cache enabled, "bldg-B"
+//     on the int8 quantized backend with two replica engines,
+//  3. route every test scan to both shards,
+//  4. gate: every "bldg-A" fix must be bit-identical to direct locate();
+//     every "bldg-B" fix must be bit-identical to direct quantized
+//     inference (the per-backend equivalence contract),
+//  5. resubmit the "bldg-A" scans to show the cache fast path, then print
+//     the merged FleetStats surface.
+//
+// Exits non-zero on any mismatch, so the smoke tier doubles as an
+// end-to-end router-vs-direct equivalence check.
+//
+// Run: ./example_fleet_router
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/noble_wifi.h"
+#include "engine/backend.h"
+#include "fleet/router.h"
+#include "serve/wifi_localizer.h"
+
+int main() {
+  using namespace noble;
+
+  std::printf("noble::fleet tour: shards -> engines -> backend replicas\n\n");
+
+  // 1. Train (scaled by NOBLE_SCALE inside the experiment builder).
+  core::WifiExperimentConfig config;
+  config.total_samples = 3000;
+  config.seed = 12;
+  core::WifiExperiment experiment = core::make_uji_experiment(config);
+  core::NobleWifiConfig model_config;
+  model_config.quantize.tau = 3.0;
+  model_config.quantize.coarse_l = 15.0;
+  model_config.epochs = 10;
+  core::NobleWifiModel model(model_config);
+  model.fit(experiment.split.train, &experiment.split.val);
+  const serve::WifiLocalizer localizer = serve::WifiLocalizer::from_model(model);
+  std::printf("trained: %zu APs -> %zu neighborhood classes\n\n", model.input_dim(),
+              model.quantizer().num_fine_classes());
+
+  // 2. The router: two shards over the same artifact with different serving
+  // profiles (a real fleet would load one artifact per building).
+  fleet::Router router;
+  fleet::ShardConfig shard_a;
+  shard_a.key = "bldg-A";
+  shard_a.engine.workers = 2;
+  shard_a.engine.max_batch = 16;
+  shard_a.engine.cache_capacity = 1024;  // repeated scans answered at admission
+  router.add_shard(shard_a, localizer);
+
+  fleet::ShardConfig shard_b;
+  shard_b.key = "bldg-B";
+  shard_b.engines = 2;  // kQueueFull spills to the sibling replica engine
+  shard_b.engine.workers = 1;
+  shard_b.engine.max_batch = 16;
+  shard_b.engine.backend = engine::BackendKind::kQuantized;
+  router.add_shard(shard_b, localizer);
+
+  // Per-backend references for the equivalence gate.
+  const engine::QuantizedBackend quantized_reference(localizer);
+
+  std::vector<serve::RssiVector> queries;
+  for (const auto& sample : experiment.split.test.samples)
+    queries.push_back(sample.rssi);
+  std::printf("routing %zu scans to 2 shards (dense+cache / quantized x2)...\n",
+              queries.size());
+
+  // 3 + 4. Route everything, gate against direct inference per shard.
+  std::size_t checked = 0, mismatched = 0;
+  auto gate = [&](const char* key, const serve::RssiVector& q,
+                  const serve::Fix& expected) {
+    engine::Submission s = router.submit(key, q);
+    while (s.status == engine::SubmitStatus::kQueueFull) {
+      s = router.submit(key, q);
+    }
+    if (!s.accepted()) {
+      ++mismatched;
+      return;
+    }
+    const serve::Fix fix = s.result.get();
+    ++checked;
+    if (fix.building != expected.building || fix.floor != expected.floor ||
+        fix.fine_class != expected.fine_class || fix.position != expected.position ||
+        fix.confidence != expected.confidence) {
+      ++mismatched;
+    }
+  };
+  for (const auto& q : queries) {
+    gate("bldg-A", q, localizer.locate(q));
+    gate("bldg-B", q,
+         quantized_reference.locate_batch(std::span(&q, 1)).front());
+  }
+  std::printf("equivalence: %zu fixes checked, %zu mismatches%s\n", checked,
+              mismatched,
+              mismatched == 0 ? " (routed == direct, per backend)" : "");
+
+  // 5. Cache fast path: the same scans again — now resident at admission.
+  for (const auto& q : queries) gate("bldg-A", q, localizer.locate(q));
+
+  const fleet::FleetStats stats = router.stats();
+  std::printf("\nfleet telemetry (%zu shards, %zu engines):\n", stats.num_shards,
+              stats.num_engines);
+  for (const auto& [key, shard_stats] : stats.shards) {
+    std::printf("  %-8s completed %6llu, batches %5llu, cache %llu/%llu hit/miss, "
+                "p50 %7.0f us, p99 %7.0f us\n",
+                key.c_str(), static_cast<unsigned long long>(shard_stats.completed),
+                static_cast<unsigned long long>(shard_stats.batches),
+                static_cast<unsigned long long>(shard_stats.cache_hits),
+                static_cast<unsigned long long>(shard_stats.cache_misses),
+                shard_stats.latency_p50_us, shard_stats.latency_p99_us);
+  }
+  std::printf("  %-8s completed %6llu (merged p50 %7.0f us, p95 %7.0f us, "
+              "p99 %7.0f us)\n",
+              "total", static_cast<unsigned long long>(stats.total.completed),
+              stats.total.latency_p50_us, stats.total.latency_p95_us,
+              stats.total.latency_p99_us);
+
+  const bool cache_worked = stats.shards.at("bldg-A").cache_hits > 0;
+  std::printf("cache fast path: %llu admission hits on the repeat pass%s\n",
+              static_cast<unsigned long long>(stats.shards.at("bldg-A").cache_hits),
+              cache_worked ? "" : " (expected > 0!)");
+
+  const bool all_checked = checked == 3 * queries.size();
+  return mismatched == 0 && all_checked && cache_worked ? 0 : 1;
+}

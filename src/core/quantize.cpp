@@ -1,6 +1,10 @@
 #include "core/quantize.h"
 
+#include <cmath>
+
 #include "common/check.h"
+#include "nn/dense.h"
+#include "nn/network.h"
 
 namespace noble::core {
 
@@ -148,6 +152,121 @@ DecodedPrediction SpaceQuantizer::decode_hierarchical(const LabelLayout& layout,
     out.position = fine_.center(best);
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Weight quantization for serving backends.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Rounds to the nearest int8, clamped to the symmetric range [-127, 127]
+/// (the -128 slot is unused so the range stays symmetric around zero).
+std::int8_t round_to_int8(float scaled) {
+  const long r = std::lround(scaled);
+  if (r > 127) return 127;
+  if (r < -127) return -127;
+  return static_cast<std::int8_t>(r);
+}
+
+}  // namespace
+
+QuantizedDense quantize_dense(const nn::Dense& layer) {
+  const linalg::Mat& w = layer.weights();  // (in x out), row-major
+  const linalg::Mat& b = layer.bias();
+  QuantizedDense out;
+  out.in_dim = layer.in_dim();
+  out.out_dim = layer.out();
+  out.weights.assign(out.in_dim * out.out_dim, 0);
+  out.scales.assign(out.out_dim, 0.0f);
+  out.bias.assign(b.row(0), b.row(0) + out.out_dim);
+  for (std::size_t j = 0; j < out.out_dim; ++j) {
+    float max_abs = 0.0f;
+    for (std::size_t k = 0; k < out.in_dim; ++k) {
+      const float a = std::fabs(w(k, j));
+      if (a > max_abs) max_abs = a;
+    }
+    if (max_abs == 0.0f) continue;  // all-zero column: weights stay 0
+    const float scale = max_abs / 127.0f;
+    out.scales[j] = scale;
+    const float inv_scale = 127.0f / max_abs;
+    std::int8_t* col = out.weights.data() + j * out.in_dim;
+    for (std::size_t k = 0; k < out.in_dim; ++k) {
+      col[k] = round_to_int8(w(k, j) * inv_scale);
+    }
+  }
+  return out;
+}
+
+void quantized_dense_infer(const QuantizedDense& layer, const linalg::Mat& x,
+                           linalg::Mat& y) {
+  NOBLE_EXPECTS(x.cols() == layer.in_dim);
+  y.resize(x.rows(), layer.out_dim);
+  std::vector<std::int8_t> qrow(layer.in_dim);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const float* xi = x.row(i);
+    float* yi = y.row(i);
+    float max_abs = 0.0f;
+    for (std::size_t k = 0; k < layer.in_dim; ++k) {
+      const float a = std::fabs(xi[k]);
+      if (a > max_abs) max_abs = a;
+    }
+    if (max_abs == 0.0f) {  // zero row quantizes to zero: output is the bias
+      for (std::size_t j = 0; j < layer.out_dim; ++j) yi[j] = layer.bias[j];
+      continue;
+    }
+    const float row_scale = max_abs / 127.0f;
+    const float inv_row_scale = 127.0f / max_abs;
+    for (std::size_t k = 0; k < layer.in_dim; ++k) {
+      qrow[k] = round_to_int8(xi[k] * inv_row_scale);
+    }
+    for (std::size_t j = 0; j < layer.out_dim; ++j) {
+      const std::int8_t* col = layer.weights.data() + j * layer.in_dim;
+      std::int32_t acc = 0;
+      for (std::size_t k = 0; k < layer.in_dim; ++k) {
+        acc += static_cast<std::int32_t>(qrow[k]) * static_cast<std::int32_t>(col[k]);
+      }
+      yi[j] = static_cast<float>(acc) * (row_scale * layer.scales[j]) + layer.bias[j];
+    }
+  }
+}
+
+QuantizedNetwork::QuantizedNetwork(const nn::Sequential& net) : net_(&net) {
+  stages_.resize(net.layer_count());
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    if (const auto* dense = dynamic_cast<const nn::Dense*>(&net.layer(i))) {
+      stages_[i] = quantize_dense(*dense);
+      ++num_quantized_;
+    }
+  }
+  NOBLE_ENSURES(num_quantized_ >= 1);  // a network with no dense layers has no GEMM to quantize
+}
+
+linalg::Mat QuantizedNetwork::predict(const linalg::Mat& x) const {
+  NOBLE_EXPECTS(!stages_.empty());
+  linalg::Mat cur, next;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    // Stage 0 reads `x` in place — both infer paths take separate in/out
+    // matrices, so the input never needs a deep copy.
+    const linalg::Mat& in = i == 0 ? x : cur;
+    if (stages_[i].has_value()) {
+      quantized_dense_infer(*stages_[i], in, next);
+    } else {
+      net_->layer(i).infer(in, next);
+    }
+    std::swap(cur, next);
+  }
+  return cur;
+}
+
+std::size_t QuantizedNetwork::quantized_parameter_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& stage : stages_) {
+    if (!stage.has_value()) continue;
+    bytes += stage->weights.size() * sizeof(std::int8_t) +
+             stage->scales.size() * sizeof(float) + stage->bias.size() * sizeof(float);
+  }
+  return bytes;
 }
 
 }  // namespace noble::core

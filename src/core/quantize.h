@@ -1,4 +1,5 @@
-// NObLe space quantization and multi-label target assembly (§III-B, §IV-A).
+// NObLe space quantization and multi-label target assembly (§III-B, §IV-A),
+// plus int8 weight quantization for the serving backends.
 //
 // The output layer of a NObLe model is the concatenation of label blocks:
 //   [ buildings | floors | fine classes c | coarse classes r ]
@@ -6,13 +7,28 @@
 // owns the geometry-to-label mapping: fitting the grid quantizers, building
 // multi-hot target matrices (optionally with adjacency soft labels), and
 // decoding predicted logits back to (building, floor, position).
+//
+// The second half of the module quantizes the *network* rather than the
+// space: per-output-channel symmetric int8 weights plus a per-row dynamic
+// activation scale give a deterministic integer forward path
+// (QuantizedNetwork) that the engine's quantized replica backend serves
+// from. Per-row activation scaling is what makes the path batch-invariant:
+// a query's logits do not depend on what else was coalesced into its
+// micro-batch, which is the property the engine equivalence harness checks.
 #ifndef NOBLE_CORE_QUANTIZE_H_
 #define NOBLE_CORE_QUANTIZE_H_
 
+#include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "geo/grid.h"
 #include "linalg/matrix.h"
+
+namespace noble::nn {
+class Dense;
+class Sequential;
+}  // namespace noble::nn
 
 namespace noble::core {
 
@@ -116,6 +132,55 @@ class SpaceQuantizer {
   /// the coarse level exists).
   std::vector<int> fine_to_coarse_;
   bool fitted_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Weight quantization for serving backends.
+// ---------------------------------------------------------------------------
+
+/// One dense layer quantized to int8: per-output-channel symmetric weight
+/// scales, float bias. Weights are stored column-major (weights[col * in_dim
+/// + k]) so the integer dot products walk contiguous memory.
+struct QuantizedDense {
+  std::size_t in_dim = 0;
+  std::size_t out_dim = 0;
+  std::vector<std::int8_t> weights;  ///< column-major, out_dim x in_dim
+  std::vector<float> scales;         ///< per-output-channel dequantization scale
+  std::vector<float> bias;           ///< float bias added after dequantization
+};
+
+/// Quantizes a fitted dense layer's weights (symmetric, per output channel).
+QuantizedDense quantize_dense(const nn::Dense& layer);
+
+/// Integer dense forward with per-row dynamic activation quantization:
+/// each input row is scaled to int8 by its own max-abs, accumulated in
+/// int32 against the int8 weights and dequantized per output channel. Rows
+/// are processed independently, so results are batch-invariant and fully
+/// deterministic.
+void quantized_dense_infer(const QuantizedDense& layer, const linalg::Mat& x,
+                           linalg::Mat& y);
+
+/// A Sequential's inference path with every Dense layer swapped for its int8
+/// quantization; all other layers (batch norm, activations) run their normal
+/// float `infer`. Holds a pointer to the source network for those
+/// pass-through layers — the network must outlive the QuantizedNetwork.
+class QuantizedNetwork {
+ public:
+  explicit QuantizedNetwork(const nn::Sequential& net);
+
+  /// Mixed int8/float forward; row-independent (see quantized_dense_infer).
+  linalg::Mat predict(const linalg::Mat& x) const;
+
+  /// Dense layers that were quantized.
+  std::size_t quantized_layer_count() const { return num_quantized_; }
+  /// Bytes of quantized weight storage (int8 weights + float scales/bias).
+  std::size_t quantized_parameter_bytes() const;
+
+ private:
+  const nn::Sequential* net_;
+  /// Aligned with the source network's layers; engaged for quantized stages.
+  std::vector<std::optional<QuantizedDense>> stages_;
+  std::size_t num_quantized_ = 0;
 };
 
 }  // namespace noble::core

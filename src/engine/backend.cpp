@@ -1,0 +1,63 @@
+#include "engine/backend.h"
+
+#include "common/check.h"
+
+namespace noble::engine {
+
+const char* backend_kind_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kDense:
+      return "dense";
+    case BackendKind::kQuantized:
+      return "quantized";
+  }
+  return "unknown";
+}
+
+DenseBackend::DenseBackend(const serve::WifiLocalizer& localizer)
+    : localizer_(serve::WifiLocalizer::from_model(localizer.model())) {}
+
+std::vector<serve::Fix> DenseBackend::locate_batch(
+    std::span<const serve::RssiVector> queries) const {
+  return localizer_.locate_batch(queries);
+}
+
+std::unique_ptr<WifiBackend> DenseBackend::clone() const {
+  return std::make_unique<DenseBackend>(localizer_);
+}
+
+QuantizedBackend::QuantizedBackend(const serve::WifiLocalizer& localizer)
+    : localizer_(serve::WifiLocalizer::from_model(localizer.model())),
+      qnet_(localizer_.model().network()) {}
+
+std::vector<serve::Fix> QuantizedBackend::locate_batch(
+    std::span<const serve::RssiVector> queries) const {
+  std::vector<serve::Fix> out;
+  if (queries.empty()) return out;
+  const linalg::Mat logits = qnet_.predict(localizer_.featurize(queries));
+  out.reserve(queries.size());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    out.push_back(localizer_.decode_logits(logits.row(i)));
+  }
+  return out;
+}
+
+std::unique_ptr<WifiBackend> QuantizedBackend::clone() const {
+  // Requantizing a bit-identical model copy reproduces bit-identical int8
+  // weights, so clones answer exactly like the original.
+  return std::make_unique<QuantizedBackend>(localizer_);
+}
+
+std::unique_ptr<WifiBackend> make_backend(BackendKind kind,
+                                          const serve::WifiLocalizer& localizer) {
+  switch (kind) {
+    case BackendKind::kDense:
+      return std::make_unique<DenseBackend>(localizer);
+    case BackendKind::kQuantized:
+      return std::make_unique<QuantizedBackend>(localizer);
+  }
+  NOBLE_CHECK(false);  // unreachable: enum is exhaustive
+  return nullptr;
+}
+
+}  // namespace noble::engine

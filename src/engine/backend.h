@@ -1,0 +1,117 @@
+// noble::engine backends — the replica abstraction the worker pool serves
+// from.
+//
+// PR 3 hard-coded the worker replica type to serve::WifiLocalizer; every
+// alternate forward path (quantized, future accelerator kernels) and every
+// layer above the engine (the fleet router) was blocked on that coupling.
+// A WifiBackend is an opaque batched-locate provider — the standard shape
+// of production inference runtimes, where every kernel sits behind one
+// uniform batched-op signature:
+//
+//   locate_batch(span<RssiVector>) -> vector<Fix>   the batched hot path
+//   input_dim()                                     admission-control check
+//   clone()                                         shared-nothing replication
+//
+// Backends must be deterministic and batch-invariant: a query's Fix may not
+// depend on what else was coalesced into its micro-batch, and clone()s must
+// answer bit-identically to the original. That is what keeps the engine's
+// equivalence contract ("routed == direct, however requests were batched")
+// checkable per backend.
+#ifndef NOBLE_ENGINE_BACKEND_H_
+#define NOBLE_ENGINE_BACKEND_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/quantize.h"
+#include "serve/fix.h"
+#include "serve/wifi_localizer.h"
+
+namespace noble::engine {
+
+/// Opaque batched Wi-Fi localization provider consumed by Engine workers.
+class WifiBackend {
+ public:
+  virtual ~WifiBackend() = default;
+
+  /// Localizes a batch of raw scans; one Fix per query, order-preserving.
+  /// Must be const, thread-safe, deterministic and batch-invariant.
+  virtual std::vector<serve::Fix> locate_batch(
+      std::span<const serve::RssiVector> queries) const = 0;
+
+  /// Expected scan width; submissions of any other size are rejected with
+  /// kBadDimension before they reach a worker.
+  virtual std::size_t input_dim() const = 0;
+
+  /// Deep copy for shared-nothing replication (one replica per worker).
+  /// Clones must be bit-identical providers: clone()->locate_batch(q) ==
+  /// locate_batch(q) for every q.
+  virtual std::unique_ptr<WifiBackend> clone() const = 0;
+
+  /// Stable identifier for telemetry and bench output.
+  virtual std::string name() const = 0;
+};
+
+/// Backend selector carried by EngineConfig.
+enum class BackendKind {
+  kDense,      ///< float32 forward through serve::WifiLocalizer (the default)
+  kQuantized,  ///< int8 forward via core::QuantizedNetwork
+};
+
+/// Human-readable backend kind ("dense" / "quantized").
+const char* backend_kind_name(BackendKind kind);
+
+/// Float32 replica: wraps a deep-copied serve::WifiLocalizer.
+class DenseBackend final : public WifiBackend {
+ public:
+  /// Deep-copies the localizer's model (shared-nothing with the original).
+  explicit DenseBackend(const serve::WifiLocalizer& localizer);
+
+  std::vector<serve::Fix> locate_batch(
+      std::span<const serve::RssiVector> queries) const override;
+  std::size_t input_dim() const override { return localizer_.num_aps(); }
+  std::unique_ptr<WifiBackend> clone() const override;
+  std::string name() const override { return "dense"; }
+
+ private:
+  serve::WifiLocalizer localizer_;
+};
+
+/// Int8 replica: same featurization and logit decoding as the dense path,
+/// but the forward runs through core::QuantizedNetwork (per-output-channel
+/// int8 weights, per-row dynamic activation scales). Positions differ from
+/// the dense backend by quantization error; the engine contract it upholds
+/// is bit-identity with *direct* quantized inference on the same replica
+/// family, checked by the same harness the dense backend passes.
+class QuantizedBackend final : public WifiBackend {
+ public:
+  explicit QuantizedBackend(const serve::WifiLocalizer& localizer);
+
+  std::vector<serve::Fix> locate_batch(
+      std::span<const serve::RssiVector> queries) const override;
+  std::size_t input_dim() const override { return localizer_.num_aps(); }
+  std::unique_ptr<WifiBackend> clone() const override;
+  std::string name() const override { return "quantized"; }
+
+  /// Bytes of int8 weight storage (vs the float model's parameter_bytes()).
+  std::size_t quantized_parameter_bytes() const {
+    return qnet_.quantized_parameter_bytes();
+  }
+
+ private:
+  // Declaration order is load-bearing: qnet_ holds a pointer into
+  // localizer_'s network, so localizer_ must be constructed first and the
+  // pair can never be copied or moved apart (the class is neither).
+  serve::WifiLocalizer localizer_;
+  core::QuantizedNetwork qnet_;
+};
+
+/// Builds the backend `kind` over a deep copy of `localizer`'s model.
+std::unique_ptr<WifiBackend> make_backend(BackendKind kind,
+                                          const serve::WifiLocalizer& localizer);
+
+}  // namespace noble::engine
+
+#endif  // NOBLE_ENGINE_BACKEND_H_

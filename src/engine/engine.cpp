@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -15,15 +16,25 @@ constexpr auto us_since = [](const std::chrono::steady_clock::time_point& t0) {
 }  // namespace
 
 Engine::Engine(const serve::WifiLocalizer& wifi, EngineConfig config)
-    : config_(config), queue_(config.queue_cap) {
+    : Engine(make_backend(config.backend, wifi), config) {}
+
+Engine::Engine(std::unique_ptr<WifiBackend> prototype, EngineConfig config)
+    : config_(config), queue_(config.queue_cap), batch_wait_us_(config.max_wait_us) {
+  NOBLE_EXPECTS(prototype != nullptr);
   NOBLE_EXPECTS(config_.workers >= 1);
   NOBLE_EXPECTS(config_.max_batch >= 1);
   NOBLE_EXPECTS(config_.session_backlog >= 1);
+  if (config_.cache_capacity > 0) {
+    NOBLE_EXPECTS(config_.cache_key_step_db > 0.0);
+    cache_.emplace(config_.cache_capacity, config_.cache_shards,
+                   FingerprintHash{1.0 / config_.cache_key_step_db});
+  }
+  // Shared-nothing: each worker serves from its own deep copy, so the
+  // batched hot path touches no cross-thread state at all.
   replicas_.reserve(config_.workers);
-  for (std::size_t i = 0; i < config_.workers; ++i) {
-    // Shared-nothing: each worker serves from its own deep copy, so the
-    // batched hot path touches no cross-thread state at all.
-    replicas_.push_back(serve::WifiLocalizer::from_model(wifi.model()));
+  replicas_.push_back(std::move(prototype));
+  for (std::size_t i = 1; i < config_.workers; ++i) {
+    replicas_.push_back(replicas_.front()->clone());
   }
   workers_.reserve(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i) {
@@ -50,12 +61,30 @@ void Engine::shutdown() {
   }
 }
 
-Submission Engine::submit(serve::RssiVector rssi) {
+Submission Engine::submit(const serve::RssiVector& rssi) {
   if (rssi.size() != num_aps()) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return {SubmitStatus::kBadDimension, {}};
   }
-  WifiRequest request{std::move(rssi), {}, Clock::now()};
+  const Clock::time_point submitted_at = Clock::now();
+  const bool cached = cache_.has_value() && !stopped_.load(std::memory_order_relaxed);
+  if (cached) {
+    if (std::optional<serve::Fix> hit = cache_->get(rssi)) {
+      // Admission-control fast path: answered without touching the queue.
+      // Counted like any other request (submitted/completed/latency) so the
+      // stats invariants hold with the cache on. record_completion takes
+      // stats_mu_ once; the promise/future machinery dominates the hit
+      // cost, not that short critical section.
+      std::promise<serve::Fix> promise;
+      std::future<serve::Fix> result = promise.get_future();
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      promise.set_value(std::move(*hit));
+      record_completion(submitted_at);
+      return {SubmitStatus::kAccepted, std::move(result)};
+    }
+  }
+  WifiRequest request{rssi, {}, submitted_at};  // the only copy, on admission
   std::future<serve::Fix> result = request.promise.get_future();
   // Counted before the push: once the queue has the request a worker may
   // complete it immediately, and stats() must never observe
@@ -69,6 +98,9 @@ Submission Engine::submit(serve::RssiVector rssi) {
                                           : SubmitStatus::kQueueFull,
             {}};
   }
+  // A cache miss only counts once the scan is admitted: rejected-and-
+  // retried submissions must not deflate the reported hit rate.
+  if (cached) cache_misses_.fetch_add(1, std::memory_order_relaxed);
   return {SubmitStatus::kAccepted, std::move(result)};
 }
 
@@ -160,18 +192,50 @@ EngineStats Engine::stats() const {
   snapshot.submitted = submitted_.load(std::memory_order_relaxed);
   snapshot.rejected = rejected_.load(std::memory_order_relaxed);
   snapshot.queue_depth = queue_.depth();
+  if (cache_.has_value()) {
+    const CacheStats cache = cache_->stats();
+    snapshot.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    snapshot.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+    snapshot.cache_evictions = cache.evictions;
+    snapshot.cache_entries = cache.entries;
+  }
+  snapshot.batch_wait_us = config_.adaptive_wait
+                               ? batch_wait_us_.load(std::memory_order_relaxed)
+                               : config_.max_wait_us;
   snapshot.latency_p50_us = snapshot.latency_us.percentile(50.0);
   snapshot.latency_p95_us = snapshot.latency_us.percentile(95.0);
   snapshot.latency_p99_us = snapshot.latency_us.percentile(99.0);
   return snapshot;
 }
 
+void EngineStats::merge(const EngineStats& other) {
+  submitted += other.submitted;
+  rejected += other.rejected;
+  completed += other.completed;
+  batches += other.batches;
+  queue_depth += other.queue_depth;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_evictions += other.cache_evictions;
+  cache_entries += other.cache_entries;
+  batch_wait_us = std::max(batch_wait_us, other.batch_wait_us);
+  batch_size.merge(other.batch_size);
+  latency_us.merge(other.latency_us);
+  latency_p50_us = latency_us.percentile(50.0);
+  latency_p95_us = latency_us.percentile(95.0);
+  latency_p99_us = latency_us.percentile(99.0);
+}
+
 void Engine::worker_loop(std::size_t worker_index) {
-  serve::WifiLocalizer& replica = replicas_[worker_index];
+  const WifiBackend& replica = *replicas_[worker_index];
   for (;;) {
+    const std::uint64_t wait_us = config_.adaptive_wait
+                                      ? batch_wait_us_.load(std::memory_order_relaxed)
+                                      : config_.max_wait_us;
     std::vector<Request> batch =
-        queue_.pop_batch(config_.max_batch, std::chrono::microseconds(config_.max_wait_us));
+        queue_.pop_batch(config_.max_batch, std::chrono::microseconds(wait_us));
     if (batch.empty()) return;  // queue closed and fully drained
+    if (config_.adaptive_wait) adapt_batch_window(wait_us);
     // Partition the takes: independent Wi-Fi queries coalesce into one
     // network pass; session tokens are drained per-track afterwards (their
     // ordering lives in the per-session FIFO, not the shared queue).
@@ -189,7 +253,21 @@ void Engine::worker_loop(std::size_t worker_index) {
   }
 }
 
-void Engine::run_wifi_batch(serve::WifiLocalizer& replica,
+void Engine::adapt_batch_window(std::uint64_t used_wait_us) {
+  const std::size_t depth = queue_.depth();
+  if (depth > config_.max_batch) {
+    // Backlogged: the next batch fills without waiting, so any window only
+    // adds latency. Halve toward zero.
+    batch_wait_us_.store(used_wait_us / 2, std::memory_order_relaxed);
+  } else if (depth == 0 && used_wait_us < config_.max_wait_us) {
+    // Idle again: grow the window back so sparse traffic re-coalesces.
+    const std::uint64_t grown = used_wait_us == 0 ? 1 : used_wait_us * 2;
+    batch_wait_us_.store(std::min<std::uint64_t>(config_.max_wait_us, grown),
+                         std::memory_order_relaxed);
+  }
+}
+
+void Engine::run_wifi_batch(const WifiBackend& replica,
                             std::vector<WifiRequest> batch) {
   std::vector<serve::RssiVector> queries;
   queries.reserve(batch.size());
@@ -205,6 +283,15 @@ void Engine::run_wifi_batch(serve::WifiLocalizer& replica,
       latency_hist_.record(
           std::chrono::duration<double, std::micro>(done - request.submitted_at)
               .count());
+    }
+  }
+  if (cache_.has_value()) {
+    // Populate before fulfilling: once a future resolves, the cache already
+    // reflects its scan, so a client that awaits a fix and resubmits the
+    // same scan is guaranteed the fast path (and telemetry reads after
+    // get() are deterministic).
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      cache_->put(std::move(queries[i]), fixes[i]);
     }
   }
   for (std::size_t i = 0; i < batch.size(); ++i) {

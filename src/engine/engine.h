@@ -11,10 +11,20 @@
 //      └──────────── std::future<Fix> fulfilled per micro-batch
 //
 // Requests are coalesced under a max-batch-size / max-wait-deadline policy
-// and executed on a worker pool over shared-nothing WifiLocalizer replicas
-// (deep copies via the artifact machinery — no cross-worker sharing, no
-// locks on the hot path). Output is bit-identical to a direct `locate()`
-// for every request regardless of how requests get batched.
+// and executed on a worker pool over shared-nothing WifiBackend replicas
+// (see engine/backend.h: float32 dense by default, int8 quantized as an
+// alternate, both deep-copied so there is no cross-worker sharing and no
+// locks on the hot path). Output is bit-identical to direct inference on
+// the same backend for every request regardless of how requests get
+// batched.
+//
+// Two admission-control refinements on top of PR 3:
+//  - an optional RSSI-fingerprint -> Fix cache (quantized-key/exact-verify,
+//    bounded sharded LRU — engine/fingerprint_cache.h) answers repeated
+//    scans at submit() without entering the queue;
+//  - an optional adaptive batching window shrinks max_wait toward 0 while
+//    the queue is backlogged (batches fill without waiting) and grows it
+//    back when traffic idles.
 //
 // A session registry multiplexes many concurrent IMU TrackingSessions
 // behind the same worker pool: per-session FIFOs keep each track's updates
@@ -40,18 +50,22 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "engine/backend.h"
 #include "engine/bounded_queue.h"
+#include "engine/fingerprint_cache.h"
 #include "serve/imu_localizer.h"
 #include "serve/wifi_localizer.h"
 
 namespace noble::engine {
 
-/// Admission-control verdict for one submitted request.
+/// Admission-control verdict for one submitted request. Shared by Engine
+/// and the fleet Router (which adds the kNoShard routing failure).
 enum class SubmitStatus {
   kAccepted,      ///< queued; `result` will be fulfilled
   kQueueFull,     ///< backpressure: bounded queue (or session backlog) full
   kBadDimension,  ///< payload size does not match the model's input layout
   kNoSession,     ///< unknown or already-closed session id
+  kNoShard,       ///< router-level: no shard registered under that key
   kStopped,       ///< engine is shut down
 };
 
@@ -65,7 +79,7 @@ struct Submission {
 };
 
 struct EngineConfig {
-  /// Worker threads; each owns one shared-nothing WifiLocalizer replica.
+  /// Worker threads; each owns one shared-nothing WifiBackend replica.
   std::size_t workers = 2;
   /// Most requests coalesced into one network pass.
   std::size_t max_batch = 32;
@@ -78,22 +92,55 @@ struct EngineConfig {
   /// Most not-yet-processed segments one tracking session may buffer before
   /// its submissions are rejected with kQueueFull.
   std::size_t session_backlog = 64;
+  /// Replica forward path (dense float32 or int8 quantized); ignored by the
+  /// backend-injection constructor, which receives a prototype directly.
+  BackendKind backend = BackendKind::kDense;
+  /// Load-adaptive batching window: when the queue runs deeper than
+  /// max_batch, halve the wait (batches fill without waiting — holding the
+  /// window open only adds latency); when a pop leaves the queue empty,
+  /// grow it back toward max_wait_us. max_wait_us stays the ceiling.
+  bool adaptive_wait = false;
+  /// Fingerprint-cache entries at admission control; 0 disables the cache.
+  std::size_t cache_capacity = 0;
+  /// Lock shards of the fingerprint cache (contention, not semantics).
+  std::size_t cache_shards = 8;
+  /// dB step of the cache's quantized hash key (exact-verify on hit keeps
+  /// any step bit-identity-safe; the step only tunes bucketing).
+  double cache_key_step_db = 1.0;
 };
 
 /// Telemetry snapshot. Histograms share noble::Histogram's fixed layouts,
-/// so snapshots from several engines can be merge()d for fleet views.
+/// so snapshots from several engines can be merge()d for fleet views —
+/// that is exactly what fleet::Router::stats() does.
 struct EngineStats {
-  std::uint64_t submitted = 0;  ///< accepted into the queue
+  std::uint64_t submitted = 0;  ///< accepted (queued or served from cache)
   std::uint64_t rejected = 0;   ///< every non-kAccepted submission
-  std::uint64_t completed = 0;  ///< futures fulfilled
+  std::uint64_t completed = 0;  ///< futures fulfilled (cache hits included)
   std::uint64_t batches = 0;    ///< Wi-Fi micro-batches executed
   std::size_t queue_depth = 0;  ///< instantaneous shared-queue depth
+  /// Fingerprint-cache counters (all zero when the cache is disabled).
+  /// Misses count *admitted* Wi-Fi scans only — a scan rejected with
+  /// kQueueFull and retried does not deflate the hit rate. IMU session
+  /// updates are stateful and never cached, so they contribute to
+  /// `submitted` but to neither cache counter.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::size_t cache_entries = 0;  ///< instantaneous resident entries
+  /// Current batching window (== max_wait_us unless adaptive_wait shrank it).
+  std::uint64_t batch_wait_us = 0;
   Histogram batch_size = Histogram::batch_sizes();  ///< Wi-Fi batch sizes
   Histogram latency_us = Histogram::latency_us();   ///< submit -> fulfilled
   /// Convenience percentiles extracted from latency_us at snapshot time.
   double latency_p50_us = 0.0;
   double latency_p95_us = 0.0;
   double latency_p99_us = 0.0;
+
+  /// Folds another engine's snapshot into this one: counters and gauges
+  /// sum (batch_wait_us takes the max — it is a window, not a count), the
+  /// histograms merge() bin-wise, and the convenience percentiles are
+  /// recomputed from the merged latency histogram.
+  void merge(const EngineStats& other);
 };
 
 /// Handle for one registered IMU tracking session.
@@ -101,8 +148,8 @@ using SessionId = std::uint64_t;
 
 class Engine {
  public:
-  /// Wi-Fi-only engine: replicates `wifi` once per worker (deep copies via
-  /// the artifact codec) and starts the worker pool.
+  /// Wi-Fi-only engine: builds the config-selected backend over `wifi`,
+  /// replicates it once per worker (deep copies) and starts the pool.
   explicit Engine(const serve::WifiLocalizer& wifi, EngineConfig config = {});
 
   /// Engine that additionally serves streaming IMU sessions. The single
@@ -111,6 +158,12 @@ class Engine {
   Engine(const serve::WifiLocalizer& wifi, const serve::ImuLocalizer& imu,
          EngineConfig config = {});
 
+  /// Backend-injection constructor: the worker pool replicates `prototype`
+  /// via clone() (prototype becomes replica 0). This is the seam custom
+  /// forward paths (tests, future accelerator backends) plug into;
+  /// config.backend is ignored.
+  explicit Engine(std::unique_ptr<WifiBackend> prototype, EngineConfig config = {});
+
   /// Drains and joins (see shutdown()).
   ~Engine();
 
@@ -118,9 +171,12 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// Asynchronous localization of one raw RSSI scan. Never blocks: the scan
-  /// is either queued (kAccepted, fulfilled by a worker micro-batch) or
-  /// rejected with an explicit status.
-  Submission submit(serve::RssiVector rssi);
+  /// is answered from the fingerprint cache (kAccepted, future already
+  /// fulfilled), queued (kAccepted, fulfilled by a worker micro-batch), or
+  /// rejected with an explicit status. Takes a reference and copies only on
+  /// admission, so rejection/fallback paths (the fleet router probes
+  /// several engines with one scan) never pay for the copy.
+  Submission submit(const serve::RssiVector& rssi);
 
   /// Registers a streaming IMU track anchored at `start`. nullopt when the
   /// engine was built without an IMU localizer or is stopped.
@@ -143,7 +199,10 @@ class Engine {
   EngineStats stats() const;
 
   const EngineConfig& config() const { return config_; }
-  std::size_t num_aps() const { return replicas_.front().num_aps(); }
+  std::size_t num_aps() const { return replicas_.front()->input_dim(); }
+  /// Name of the backend the worker replicas run ("dense", "quantized", or
+  /// whatever an injected prototype reports).
+  std::string backend_name() const { return replicas_.front()->name(); }
   bool has_imu() const { return imu_.has_value(); }
 
  private:
@@ -177,17 +236,29 @@ class Engine {
   };
 
   void worker_loop(std::size_t worker_index);
-  void run_wifi_batch(serve::WifiLocalizer& replica, std::vector<WifiRequest> batch);
+  void run_wifi_batch(const WifiBackend& replica, std::vector<WifiRequest> batch);
   void drain_session(SessionId id);
   void record_completion(const Clock::time_point& submitted_at);
+  void adapt_batch_window(std::uint64_t used_wait_us);
 
   EngineConfig config_;
-  std::vector<serve::WifiLocalizer> replicas_;  ///< one per worker
+  std::vector<std::unique_ptr<WifiBackend>> replicas_;  ///< one per worker
   std::optional<serve::ImuLocalizer> imu_;
   BoundedQueue<Request> queue_;
+  std::optional<FingerprintCache> cache_;  ///< engaged iff cache_capacity > 0
+  /// Current adaptive batching window; workers race benignly on it (it is a
+  /// relaxed gauge, and any stored value is a valid window).
+  std::atomic<std::uint64_t> batch_wait_us_;
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  /// Cache admission outcomes, engine-owned rather than read from the
+  /// cache's own counters: a miss is only counted once the Wi-Fi scan is
+  /// actually admitted to the queue, so kQueueFull retry loops cannot
+  /// deflate the hit rate. (IMU updates count in submitted_ only — they
+  /// are stateful and never cached.)
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
   mutable std::mutex stats_mu_;  ///< guards the fields below
   Histogram batch_hist_ = Histogram::batch_sizes();
   Histogram latency_hist_ = Histogram::latency_us();

@@ -1,0 +1,53 @@
+// RSSI-fingerprint -> Fix result cache keying.
+//
+// Scans from fixed infrastructure repeat heavily: the same phone parked at
+// the same desk reports the same fingerprint scan after scan. The engine
+// caches Fix results at admission control, so a repeated scan is answered
+// before it ever enters the queue.
+//
+// Keying is quantized-hash / exact-verify:
+//  - the *hash* quantizes each RSSI value to a configurable dB step, so
+//    bucketing is robust to the representation of equal readings and cheap
+//    to compute;
+//  - *equality* is exact float comparison of the full scan (std::equal_to
+//    over the vector), so two different scans that happen to share a
+//    quantized key can never alias.
+// The exact-verify half is what preserves the engine's bit-identity
+// contract with cache enabled: a hit is only ever served for a scan that is
+// exactly the one whose Fix was computed and cached.
+#ifndef NOBLE_ENGINE_FINGERPRINT_CACHE_H_
+#define NOBLE_ENGINE_FINGERPRINT_CACHE_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/lru_cache.h"
+#include "serve/fix.h"
+
+namespace noble::engine {
+
+/// FNV-1a over the dB-step-quantized fingerprint.
+struct FingerprintHash {
+  /// 1 / quantization step; e.g. 1.0 buckets scans at 1 dB resolution.
+  double inv_step = 1.0;
+
+  std::size_t operator()(const serve::RssiVector& rssi) const {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const float v : rssi) {
+      const auto q = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(std::llround(static_cast<double>(v) * inv_step)));
+      for (int byte = 0; byte < 8; ++byte) {
+        h ^= (q >> (8 * byte)) & 0xffu;
+        h *= 1099511628211ull;
+      }
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Bounded sharded-LRU fingerprint cache (exact-equality values, see above).
+using FingerprintCache = ShardedLruCache<serve::RssiVector, serve::Fix, FingerprintHash>;
+
+}  // namespace noble::engine
+
+#endif  // NOBLE_ENGINE_FINGERPRINT_CACHE_H_

@@ -1,0 +1,209 @@
+#include "fleet/router.h"
+
+#include <utility>
+
+namespace noble::fleet {
+
+namespace {
+
+/// Primary-engine selection: the same scan always hashes to the same engine
+/// of a shard, so per-engine fingerprint caches see every repeat of a scan.
+/// The hash step matches the default cache key step; it only spreads load,
+/// correctness never depends on it (all engines of a shard are replicas).
+std::size_t primary_engine(const serve::RssiVector& rssi, std::size_t num_engines) {
+  return engine::FingerprintHash{1.0}(rssi) % num_engines;
+}
+
+}  // namespace
+
+bool Router::add_shard(const ShardConfig& config, const serve::WifiLocalizer& wifi) {
+  if (config.key.empty() || config.engines == 0) return false;
+  std::shared_ptr<Shard> shard = build_shard(config, wifi, nullptr);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return shards_.emplace(config.key, std::move(shard)).second;
+}
+
+bool Router::add_shard(const ShardConfig& config, const serve::WifiLocalizer& wifi,
+                       const serve::ImuLocalizer& imu) {
+  if (config.key.empty() || config.engines == 0) return false;
+  std::shared_ptr<Shard> shard = build_shard(config, wifi, &imu);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return shards_.emplace(config.key, std::move(shard)).second;
+}
+
+std::shared_ptr<Router::Shard> Router::build_shard(const ShardConfig& config,
+                                                   const serve::WifiLocalizer& wifi,
+                                                   const serve::ImuLocalizer* imu) {
+  auto shard = std::make_shared<Shard>();
+  shard->config = config;
+  shard->generation = next_generation_.fetch_add(1);
+  shard->engines.reserve(config.engines);
+  for (std::size_t i = 0; i < config.engines; ++i) {
+    shard->engines.push_back(
+        imu != nullptr
+            ? std::make_unique<engine::Engine>(wifi, *imu, config.engine)
+            : std::make_unique<engine::Engine>(wifi, config.engine));
+  }
+  return shard;
+}
+
+std::shared_ptr<Router::Shard> Router::find_shard(std::string_view key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = shards_.find(key);
+  return it == shards_.end() ? nullptr : it->second;
+}
+
+engine::Submission Router::submit(std::string_view shard_key,
+                                  const serve::RssiVector& rssi) {
+  engine::Submission last{engine::SubmitStatus::kNoShard, {}};
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::shared_ptr<Shard> shard = find_shard(shard_key);
+    if (shard == nullptr) return {engine::SubmitStatus::kNoShard, {}};
+    const std::size_t n = shard->engines.size();
+    const std::size_t primary = primary_engine(rssi, n);
+    // Consistent fallback: deterministic probe order starting at the
+    // query's primary engine. Only kQueueFull falls through — any other
+    // verdict is a property of the whole shard (replicas are identical).
+    for (std::size_t probe = 0; probe < n; ++probe) {
+      engine::Engine& target = *shard->engines[(primary + probe) % n];
+      last = target.submit(rssi);
+      if (last.status != engine::SubmitStatus::kQueueFull) break;
+    }
+    if (last.status != engine::SubmitStatus::kStopped) return last;
+    // kStopped from a routed engine means this generation was hot-swapped
+    // under us; re-resolve the key and retry once on the replacement.
+    if (find_shard(shard_key) == shard) break;
+  }
+  return last;
+}
+
+std::optional<FleetSession> Router::open_session(std::string_view shard_key,
+                                                 const geo::Point2& start) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::shared_ptr<Shard> shard = find_shard(shard_key);
+    if (shard == nullptr) return std::nullopt;
+    const std::size_t n = shard->engines.size();
+    const std::size_t first = shard->next_session_engine.fetch_add(1) % n;
+    for (std::size_t probe = 0; probe < n; ++probe) {
+      const std::size_t index = (first + probe) % n;
+      if (std::optional<engine::SessionId> id = shard->engines[index]->open_session(start)) {
+        return FleetSession{shard->config.key, shard->generation, index, *id};
+      }
+    }
+    // Every engine refused: either the shard has no IMU model, or its
+    // generation was hot-swapped under us (stopped engines refuse opens).
+    // Mirror submit(): retry once iff the registry now holds a new shard.
+    if (find_shard(shard_key) == shard) break;
+  }
+  return std::nullopt;
+}
+
+engine::Submission Router::track(const FleetSession& session, serve::ImuSegment segment) {
+  std::shared_ptr<Shard> shard = find_shard(session.shard);
+  if (shard == nullptr || shard->generation != session.generation ||
+      session.engine >= shard->engines.size()) {
+    return {engine::SubmitStatus::kNoSession, {}};
+  }
+  return shard->engines[session.engine]->track(session.id, std::move(segment));
+}
+
+bool Router::close_session(const FleetSession& session) {
+  std::shared_ptr<Shard> shard = find_shard(session.shard);
+  if (shard == nullptr || shard->generation != session.generation ||
+      session.engine >= shard->engines.size()) {
+    return false;
+  }
+  return shard->engines[session.engine]->close_session(session.id);
+}
+
+bool Router::hot_swap(std::string_view shard_key, const serve::WifiLocalizer& wifi) {
+  return swap_impl(shard_key, wifi, nullptr);
+}
+
+bool Router::hot_swap(std::string_view shard_key, const serve::WifiLocalizer& wifi,
+                      const serve::ImuLocalizer& imu) {
+  return swap_impl(shard_key, wifi, &imu);
+}
+
+bool Router::swap_impl(std::string_view key, const serve::WifiLocalizer& wifi,
+                       const serve::ImuLocalizer* imu) {
+  ShardConfig config;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = shards_.find(key);
+    if (it == shards_.end()) return false;
+    config = it->second->config;
+  }
+  // Engines are built outside every lock (model replication is the slow
+  // part), then swapped in atomically.
+  std::shared_ptr<Shard> fresh = build_shard(config, wifi, imu);
+  std::shared_ptr<Shard> old;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    const auto it = shards_.find(key);
+    if (it == shards_.end()) return false;  // removed while we were building
+    old = std::exchange(it->second, std::move(fresh));
+  }
+  // Drain the old generation outside the registry lock: every accepted
+  // future resolves (against the old model); racing submissions observe
+  // kStopped and retry onto the new generation inside submit().
+  for (const auto& eng : old->engines) eng->shutdown();
+  return true;
+}
+
+FleetStats Router::stats() const {
+  FleetStats out;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  out.num_shards = shards_.size();
+  for (const auto& [key, shard] : shards_) {
+    engine::EngineStats merged;
+    for (const auto& eng : shard->engines) {
+      merged.merge(eng->stats());
+      ++out.num_engines;
+    }
+    out.total.merge(merged);
+    out.shards.emplace(key, std::move(merged));
+  }
+  return out;
+}
+
+std::vector<engine::EngineStats> Router::shard_engine_stats(
+    std::string_view shard_key) const {
+  std::vector<engine::EngineStats> out;
+  std::shared_ptr<Shard> shard = find_shard(shard_key);
+  if (shard == nullptr) return out;
+  out.reserve(shard->engines.size());
+  for (const auto& eng : shard->engines) out.push_back(eng->stats());
+  return out;
+}
+
+std::vector<std::string> Router::shard_keys() const {
+  std::vector<std::string> out;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  out.reserve(shards_.size());
+  for (const auto& [key, shard] : shards_) out.push_back(key);
+  return out;
+}
+
+bool Router::has_shard(std::string_view shard_key) const {
+  return find_shard(shard_key) != nullptr;
+}
+
+std::size_t Router::num_shards() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return shards_.size();
+}
+
+void Router::shutdown() {
+  std::vector<std::shared_ptr<Shard>> all;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    all.reserve(shards_.size());
+    for (const auto& [key, shard] : shards_) all.push_back(shard);
+  }
+  for (const auto& shard : all) {
+    for (const auto& eng : shard->engines) eng->shutdown();
+  }
+}
+
+}  // namespace noble::fleet

@@ -1,0 +1,151 @@
+// noble::fleet — sharded multi-engine routing over noble::engine.
+//
+// One Engine serves one model; a campus serves many buildings, each with its
+// own model artifact and its own traffic. The Router is the front end that
+// scales the engine horizontally:
+//
+//   clients ── submit(shard_key, scan) ──▶ Router ──▶ shard "bldg-A" ─ engine 0..k
+//                                            │        shard "bldg-B" ─ engine 0..k
+//                                            └──▶ FleetStats (merge()d EngineStats)
+//
+// A *shard* is a routing key (per building / per model artifact) plus one or
+// more engines that all replicate the same model, so any engine of a shard
+// answers bit-identically. Within a shard the query's fingerprint hash picks
+// the primary engine — the same scan always lands on the same engine, which
+// keeps per-engine fingerprint caches hot — and kQueueFull falls through the
+// remaining engines in consistent (deterministic probe) order before the
+// rejection is surfaced to the caller.
+//
+// Shards can be hot-swapped to a retrained model: the replacement engines
+// (with fresh, empty caches — a stale fix can never outlive its model) take
+// over atomically for new admissions, while the old generation drains so
+// every already-accepted future still resolves. IMU sessions are sticky to
+// the engine and generation that admitted them; a swap invalidates them
+// (kNoSession), mirroring how a device re-anchors after a model update.
+#ifndef NOBLE_FLEET_ROUTER_H_
+#define NOBLE_FLEET_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace noble::fleet {
+
+/// One shard: routing key plus the engine fleet serving it.
+struct ShardConfig {
+  /// Routing key (e.g. building or artifact id). Must be non-empty.
+  std::string key;
+  /// Engines replicating this shard's model; > 1 adds kQueueFull headroom.
+  std::size_t engines = 1;
+  /// Per-engine knobs (backend kind, cache, batching, workers).
+  engine::EngineConfig engine;
+};
+
+/// Handle for one streaming IMU session opened through the router. Sticky:
+/// bound to the shard generation and engine that admitted it.
+struct FleetSession {
+  std::string shard;
+  std::uint64_t generation = 0;
+  std::size_t engine = 0;
+  engine::SessionId id = 0;
+};
+
+/// Fleet-wide telemetry built by merge()-ing per-engine EngineStats.
+struct FleetStats {
+  engine::EngineStats total;  ///< merged across every engine of every shard
+  std::map<std::string, engine::EngineStats> shards;  ///< merged per shard
+  std::size_t num_shards = 0;
+  std::size_t num_engines = 0;
+};
+
+class Router {
+ public:
+  Router() = default;
+  ~Router() { shutdown(); }
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Registers a shard serving `wifi` (every engine replicates it). False
+  /// when the key is empty or already registered.
+  bool add_shard(const ShardConfig& config, const serve::WifiLocalizer& wifi);
+  /// As above, with streaming IMU sessions enabled on every engine.
+  bool add_shard(const ShardConfig& config, const serve::WifiLocalizer& wifi,
+                 const serve::ImuLocalizer& imu);
+
+  /// Routes one scan to `shard_key`: primary engine by fingerprint hash,
+  /// consistent fallback through the shard's remaining engines on
+  /// kQueueFull. kNoShard when the key is unknown. A submission racing a
+  /// hot_swap retries once onto the replacement generation. The scan is
+  /// copied only by the engine that admits it, never per probe.
+  engine::Submission submit(std::string_view shard_key, const serve::RssiVector& rssi);
+
+  /// Opens a streaming IMU session on `shard_key` (engines are rotated
+  /// round-robin). nullopt when the shard is unknown or has no IMU model;
+  /// an open racing a hot_swap retries once onto the replacement
+  /// generation, like submit().
+  std::optional<FleetSession> open_session(std::string_view shard_key,
+                                           const geo::Point2& start);
+
+  /// Queues one IMU segment for a session. kNoSession when the session's
+  /// shard generation has been swapped out (sessions do not survive a
+  /// model update) or the shard is gone.
+  engine::Submission track(const FleetSession& session, serve::ImuSegment segment);
+
+  /// Unregisters a session; false for unknown/expired handles.
+  bool close_session(const FleetSession& session);
+
+  /// Replaces `shard_key`'s engines with fresh ones serving `wifi` (same
+  /// ShardConfig, new generation, empty caches). Already-accepted futures
+  /// on the old generation drain and resolve against the old model; new
+  /// admissions are served by the new one. False for unknown keys.
+  bool hot_swap(std::string_view shard_key, const serve::WifiLocalizer& wifi);
+  bool hot_swap(std::string_view shard_key, const serve::WifiLocalizer& wifi,
+                const serve::ImuLocalizer& imu);
+
+  /// Merged per-shard and fleet-total telemetry.
+  FleetStats stats() const;
+
+  /// Unmerged per-engine snapshots of one shard (tests, debugging; empty
+  /// for unknown keys).
+  std::vector<engine::EngineStats> shard_engine_stats(std::string_view shard_key) const;
+
+  std::vector<std::string> shard_keys() const;
+  bool has_shard(std::string_view shard_key) const;
+  std::size_t num_shards() const;
+
+  /// Drains and stops every engine of every shard. Idempotent; the
+  /// destructor calls it.
+  void shutdown();
+
+ private:
+  struct Shard {
+    ShardConfig config;
+    std::uint64_t generation = 0;
+    std::vector<std::unique_ptr<engine::Engine>> engines;
+    std::atomic<std::size_t> next_session_engine{0};
+  };
+
+  std::shared_ptr<Shard> find_shard(std::string_view key) const;
+  std::shared_ptr<Shard> build_shard(const ShardConfig& config,
+                                     const serve::WifiLocalizer& wifi,
+                                     const serve::ImuLocalizer* imu);
+  bool swap_impl(std::string_view key, const serve::WifiLocalizer& wifi,
+                 const serve::ImuLocalizer* imu);
+
+  mutable std::shared_mutex mu_;  ///< guards the shard registry map only
+  std::map<std::string, std::shared_ptr<Shard>, std::less<>> shards_;
+  std::atomic<std::uint64_t> next_generation_{1};
+};
+
+}  // namespace noble::fleet
+
+#endif  // NOBLE_FLEET_ROUTER_H_

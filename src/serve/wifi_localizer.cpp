@@ -24,17 +24,17 @@ std::optional<WifiLocalizer> WifiLocalizer::load(const std::string& path) {
   return WifiLocalizer(std::move(*model));
 }
 
-linalg::Mat WifiLocalizer::features(const std::vector<const RssiVector*>& queries) const {
+linalg::Mat WifiLocalizer::featurize(std::span<const RssiVector> queries) const {
   linalg::Mat raw(queries.size(), model_.input_dim());
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    NOBLE_EXPECTS(queries[i]->size() == model_.input_dim());
+    NOBLE_EXPECTS(queries[i].size() == model_.input_dim());
     float* row = raw.row(i);
-    for (std::size_t j = 0; j < queries[i]->size(); ++j) row[j] = (*queries[i])[j];
+    for (std::size_t j = 0; j < queries[i].size(); ++j) row[j] = queries[i][j];
   }
   return data::normalize_rssi(raw, model_.config().representation);
 }
 
-Fix WifiLocalizer::decode_row(const float* logits) const {
+Fix WifiLocalizer::decode_logits(const float* logits) const {
   const core::LabelLayout& layout = model_.layout();
   const bool hierarchical =
       model_.config().hierarchical_decode && layout.num_coarse > 0;
@@ -53,20 +53,19 @@ Fix WifiLocalizer::decode_row(const float* logits) const {
 }
 
 Fix WifiLocalizer::locate(const RssiVector& rssi) const {
-  const linalg::Mat logits = model_.network().predict(features({&rssi}));
-  return decode_row(logits.row(0));
+  const linalg::Mat logits =
+      model_.network().predict(featurize(std::span<const RssiVector>(&rssi, 1)));
+  return decode_logits(logits.row(0));
 }
 
-std::vector<Fix> WifiLocalizer::locate_batch(
-    const std::vector<RssiVector>& queries) const {
+std::vector<Fix> WifiLocalizer::locate_batch(std::span<const RssiVector> queries) const {
   std::vector<Fix> out;
   if (queries.empty()) return out;
-  std::vector<const RssiVector*> refs;
-  refs.reserve(queries.size());
-  for (const RssiVector& q : queries) refs.push_back(&q);
-  const linalg::Mat logits = model_.network().predict(features(refs));
+  const linalg::Mat logits = model_.network().predict(featurize(queries));
   out.reserve(queries.size());
-  for (std::size_t i = 0; i < logits.rows(); ++i) out.push_back(decode_row(logits.row(i)));
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    out.push_back(decode_logits(logits.row(i)));
+  }
   return out;
 }
 

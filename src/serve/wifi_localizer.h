@@ -9,6 +9,7 @@
 #define NOBLE_SERVE_WIFI_LOCALIZER_H_
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -34,8 +35,18 @@ class WifiLocalizer {
   Fix locate(const RssiVector& rssi) const;
 
   /// Localizes a batch in one network pass (amortizes the GEMM); returns
-  /// one Fix per query, identical to per-query `locate` results.
-  std::vector<Fix> locate_batch(const std::vector<RssiVector>& queries) const;
+  /// one Fix per query, identical to per-query `locate` results. The span
+  /// converts implicitly from a std::vector<RssiVector>.
+  std::vector<Fix> locate_batch(std::span<const RssiVector> queries) const;
+
+  /// Stacks raw scans into the normalized feature matrix the network
+  /// consumes. Public so alternate forward paths (the engine's backend
+  /// replicas) share the exact featurization of the float path.
+  linalg::Mat featurize(std::span<const RssiVector> queries) const;
+
+  /// Decodes one row of output logits into a Fix — the other half of the
+  /// shared backend plumbing. `logits` must have layout().total() entries.
+  Fix decode_logits(const float* logits) const;
 
   /// Expected scan width (access-point count the model was fitted on).
   std::size_t num_aps() const { return model_.input_dim(); }
@@ -44,11 +55,6 @@ class WifiLocalizer {
   const core::NobleWifiModel& model() const { return model_; }
 
  private:
-  /// Stacks raw scans into a normalized feature matrix.
-  linalg::Mat features(const std::vector<const RssiVector*>& queries) const;
-  /// Decodes one logits row into a Fix.
-  Fix decode_row(const float* logits) const;
-
   core::NobleWifiModel model_;
 };
 

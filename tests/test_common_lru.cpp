@@ -1,0 +1,105 @@
+// ShardedLruCache unit tests: recency order, bounded eviction, sharded
+// counters, and the transparent pointer-keyed index that backs them.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/lru_cache.h"
+
+namespace noble {
+namespace {
+
+using IntCache = ShardedLruCache<int, std::string>;
+
+TEST(ShardedLruCache, GetReturnsPutValueAndCountsHitsMisses) {
+  IntCache cache(8, 2);
+  EXPECT_FALSE(cache.get(1).has_value());
+  cache.put(1, "one");
+  const auto hit = cache.get(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "one");
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ShardedLruCache, PutRefreshesExistingKeyWithoutGrowth) {
+  IntCache cache(4, 1);
+  cache.put(1, "one");
+  cache.put(1, "uno");
+  const auto hit = cache.get(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "uno");
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);  // refresh, not an insertion
+}
+
+TEST(ShardedLruCache, EvictsLeastRecentlyUsedFirst) {
+  IntCache cache(3, 1);  // one shard: deterministic LRU order
+  cache.put(1, "a");
+  cache.put(2, "b");
+  cache.put(3, "c");
+  ASSERT_TRUE(cache.get(1).has_value());  // refresh 1: now 2 is the LRU
+  cache.put(4, "d");                      // evicts 2
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_TRUE(cache.get(3).has_value());
+  EXPECT_TRUE(cache.get(4).has_value());
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 3u);
+}
+
+TEST(ShardedLruCache, CapacitySplitsAcrossShardsAndStaysBounded) {
+  ShardedLruCache<int, int> cache(16, 4);
+  EXPECT_EQ(cache.num_shards(), 4u);
+  EXPECT_EQ(cache.capacity(), 16u);
+  for (int i = 0; i < 1000; ++i) cache.put(i, i * i);
+  const CacheStats stats = cache.stats();
+  EXPECT_LE(stats.entries, 16u);
+  EXPECT_EQ(stats.insertions, 1000u);
+  EXPECT_EQ(stats.evictions, stats.insertions - stats.entries);
+}
+
+TEST(ShardedLruCache, ClearDropsEntriesButKeepsLifetimeCounters) {
+  IntCache cache(8, 2);
+  cache.put(1, "a");
+  cache.put(2, "b");
+  (void)cache.get(1);
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_FALSE(cache.get(1).has_value());
+}
+
+TEST(ShardedLruCache, ConcurrentMixedLoadStaysBoundedAndConsistent) {
+  ShardedLruCache<int, int> cache(64, 8);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const int key = (t * 37 + i) % 256;
+        if (i % 3 == 0) {
+          cache.put(key, key * 2);
+        } else if (const auto v = cache.get(key)) {
+          // A hit must always carry the value every writer stores.
+          EXPECT_EQ(*v, key * 2);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const CacheStats stats = cache.stats();
+  EXPECT_LE(stats.entries, cache.capacity());
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * ((kOps * 2) / 3));
+}
+
+}  // namespace
+}  // namespace noble

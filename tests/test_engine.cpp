@@ -9,13 +9,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <random>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include "core/experiment.h"
 #include "core/noble_imu.h"
 #include "core/noble_wifi.h"
+#include "engine/backend.h"
 #include "engine/bounded_queue.h"
 #include "engine/engine.h"
 #include "serve/imu_localizer.h"
@@ -428,6 +431,248 @@ TEST(EngineSessions, ConcurrentSessionsMatchDirectTrackingSessions) {
   }
   for (auto& t : tracks) t.join();
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Backends: replicas behind the WifiBackend seam.
+// ---------------------------------------------------------------------------
+
+TEST(EngineBackends, CloneAnswersBitIdenticallyToOriginal) {
+  const auto& localizer = reference_localizer();
+  const auto queries = query_pool(16);
+  ASSERT_FALSE(queries.empty());
+  for (const BackendKind kind : {BackendKind::kDense, BackendKind::kQuantized}) {
+    const std::unique_ptr<WifiBackend> original = make_backend(kind, localizer);
+    const std::unique_ptr<WifiBackend> clone = original->clone();
+    EXPECT_EQ(original->input_dim(), localizer.num_aps());
+    EXPECT_EQ(clone->name(), original->name());
+    const auto a = original->locate_batch(queries);
+    const auto b = clone->locate_batch(queries);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(fixes_identical(a[i], b[i])) << backend_kind_name(kind) << " query " << i;
+    }
+  }
+}
+
+// The quantized replica under the same harness as the dense one: engine
+// output must be bit-identical to *direct* quantized inference, however the
+// batcher grouped the requests (per-row activation scales make the int8
+// forward batch-invariant).
+TEST(EngineBackends, QuantizedEngineBitIdenticalToDirectQuantized) {
+  const auto& localizer = reference_localizer();
+  const QuantizedBackend reference(localizer);
+  const auto queries = query_pool(64);
+  ASSERT_FALSE(queries.empty());
+  std::vector<serve::Fix> expected;
+  expected.reserve(queries.size());
+  for (const auto& q : queries) {
+    expected.push_back(reference.locate_batch(std::span(&q, 1)).front());
+  }
+
+  EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.max_batch = 16;
+  cfg.max_wait_us = 100;
+  cfg.queue_cap = 4096;
+  cfg.backend = BackendKind::kQuantized;
+  Engine engine(localizer, cfg);
+  EXPECT_EQ(engine.backend_name(), "quantized");
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 120;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937 rng(static_cast<unsigned>(7000 + c));
+      std::uniform_int_distribution<std::size_t> pick(0, queries.size() - 1);
+      for (int r = 0; r < kPerClient; ++r) {
+        const std::size_t q = pick(rng);
+        Submission s = engine.submit(queries[q]);
+        while (s.status == SubmitStatus::kQueueFull) {
+          std::this_thread::yield();
+          s = engine.submit(queries[q]);
+        }
+        ASSERT_TRUE(s.accepted());
+        if (!fixes_identical(s.result.get(), expected[q])) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(EngineBackends, QuantizedDecodesTrackTheDenseModel) {
+  // Not bit-identity (int8 is lossy vs float32) but sanity: the quantized
+  // path must still be the same model, so decoded classes should mostly
+  // agree and confidences stay valid probabilities.
+  const auto& localizer = reference_localizer();
+  const QuantizedBackend quantized(localizer);
+  EXPECT_GT(quantized.quantized_parameter_bytes(), 0u);
+  EXPECT_LT(quantized.quantized_parameter_bytes(),
+            localizer.model().parameter_bytes());
+  const auto queries = query_pool(64);
+  ASSERT_FALSE(queries.empty());
+  const auto dense_fixes = localizer.locate_batch(queries);
+  const auto quant_fixes = quantized.locate_batch(queries);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_GT(quant_fixes[i].confidence, 0.0);
+    EXPECT_LT(quant_fixes[i].confidence, 1.0);
+    if (quant_fixes[i].fine_class == dense_fixes[i].fine_class) ++agree;
+  }
+  // int8 with per-channel scales is a mild perturbation of small tanh nets;
+  // a majority-agreement floor keeps the test robust to substrate noise.
+  EXPECT_GE(agree * 2, queries.size());
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint cache at admission control.
+// ---------------------------------------------------------------------------
+
+TEST(EngineCache, HitIsBitIdenticalAndSkipsTheQueue) {
+  const auto& localizer = reference_localizer();
+  const auto queries = query_pool(4);
+  ASSERT_FALSE(queries.empty());
+  EngineConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 0;
+  cfg.cache_capacity = 64;
+  Engine engine(localizer, cfg);
+
+  Submission first = engine.submit(queries[0]);
+  ASSERT_TRUE(first.accepted());
+  const serve::Fix computed = first.result.get();
+
+  Submission second = engine.submit(queries[0]);
+  ASSERT_TRUE(second.accepted());
+  const serve::Fix cached = second.result.get();
+  EXPECT_TRUE(fixes_identical(cached, computed));
+  EXPECT_TRUE(fixes_identical(cached, localizer.locate(queries[0])));
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_entries, 1u);
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.latency_us.count(), 2u);
+  // The hit never entered the queue: only the miss formed a micro-batch.
+  EXPECT_EQ(stats.batches, 1u);
+}
+
+TEST(EngineCache, QuantizedKeyCollisionsNeverAlias) {
+  // Two scans that share a quantized hash key (every reading rounds to the
+  // same dB step) but differ in exact floats must never cross-hit: equality
+  // is exact, so the second scan misses and computes its own fix. This is
+  // the collision guard that keeps bit-identity true with the cache on.
+  const auto& localizer = reference_localizer();
+  const auto queries = query_pool(1);
+  ASSERT_FALSE(queries.empty());
+  serve::RssiVector scan_a = queries[0];
+  serve::RssiVector scan_b = scan_a;
+  scan_b[0] += 0.25f;  // same llround(v * 1.0) bucket, different scan
+  ASSERT_NE(scan_a, scan_b);
+
+  EngineConfig cfg;
+  cfg.workers = 1;
+  cfg.max_wait_us = 0;
+  cfg.cache_capacity = 64;
+  cfg.cache_key_step_db = 1.0;
+  Engine engine(localizer, cfg);
+
+  Submission a = engine.submit(scan_a);
+  ASSERT_TRUE(a.accepted());
+  const serve::Fix fix_a = a.result.get();
+  Submission b = engine.submit(scan_b);
+  ASSERT_TRUE(b.accepted());
+  const serve::Fix fix_b = b.result.get();
+
+  EXPECT_TRUE(fixes_identical(fix_a, localizer.locate(scan_a)));
+  EXPECT_TRUE(fixes_identical(fix_b, localizer.locate(scan_b)));
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.cache_hits, 0u);  // the collision was not a hit
+  EXPECT_EQ(stats.cache_misses, 2u);
+  EXPECT_EQ(stats.cache_entries, 2u);
+}
+
+TEST(EngineCache, EvictionBoundsResidencyAndKeepsCorrectness) {
+  const auto& localizer = reference_localizer();
+  const auto queries = query_pool(16);
+  ASSERT_GE(queries.size(), 16u);
+  EngineConfig cfg;
+  cfg.workers = 1;
+  cfg.max_wait_us = 0;
+  cfg.cache_capacity = 4;
+  cfg.cache_shards = 1;  // single shard makes the LRU order deterministic
+  Engine engine(localizer, cfg);
+
+  for (const auto& q : queries) {
+    Submission s = engine.submit(q);
+    ASSERT_TRUE(s.accepted());
+    (void)s.result.get();
+  }
+  EngineStats stats = engine.stats();
+  EXPECT_LE(stats.cache_entries, 4u);
+  EXPECT_EQ(stats.cache_evictions, queries.size() - 4);
+
+  // The most recent scan is resident; the first was evicted — both still
+  // answer bit-identically to direct locate().
+  Submission resident = engine.submit(queries.back());
+  ASSERT_TRUE(resident.accepted());
+  EXPECT_TRUE(fixes_identical(resident.result.get(), localizer.locate(queries.back())));
+  Submission evicted = engine.submit(queries.front());
+  ASSERT_TRUE(evicted.accepted());
+  EXPECT_TRUE(fixes_identical(evicted.result.get(), localizer.locate(queries.front())));
+  stats = engine.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);  // only the resident re-submission hit
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive batching window.
+// ---------------------------------------------------------------------------
+
+TEST(EngineAdaptive, WindowShrinksUnderBacklogAndGrowsBackWhenIdle) {
+  const auto& localizer = reference_localizer();
+  const auto queries = query_pool(16);
+  ASSERT_FALSE(queries.empty());
+  EngineConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 2000;
+  cfg.queue_cap = 8192;
+  cfg.adaptive_wait = true;
+  Engine engine(localizer, cfg);
+  EXPECT_EQ(engine.stats().batch_wait_us, cfg.max_wait_us);
+
+  // Backlog phase: flood far past max_batch; workers must observe the deep
+  // queue and halve the window. Retried because a fast worker on a loaded
+  // host could in principle keep the queue shallow for one round.
+  bool shrank = false;
+  for (int round = 0; round < 5 && !shrank; ++round) {
+    std::vector<std::future<serve::Fix>> inflight;
+    inflight.reserve(512);
+    for (int r = 0; r < 512; ++r) {
+      Submission s = engine.submit(queries[static_cast<std::size_t>(r) % queries.size()]);
+      if (s.accepted()) inflight.push_back(std::move(s.result));
+    }
+    for (auto& f : inflight) (void)f.get();
+    shrank = engine.stats().batch_wait_us < cfg.max_wait_us;
+  }
+  EXPECT_TRUE(shrank);
+
+  // Idle phase: one request at a time leaves the queue empty after every
+  // pop, so the window doubles back up to (and never past) the ceiling.
+  for (int r = 0; r < 64 && engine.stats().batch_wait_us < cfg.max_wait_us; ++r) {
+    Submission s = engine.submit(queries[0]);
+    ASSERT_TRUE(s.accepted());
+    (void)s.result.get();
+  }
+  EXPECT_EQ(engine.stats().batch_wait_us, cfg.max_wait_us);
 }
 
 TEST(EngineSessions, RegistryRejectsBadHandlesAndDimensions) {

@@ -1,0 +1,452 @@
+// Fleet router tests: shard-keyed routing equivalence (dense and quantized
+// backends, cache on and off), consistent kQueueFull fallback inside a
+// shard, merged EngineStats/Histogram fleet views against pooled-sample
+// ground truth, and hot-swap semantics (fresh caches, invalidated
+// sessions — a stale model's fix never outlives its model).
+//
+// The concurrency tests here carry the `concurrency` CTest label and run
+// under -DNOBLE_SANITIZE=thread in CI.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <future>
+#include <random>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/experiment.h"
+#include "core/noble_imu.h"
+#include "core/noble_wifi.h"
+#include "engine/backend.h"
+#include "fleet/router.h"
+#include "serve/imu_localizer.h"
+#include "serve/wifi_localizer.h"
+
+namespace noble::fleet {
+namespace {
+
+bool fixes_identical(const serve::Fix& a, const serve::Fix& b) {
+  return a.building == b.building && a.floor == b.floor &&
+         a.fine_class == b.fine_class && a.position == b.position &&
+         a.confidence == b.confidence;
+}
+
+// Two fitted models over the same campus: B uses a different quantization
+// grid, so the two disagree on (at least some) fixes — the property the
+// hot-swap staleness test needs.
+struct FleetFixture {
+  core::WifiExperiment exp;
+  core::NobleWifiModel model_a;
+  core::NobleWifiModel model_b;
+};
+
+const FleetFixture& fleet_fixture() {
+  static const FleetFixture* fixture = [] {
+    core::WifiExperimentConfig cfg;
+    cfg.total_samples = 1200;
+    cfg.seed = 515;
+    auto make_config = [](double tau, std::uint64_t seed) {
+      core::NobleWifiConfig mc;
+      mc.quantize.tau = tau;
+      mc.quantize.coarse_l = tau * 4.0;
+      mc.epochs = 6;
+      mc.hidden_units = 32;
+      mc.seed = seed;
+      return mc;
+    };
+    auto* f = new FleetFixture{core::make_uji_experiment(cfg),
+                               core::NobleWifiModel(make_config(6.0, 42)),
+                               core::NobleWifiModel(make_config(8.0, 99))};
+    f->model_a.fit(f->exp.split.train);
+    f->model_b.fit(f->exp.split.train);
+    return f;
+  }();
+  return *fixture;
+}
+
+const serve::WifiLocalizer& localizer_a() {
+  static const serve::WifiLocalizer* l =
+      new serve::WifiLocalizer(serve::WifiLocalizer::from_model(fleet_fixture().model_a));
+  return *l;
+}
+
+const serve::WifiLocalizer& localizer_b() {
+  static const serve::WifiLocalizer* l =
+      new serve::WifiLocalizer(serve::WifiLocalizer::from_model(fleet_fixture().model_b));
+  return *l;
+}
+
+std::vector<serve::RssiVector> query_pool(std::size_t count) {
+  const auto& f = fleet_fixture();
+  std::vector<serve::RssiVector> queries;
+  for (std::size_t i = 0; i < count && i < f.exp.split.test.size(); ++i) {
+    queries.push_back(f.exp.split.test.samples[i].rssi);
+  }
+  return queries;
+}
+
+ShardConfig shard_config(std::string key, std::size_t engines = 1) {
+  ShardConfig cfg;
+  cfg.key = std::move(key);
+  cfg.engines = engines;
+  cfg.engine.workers = 1;
+  cfg.engine.max_batch = 8;
+  cfg.engine.max_wait_us = 100;
+  cfg.engine.queue_cap = 1024;
+  return cfg;
+}
+
+// The fleet-level equivalence contract: through any shard, with the cache
+// on or off, every routed fix is bit-identical to direct inference on that
+// shard's model — under concurrent traffic to all shards at once.
+TEST(Router, RoutedFixesBitIdenticalToDirectPerShard) {
+  const auto queries = query_pool(48);
+  ASSERT_FALSE(queries.empty());
+  std::vector<serve::Fix> expected_a, expected_b;
+  for (const auto& q : queries) {
+    expected_a.push_back(localizer_a().locate(q));
+    expected_b.push_back(localizer_b().locate(q));
+  }
+
+  Router router;
+  ShardConfig a = shard_config("bldg-A", 2);
+  ShardConfig b = shard_config("bldg-B");
+  b.engine.cache_capacity = 256;  // one shard exercises the cached path
+  ASSERT_TRUE(router.add_shard(a, localizer_a()));
+  ASSERT_TRUE(router.add_shard(b, localizer_b()));
+  ASSERT_TRUE(router.has_shard("bldg-A"));
+  EXPECT_EQ(router.num_shards(), 2u);
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 150;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937 rng(static_cast<unsigned>(4000 + c));
+      std::uniform_int_distribution<std::size_t> pick(0, queries.size() - 1);
+      for (int r = 0; r < kPerClient; ++r) {
+        const std::size_t q = pick(rng);
+        const bool to_a = (r + c) % 2 == 0;
+        engine::Submission s = router.submit(to_a ? "bldg-A" : "bldg-B", queries[q]);
+        while (s.status == engine::SubmitStatus::kQueueFull) {
+          std::this_thread::yield();
+          s = router.submit(to_a ? "bldg-A" : "bldg-B", queries[q]);
+        }
+        ASSERT_TRUE(s.accepted());
+        const serve::Fix fix = s.result.get();
+        if (!fixes_identical(fix, to_a ? expected_a[q] : expected_b[q])) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Two sequential repeats of one scan make at least one cache hit certain
+  // (the concurrent phase above already repeats scans, but racing identical
+  // submissions may all miss).
+  for (int i = 0; i < 2; ++i) {
+    engine::Submission s = router.submit("bldg-B", queries[0]);
+    ASSERT_TRUE(s.accepted());
+    EXPECT_TRUE(fixes_identical(s.result.get(), expected_b[0]));
+  }
+
+  const FleetStats stats = router.stats();
+  EXPECT_EQ(stats.num_shards, 2u);
+  EXPECT_EQ(stats.num_engines, 3u);
+  ASSERT_EQ(stats.shards.size(), 2u);
+  const std::uint64_t total_requests =
+      static_cast<std::uint64_t>(kClients) * kPerClient + 2;
+  EXPECT_EQ(stats.total.completed, total_requests);
+  EXPECT_EQ(stats.shards.at("bldg-A").completed + stats.shards.at("bldg-B").completed,
+            total_requests);
+  EXPECT_EQ(stats.total.latency_us.count(), stats.total.completed);
+  // The cached shard saw repeated scans (48 distinct queries, ~300 requests).
+  EXPECT_GT(stats.shards.at("bldg-B").cache_hits, 0u);
+  EXPECT_EQ(stats.shards.at("bldg-A").cache_hits, 0u);
+}
+
+TEST(Router, QuantizedShardMatchesDirectQuantizedInference) {
+  const auto queries = query_pool(32);
+  ASSERT_FALSE(queries.empty());
+  const engine::QuantizedBackend reference(localizer_a());
+  std::vector<serve::Fix> expected;
+  for (const auto& q : queries) {
+    expected.push_back(reference.locate_batch(std::span(&q, 1)).front());
+  }
+
+  Router router;
+  ShardConfig cfg = shard_config("bldg-Q");
+  cfg.engine.backend = engine::BackendKind::kQuantized;
+  ASSERT_TRUE(router.add_shard(cfg, localizer_a()));
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    engine::Submission s = router.submit("bldg-Q", queries[i]);
+    ASSERT_TRUE(s.accepted());
+    EXPECT_TRUE(fixes_identical(s.result.get(), expected[i])) << "query " << i;
+  }
+}
+
+TEST(Router, UnknownShardIsAnExplicitVerdict) {
+  Router router;
+  ASSERT_TRUE(router.add_shard(shard_config("known"), localizer_a()));
+  const auto queries = query_pool(1);
+  ASSERT_FALSE(queries.empty());
+  EXPECT_EQ(router.submit("unknown", queries[0]).status, engine::SubmitStatus::kNoShard);
+  EXPECT_FALSE(router.open_session("unknown", geo::Point2{0.0, 0.0}).has_value());
+  EXPECT_FALSE(router.hot_swap("unknown", localizer_a()));
+  EXPECT_FALSE(router.has_shard("unknown"));
+  // Duplicate keys and empty keys are rejected, not overwritten.
+  EXPECT_FALSE(router.add_shard(shard_config("known"), localizer_b()));
+  EXPECT_FALSE(router.add_shard(shard_config(""), localizer_a()));
+  EXPECT_EQ(router.num_shards(), 1u);
+}
+
+TEST(Router, FallbackIsConsistentAndSpillsOnlyWhenFull) {
+  const auto queries = query_pool(8);
+  ASSERT_FALSE(queries.empty());
+
+  // Unloaded: the same scan must land on the same engine every time (the
+  // affinity that keeps per-engine caches hot).
+  {
+    Router router;
+    ASSERT_TRUE(router.add_shard(shard_config("S", 2), localizer_a()));
+    for (int r = 0; r < 6; ++r) {
+      engine::Submission s = router.submit("S", queries[0]);
+      ASSERT_TRUE(s.accepted());
+      (void)s.result.get();
+    }
+    const auto engines = router.shard_engine_stats("S");
+    ASSERT_EQ(engines.size(), 2u);
+    const auto served = std::max(engines[0].completed, engines[1].completed);
+    EXPECT_EQ(served, 6u);  // all six on one engine, none spilled
+  }
+
+  // Overloaded: tiny queues + tight-loop flood forces kQueueFull on the
+  // primary; the router must spill to the sibling replica and every
+  // accepted future must still be bit-identical to direct inference.
+  {
+    Router router;
+    ShardConfig cfg = shard_config("S", 2);
+    cfg.engine.workers = 1;
+    cfg.engine.max_batch = 2;
+    cfg.engine.max_wait_us = 0;
+    cfg.engine.queue_cap = 2;
+    ASSERT_TRUE(router.add_shard(cfg, localizer_a()));
+    const serve::Fix expected = localizer_a().locate(queries[0]);
+
+    constexpr int kClients = 3;
+    constexpr int kPerClient = 400;
+    std::atomic<int> mismatches{0};
+    std::atomic<std::uint64_t> accepted{0}, rejected{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&] {
+        std::vector<std::future<serve::Fix>> inflight;
+        for (int r = 0; r < kPerClient; ++r) {
+          engine::Submission s = router.submit("S", queries[0]);
+          if (s.accepted()) {
+            accepted.fetch_add(1, std::memory_order_relaxed);
+            inflight.push_back(std::move(s.result));
+          } else {
+            ASSERT_EQ(s.status, engine::SubmitStatus::kQueueFull);
+            rejected.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (inflight.size() >= 32) {
+            for (auto& f : inflight) {
+              if (!fixes_identical(f.get(), expected)) {
+                mismatches.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+            inflight.clear();
+          }
+        }
+        for (auto& f : inflight) {
+          if (!fixes_identical(f.get(), expected)) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& client : clients) client.join();
+
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_EQ(accepted.load() + rejected.load(),
+              static_cast<std::uint64_t>(kClients) * kPerClient);
+    const auto engines = router.shard_engine_stats("S");
+    ASSERT_EQ(engines.size(), 2u);
+    // A single scan keys a single primary, so any work on the *other*
+    // engine is fallback spill — and a 2-slot queue under a 3-thread
+    // tight-loop flood overflows with certainty.
+    EXPECT_GT(std::min(engines[0].completed, engines[1].completed), 0u);
+    EXPECT_GT(rejected.load(), 0u);
+  }
+}
+
+// Merged fleet percentiles vs pooled-sample ground truth: merging per-engine
+// histograms must agree with percentiles of the pooled raw samples to
+// within one log-bin's width ratio (the Histogram accuracy contract).
+TEST(FleetStats, MergedPercentilesMatchPooledSamples) {
+  std::mt19937 rng(77);
+  std::lognormal_distribution<double> fast(std::log(180.0), 0.35);   // "engine 0"
+  std::lognormal_distribution<double> slow(std::log(2400.0), 0.55);  // "engine 1"
+
+  engine::EngineStats a, b;
+  std::vector<double> pooled;
+  for (int i = 0; i < 4000; ++i) {
+    const double ua = fast(rng);
+    a.latency_us.record(ua);
+    pooled.push_back(ua);
+  }
+  a.completed = 4000;
+  for (int i = 0; i < 1000; ++i) {
+    const double ub = slow(rng);
+    b.latency_us.record(ub);
+    pooled.push_back(ub);
+  }
+  b.completed = 1000;
+
+  engine::EngineStats merged;
+  merged.merge(a);
+  merged.merge(b);
+  EXPECT_EQ(merged.completed, 5000u);
+  EXPECT_EQ(merged.latency_us.count(), 5000u);
+  EXPECT_EQ(merged.latency_us.min_recorded(),
+            std::min(a.latency_us.min_recorded(), b.latency_us.min_recorded()));
+  EXPECT_EQ(merged.latency_us.max_recorded(),
+            std::max(a.latency_us.max_recorded(), b.latency_us.max_recorded()));
+
+  // One latency bin spans a factor of (1e7/1)^(1/140) ~= 1.122.
+  const double bin_ratio = std::pow(1e7, 1.0 / 140.0);
+  for (const double q : {50.0, 95.0, 99.0}) {
+    const double exact = percentile(pooled, q);
+    const double approx = merged.latency_us.percentile(q);
+    EXPECT_LE(approx, exact * bin_ratio) << "q=" << q;
+    EXPECT_GE(approx, exact / bin_ratio) << "q=" << q;
+  }
+  // The convenience fields were recomputed from the merged histogram.
+  EXPECT_EQ(merged.latency_p50_us, merged.latency_us.percentile(50.0));
+  EXPECT_EQ(merged.latency_p99_us, merged.latency_us.percentile(99.0));
+}
+
+TEST(FleetStats, LiveRouterTotalsAreTheSumOfShards) {
+  const auto queries = query_pool(16);
+  ASSERT_FALSE(queries.empty());
+  Router router;
+  ASSERT_TRUE(router.add_shard(shard_config("A", 2), localizer_a()));
+  ASSERT_TRUE(router.add_shard(shard_config("B"), localizer_b()));
+  for (int r = 0; r < 40; ++r) {
+    engine::Submission s =
+        router.submit(r % 2 == 0 ? "A" : "B", queries[static_cast<std::size_t>(r) % queries.size()]);
+    ASSERT_TRUE(s.accepted());
+    (void)s.result.get();
+  }
+  const FleetStats stats = router.stats();
+  std::uint64_t shard_completed = 0, shard_batches = 0;
+  std::uint64_t shard_latency_count = 0;
+  for (const auto& [key, s] : stats.shards) {
+    shard_completed += s.completed;
+    shard_batches += s.batches;
+    shard_latency_count += s.latency_us.count();
+  }
+  EXPECT_EQ(stats.total.completed, 40u);
+  EXPECT_EQ(shard_completed, 40u);
+  EXPECT_EQ(stats.total.batches, shard_batches);
+  EXPECT_EQ(stats.total.latency_us.count(), shard_latency_count);
+  EXPECT_GE(stats.total.latency_p50_us, stats.total.latency_us.min_recorded());
+  EXPECT_LE(stats.total.latency_p50_us, stats.total.latency_us.max_recorded());
+}
+
+// Hot swap: the replacement generation starts with an empty cache, so a fix
+// cached from the old model can never be served once the shard's model
+// changed — the cache-staleness half of the acceptance criteria.
+TEST(RouterHotSwap, CachedFixNeverOutlivesItsModel) {
+  const auto queries = query_pool(48);
+  ASSERT_FALSE(queries.empty());
+  // A scan the two models disagree on makes staleness observable.
+  std::size_t probe = queries.size();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (!fixes_identical(localizer_a().locate(queries[i]), localizer_b().locate(queries[i]))) {
+      probe = i;
+      break;
+    }
+  }
+  ASSERT_LT(probe, queries.size())
+      << "fixture models with different grids must disagree somewhere";
+
+  Router router;
+  ShardConfig cfg = shard_config("swap");
+  cfg.engine.cache_capacity = 256;
+  ASSERT_TRUE(router.add_shard(cfg, localizer_a()));
+
+  engine::Submission warm = router.submit("swap", queries[probe]);
+  ASSERT_TRUE(warm.accepted());
+  EXPECT_TRUE(fixes_identical(warm.result.get(), localizer_a().locate(queries[probe])));
+  engine::Submission hit = router.submit("swap", queries[probe]);
+  ASSERT_TRUE(hit.accepted());
+  (void)hit.result.get();
+  EXPECT_EQ(router.shard_engine_stats("swap").front().cache_hits, 1u);
+
+  ASSERT_TRUE(router.hot_swap("swap", localizer_b()));
+
+  engine::Submission after = router.submit("swap", queries[probe]);
+  ASSERT_TRUE(after.accepted());
+  const serve::Fix fix = after.result.get();
+  EXPECT_TRUE(fixes_identical(fix, localizer_b().locate(queries[probe])));
+  EXPECT_FALSE(fixes_identical(fix, localizer_a().locate(queries[probe])));
+  const auto engines = router.shard_engine_stats("swap");
+  ASSERT_EQ(engines.size(), 1u);
+  EXPECT_EQ(engines.front().cache_hits, 0u);  // fresh generation, fresh cache
+}
+
+TEST(RouterHotSwap, SessionsAreStickyToTheirGeneration) {
+  // A small IMU tracker so the shard can host streaming sessions.
+  core::ImuExperimentConfig icfg;
+  icfg.num_paths = 200;
+  icfg.total_walk_time_s = 600.0;
+  icfg.readings_per_segment = 8;
+  icfg.imu.ref_interval_s = 15.0;
+  icfg.seed = 516;
+  core::ImuExperiment iexp = core::make_imu_experiment(icfg);
+  core::NobleImuConfig imc;
+  imc.quantize.tau = 2.0;
+  imc.epochs = 4;
+  imc.projection_dim = 6;
+  core::NobleImuTracker tracker(imc);
+  tracker.fit(iexp.split.train);
+  const serve::ImuLocalizer imu = serve::ImuLocalizer::from_model(tracker);
+
+  Router router;
+  ASSERT_TRUE(router.add_shard(shard_config("swap"), localizer_a(), imu));
+  const auto& path = iexp.split.test.paths.front();
+  const auto session = router.open_session("swap", path.start);
+  ASSERT_TRUE(session.has_value());
+
+  const serve::ImuSegment segment(tracker.segment_dim(), 0.0f);
+  engine::Submission before = router.track(*session, segment);
+  ASSERT_TRUE(before.accepted());
+  (void)before.result.get();
+
+  ASSERT_TRUE(router.hot_swap("swap", localizer_a(), imu));
+  // The old generation is gone: its sessions do not resolve on the new one.
+  EXPECT_EQ(router.track(*session, segment).status, engine::SubmitStatus::kNoSession);
+  EXPECT_FALSE(router.close_session(*session));
+  // New sessions open against the replacement generation.
+  const auto fresh = router.open_session("swap", path.start);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_NE(fresh->generation, session->generation);
+  engine::Submission after = router.track(*fresh, segment);
+  ASSERT_TRUE(after.accepted());
+  (void)after.result.get();
+}
+
+}  // namespace
+}  // namespace noble::fleet
