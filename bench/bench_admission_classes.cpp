@@ -1,0 +1,165 @@
+// Mixed-workload admission bench: a bulk re-localization flood against
+// steady interactive traffic, with and without class-aware admission.
+//
+// Phase "priority": the shard reserves interactive headroom (bulk_cap <
+// queue_cap), workers drain interactive entries first, and the bulk stream
+// carries a per-submission deadline. Phase "baseline": the same engine
+// sizing with no class caps and every submission default-class — the
+// uniform-rejection behavior this PR replaces.
+//
+// The acceptance gates run right here (exit non-zero on violation), so the
+// CI smoke run is the proof, not just a trace:
+//   1. priority-phase interactive rejections == 0 (reserved headroom held);
+//   2. priority-phase bulk shed > 0 (the flood was actually shed);
+//   3. priority-phase interactive p99 strictly below the no-priority
+//      baseline p99 (priority drain pays off end to end);
+//   4. a post-flood interactive spot check stays bit-identical to direct
+//      locate() (class and deadline never change a served result).
+//
+// Knobs: the shared NOBLE_ENGINE_* set (bench::engine_config_from_env —
+// NOBLE_ENGINE_CLASS_CAPS and NOBLE_ENGINE_DEADLINE_US included),
+// NOBLE_FLEET_ENGINES, NOBLE_ADMISSION_INTERACTIVE_CLIENTS /
+// NOBLE_ADMISSION_BULK_CLIENTS / NOBLE_ADMISSION_REQUESTS /
+// NOBLE_ADMISSION_PACE_US / NOBLE_ADMISSION_BULK_DEADLINE_US, plus
+// NOBLE_SCALE / NOBLE_EPOCHS experiment sizing.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "fleet/router.h"
+#include "serve/wifi_localizer.h"
+#include "support/bench_util.h"
+
+int main() {
+  using namespace noble;
+
+  bench::print_banner("admission_classes",
+                      "class/deadline admission + fleet load shedding");
+
+  core::WifiExperiment experiment = core::make_uji_experiment(bench::uji_config());
+  core::NobleWifiModel model(bench::noble_wifi_config());
+  model.fit(experiment.split.train, &experiment.split.val);
+  const serve::WifiLocalizer localizer = serve::WifiLocalizer::from_model(model);
+
+  std::vector<serve::RssiVector> queries;
+  for (const auto& sample : experiment.split.test.samples)
+    queries.push_back(sample.rssi);
+  if (queries.empty()) {
+    std::printf("no test queries at this scale; nothing to do\n");
+    return 1;
+  }
+
+  engine::EngineConfig defaults;
+  defaults.workers = 0;  // auto: min(hardware, 8)
+  defaults.max_batch = 16;
+  defaults.max_wait_us = 100;
+  defaults.queue_cap = 256;
+  defaults.bulk_cap = 64;  // 192 slots reserved for interactive traffic
+  const engine::EngineConfig cfg = bench::engine_config_from_env(defaults);
+  const auto engines_per_shard =
+      static_cast<std::size_t>(env_int("NOBLE_FLEET_ENGINES", 1));
+
+  bench::MixedLoadConfig load;
+  load.interactive_clients = static_cast<std::size_t>(
+      env_int("NOBLE_ADMISSION_INTERACTIVE_CLIENTS", 2));
+  load.bulk_clients =
+      static_cast<std::size_t>(env_int("NOBLE_ADMISSION_BULK_CLIENTS", 2));
+  // The 384-per-client floor keeps the p99 gate statistically meaningful
+  // even at smoke scale: with 2 clients the comparison rests on ~768
+  // samples per phase, not a handful a scheduler hiccup could flip.
+  load.interactive_requests = static_cast<std::size_t>(
+      env_int("NOBLE_ADMISSION_REQUESTS", static_cast<long>(scaled(1000, 384))));
+  load.bulk_requests = 4 * load.interactive_requests;
+  load.interactive_pace_us =
+      static_cast<std::uint64_t>(env_int("NOBLE_ADMISSION_PACE_US", 200));
+  load.bulk_deadline_us = static_cast<std::uint64_t>(
+      env_int("NOBLE_ADMISSION_BULK_DEADLINE_US", 5000));
+  load.bulk_inflight_window = 256;  // flood, do not self-throttle
+  load.bulk_sustain = true;  // keep flooding until the interactive run ends
+
+  const std::string key = "campus";
+  const std::vector<std::string> keys{key};
+  std::printf("fleet: 1 shard x %zu engines | engine: %s\n", engines_per_shard,
+              bench::describe_engine_config(cfg).c_str());
+  std::printf("load: %zu interactive clients x %zu (pace %llu us) vs "
+              "%zu bulk clients x %zu (deadline %llu us)\n\n",
+              load.interactive_clients, load.interactive_requests,
+              static_cast<unsigned long long>(load.interactive_pace_us),
+              load.bulk_clients, load.bulk_requests,
+              static_cast<unsigned long long>(load.bulk_deadline_us));
+
+  // Warm-up.
+  for (std::size_t i = 0; i < std::min<std::size_t>(64, queries.size()); ++i) {
+    (void)localizer.locate(queries[i]);
+  }
+
+  const auto run_phase = [&](bool classed, std::size_t* spot_mismatches) {
+    fleet::Router router;
+    fleet::ShardConfig shard;
+    shard.key = key;
+    shard.engines = engines_per_shard;
+    shard.engine = cfg;
+    if (!classed) {
+      shard.engine.interactive_cap = 0;  // uniform admission, no reservation
+      shard.engine.bulk_cap = 0;
+    }
+    router.add_shard(shard, localizer);
+    bench::MixedLoadConfig phase_load = load;
+    phase_load.classed = classed;
+    bench::MixedLoadReport report =
+        bench::run_mixed_load(router, keys, queries, phase_load);
+    if (spot_mismatches != nullptr) {
+      // Post-flood correctness: the shard that just shed a bulk flood must
+      // still answer interactive scans bit-identically to direct locate().
+      *spot_mismatches = 0;
+      for (std::size_t i = 0; i < std::min<std::size_t>(8, queries.size()); ++i) {
+        engine::Submission s = router.submit(key, queries[i]);
+        if (!s.accepted()) {
+          ++*spot_mismatches;
+          continue;
+        }
+        if (!(s.result.get() == localizer.locate(queries[i]))) {
+          ++*spot_mismatches;
+        }
+      }
+    }
+    const fleet::FleetStats stats = router.stats();
+    std::printf("phase %-9s %9.0f qps aggregate, wall %.2f s\n",
+                classed ? "priority:" : "baseline:", report.qps,
+                report.wall_seconds);
+    bench::print_class_load_row("interactive", report.interactive);
+    bench::print_class_load_row("bulk", report.bulk);
+    std::printf("  fleet view:    interactive %llu/%llu/%llu ok/shed/expired, "
+                "bulk %llu/%llu/%llu (engine-side, merged)\n\n",
+                static_cast<unsigned long long>(stats.total.interactive.accepted),
+                static_cast<unsigned long long>(stats.total.interactive.rejected),
+                static_cast<unsigned long long>(stats.total.interactive.expired),
+                static_cast<unsigned long long>(stats.total.bulk.accepted),
+                static_cast<unsigned long long>(stats.total.bulk.rejected),
+                static_cast<unsigned long long>(stats.total.bulk.expired));
+    return report;
+  };
+
+  std::size_t spot_mismatches = 0;
+  const bench::MixedLoadReport priority = run_phase(true, &spot_mismatches);
+  const bench::MixedLoadReport baseline = run_phase(false, nullptr);
+
+  const double priority_p99 = priority.interactive.latency_us.percentile(99.0);
+  const double baseline_p99 = baseline.interactive.latency_us.percentile(99.0);
+  const std::uint64_t bulk_shed = priority.bulk.rejected + priority.bulk.expired;
+  const bool interactive_clean = priority.interactive.rejected == 0;
+  const bool p99_improved = priority_p99 < baseline_p99;
+
+  std::printf("verdict: interactive rejections %llu (want 0), bulk shed %llu "
+              "(want > 0),\n         interactive p99 %.1f us vs baseline %.1f us "
+              "(want strictly below), spot mismatches %zu (want 0)\n",
+              static_cast<unsigned long long>(priority.interactive.rejected),
+              static_cast<unsigned long long>(bulk_shed), priority_p99,
+              baseline_p99, spot_mismatches);
+  return interactive_clean && bulk_shed > 0 && p99_improved && spot_mismatches == 0
+             ? 0
+             : 1;
+}

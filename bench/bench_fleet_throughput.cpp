@@ -40,46 +40,11 @@ double seconds_since(const Clock::time_point& t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-constexpr std::size_t kInflightWindow = 16;
-
 std::vector<std::string> make_shard_keys(std::size_t count) {
   std::vector<std::string> keys;
   keys.reserve(count);
   for (std::size_t s = 0; s < count; ++s) keys.push_back("bldg-" + std::to_string(s));
   return keys;
-}
-
-/// Closed-loop clients spreading scans across every shard; returns QPS.
-double run_fleet_load(noble::fleet::Router& router,
-                      const std::vector<std::string>& keys,
-                      const std::vector<noble::serve::RssiVector>& queries,
-                      std::size_t clients, std::size_t per_client) {
-  const auto t0 = Clock::now();
-  std::vector<std::thread> threads;
-  threads.reserve(clients);
-  for (std::size_t c = 0; c < clients; ++c) {
-    threads.emplace_back([&, c] {
-      std::vector<std::future<noble::serve::Fix>> inflight;
-      inflight.reserve(kInflightWindow);
-      for (std::size_t r = 0; r < per_client; ++r) {
-        const auto& q = queries[(c * 7919 + r) % queries.size()];
-        const std::string& key = keys[(c + r) % keys.size()];
-        noble::engine::Submission s = router.submit(key, q);
-        while (s.status == noble::engine::SubmitStatus::kQueueFull) {
-          std::this_thread::yield();
-          s = router.submit(key, q);
-        }
-        inflight.push_back(std::move(s.result));
-        if (inflight.size() >= kInflightWindow) {
-          for (auto& f : inflight) (void)f.get();
-          inflight.clear();
-        }
-      }
-      for (auto& f : inflight) (void)f.get();
-    });
-  }
-  for (auto& t : threads) t.join();
-  return static_cast<double>(clients * per_client) / seconds_since(t0);
 }
 
 /// Sequential submit+get over a repeated-scan pool; returns the client-side
@@ -157,7 +122,18 @@ int main() {
       shard.engine.cache_capacity = 0;
       router.add_shard(shard, localizer);
     }
-    const double qps = run_fleet_load(router, keys, queries, clients, per_client);
+    // The shared mixed-workload generator in pure-throughput trim: every
+    // client pipelined interactive, no pacing, retry-on-full, no bulk.
+    bench::MixedLoadConfig load;
+    load.interactive_clients = clients;
+    load.interactive_requests = per_client;
+    load.interactive_pace_us = 0;
+    load.retry_interactive_full = true;
+    load.interactive_inflight_window = 16;  // keep micro-batches full
+    load.bulk_clients = 0;
+    const bench::MixedLoadReport result =
+        bench::run_mixed_load(router, keys, queries, load);
+    const double qps = result.qps;
     const fleet::FleetStats stats = router.stats();
     std::printf("phase 1 — sharded routing (%zu engines total): %9.0f qps aggregate\n",
                 stats.num_engines, qps);

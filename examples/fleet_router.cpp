@@ -85,11 +85,7 @@ int main() {
     }
     const serve::Fix fix = s.result.get();
     ++checked;
-    if (fix.building != expected.building || fix.floor != expected.floor ||
-        fix.fine_class != expected.fine_class || fix.position != expected.position ||
-        fix.confidence != expected.confidence) {
-      ++mismatched;
-    }
+    if (!(fix == expected)) ++mismatched;
   };
   for (const auto& q : queries) {
     gate("bldg-A", q, localizer.locate(q));

@@ -138,6 +138,10 @@ double Histogram::mean() const {
   return sum_ / static_cast<double>(total_);
 }
 
+LatencySummary summarize_latency_us(const Histogram& h) {
+  return LatencySummary{h.percentile(50.0), h.percentile(95.0), h.percentile(99.0)};
+}
+
 void RunningStats::push(double x) {
   ++n_;
   const double delta = x - mean_;

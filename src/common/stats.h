@@ -105,6 +105,18 @@ class Histogram {
   double max_rec_;
 };
 
+/// The percentile triple every serving surface reports. Extracted from a
+/// latency Histogram once at snapshot/merge time so engine telemetry,
+/// fleet views and bench tables all summarize the same way.
+struct LatencySummary {
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// p50/p95/p99 of a latency histogram (zeros when empty).
+LatencySummary summarize_latency_us(const Histogram& h);
+
 /// Online mean/variance accumulator (Welford).
 class RunningStats {
  public:

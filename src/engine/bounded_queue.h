@@ -1,19 +1,35 @@
-// Bounded MPMC queue with batched, deadline-bounded consumption — the
-// admission-control and micro-batching substrate of noble::engine.
+// Bounded MPMC queue with class-aware admission, priority-ordered batched
+// consumption and deadline expiry — the admission-control and micro-batching
+// substrate of noble::engine.
 //
 // Producers never block: `try_push` reports kFull/kClosed instead of
 // waiting, so overload turns into an explicit reject the caller can surface
-// (degrade predictably, don't OOM). Consumers block in `pop_batch`, which
-// gathers up to `max_items` entries, waiting at most `max_wait` after the
-// first entry for stragglers — the micro-batching window.
+// (degrade predictably, don't OOM). Every entry carries a RequestClass:
+// interactive traffic (latency is the product) and bulk traffic (throughput
+// is) share the queue but not its behavior —
+//
+//  * per-class capacity caps bound how much of the queue one class may
+//    occupy, so a bulk flood can never take the headroom interactive
+//    admissions rely on;
+//  * `pop_batch` drains interactive entries first within the batching
+//    window, bulk fills the remainder of the batch;
+//  * entries may carry a deadline: ones that expire before a consumer
+//    reaches them are handed back separately instead of wasting a slot in
+//    the batch (the caller fails their promises; no GEMM is spent on them).
+//
+// Consumers block in `pop_batch`, which gathers up to `max_items` entries,
+// waiting at most `max_wait` after the first entry for stragglers — the
+// micro-batching window.
 #ifndef NOBLE_ENGINE_BOUNDED_QUEUE_H_
 #define NOBLE_ENGINE_BOUNDED_QUEUE_H_
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -23,48 +39,121 @@ namespace noble::engine {
 
 enum class PushResult {
   kOk,      ///< item enqueued
-  kFull,    ///< capacity reached; item not enqueued
+  kFull,    ///< capacity (total or per-class) reached; item not enqueued
   kClosed,  ///< queue closed; item not enqueued
+};
+
+/// Admission class of one request. Interactive fixes are served first;
+/// bulk re-localization sweeps fill whatever capacity and batch slots
+/// remain, and are the first to shed under overload.
+enum class RequestClass {
+  kInteractive,  ///< a user is waiting on this fix
+  kBulk,         ///< background sweep; throughput over latency
+};
+
+inline constexpr std::size_t kNumRequestClasses = 2;
+
+constexpr const char* request_class_name(RequestClass cls) {
+  return cls == RequestClass::kInteractive ? "interactive" : "bulk";
+}
+
+/// Canonical class -> array index mapping, shared by every per-class table
+/// (queue lanes, engine counters, latency histograms) so the enum's layout
+/// lives in exactly one place.
+constexpr std::size_t request_class_index(RequestClass cls) {
+  return cls == RequestClass::kInteractive ? 0 : 1;
+}
+
+/// Per-class occupancy caps, each bounding how many queue slots one class
+/// may hold at once. 0 means "no class-specific cap" (the total capacity
+/// still applies). Setting `bulk` below the total capacity reserves the
+/// difference as interactive-only headroom.
+struct ClassCaps {
+  std::size_t interactive = 0;
+  std::size_t bulk = 0;
+
+  std::size_t of(RequestClass cls) const {
+    return cls == RequestClass::kInteractive ? interactive : bulk;
+  }
 };
 
 template <class T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+  using Clock = std::chrono::steady_clock;
+
+  explicit BoundedQueue(std::size_t capacity, ClassCaps caps = {})
+      : capacity_(capacity), caps_(caps) {
     NOBLE_EXPECTS(capacity >= 1);
+    NOBLE_EXPECTS(caps.interactive <= capacity);
+    NOBLE_EXPECTS(caps.bulk <= capacity);
   }
 
-  /// Non-blocking enqueue; the caller owns rejection handling.
-  PushResult try_push(T item) {
+  /// Non-blocking enqueue; the caller owns rejection handling. kFull when
+  /// either the total capacity or the item's class cap is reached. An
+  /// optional deadline marks the entry expired once the clock passes it —
+  /// `pop_batch` then returns it through its `expired` out-list instead of
+  /// the batch.
+  PushResult try_push(T item, RequestClass cls = RequestClass::kInteractive,
+                      std::optional<Clock::time_point> deadline = std::nullopt) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_) return PushResult::kClosed;
-      if (items_.size() >= capacity_) return PushResult::kFull;
-      items_.push_back(std::move(item));
+      std::deque<Entry>& lane = lanes_[request_class_index(cls)];
+      const std::size_t class_cap = caps_.of(cls);
+      if (class_cap > 0 && lane.size() >= class_cap) return PushResult::kFull;
+      if (size_locked() >= capacity_) return PushResult::kFull;
+      lane.push_back(Entry{std::move(item), deadline});
     }
     cv_.notify_one();
     return PushResult::kOk;
   }
 
-  /// Blocks until at least one item is available (or the queue is closed),
-  /// then gathers up to `max_items`, waiting at most `max_wait` past the
-  /// first take for more to arrive. Returns an empty vector only when the
-  /// queue is closed and fully drained — the consumer's exit signal.
-  std::vector<T> pop_batch(std::size_t max_items, std::chrono::microseconds max_wait) {
+  /// Blocks until at least one entry is available (or the queue is closed),
+  /// then gathers up to `max_items` live entries, waiting at most `max_wait`
+  /// past the first take for more to arrive. Interactive entries drain
+  /// first on every sweep; bulk fills the remainder of the batch.
+  ///
+  /// When `expired` is non-null, entries whose deadline has passed are
+  /// appended there instead of the batch (they do not count against
+  /// `max_items`); with only expired entries on hand the call returns
+  /// immediately so the caller can fail them without sitting out the
+  /// window. When `expired` is null, deadlines are ignored.
+  ///
+  /// Returns an empty batch with nothing appended to `expired` only when
+  /// the queue is closed and fully drained — the consumer's exit signal.
+  std::vector<T> pop_batch(std::size_t max_items, std::chrono::microseconds max_wait,
+                           std::vector<T>* expired = nullptr) {
     NOBLE_EXPECTS(max_items >= 1);
     std::vector<T> batch;
+    const std::size_t expired_before = expired == nullptr ? 0 : expired->size();
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
-    if (items_.empty()) return batch;  // closed and drained
-    const auto deadline = std::chrono::steady_clock::now() + max_wait;
+    cv_.wait(lock, [&] { return size_locked() > 0 || closed_; });
+    if (size_locked() == 0) return batch;  // closed and drained
+    const auto window = Clock::now() + max_wait;
     for (;;) {
-      while (!items_.empty() && batch.size() < max_items) {
-        batch.push_back(std::move(items_.front()));
-        items_.pop_front();
+      // Priority sweep: interactive first, bulk fills what is left.
+      const Clock::time_point now = Clock::now();
+      for (std::deque<Entry>& lane : lanes_) {
+        while (!lane.empty() && batch.size() < max_items) {
+          Entry entry = std::move(lane.front());
+          lane.pop_front();
+          if (expired != nullptr && entry.deadline.has_value() &&
+              *entry.deadline <= now) {
+            expired->push_back(std::move(entry.item));
+          } else {
+            batch.push_back(std::move(entry.item));
+          }
+        }
       }
       if (batch.size() >= max_items || closed_) break;
+      // Everything taken so far expired: hand the corpses back now instead
+      // of holding the window open over them.
+      if (batch.empty() && expired != nullptr && expired->size() > expired_before) {
+        break;
+      }
       // Wait out the rest of the batching window for stragglers.
-      if (!cv_.wait_until(lock, deadline, [&] { return !items_.empty() || closed_; })) {
+      if (!cv_.wait_until(lock, window, [&] { return size_locked() > 0 || closed_; })) {
         break;  // window expired; serve what we have
       }
     }
@@ -83,7 +172,12 @@ class BoundedQueue {
 
   std::size_t depth() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return items_.size();
+    return size_locked();
+  }
+
+  std::size_t depth(RequestClass cls) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lanes_[request_class_index(cls)].size();
   }
 
   bool closed() const {
@@ -92,12 +186,22 @@ class BoundedQueue {
   }
 
   std::size_t capacity() const { return capacity_; }
+  const ClassCaps& class_caps() const { return caps_; }
 
  private:
+  struct Entry {
+    T item;
+    std::optional<Clock::time_point> deadline;
+  };
+
+  std::size_t size_locked() const { return lanes_[0].size() + lanes_[1].size(); }
+
   const std::size_t capacity_;
+  const ClassCaps caps_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<T> items_;
+  /// One FIFO lane per class; index 0 (interactive) always drains first.
+  std::array<std::deque<Entry>, kNumRequestClasses> lanes_;
   bool closed_ = false;
 };
 

@@ -19,7 +19,11 @@ Engine::Engine(const serve::WifiLocalizer& wifi, EngineConfig config)
     : Engine(make_backend(config.backend, wifi), config) {}
 
 Engine::Engine(std::unique_ptr<WifiBackend> prototype, EngineConfig config)
-    : config_(config), queue_(config.queue_cap), batch_wait_us_(config.max_wait_us) {
+    : config_(config),
+      queue_(config.queue_cap,
+             ClassCaps{std::min(config.interactive_cap, config.queue_cap),
+                       std::min(config.bulk_cap, config.queue_cap)}),
+      batch_wait_us_(config.max_wait_us) {
   NOBLE_EXPECTS(prototype != nullptr);
   NOBLE_EXPECTS(config_.workers >= 1);
   NOBLE_EXPECTS(config_.max_batch >= 1);
@@ -61,12 +65,35 @@ void Engine::shutdown() {
   }
 }
 
-Submission Engine::submit(const serve::RssiVector& rssi) {
+std::optional<Engine::Clock::time_point> Engine::resolve_deadline(
+    const SubmitOptions& options, const Clock::time_point& now) const {
+  if (options.deadline.has_value()) return options.deadline;
+  if (config_.default_deadline_us > 0) {
+    return now + std::chrono::microseconds(config_.default_deadline_us);
+  }
+  return std::nullopt;
+}
+
+void Engine::expire_promise(std::promise<serve::Fix>& promise, RequestClass cls) {
+  class_expired_[request_class_index(cls)].fetch_add(1, std::memory_order_relaxed);
+  promise.set_exception(std::make_exception_ptr(DeadlineExpired{}));
+}
+
+Submission Engine::submit(const serve::RssiVector& rssi, const SubmitOptions& options) {
+  const std::size_t cls = request_class_index(options.request_class);
   if (rssi.size() != num_aps()) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    class_rejected_[cls].fetch_add(1, std::memory_order_relaxed);
     return {SubmitStatus::kBadDimension, {}};
   }
   const Clock::time_point submitted_at = Clock::now();
+  const std::optional<Clock::time_point> deadline =
+      resolve_deadline(options, submitted_at);
+  if (deadline.has_value() && *deadline <= submitted_at) {
+    // Dead on arrival: never admitted, never copied, never a GEMM slot.
+    class_expired_[cls].fetch_add(1, std::memory_order_relaxed);
+    return {SubmitStatus::kExpired, {}};
+  }
   const bool cached = cache_.has_value() && !stopped_.load(std::memory_order_relaxed);
   if (cached) {
     if (std::optional<serve::Fix> hit = cache_->get(rssi)) {
@@ -78,22 +105,28 @@ Submission Engine::submit(const serve::RssiVector& rssi) {
       std::promise<serve::Fix> promise;
       std::future<serve::Fix> result = promise.get_future();
       submitted_.fetch_add(1, std::memory_order_relaxed);
+      class_accepted_[cls].fetch_add(1, std::memory_order_relaxed);
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       promise.set_value(std::move(*hit));
-      record_completion(submitted_at);
+      record_completion(submitted_at, options.request_class);
       return {SubmitStatus::kAccepted, std::move(result)};
     }
   }
-  WifiRequest request{rssi, {}, submitted_at};  // the only copy, on admission
+  // The only copy, on admission.
+  WifiRequest request{rssi, {}, submitted_at, options.request_class};
   std::future<serve::Fix> result = request.promise.get_future();
   // Counted before the push: once the queue has the request a worker may
   // complete it immediately, and stats() must never observe
   // completed > submitted.
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  const PushResult pushed = queue_.try_push(Request{std::move(request)});
+  class_accepted_[cls].fetch_add(1, std::memory_order_relaxed);
+  const PushResult pushed =
+      queue_.try_push(Request{std::move(request)}, options.request_class, deadline);
   if (pushed != PushResult::kOk) {
     submitted_.fetch_sub(1, std::memory_order_relaxed);
+    class_accepted_[cls].fetch_sub(1, std::memory_order_relaxed);
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    class_rejected_[cls].fetch_add(1, std::memory_order_relaxed);
     return {pushed == PushResult::kClosed ? SubmitStatus::kStopped
                                           : SubmitStatus::kQueueFull,
             {}};
@@ -113,7 +146,9 @@ std::optional<SessionId> Engine::open_session(const geo::Point2& start) {
   return id;
 }
 
-Submission Engine::track(SessionId session, serve::ImuSegment segment) {
+Submission Engine::track(SessionId session, serve::ImuSegment segment,
+                         const SubmitOptions& options) {
+  const std::size_t cls = request_class_index(options.request_class);
   std::shared_ptr<SessionState> state;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -122,34 +157,53 @@ Submission Engine::track(SessionId session, serve::ImuSegment segment) {
   }
   if (state == nullptr) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    class_rejected_[cls].fetch_add(1, std::memory_order_relaxed);
     return {SubmitStatus::kNoSession, {}};
   }
   if (segment.size() != imu_->segment_dim()) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    class_rejected_[cls].fetch_add(1, std::memory_order_relaxed);
     return {SubmitStatus::kBadDimension, {}};
+  }
+  const Clock::time_point submitted_at = Clock::now();
+  const std::optional<Clock::time_point> deadline =
+      resolve_deadline(options, submitted_at);
+  if (deadline.has_value() && *deadline <= submitted_at) {
+    class_expired_[cls].fetch_add(1, std::memory_order_relaxed);
+    return {SubmitStatus::kExpired, {}};
   }
 
   std::lock_guard<std::mutex> lock(state->mu);
   if (state->closed) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    class_rejected_[cls].fetch_add(1, std::memory_order_relaxed);
     return {SubmitStatus::kNoSession, {}};
   }
   if (state->pending.size() >= config_.session_backlog) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    class_rejected_[cls].fetch_add(1, std::memory_order_relaxed);
     return {SubmitStatus::kQueueFull, {}};
   }
-  PendingUpdate update{std::move(segment), {}, Clock::now()};
+  PendingUpdate update{std::move(segment), {}, submitted_at, options.request_class,
+                       deadline};
   std::future<serve::Fix> result = update.promise.get_future();
   // Same ordering as submit(): count before the work can become visible to
   // a worker, roll back on rejection.
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  class_accepted_[cls].fetch_add(1, std::memory_order_relaxed);
   state->pending.push_back(std::move(update));
   if (!state->scheduled) {
-    const PushResult pushed = queue_.try_push(Request{SessionWork{session}});
+    // Session tokens carry the class of the update that scheduled them (so
+    // a bulk sweep's token queues behind interactive traffic) but never a
+    // deadline — per-update deadlines are enforced in drain_session.
+    const PushResult pushed =
+        queue_.try_push(Request{SessionWork{session}}, options.request_class);
     if (pushed != PushResult::kOk) {
       state->pending.pop_back();
       submitted_.fetch_sub(1, std::memory_order_relaxed);
+      class_accepted_[cls].fetch_sub(1, std::memory_order_relaxed);
       rejected_.fetch_add(1, std::memory_order_relaxed);
+      class_rejected_[cls].fetch_add(1, std::memory_order_relaxed);
       return {pushed == PushResult::kClosed ? SubmitStatus::kStopped
                                             : SubmitStatus::kQueueFull,
               {}};
@@ -185,12 +239,24 @@ EngineStats Engine::stats() const {
     snapshot.completed = completed_;
     snapshot.batches = batches_;
     snapshot.batch_size = batch_hist_;
-    snapshot.latency_us = latency_hist_;
+    snapshot.interactive.latency_us = class_latency_[0];
+    snapshot.bulk.latency_us = class_latency_[1];
   }
+  // The total latency view is exactly the per-class histograms merged —
+  // every completion is recorded in exactly one class.
+  snapshot.latency_us = snapshot.interactive.latency_us;
+  snapshot.latency_us.merge(snapshot.bulk.latency_us);
   // Read after completed_: every completion was counted in submitted_
   // first, so this order keeps submitted >= completed in the snapshot.
   snapshot.submitted = submitted_.load(std::memory_order_relaxed);
   snapshot.rejected = rejected_.load(std::memory_order_relaxed);
+  snapshot.interactive.accepted = class_accepted_[0].load(std::memory_order_relaxed);
+  snapshot.interactive.rejected = class_rejected_[0].load(std::memory_order_relaxed);
+  snapshot.interactive.expired = class_expired_[0].load(std::memory_order_relaxed);
+  snapshot.bulk.accepted = class_accepted_[1].load(std::memory_order_relaxed);
+  snapshot.bulk.rejected = class_rejected_[1].load(std::memory_order_relaxed);
+  snapshot.bulk.expired = class_expired_[1].load(std::memory_order_relaxed);
+  snapshot.expired = snapshot.interactive.expired + snapshot.bulk.expired;
   snapshot.queue_depth = queue_.depth();
   if (cache_.has_value()) {
     const CacheStats cache = cache_->stats();
@@ -202,15 +268,27 @@ EngineStats Engine::stats() const {
   snapshot.batch_wait_us = config_.adaptive_wait
                                ? batch_wait_us_.load(std::memory_order_relaxed)
                                : config_.max_wait_us;
-  snapshot.latency_p50_us = snapshot.latency_us.percentile(50.0);
-  snapshot.latency_p95_us = snapshot.latency_us.percentile(95.0);
-  snapshot.latency_p99_us = snapshot.latency_us.percentile(99.0);
+  const LatencySummary total = summarize_latency_us(snapshot.latency_us);
+  snapshot.latency_p50_us = total.p50_us;
+  snapshot.latency_p95_us = total.p95_us;
+  snapshot.latency_p99_us = total.p99_us;
+  snapshot.interactive.latency = summarize_latency_us(snapshot.interactive.latency_us);
+  snapshot.bulk.latency = summarize_latency_us(snapshot.bulk.latency_us);
   return snapshot;
+}
+
+void ClassStats::merge(const ClassStats& other) {
+  accepted += other.accepted;
+  rejected += other.rejected;
+  expired += other.expired;
+  latency_us.merge(other.latency_us);
+  latency = summarize_latency_us(latency_us);
 }
 
 void EngineStats::merge(const EngineStats& other) {
   submitted += other.submitted;
   rejected += other.rejected;
+  expired += other.expired;
   completed += other.completed;
   batches += other.batches;
   queue_depth += other.queue_depth;
@@ -221,9 +299,12 @@ void EngineStats::merge(const EngineStats& other) {
   batch_wait_us = std::max(batch_wait_us, other.batch_wait_us);
   batch_size.merge(other.batch_size);
   latency_us.merge(other.latency_us);
-  latency_p50_us = latency_us.percentile(50.0);
-  latency_p95_us = latency_us.percentile(95.0);
-  latency_p99_us = latency_us.percentile(99.0);
+  interactive.merge(other.interactive);
+  bulk.merge(other.bulk);
+  const LatencySummary total = summarize_latency_us(latency_us);
+  latency_p50_us = total.p50_us;
+  latency_p95_us = total.p95_us;
+  latency_p99_us = total.p99_us;
 }
 
 void Engine::worker_loop(std::size_t worker_index) {
@@ -232,10 +313,21 @@ void Engine::worker_loop(std::size_t worker_index) {
     const std::uint64_t wait_us = config_.adaptive_wait
                                       ? batch_wait_us_.load(std::memory_order_relaxed)
                                       : config_.max_wait_us;
-    std::vector<Request> batch =
-        queue_.pop_batch(config_.max_batch, std::chrono::microseconds(wait_us));
-    if (batch.empty()) return;  // queue closed and fully drained
+    std::vector<Request> expired;
+    std::vector<Request> batch = queue_.pop_batch(
+        config_.max_batch, std::chrono::microseconds(wait_us), &expired);
+    if (batch.empty() && expired.empty()) return;  // closed and fully drained
     if (config_.adaptive_wait) adapt_batch_window(wait_us);
+    // Deadline-expired takes never reach a replica: fail their futures and
+    // move on — the batch slots went to live requests instead.
+    for (Request& request : expired) {
+      if (auto* query = std::get_if<WifiRequest>(&request)) {
+        expire_promise(query->promise, query->cls);
+      } else {
+        // Tokens are pushed without deadlines; treat one here as live.
+        batch.push_back(std::move(request));
+      }
+    }
     // Partition the takes: independent Wi-Fi queries coalesce into one
     // network pass; session tokens are drained per-track afterwards (their
     // ordering lives in the per-session FIFO, not the shared queue).
@@ -280,7 +372,7 @@ void Engine::run_wifi_batch(const WifiBackend& replica,
     batch_hist_.record(static_cast<double>(batch.size()));
     completed_ += batch.size();
     for (const WifiRequest& request : batch) {
-      latency_hist_.record(
+      class_latency_[request_class_index(request.cls)].record(
           std::chrono::duration<double, std::micro>(done - request.submitted_at)
               .count());
     }
@@ -313,18 +405,25 @@ void Engine::drain_session(SessionId id) {
   while (!state->pending.empty()) {
     PendingUpdate update = std::move(state->pending.front());
     state->pending.pop_front();
+    if (update.deadline.has_value() && *update.deadline <= Clock::now()) {
+      // Expired before its turn: never applied to the track, so later
+      // updates see the session state without it.
+      expire_promise(update.promise, update.cls);
+      continue;
+    }
     const serve::Fix fix = state->session.update(update.segment);
-    record_completion(update.submitted_at);
+    record_completion(update.submitted_at, update.cls);
     update.promise.set_value(fix);
   }
   state->scheduled = false;
 }
 
-void Engine::record_completion(const Clock::time_point& submitted_at) {
+void Engine::record_completion(const Clock::time_point& submitted_at,
+                               RequestClass cls) {
   const double latency_us = us_since(submitted_at);  // clock read outside the lock
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++completed_;
-  latency_hist_.record(latency_us);
+  class_latency_[request_class_index(cls)].record(latency_us);
 }
 
 }  // namespace noble::engine

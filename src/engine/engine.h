@@ -18,7 +18,22 @@
 // the same backend for every request regardless of how requests get
 // batched.
 //
-// Two admission-control refinements on top of PR 3:
+// Admission control is class- and deadline-aware. Every submission carries
+// a RequestClass — kInteractive (a user is waiting) or kBulk (background
+// re-localization sweep) — and optionally a deadline:
+//  - per-class queue caps bound how much of the bounded queue bulk traffic
+//    may occupy, so a bulk flood sheds (kQueueFull) while interactive
+//    admissions keep their reserved headroom;
+//  - workers drain interactive entries first within the batching window,
+//    bulk fills the remainder of each micro-batch;
+//  - a request whose deadline passes before a worker reaches it never
+//    spends a GEMM slot: at submit() an already-expired deadline returns
+//    SubmitStatus::kExpired, and an accepted request that expires while
+//    queued fails its future with DeadlineExpired.
+// Class and deadline decide *when and whether* a scan runs — never its
+// result: any request that is served is bit-identical to direct inference.
+//
+// Two more admission-control refinements on top of PR 3:
 //  - an optional RSSI-fingerprint -> Fix cache (quantized-key/exact-verify,
 //    bounded sharded LRU — engine/fingerprint_cache.h) answers repeated
 //    scans at submit() without entering the queue;
@@ -44,8 +59,10 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -66,7 +83,37 @@ enum class SubmitStatus {
   kBadDimension,  ///< payload size does not match the model's input layout
   kNoSession,     ///< unknown or already-closed session id
   kNoShard,       ///< router-level: no shard registered under that key
+  kExpired,       ///< the request's deadline had already passed at submit
   kStopped,       ///< engine is shut down
+};
+
+/// Fails the future of an accepted request whose deadline passed while it
+/// waited in the queue (or in a session FIFO): the expired analogue of
+/// SubmitStatus::kExpired for requests that were already admitted.
+class DeadlineExpired : public std::runtime_error {
+ public:
+  DeadlineExpired()
+      : std::runtime_error("noble::engine: deadline expired before execution") {}
+};
+
+/// Per-submission admission options: the request's class and an optional
+/// absolute deadline. Defaults (interactive, no deadline) keep the plain
+/// submit(rssi) behavior.
+struct SubmitOptions {
+  RequestClass request_class = RequestClass::kInteractive;
+  /// Absolute steady-clock deadline. A request not *started* by then is
+  /// expired: kExpired at submit if already past, DeadlineExpired on the
+  /// future if it lapses in the queue. nullopt falls back to
+  /// EngineConfig::default_deadline_us (0 there = no deadline).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  static SubmitOptions interactive() { return {}; }
+  static SubmitOptions bulk() { return {RequestClass::kBulk, std::nullopt}; }
+  /// Fluent deadline-as-budget: expire unless started within `budget_us`.
+  SubmitOptions& expires_in_us(std::uint64_t budget_us) {
+    deadline = std::chrono::steady_clock::now() + std::chrono::microseconds(budget_us);
+    return *this;
+  }
 };
 
 /// One submit() outcome: a status plus — only when accepted — a future that
@@ -89,6 +136,16 @@ struct EngineConfig {
   /// Bounded request-queue capacity; submissions beyond it are rejected
   /// with kQueueFull (explicit backpressure instead of unbounded memory).
   std::size_t queue_cap = 1024;
+  /// Most queue slots interactive submissions may occupy at once; 0 means
+  /// "no class cap" (bounded by queue_cap only).
+  std::size_t interactive_cap = 0;
+  /// Most queue slots bulk submissions may occupy at once; 0 means "no
+  /// class cap". Setting this below queue_cap reserves the difference as
+  /// interactive-only headroom — the load-shedding knob.
+  std::size_t bulk_cap = 0;
+  /// Engine-wide default deadline budget in microseconds, applied to every
+  /// submission that does not carry its own deadline. 0 = no deadline.
+  std::uint64_t default_deadline_us = 0;
   /// Most not-yet-processed segments one tracking session may buffer before
   /// its submissions are rejected with kQueueFull.
   std::size_t session_backlog = 64;
@@ -109,15 +166,35 @@ struct EngineConfig {
   double cache_key_step_db = 1.0;
 };
 
+/// Per-class admission/latency telemetry. Merge()-able like everything
+/// else in EngineStats, so fleet views report interactive and bulk
+/// behavior separately.
+struct ClassStats {
+  std::uint64_t accepted = 0;  ///< admitted (queued or served from cache)
+  std::uint64_t rejected = 0;  ///< kQueueFull/kBadDimension/kStopped verdicts
+  std::uint64_t expired = 0;   ///< kExpired at submit + DeadlineExpired futures
+  Histogram latency_us = Histogram::latency_us();  ///< submit -> fulfilled
+  /// p50/p95/p99 extracted from latency_us at snapshot/merge time.
+  LatencySummary latency;
+
+  /// Counters sum, histograms merge() bin-wise, percentiles recompute.
+  void merge(const ClassStats& other);
+};
+
 /// Telemetry snapshot. Histograms share noble::Histogram's fixed layouts,
 /// so snapshots from several engines can be merge()d for fleet views —
 /// that is exactly what fleet::Router::stats() does.
 struct EngineStats {
   std::uint64_t submitted = 0;  ///< accepted (queued or served from cache)
-  std::uint64_t rejected = 0;   ///< every non-kAccepted submission
+  std::uint64_t rejected = 0;   ///< non-kAccepted submissions (kExpired aside)
+  std::uint64_t expired = 0;    ///< deadline-expired requests, both flavors
   std::uint64_t completed = 0;  ///< futures fulfilled (cache hits included)
   std::uint64_t batches = 0;    ///< Wi-Fi micro-batches executed
   std::size_t queue_depth = 0;  ///< instantaneous shared-queue depth
+  /// Per-class splits of the admission counters and latencies. The totals
+  /// above are exactly interactive + bulk (latency_us is their merge).
+  ClassStats interactive;
+  ClassStats bulk;
   /// Fingerprint-cache counters (all zero when the cache is disabled).
   /// Misses count *admitted* Wi-Fi scans only — a scan rejected with
   /// kQueueFull and retried does not deflate the hit rate. IMU session
@@ -136,10 +213,15 @@ struct EngineStats {
   double latency_p95_us = 0.0;
   double latency_p99_us = 0.0;
 
+  /// Per-class view by enum (read-only convenience over the named fields).
+  const ClassStats& for_class(RequestClass cls) const {
+    return cls == RequestClass::kInteractive ? interactive : bulk;
+  }
+
   /// Folds another engine's snapshot into this one: counters and gauges
   /// sum (batch_wait_us takes the max — it is a window, not a count), the
-  /// histograms merge() bin-wise, and the convenience percentiles are
-  /// recomputed from the merged latency histogram.
+  /// histograms (total and per-class) merge() bin-wise, and the
+  /// convenience percentiles are recomputed from the merged histograms.
   void merge(const EngineStats& other);
 };
 
@@ -176,7 +258,12 @@ class Engine {
   /// rejected with an explicit status. Takes a reference and copies only on
   /// admission, so rejection/fallback paths (the fleet router probes
   /// several engines with one scan) never pay for the copy.
-  Submission submit(const serve::RssiVector& rssi);
+  ///
+  /// `options` selects the admission class (interactive drains before bulk,
+  /// per-class caps apply) and an optional deadline: already expired =>
+  /// kExpired here; expires while queued => DeadlineExpired on the future.
+  Submission submit(const serve::RssiVector& rssi, const SubmitOptions& options);
+  Submission submit(const serve::RssiVector& rssi) { return submit(rssi, {}); }
 
   /// Registers a streaming IMU track anchored at `start`. nullopt when the
   /// engine was built without an IMU localizer or is stopped.
@@ -184,8 +271,14 @@ class Engine {
 
   /// Queues one IMU segment for `session`. Updates to one session are
   /// applied strictly in submission order; distinct sessions proceed in
-  /// parallel on the worker pool.
-  Submission track(SessionId session, serve::ImuSegment segment);
+  /// parallel on the worker pool. Admission options apply per update: an
+  /// expired update fails with kExpired/DeadlineExpired and is *not*
+  /// applied to the track (later updates see the state without it).
+  Submission track(SessionId session, serve::ImuSegment segment,
+                   const SubmitOptions& options);
+  Submission track(SessionId session, serve::ImuSegment segment) {
+    return track(session, std::move(segment), {});
+  }
 
   /// Unregisters a session. Pending (unprocessed) updates fail their
   /// futures with std::runtime_error. Returns false for unknown ids.
@@ -199,6 +292,10 @@ class Engine {
   EngineStats stats() const;
 
   const EngineConfig& config() const { return config_; }
+  /// Instantaneous shared-queue depth — the cheap load signal the fleet
+  /// router's queue-depth-weighted bulk spill reads (stats() copies whole
+  /// histograms; this takes one queue lock).
+  std::size_t queue_depth() const { return queue_.depth(); }
   std::size_t num_aps() const { return replicas_.front()->input_dim(); }
   /// Name of the backend the worker replicas run ("dense", "quantized", or
   /// whatever an injected prototype reports).
@@ -212,6 +309,7 @@ class Engine {
     serve::RssiVector rssi;
     std::promise<serve::Fix> promise;
     Clock::time_point submitted_at;
+    RequestClass cls = RequestClass::kInteractive;
   };
   /// Queue token: "this session has pending segments". One token is in
   /// flight per session regardless of backlog depth, so a busy track cannot
@@ -225,6 +323,8 @@ class Engine {
     serve::ImuSegment segment;
     std::promise<serve::Fix> promise;
     Clock::time_point submitted_at;
+    RequestClass cls = RequestClass::kInteractive;
+    std::optional<Clock::time_point> deadline;
   };
   struct SessionState {
     explicit SessionState(serve::TrackingSession s) : session(std::move(s)) {}
@@ -238,8 +338,13 @@ class Engine {
   void worker_loop(std::size_t worker_index);
   void run_wifi_batch(const WifiBackend& replica, std::vector<WifiRequest> batch);
   void drain_session(SessionId id);
-  void record_completion(const Clock::time_point& submitted_at);
+  void record_completion(const Clock::time_point& submitted_at, RequestClass cls);
   void adapt_batch_window(std::uint64_t used_wait_us);
+  /// Resolves the effective deadline: explicit > engine default > none.
+  std::optional<Clock::time_point> resolve_deadline(const SubmitOptions& options,
+                                                    const Clock::time_point& now) const;
+  /// Fails `promise` with DeadlineExpired and counts the expiry.
+  void expire_promise(std::promise<serve::Fix>& promise, RequestClass cls);
 
   EngineConfig config_;
   std::vector<std::unique_ptr<WifiBackend>> replicas_;  ///< one per worker
@@ -252,6 +357,10 @@ class Engine {
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  /// Per-class admission counters, indexed by class_index().
+  std::atomic<std::uint64_t> class_accepted_[kNumRequestClasses] = {};
+  std::atomic<std::uint64_t> class_rejected_[kNumRequestClasses] = {};
+  std::atomic<std::uint64_t> class_expired_[kNumRequestClasses] = {};
   /// Cache admission outcomes, engine-owned rather than read from the
   /// cache's own counters: a miss is only counted once the Wi-Fi scan is
   /// actually admitted to the queue, so kQueueFull retry loops cannot
@@ -261,7 +370,10 @@ class Engine {
   std::atomic<std::uint64_t> cache_misses_{0};
   mutable std::mutex stats_mu_;  ///< guards the fields below
   Histogram batch_hist_ = Histogram::batch_sizes();
-  Histogram latency_hist_ = Histogram::latency_us();
+  /// One latency histogram per class; the snapshot's total latency_us is
+  /// their merge, so every completion is recorded exactly once.
+  Histogram class_latency_[kNumRequestClasses] = {Histogram::latency_us(),
+                                                  Histogram::latency_us()};
   std::uint64_t completed_ = 0;
   std::uint64_t batches_ = 0;
 

@@ -1,5 +1,6 @@
 #include "fleet/router.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace noble::fleet {
@@ -54,20 +55,46 @@ std::shared_ptr<Router::Shard> Router::find_shard(std::string_view key) const {
 }
 
 engine::Submission Router::submit(std::string_view shard_key,
-                                  const serve::RssiVector& rssi) {
+                                  const serve::RssiVector& rssi,
+                                  const engine::SubmitOptions& options) {
   engine::Submission last{engine::SubmitStatus::kNoShard, {}};
   for (int attempt = 0; attempt < 2; ++attempt) {
     std::shared_ptr<Shard> shard = find_shard(shard_key);
     if (shard == nullptr) return {engine::SubmitStatus::kNoShard, {}};
     const std::size_t n = shard->engines.size();
     const std::size_t primary = primary_engine(rssi, n);
-    // Consistent fallback: deterministic probe order starting at the
-    // query's primary engine. Only kQueueFull falls through — any other
+    // Primary first for every class: the fingerprint affinity that keeps
+    // per-engine caches hot. Only kQueueFull falls through — any other
     // verdict is a property of the whole shard (replicas are identical).
-    for (std::size_t probe = 0; probe < n; ++probe) {
-      engine::Engine& target = *shard->engines[(primary + probe) % n];
-      last = target.submit(rssi);
-      if (last.status != engine::SubmitStatus::kQueueFull) break;
+    last = shard->engines[primary]->submit(rssi, options);
+    if (last.status == engine::SubmitStatus::kQueueFull && n > 1) {
+      if (options.request_class == engine::RequestClass::kBulk) {
+        // Fleet-wide load shedding: a shedding bulk sweep hunts for
+        // capacity, not cache affinity — spill to the shallowest queue
+        // first. Depths are snapshotted once per engine before sorting
+        // (comparing live depths inside the sort would break strict weak
+        // ordering while workers drain concurrently); the stable sort
+        // keeps the probe order deterministic on ties.
+        std::vector<std::pair<std::size_t, std::size_t>> order;
+        order.reserve(n - 1);
+        for (std::size_t probe = 1; probe < n; ++probe) {
+          const std::size_t index = (primary + probe) % n;
+          order.emplace_back(shard->engines[index]->queue_depth(), index);
+        }
+        std::stable_sort(order.begin(), order.end(),
+                         [](const auto& a, const auto& b) { return a.first < b.first; });
+        for (const auto& [depth, index] : order) {
+          last = shard->engines[index]->submit(rssi, options);
+          if (last.status != engine::SubmitStatus::kQueueFull) break;
+        }
+      } else {
+        // Interactive keeps the consistent affinity-preserving probe order
+        // — and pays no depth locks on its latency path.
+        for (std::size_t probe = 1; probe < n; ++probe) {
+          last = shard->engines[(primary + probe) % n]->submit(rssi, options);
+          if (last.status != engine::SubmitStatus::kQueueFull) break;
+        }
+      }
     }
     if (last.status != engine::SubmitStatus::kStopped) return last;
     // kStopped from a routed engine means this generation was hot-swapped
@@ -98,13 +125,14 @@ std::optional<FleetSession> Router::open_session(std::string_view shard_key,
   return std::nullopt;
 }
 
-engine::Submission Router::track(const FleetSession& session, serve::ImuSegment segment) {
+engine::Submission Router::track(const FleetSession& session, serve::ImuSegment segment,
+                                 const engine::SubmitOptions& options) {
   std::shared_ptr<Shard> shard = find_shard(session.shard);
   if (shard == nullptr || shard->generation != session.generation ||
       session.engine >= shard->engines.size()) {
     return {engine::SubmitStatus::kNoSession, {}};
   }
-  return shard->engines[session.engine]->track(session.id, std::move(segment));
+  return shard->engines[session.engine]->track(session.id, std::move(segment), options);
 }
 
 bool Router::close_session(const FleetSession& session) {

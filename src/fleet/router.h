@@ -12,9 +12,13 @@
 // more engines that all replicate the same model, so any engine of a shard
 // answers bit-identically. Within a shard the query's fingerprint hash picks
 // the primary engine — the same scan always lands on the same engine, which
-// keeps per-engine fingerprint caches hot — and kQueueFull falls through the
-// remaining engines in consistent (deterministic probe) order before the
-// rejection is surfaced to the caller.
+// keeps per-engine fingerprint caches hot. On kQueueFull the fallback is
+// class-aware: interactive traffic falls through the remaining engines in
+// consistent (deterministic probe) order, preserving cache affinity as far
+// as possible, while bulk traffic spills by *queue depth* — the least-loaded
+// replica first — because a shedding bulk sweep cares about finding capacity
+// anywhere in the shard, not about which replica's cache stays hot. Only
+// when every engine is full does the rejection reach the caller.
 //
 // Shards can be hot-swapped to a retrained model: the replacement engines
 // (with fresh, empty caches — a stale fix can never outlive its model) take
@@ -81,12 +85,16 @@ class Router {
   bool add_shard(const ShardConfig& config, const serve::WifiLocalizer& wifi,
                  const serve::ImuLocalizer& imu);
 
-  /// Routes one scan to `shard_key`: primary engine by fingerprint hash,
-  /// consistent fallback through the shard's remaining engines on
-  /// kQueueFull. kNoShard when the key is unknown. A submission racing a
-  /// hot_swap retries once onto the replacement generation. The scan is
-  /// copied only by the engine that admits it, never per probe.
-  engine::Submission submit(std::string_view shard_key, const serve::RssiVector& rssi);
+  /// Routes one scan to `shard_key`: primary engine by fingerprint hash;
+  /// on kQueueFull interactive submissions fall through the remaining
+  /// engines in consistent probe order while bulk submissions spill to the
+  /// shallowest queue first (fleet-wide load shedding). kNoShard when the
+  /// key is unknown. A submission racing a hot_swap retries once onto the
+  /// replacement generation. The scan is copied only by the engine that
+  /// admits it, never per probe; class and deadline options are forwarded
+  /// to every probed engine unchanged.
+  engine::Submission submit(std::string_view shard_key, const serve::RssiVector& rssi,
+                            const engine::SubmitOptions& options = {});
 
   /// Opens a streaming IMU session on `shard_key` (engines are rotated
   /// round-robin). nullopt when the shard is unknown or has no IMU model;
@@ -97,8 +105,10 @@ class Router {
 
   /// Queues one IMU segment for a session. kNoSession when the session's
   /// shard generation has been swapped out (sessions do not survive a
-  /// model update) or the shard is gone.
-  engine::Submission track(const FleetSession& session, serve::ImuSegment segment);
+  /// model update) or the shard is gone. Admission options apply per
+  /// update, exactly as in Engine::track.
+  engine::Submission track(const FleetSession& session, serve::ImuSegment segment,
+                           const engine::SubmitOptions& options = {});
 
   /// Unregisters a session; false for unknown/expired handles.
   bool close_session(const FleetSession& session);

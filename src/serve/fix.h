@@ -33,6 +33,11 @@ struct Fix {
   /// score that the query lies in the predicted cell. Monotone in the
   /// logit, not a calibrated probability.
   double confidence = 0.0;
+
+  /// Exact field-wise equality — the bit-identity comparison every
+  /// engine/fleet equivalence gate uses. Intentionally exact float
+  /// compares: "routed == direct" means identical, not close.
+  bool operator==(const Fix& other) const = default;
 };
 
 }  // namespace noble::serve

@@ -140,11 +140,7 @@ std::vector<serve::RssiVector> query_pool(std::size_t count) {
   return queries;
 }
 
-bool fixes_identical(const serve::Fix& a, const serve::Fix& b) {
-  return a.building == b.building && a.floor == b.floor &&
-         a.fine_class == b.fine_class && a.position == b.position &&
-         a.confidence == b.confidence;
-}
+bool fixes_identical(const serve::Fix& a, const serve::Fix& b) { return a == b; }
 
 // The tentpole contract: for >= 1000 randomly timed concurrent requests,
 // every future is bit-identical to a direct locate() on the same query, no

@@ -31,11 +31,7 @@
 namespace noble::fleet {
 namespace {
 
-bool fixes_identical(const serve::Fix& a, const serve::Fix& b) {
-  return a.building == b.building && a.floor == b.floor &&
-         a.fine_class == b.fine_class && a.position == b.position &&
-         a.confidence == b.confidence;
-}
+bool fixes_identical(const serve::Fix& a, const serve::Fix& b) { return a == b; }
 
 // Two fitted models over the same campus: B uses a different quantization
 // grid, so the two disagree on (at least some) fixes — the property the
