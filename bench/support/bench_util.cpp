@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/config.h"
+#include "kernels/kernels.h"
 
 namespace noble::bench {
 
@@ -59,6 +60,10 @@ core::NobleImuConfig noble_imu_config() {
 }
 
 engine::EngineConfig engine_config_from_env(engine::EngineConfig defaults) {
+  // NOBLE_KERNEL=scalar|avx2|auto selects the kernel ISA for the whole
+  // process (every backend serves through noble::kernels); re-applied here so
+  // benches pick the knob up no matter when they build their config.
+  kernels::apply_env_override();
   engine::EngineConfig cfg = defaults;
   const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
   const std::size_t worker_default =
@@ -103,20 +108,26 @@ std::string describe_engine_config(const engine::EngineConfig& cfg) {
   char buffer[384];
   std::snprintf(buffer, sizeof(buffer),
                 "%zu workers, max_batch %zu, max_wait %llu us%s, queue_cap %zu "
-                "(class caps %zu:%zu), deadline %llu us, backend %s, cache %zu",
+                "(class caps %zu:%zu), deadline %llu us, backend %s, cache %zu, "
+                "kernel %s",
                 cfg.workers, cfg.max_batch,
                 static_cast<unsigned long long>(cfg.max_wait_us),
                 cfg.adaptive_wait ? " (adaptive)" : "", cfg.queue_cap,
                 cfg.interactive_cap, cfg.bulk_cap,
                 static_cast<unsigned long long>(cfg.default_deadline_us),
-                engine::backend_kind_name(cfg.backend), cfg.cache_capacity);
+                engine::backend_kind_name(cfg.backend), cfg.cache_capacity,
+                kernels::isa_name(kernels::active_isa()));
   return buffer;
 }
 
 void print_banner(const std::string& bench_name, const std::string& paper_ref) {
+  kernels::apply_env_override();  // honor NOBLE_KERNEL before reporting it
   std::printf("==============================================================\n");
   std::printf("NObLe reproduction bench: %s\n", bench_name.c_str());
   std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("Kernel ISA: %s (avx2 %s; override with NOBLE_KERNEL=scalar|avx2|auto)\n",
+              kernels::isa_name(kernels::active_isa()),
+              kernels::avx2_supported() ? "available" : "unavailable");
   std::printf("NOBLE_SCALE=%.2f (synthetic substrate; see DESIGN.md for the\n",
               global_scale());
   std::printf("substitution table — shapes, not absolute numbers, are the target)\n");

@@ -3,7 +3,9 @@
 //
 // All benches honor NOBLE_SCALE (sample-count multiplier), NOBLE_EPOCHS,
 // NOBLE_TAU and NOBLE_MANIFOLD_DIM so the suite can be shrunk for smoke runs
-// or grown toward paper scale on faster hardware.
+// or grown toward paper scale on faster hardware, plus NOBLE_KERNEL
+// (scalar|avx2|auto) to pin the compute-kernel ISA; the dispatched ISA is
+// printed in every bench banner.
 #ifndef NOBLE_BENCH_SUPPORT_BENCH_UTIL_H_
 #define NOBLE_BENCH_SUPPORT_BENCH_UTIL_H_
 
@@ -48,6 +50,7 @@ core::NobleImuConfig noble_imu_config();
 /// NOBLE_ENGINE_CACHE_STEP_DB, NOBLE_ENGINE_CLASS_CAPS
 /// ("interactive:bulk" queue-slot caps, 0 = uncapped, e.g. "0:256") and
 /// NOBLE_ENGINE_DEADLINE_US (engine-wide default deadline budget, 0 = off).
+/// Also applies the process-wide NOBLE_KERNEL override (scalar|avx2|auto).
 /// `defaults.workers == 0` means auto: size the pool to min(hardware, 8),
 /// at least 2 — what the throughput benches want on any host.
 engine::EngineConfig engine_config_from_env(engine::EngineConfig defaults = {});

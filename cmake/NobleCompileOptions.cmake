@@ -8,6 +8,10 @@ target_compile_features(noble_compile_options INTERFACE cxx_std_20)
 
 if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
   target_compile_options(noble_compile_options INTERFACE -Wall -Wextra)
+  # The kernel layer's bit-identity contract (scalar vs SIMD) requires every
+  # multiply and add to round separately; forbid FMA contraction everywhere
+  # so a stray -march bump can't silently change numerics.
+  target_compile_options(noble_compile_options INTERFACE -ffp-contract=off)
   if(NOBLE_WERROR)
     target_compile_options(noble_compile_options INTERFACE -Werror)
   endif()

@@ -1,0 +1,26 @@
+// Floating-point helpers with deliberately pinned-down semantics.
+#ifndef NOBLE_COMMON_FPMATH_H_
+#define NOBLE_COMMON_FPMATH_H_
+
+namespace noble::detail {
+
+/// Rounds a double to float precision, returning it as double — and
+/// guarantees the narrowing conversion actually happens in the emitted code.
+///
+/// A bare `static_cast<double>(static_cast<float>(v))` is legal to fold: GCC
+/// 12's SLP vectorizer deletes the paired double->float->double casts when
+/// two such round-trips sit side by side (no cvtsd2ss in the emitted code),
+/// silently keeping full double precision and breaking bit-equivalence
+/// between code paths that store intermediates in float32 and paths that
+/// don't. The volatile float forces a real store at float width, which no
+/// conforming optimizer may elide. Keep all float32-rounding of double
+/// accumulators behind this helper so the miscompile can't be reintroduced
+/// by an innocent-looking refactor.
+inline double stable_round(double v) {
+  volatile float f = static_cast<float>(v);
+  return static_cast<double>(f);
+}
+
+}  // namespace noble::detail
+
+#endif  // NOBLE_COMMON_FPMATH_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "kernels/kernels.h"
 #include "nn/dense.h"
 #include "nn/network.h"
 
@@ -200,35 +201,18 @@ QuantizedDense quantize_dense(const nn::Dense& layer) {
 
 void quantized_dense_infer(const QuantizedDense& layer, const linalg::Mat& x,
                            linalg::Mat& y) {
-  NOBLE_EXPECTS(x.cols() == layer.in_dim);
-  y.resize(x.rows(), layer.out_dim);
-  std::vector<std::int8_t> qrow(layer.in_dim);
-  for (std::size_t i = 0; i < x.rows(); ++i) {
-    const float* xi = x.row(i);
-    float* yi = y.row(i);
-    float max_abs = 0.0f;
-    for (std::size_t k = 0; k < layer.in_dim; ++k) {
-      const float a = std::fabs(xi[k]);
-      if (a > max_abs) max_abs = a;
-    }
-    if (max_abs == 0.0f) {  // zero row quantizes to zero: output is the bias
-      for (std::size_t j = 0; j < layer.out_dim; ++j) yi[j] = layer.bias[j];
-      continue;
-    }
-    const float row_scale = max_abs / 127.0f;
-    const float inv_row_scale = 127.0f / max_abs;
-    for (std::size_t k = 0; k < layer.in_dim; ++k) {
-      qrow[k] = round_to_int8(xi[k] * inv_row_scale);
-    }
-    for (std::size_t j = 0; j < layer.out_dim; ++j) {
-      const std::int8_t* col = layer.weights.data() + j * layer.in_dim;
-      std::int32_t acc = 0;
-      for (std::size_t k = 0; k < layer.in_dim; ++k) {
-        acc += static_cast<std::int32_t>(qrow[k]) * static_cast<std::int32_t>(col[k]);
-      }
-      yi[j] = static_cast<float>(acc) * (row_scale * layer.scales[j]) + layer.bias[j];
-    }
-  }
+  // Per-row dynamic quantization, int32 accumulation and dequant all live in
+  // the dispatched kernel now; the bias rides the epilogue. Zero rows still
+  // quantize to zero (row scale 0) so the output degenerates to the bias,
+  // exactly as this loop always behaved.
+  kernels::QuantizedView view;
+  view.weights = layer.weights.data();
+  view.scales = layer.scales.data();
+  view.in_dim = layer.in_dim;
+  view.out_dim = layer.out_dim;
+  kernels::Epilogue ep;
+  ep.bias = layer.bias.data();
+  kernels::quantized_forward(x, view, ep, y);
 }
 
 QuantizedNetwork::QuantizedNetwork(const nn::Sequential& net) : net_(&net) {

@@ -15,37 +15,42 @@ const char* backend_kind_name(BackendKind kind) {
 }
 
 DenseBackend::DenseBackend(const serve::WifiLocalizer& localizer)
-    : localizer_(serve::WifiLocalizer::from_model(localizer.model())) {}
+    : localizer_(std::make_shared<const serve::WifiLocalizer>(
+          serve::WifiLocalizer::from_model(localizer.model()))) {}
 
 std::vector<serve::Fix> DenseBackend::locate_batch(
     std::span<const serve::RssiVector> queries) const {
-  return localizer_.locate_batch(queries);
+  return localizer_->locate_batch(queries);
 }
 
 std::unique_ptr<WifiBackend> DenseBackend::clone() const {
-  return std::make_unique<DenseBackend>(localizer_);
+  // Replicas share the immutable localizer (and its pre-packed fp32 plan):
+  // cloning is one shared_ptr copy, never a model copy or weight re-pack.
+  return std::unique_ptr<WifiBackend>(new DenseBackend(localizer_));
 }
 
 QuantizedBackend::QuantizedBackend(const serve::WifiLocalizer& localizer)
-    : localizer_(serve::WifiLocalizer::from_model(localizer.model())),
-      qnet_(localizer_.model().network()) {}
+    : localizer_(std::make_shared<const serve::WifiLocalizer>(
+          serve::WifiLocalizer::from_model(localizer.model()))),
+      plan_(serve::optimize_network(localizer_->model().network(),
+                                    serve::OptimizedNetwork::Precision::kInt8)) {}
 
 std::vector<serve::Fix> QuantizedBackend::locate_batch(
     std::span<const serve::RssiVector> queries) const {
   std::vector<serve::Fix> out;
   if (queries.empty()) return out;
-  const linalg::Mat logits = qnet_.predict(localizer_.featurize(queries));
+  const linalg::Mat logits = plan_->predict(localizer_->featurize(queries));
   out.reserve(queries.size());
   for (std::size_t i = 0; i < logits.rows(); ++i) {
-    out.push_back(localizer_.decode_logits(logits.row(i)));
+    out.push_back(localizer_->decode_logits(logits.row(i)));
   }
   return out;
 }
 
 std::unique_ptr<WifiBackend> QuantizedBackend::clone() const {
-  // Requantizing a bit-identical model copy reproduces bit-identical int8
-  // weights, so clones answer exactly like the original.
-  return std::make_unique<QuantizedBackend>(localizer_);
+  // Replicas share the immutable localizer and the pre-packed int8 plan:
+  // cloning is two shared_ptr copies, never a re-quantization.
+  return std::unique_ptr<WifiBackend>(new QuantizedBackend(localizer_, plan_));
 }
 
 std::unique_ptr<WifiBackend> make_backend(BackendKind kind,

@@ -45,9 +45,11 @@ class WifiBackend {
   /// kBadDimension before they reach a worker.
   virtual std::size_t input_dim() const = 0;
 
-  /// Deep copy for shared-nothing replication (one replica per worker).
-  /// Clones must be bit-identical providers: clone()->locate_batch(q) ==
-  /// locate_batch(q) for every q.
+  /// Replication for the worker pool (one replica per worker). Clones must
+  /// be bit-identical providers: clone()->locate_batch(q) == locate_batch(q)
+  /// for every q. Since PR 6 the built-in backends share their immutable
+  /// pre-packed weight state across clones via shared_ptr — a clone is two
+  /// pointer copies, never a weight re-pack or re-quantization.
   virtual std::unique_ptr<WifiBackend> clone() const = 0;
 
   /// Stable identifier for telemetry and bench output.
@@ -57,55 +59,80 @@ class WifiBackend {
 /// Backend selector carried by EngineConfig.
 enum class BackendKind {
   kDense,      ///< float32 forward through serve::WifiLocalizer (the default)
-  kQuantized,  ///< int8 forward via core::QuantizedNetwork
+  kQuantized,  ///< int8 forward via the pre-packed quantized kernel plan
 };
 
 /// Human-readable backend kind ("dense" / "quantized").
 const char* backend_kind_name(BackendKind kind);
 
-/// Float32 replica: wraps a deep-copied serve::WifiLocalizer.
+/// Float32 replica: serves through a serve::WifiLocalizer and its pre-packed
+/// fp32 plan. The localizer (weights included) is immutable and shared
+/// across every clone.
 class DenseBackend final : public WifiBackend {
  public:
-  /// Deep-copies the localizer's model (shared-nothing with the original).
+  /// Deep-copies the localizer's model once (shared-nothing with the
+  /// original); clones of this backend then share that copy.
   explicit DenseBackend(const serve::WifiLocalizer& localizer);
 
   std::vector<serve::Fix> locate_batch(
       std::span<const serve::RssiVector> queries) const override;
-  std::size_t input_dim() const override { return localizer_.num_aps(); }
+  std::size_t input_dim() const override { return localizer_->num_aps(); }
   std::unique_ptr<WifiBackend> clone() const override;
   std::string name() const override { return "dense"; }
 
+  /// The packed fp32 plan this replica serves from — same object across
+  /// clones (the no-re-pack contract is testable by pointer equality).
+  std::shared_ptr<const serve::OptimizedNetwork> plan() const {
+    return localizer_->plan();
+  }
+
  private:
-  serve::WifiLocalizer localizer_;
+  explicit DenseBackend(std::shared_ptr<const serve::WifiLocalizer> shared)
+      : localizer_(std::move(shared)) {}
+
+  std::shared_ptr<const serve::WifiLocalizer> localizer_;
 };
 
 /// Int8 replica: same featurization and logit decoding as the dense path,
-/// but the forward runs through core::QuantizedNetwork (per-output-channel
-/// int8 weights, per-row dynamic activation scales). Positions differ from
-/// the dense backend by quantization error; the engine contract it upholds
-/// is bit-identity with *direct* quantized inference on the same replica
-/// family, checked by the same harness the dense backend passes.
+/// but the forward runs through the pre-packed int8 kernel plan
+/// (per-output-channel int8 weights, per-row dynamic activation scales —
+/// bit-identical to core::QuantizedNetwork by the OptimizedNetwork
+/// contract). Positions differ from the dense backend by quantization
+/// error; the engine contract it upholds is bit-identity with *direct*
+/// quantized inference on the same replica family, checked by the same
+/// harness the dense backend passes.
 class QuantizedBackend final : public WifiBackend {
  public:
+  /// Quantizes and pre-packs the model's dense layers once; clones share the
+  /// resulting immutable int8 plan.
   explicit QuantizedBackend(const serve::WifiLocalizer& localizer);
 
   std::vector<serve::Fix> locate_batch(
       std::span<const serve::RssiVector> queries) const override;
-  std::size_t input_dim() const override { return localizer_.num_aps(); }
+  std::size_t input_dim() const override { return localizer_->num_aps(); }
   std::unique_ptr<WifiBackend> clone() const override;
   std::string name() const override { return "quantized"; }
 
-  /// Bytes of int8 weight storage (vs the float model's parameter_bytes()).
+  /// Bytes of pre-packed int8 weight storage, scales included (vs the float
+  /// model's parameter_bytes()).
   std::size_t quantized_parameter_bytes() const {
-    return qnet_.quantized_parameter_bytes();
+    return plan_->stats().packed_bytes;
   }
 
+  /// The packed int8 plan this replica serves from — same object across
+  /// clones (the no-re-quantization contract is testable by pointer
+  /// equality).
+  std::shared_ptr<const serve::OptimizedNetwork> plan() const { return plan_; }
+
  private:
-  // Declaration order is load-bearing: qnet_ holds a pointer into
-  // localizer_'s network, so localizer_ must be constructed first and the
-  // pair can never be copied or moved apart (the class is neither).
-  serve::WifiLocalizer localizer_;
-  core::QuantizedNetwork qnet_;
+  QuantizedBackend(std::shared_ptr<const serve::WifiLocalizer> localizer,
+                   std::shared_ptr<const serve::OptimizedNetwork> plan)
+      : localizer_(std::move(localizer)), plan_(std::move(plan)) {}
+
+  // plan_ borrows heap-stable layer state from localizer_'s network, so the
+  // localizer pointer must be declared first and kept alive alongside it.
+  std::shared_ptr<const serve::WifiLocalizer> localizer_;
+  std::shared_ptr<const serve::OptimizedNetwork> plan_;
 };
 
 /// Builds the backend `kind` over a deep copy of `localizer`'s model.

@@ -2,29 +2,21 @@
 
 #include <cmath>
 
+#include "kernels/kernels.h"
+
 namespace noble::linalg {
 
+// gemm / gemm_acc route through the runtime-dispatched kernel layer. The
+// scalar kernel is the historical i-k-j zero-skip loop verbatim, and the
+// SIMD paths are bit-identical to it by the kernels.h contract, so callers
+// (eigen solvers included) see exactly the numerics they always did.
+
 void gemm(const Mat& a, const Mat& b, Mat& c) {
-  NOBLE_EXPECTS(a.cols() == b.rows());
-  c.resize(a.rows(), b.cols());
-  gemm_acc(a, b, c);
+  kernels::gemm(a, b, c, /*accumulate=*/false);
 }
 
 void gemm_acc(const Mat& a, const Mat& b, Mat& c) {
-  NOBLE_EXPECTS(a.cols() == b.rows());
-  NOBLE_EXPECTS(c.rows() == a.rows() && c.cols() == b.cols());
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  // i-k-j order: the j loop is a contiguous AXPY that gcc vectorizes.
-  for (std::size_t i = 0; i < m; ++i) {
-    float* ci = c.row(i);
-    const float* ai = a.row(i);
-    for (std::size_t p = 0; p < k; ++p) {
-      const float aip = ai[p];
-      if (aip == 0.0f) continue;  // sparse inputs (RSSI vectors) are common
-      const float* bp = b.row(p);
-      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
-    }
-  }
+  kernels::gemm(a, b, c, /*accumulate=*/true);
 }
 
 void gemm_tn(const Mat& a, const Mat& b, Mat& c) {

@@ -29,6 +29,14 @@ class BatchNorm1d : public Layer {
   /// Running mean/var used at inference; exposed for serialization.
   Mat& running_mean() { return running_mean_; }
   Mat& running_var() { return running_var_; }
+  const Mat& running_mean() const { return running_mean_; }
+  const Mat& running_var() const { return running_var_; }
+
+  /// Learned scale/shift and the variance epsilon — everything the serving
+  /// optimizer needs to fold this layer into a per-channel affine epilogue.
+  const Mat& gamma() const { return gamma_; }
+  const Mat& beta() const { return beta_; }
+  float eps() const { return eps_; }
 
  private:
   std::size_t dim_;

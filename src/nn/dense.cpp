@@ -1,12 +1,11 @@
 #include "nn/dense.h"
 
+#include "kernels/kernels.h"
 #include "linalg/ops.h"
 #include "nn/init.h"
 
 namespace noble::nn {
 
-using linalg::gemm;
-using linalg::gemm_acc;
 using linalg::gemm_nt;
 using linalg::gemm_tn;
 
@@ -25,12 +24,11 @@ void Dense::forward(const Mat& x, Mat& y, bool /*training*/) { infer(x, y); }
 
 void Dense::infer(const Mat& x, Mat& y) const {
   NOBLE_EXPECTS(x.cols() == in_dim_);
-  gemm(x, w_, y);
-  for (std::size_t i = 0; i < y.rows(); ++i) {
-    float* yi = y.row(i);
-    const float* b = b_.row(0);
-    for (std::size_t j = 0; j < out_dim_; ++j) yi[j] += b[j];
-  }
+  // GEMM + bias in one dispatched kernel call (bias rides the epilogue; the
+  // result is bit-identical to the historical gemm-then-add-loop).
+  kernels::Epilogue ep;
+  ep.bias = b_.row(0);
+  kernels::dense_forward(x, w_.data(), in_dim_, out_dim_, ep, y);
 }
 
 void Dense::backward(const Mat& x, const Mat& dy, Mat& dx) {

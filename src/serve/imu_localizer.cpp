@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "common/fpmath.h"
 #include "nn/activations.h"
 #include "nn/dense.h"
 #include "nn/serialize.h"
@@ -127,13 +128,12 @@ Fix TrackingSession::current() const {
 
 geo::Point2 TrackingSession::displacement() const {
   // Round the sums to float first, matching the batch path (which stores
-  // them in a float32 matrix). volatile is load-bearing: GCC 12's SLP
-  // vectorizer otherwise deletes the paired double->float->double casts
-  // (no cvtsd2ss in the emitted code), breaking bit-equivalence with batch.
-  volatile float vx = static_cast<float>(sum_x_);
-  volatile float vy = static_cast<float>(sum_y_);
+  // them in a float32 matrix). stable_round guarantees the narrowing really
+  // happens — see common/fpmath.h for the GCC 12 SLP miscompile it guards
+  // against.
   const double scale = owner_->tracker_.config().displacement_scale;
-  return {static_cast<double>(vx) * scale, static_cast<double>(vy) * scale};
+  return {noble::detail::stable_round(sum_x_) * scale,
+          noble::detail::stable_round(sum_y_) * scale};
 }
 
 }  // namespace noble::serve

@@ -10,6 +10,7 @@ namespace noble::serve {
 
 WifiLocalizer::WifiLocalizer(core::NobleWifiModel model) : model_(std::move(model)) {
   NOBLE_EXPECTS(model_.fitted());
+  plan_ = optimize_network(model_.network(), OptimizedNetwork::Precision::kFloat32);
 }
 
 WifiLocalizer WifiLocalizer::from_model(const core::NobleWifiModel& model) {
@@ -54,14 +55,14 @@ Fix WifiLocalizer::decode_logits(const float* logits) const {
 
 Fix WifiLocalizer::locate(const RssiVector& rssi) const {
   const linalg::Mat logits =
-      model_.network().predict(featurize(std::span<const RssiVector>(&rssi, 1)));
+      plan_->predict(featurize(std::span<const RssiVector>(&rssi, 1)));
   return decode_logits(logits.row(0));
 }
 
 std::vector<Fix> WifiLocalizer::locate_batch(std::span<const RssiVector> queries) const {
   std::vector<Fix> out;
   if (queries.empty()) return out;
-  const linalg::Mat logits = model_.network().predict(featurize(queries));
+  const linalg::Mat logits = plan_->predict(featurize(queries));
   out.reserve(queries.size());
   for (std::size_t i = 0; i < logits.rows(); ++i) {
     out.push_back(decode_logits(logits.row(i)));

@@ -8,6 +8,7 @@
 #ifndef NOBLE_SERVE_WIFI_LOCALIZER_H_
 #define NOBLE_SERVE_WIFI_LOCALIZER_H_
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -15,6 +16,7 @@
 
 #include "core/noble_wifi.h"
 #include "serve/fix.h"
+#include "serve/optimized.h"
 
 namespace noble::serve {
 
@@ -54,8 +56,17 @@ class WifiLocalizer {
   const core::SpaceQuantizer& quantizer() const { return model_.quantizer(); }
   const core::NobleWifiModel& model() const { return model_; }
 
+  /// The load-time-optimized fp32 execution plan (BN-folded, fused,
+  /// pre-packed) `locate` / `locate_batch` run through — bit-identical to
+  /// the raw network by the OptimizedNetwork exactness contract. Shared so
+  /// engine replicas can serve from one immutable packed weight set.
+  std::shared_ptr<const OptimizedNetwork> plan() const { return plan_; }
+
  private:
   core::NobleWifiModel model_;
+  // Built once at construction (the serving "load_model optimization pass");
+  // borrows only heap-stable layer state, so moving the localizer is safe.
+  std::shared_ptr<const OptimizedNetwork> plan_;
 };
 
 }  // namespace noble::serve

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <random>
 #include <span>
@@ -21,6 +22,7 @@
 #include "engine/backend.h"
 #include "engine/bounded_queue.h"
 #include "engine/engine.h"
+#include "kernels/kernels.h"
 #include "serve/imu_localizer.h"
 #include "serve/wifi_localizer.h"
 
@@ -449,6 +451,33 @@ TEST(EngineBackends, CloneAnswersBitIdenticallyToOriginal) {
       EXPECT_TRUE(fixes_identical(a[i], b[i])) << backend_kind_name(kind) << " query " << i;
     }
   }
+}
+
+// Satellite of the PR 6 kernel refactor: clone() must share one immutable
+// pre-packed plan — two shared_ptr copies, never a re-pack or
+// re-quantization. Checked two ways: the kernels::pack_operations() counter
+// stays flat across clones, and clone/original plan pointers compare equal.
+TEST(EngineBackends, ClonesShareOnePackedPlanWithoutRequantizing) {
+  const auto& localizer = reference_localizer();
+  const DenseBackend dense(localizer);
+  const QuantizedBackend quantized(localizer);
+
+  const std::uint64_t packs_before = kernels::pack_operations();
+  const std::unique_ptr<WifiBackend> dense_clone = dense.clone();
+  const std::unique_ptr<WifiBackend> quant_clone = quantized.clone();
+  EXPECT_EQ(kernels::pack_operations(), packs_before)
+      << "clone() packed or re-quantized weights";
+
+  const auto* dense_clone_typed = dynamic_cast<const DenseBackend*>(dense_clone.get());
+  ASSERT_NE(dense_clone_typed, nullptr);
+  EXPECT_EQ(dense_clone_typed->plan().get(), dense.plan().get());
+
+  const auto* quant_clone_typed =
+      dynamic_cast<const QuantizedBackend*>(quant_clone.get());
+  ASSERT_NE(quant_clone_typed, nullptr);
+  EXPECT_EQ(quant_clone_typed->plan().get(), quantized.plan().get());
+  EXPECT_EQ(quant_clone_typed->quantized_parameter_bytes(),
+            quantized.quantized_parameter_bytes());
 }
 
 // The quantized replica under the same harness as the dense one: engine
