@@ -1,0 +1,343 @@
+// Gateway saturation: open-loop (Poisson-arrival) latency-vs-offered-load
+// sweep over the serving stack, in-process and over the wire.
+//
+// Closed-loop clients (bench_fleet_throughput) self-throttle — they can
+// never offer more load than the target absorbs, so they cannot locate the
+// saturation knee. This bench fires requests on an exponential inter-arrival
+// schedule at a configured offered QPS, doubling the rate per step until
+// achieved throughput falls visibly behind offered (the knee), and prints
+// one row per step: achieved QPS and per-class p50/p99 for interactive
+// scans, deadline-carrying bulk scans, and streamed IMU session updates.
+//
+// Modes:
+//  - default: self-hosted. Trains once, stands up a fleet::Router, sweeps
+//    the in-process target ("router") and a loopback gateway socket
+//    ("wire") back to back — the wire's added cost is the difference
+//    between the two tables. Self-gates: zero malformed frames, a
+//    wire-vs-direct bit-identity spot check, and a finite interactive p99
+//    below the knee; exits non-zero on violation (the CI smoke contract).
+//  - --serve: trains, starts the gateway, prints the port and blocks until
+//    Enter/EOF — terminal 1 of the two-terminal quickstart.
+//  - NOBLE_GATEWAY_ADDR=host:port — drives a remote gateway (terminal 2).
+//    Training is deterministic from the seed, so both processes hold the
+//    same substrate and query pool.
+//
+// Knobs: NOBLE_LOAD_QPS (first offered step), NOBLE_LOAD_SECONDS (window
+// per step), NOBLE_LOAD_STEPS (max doublings), NOBLE_GATEWAY_PORT /
+// NOBLE_GATEWAY_THREADS (serve side), the shared NOBLE_ENGINE_* set, and
+// NOBLE_SCALE / NOBLE_EPOCHS experiment sizing. Writes the sweep to
+// gateway_load.csv under NOBLE_BENCH_OUT.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "core/experiment.h"
+#include "core/noble_imu.h"
+#include "core/noble_wifi.h"
+#include "fleet/router.h"
+#include "gateway/client.h"
+#include "gateway/gateway.h"
+#include "serve/imu_localizer.h"
+#include "serve/wifi_localizer.h"
+#include "support/bench_util.h"
+
+namespace {
+
+struct Workload {
+  std::vector<noble::serve::RssiVector> queries;
+  std::vector<noble::serve::ImuSegment> segments;
+  std::vector<noble::geo::Point2> session_starts;
+  noble::serve::WifiLocalizer wifi;
+  noble::serve::ImuLocalizer imu;
+};
+
+/// Deterministic training for every mode: a --serve process and a remote
+/// driver build the same models and query pool from the same seeds.
+Workload build_workload() {
+  using namespace noble;
+  core::WifiExperimentConfig wifi_config;
+  wifi_config.total_samples = 3000;
+  wifi_config.seed = 12;
+  core::WifiExperiment wifi_exp = core::make_uji_experiment(wifi_config);
+  core::NobleWifiConfig wifi_model_config;
+  wifi_model_config.quantize.tau = 3.0;
+  wifi_model_config.quantize.coarse_l = 15.0;
+  wifi_model_config.epochs = static_cast<std::size_t>(env_int("NOBLE_EPOCHS", 10));
+  core::NobleWifiModel wifi_model(wifi_model_config);
+  wifi_model.fit(wifi_exp.split.train, &wifi_exp.split.val);
+
+  core::ImuExperimentConfig imu_config;
+  imu_config.num_paths = 400;
+  imu_config.total_walk_time_s = 1000.0;
+  imu_config.readings_per_segment = 8;
+  imu_config.imu.ref_interval_s = 15.0;
+  imu_config.seed = 304;
+  core::ImuExperiment imu_exp = core::make_imu_experiment(imu_config);
+  core::NobleImuConfig imu_model_config;
+  imu_model_config.quantize.tau = 2.0;
+  imu_model_config.epochs = 6;
+  imu_model_config.projection_dim = 6;
+  core::NobleImuTracker tracker(imu_model_config);
+  tracker.fit(imu_exp.split.train);
+
+  Workload load{{},
+                {},
+                {},
+                serve::WifiLocalizer::from_model(wifi_model),
+                serve::ImuLocalizer::from_model(tracker)};
+  for (const auto& sample : wifi_exp.split.test.samples)
+    load.queries.push_back(sample.rssi);
+  const std::size_t dim = tracker.segment_dim();
+  for (const auto& path : imu_exp.split.test.paths) {
+    load.session_starts.push_back(path.start);
+    for (std::size_t s = 0; s < path.num_segments; ++s) {
+      load.segments.emplace_back(
+          path.features.begin() + static_cast<std::ptrdiff_t>(s * dim),
+          path.features.begin() + static_cast<std::ptrdiff_t>((s + 1) * dim));
+    }
+  }
+  return load;
+}
+
+void add_serving_shards(noble::fleet::Router& router, const Workload& load,
+                        const noble::engine::EngineConfig& cfg) {
+  noble::fleet::ShardConfig shard;
+  shard.key = "bldg-A";
+  shard.engine = cfg;
+  router.add_shard(shard, load.wifi, load.imu);
+}
+
+void print_sweep_header(const char* target) {
+  std::printf("%s target: offered vs achieved (per-class client-side latency)\n",
+              target);
+  std::printf("  %8s %9s   %9s %9s | %9s %9s | %9s %9s   %7s %7s   %8s\n",
+              "offered", "achieved", "int p50", "int p99", "bulk p50", "bulk p99",
+              "sess p50", "sess p99", "shed", "expired", "lag us");
+}
+
+/// Doubles offered QPS until achieved falls behind (the knee) or the step
+/// budget runs out; returns every row for gating + the CSV artifact.
+std::vector<noble::bench::OpenLoopReport> sweep(
+    noble::bench::LoadTarget& target, const Workload& load,
+    const noble::bench::OpenLoopConfig& base, std::size_t max_steps) {
+  std::vector<noble::bench::OpenLoopReport> rows;
+  const std::vector<std::string> keys = {"bldg-A"};
+  noble::bench::OpenLoopConfig cfg = base;
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    const noble::bench::OpenLoopReport row = noble::bench::run_open_loop(
+        target, keys, load.queries, load.segments, load.session_starts, cfg);
+    noble::bench::print_open_loop_row(row);
+    rows.push_back(row);
+    // Past the knee: achieved visibly behind offered, or the generator's
+    // outstanding guard started shedding (the queue only grows from here).
+    // One saturated row is the measurement; more would just burn wall clock.
+    if (row.achieved_qps < 0.75 * row.offered_qps || row.dropped > 0) break;
+    cfg.offered_qps *= 2.0;
+  }
+  return rows;
+}
+
+bool spot_check_bit_identity(const Workload& load, std::uint16_t port) {
+  std::optional<noble::gateway::GatewayClient> client =
+      noble::gateway::GatewayClient::connect("127.0.0.1", port);
+  if (!client.has_value()) return false;
+  const std::size_t n = std::min<std::size_t>(32, load.queries.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const noble::gateway::WireResult wired = client->locate("bldg-A", load.queries[i]);
+    if (!wired.ok() || !(wired.fix == load.wifi.locate(load.queries[i]))) return false;
+  }
+  return n > 0;
+}
+
+void write_csv(const std::string& path, const char* target,
+               const std::vector<noble::bench::OpenLoopReport>& rows, bool append) {
+  std::FILE* out = std::fopen(path.c_str(), append ? "a" : "w");
+  if (out == nullptr) return;
+  if (!append) {
+    std::fprintf(out,
+                 "target,offered_qps,achieved_qps,interactive_p50_us,"
+                 "interactive_p99_us,bulk_p50_us,bulk_p99_us,session_p50_us,"
+                 "session_p99_us,shed,expired\n");
+  }
+  for (const auto& row : rows) {
+    const auto interactive = noble::summarize_latency_us(row.interactive.latency_us);
+    const auto bulk = noble::summarize_latency_us(row.bulk.latency_us);
+    const auto session = noble::summarize_latency_us(row.session.latency_us);
+    std::fprintf(out, "%s,%.0f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%llu,%llu\n",
+                 target, row.offered_qps, row.achieved_qps, interactive.p50_us,
+                 interactive.p99_us, bulk.p50_us, bulk.p99_us, session.p50_us,
+                 session.p99_us,
+                 static_cast<unsigned long long>(
+                     row.interactive.rejected + row.bulk.rejected +
+                     row.session.rejected + row.dropped),
+                 static_cast<unsigned long long>(row.interactive.expired +
+                                                 row.bulk.expired +
+                                                 row.session.expired));
+  }
+  std::fclose(out);
+}
+
+/// Gate: below the knee (the first row), interactive traffic completed and
+/// its p99 is a finite positive number — the latency table means something.
+bool finite_interactive_p99_below_knee(
+    const std::vector<noble::bench::OpenLoopReport>& rows) {
+  if (rows.empty()) return false;
+  const auto p = noble::summarize_latency_us(rows.front().interactive.latency_us);
+  return rows.front().interactive.completed > 0 && p.p99_us > 0.0 &&
+         p.p99_us < 1e9;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace noble;
+
+  const bool serve_mode = argc > 1 && std::strcmp(argv[1], "--serve") == 0;
+  bench::print_banner("gateway_load",
+                      "noble::gateway open-loop saturation (latency vs offered QPS)");
+
+  engine::EngineConfig engine_defaults;
+  engine_defaults.workers = 0;  // auto: min(hardware, 8)
+  engine_defaults.max_wait_us = 100;
+  engine_defaults.queue_cap = 4096;
+  const engine::EngineConfig engine_cfg = bench::engine_config_from_env(engine_defaults);
+  const gateway::GatewayConfig gw_cfg = bench::gateway_config_from_env();
+  const bench::OpenLoopConfig load_cfg = bench::open_loop_config_from_env();
+  const auto max_steps =
+      static_cast<std::size_t>(env_int("NOBLE_LOAD_STEPS", 6));
+  std::printf("engine: %s\n", bench::describe_engine_config(engine_cfg).c_str());
+  std::printf("gateway: %s\n", bench::describe_gateway_config(gw_cfg).c_str());
+  std::printf("load: %s, <= %zu doublings\n\n",
+              bench::describe_open_loop_config(load_cfg).c_str(), max_steps);
+
+  std::printf("training (deterministic: every mode rebuilds the same models)...\n");
+  const Workload load = build_workload();
+  std::printf("workload: %zu scans, %zu imu segments, %zu session anchors\n\n",
+              load.queries.size(), load.segments.size(), load.session_starts.size());
+  if (load.queries.empty()) {
+    std::printf("no test queries at this scale; nothing to do\n");
+    return 1;
+  }
+
+  // --serve: stand up the gateway and hold it open for a remote driver.
+  if (serve_mode) {
+    fleet::Router router;
+    add_serving_shards(router, load, engine_cfg);
+    gateway::Listener listener(router, gw_cfg);
+    if (!listener.start()) {
+      std::printf("FAIL: cannot bind %s:%u\n", gw_cfg.bind_address.c_str(), gw_cfg.port);
+      return 1;
+    }
+    std::printf("serving on %s:%u — drive it with:\n", gw_cfg.bind_address.c_str(),
+                listener.port());
+    std::printf("  NOBLE_GATEWAY_ADDR=127.0.0.1:%u ./bench_gateway_load\n",
+                listener.port());
+    std::printf("press Enter (or close stdin) to stop.\n");
+    (void)std::getchar();
+    listener.stop();
+    return 0;
+  }
+
+  // Remote-drive: NOBLE_GATEWAY_ADDR=host:port, no local server.
+  const std::string addr = env_string("NOBLE_GATEWAY_ADDR", "");
+  if (!addr.empty()) {
+    const std::size_t colon = addr.rfind(':');
+    if (colon == std::string::npos) {
+      std::printf("FAIL: NOBLE_GATEWAY_ADDR must be host:port, got '%s'\n",
+                  addr.c_str());
+      return 1;
+    }
+    const std::string host = addr.substr(0, colon);
+    const auto port = static_cast<std::uint16_t>(
+        std::strtoul(addr.c_str() + colon + 1, nullptr, 10));
+    std::unique_ptr<bench::SocketTarget> target =
+        bench::SocketTarget::connect(host, port, /*connections=*/4);
+    if (target == nullptr) {
+      std::printf("FAIL: cannot connect to %s\n", addr.c_str());
+      return 1;
+    }
+    print_sweep_header("wire (remote)");
+    const auto rows = sweep(*target, load, load_cfg, max_steps);
+    write_csv(bench::artifact_path("gateway_load.csv"), "wire-remote", rows,
+              /*append=*/false);
+    return rows.empty() ? 1 : 0;
+  }
+
+  // Self-hosted: one router, swept twice — in-process, then over loopback.
+  fleet::Router router;
+  add_serving_shards(router, load, engine_cfg);
+
+  print_sweep_header("router (in-process)");
+  bench::RouterTarget router_target(router);
+  const auto router_rows = sweep(router_target, load, load_cfg, max_steps);
+  std::printf("\n");
+
+  gateway::Listener listener(router, gw_cfg);
+  if (!listener.start()) {
+    std::printf("FAIL: cannot bind %s:%u\n", gw_cfg.bind_address.c_str(), gw_cfg.port);
+    return 1;
+  }
+  print_sweep_header("wire (loopback)");
+  std::vector<bench::OpenLoopReport> wire_rows;
+  {
+    std::unique_ptr<bench::SocketTarget> target =
+        bench::SocketTarget::connect("127.0.0.1", listener.port(), /*connections=*/4);
+    if (target == nullptr) {
+      std::printf("FAIL: cannot connect to the loopback gateway\n");
+      return 1;
+    }
+    wire_rows = sweep(*target, load, load_cfg, max_steps);
+  }
+
+  const std::string csv = bench::artifact_path("gateway_load.csv");
+  write_csv(csv, "router", router_rows, /*append=*/false);
+  write_csv(csv, "wire", wire_rows, /*append=*/true);
+  std::printf("\nwrote %s\n", csv.c_str());
+
+  // Overload summary (printed, not gated: at smoke scale the saturated row
+  // is a handful of completions per class). Overload shows either as
+  // achieved falling behind offered or as sheds/expiries appearing while
+  // the outstanding guard caps queue growth.
+  const auto overloaded = [](const bench::OpenLoopReport& row) {
+    return row.achieved_qps < 0.9 * row.offered_qps || row.dropped > 0 ||
+           row.interactive.rejected + row.bulk.rejected + row.session.rejected > 0 ||
+           row.interactive.expired + row.bulk.expired + row.session.expired > 0;
+  };
+  if (!wire_rows.empty() && overloaded(wire_rows.back())) {
+    const auto interactive =
+        summarize_latency_us(wire_rows.back().interactive.latency_us);
+    const auto bulk = summarize_latency_us(wire_rows.back().bulk.latency_us);
+    std::printf("overload (%.0f qps offered over the wire): interactive p99 %.1f us "
+                "vs bulk p99 %.1f us%s\n",
+                wire_rows.back().offered_qps, interactive.p99_us, bulk.p99_us,
+                interactive.p99_us < bulk.p99_us
+                    ? " — the class lanes hold under the flood"
+                    : "");
+  } else {
+    std::printf("note: the sweep never left the linear regime; raise "
+                "NOBLE_LOAD_STEPS or NOBLE_LOAD_QPS to reach the knee\n");
+  }
+
+  // Self-gates — the CI smoke contract.
+  const bool identity = spot_check_bit_identity(load, listener.port());
+  const gateway::GatewayCounters counters = listener.counters();
+  listener.stop();
+  const bool no_malformed = counters.malformed_frames == 0;
+  const bool finite_p99 = finite_interactive_p99_below_knee(wire_rows) &&
+                          finite_interactive_p99_below_knee(router_rows);
+  std::printf("\ngates: malformed frames %s (%llu), wire-vs-direct spot check %s, "
+              "below-knee interactive p99 %s\n",
+              no_malformed ? "ok" : "FAIL",
+              static_cast<unsigned long long>(counters.malformed_frames),
+              identity ? "ok" : "FAIL", finite_p99 ? "ok" : "FAIL");
+  if (!(no_malformed && identity && finite_p99)) {
+    std::printf("FAIL: gateway load gates violated\n");
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

@@ -187,10 +187,25 @@ FleetStats Router::stats() const {
     engine::EngineStats merged;
     for (const auto& eng : shard->engines) {
       merged.merge(eng->stats());
+      out.queue_depth += eng->queue_depth();
       ++out.num_engines;
     }
     out.total.merge(merged);
     out.shards.emplace(key, std::move(merged));
+  }
+  return out;
+}
+
+std::vector<ShardDepths> Router::queue_depths() const {
+  std::vector<ShardDepths> out;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  out.reserve(shards_.size());
+  for (const auto& [key, shard] : shards_) {
+    ShardDepths depths;
+    depths.shard = key;
+    depths.engines.reserve(shard->engines.size());
+    for (const auto& eng : shard->engines) depths.engines.push_back(eng->queue_depth());
+    out.push_back(std::move(depths));
   }
   return out;
 }

@@ -68,6 +68,17 @@ struct FleetStats {
   std::map<std::string, engine::EngineStats> shards;  ///< merged per shard
   std::size_t num_shards = 0;
   std::size_t num_engines = 0;
+  /// Live fleet-wide queue depth, summed from Engine::queue_depth() at
+  /// snapshot time. total.queue_depth carries the same sum but rides the
+  /// full-histogram stats copy; this gauge is the cheap one overload
+  /// dashboards (the gateway Stats page, the load harness) poll.
+  std::size_t queue_depth = 0;
+};
+
+/// Instantaneous per-engine queue depths of one shard, in engine order.
+struct ShardDepths {
+  std::string shard;
+  std::vector<std::size_t> engines;
 };
 
 class Router {
@@ -123,6 +134,13 @@ class Router {
 
   /// Merged per-shard and fleet-total telemetry.
   FleetStats stats() const;
+
+  /// Snapshot of every engine's instantaneous queue depth, grouped by shard
+  /// (keys in registry order). One queue lock per engine, no histogram
+  /// copies — the load signal the gateway Stats frame and the open-loop
+  /// harness report. Depths of different engines are read at slightly
+  /// different instants; it is a gauge, not a consistent cut.
+  std::vector<ShardDepths> queue_depths() const;
 
   /// Unmerged per-engine snapshots of one shard (tests, debugging; empty
   /// for unknown keys).

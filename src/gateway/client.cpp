@@ -1,0 +1,236 @@
+#include "gateway/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace noble::gateway {
+
+// --- FrameSocket -------------------------------------------------------------
+
+std::optional<FrameSocket> FrameSocket::connect(const std::string& host,
+                                                std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return FrameSocket(fd);
+}
+
+FrameSocket::FrameSocket(FrameSocket&& other) noexcept
+    : fd_(other.fd_), broken_(other.broken_), inbuf_(std::move(other.inbuf_)) {
+  other.fd_ = -1;
+}
+
+FrameSocket& FrameSocket::operator=(FrameSocket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    broken_ = other.broken_;
+    inbuf_ = std::move(other.inbuf_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+FrameSocket::~FrameSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool FrameSocket::send_frame(const wire::Frame& frame) {
+  if (!valid()) return false;
+  const std::string bytes = wire::encode_frame(frame);
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    broken_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::optional<wire::Frame> FrameSocket::recv_frame(int timeout_ms) {
+  if (!valid()) return std::nullopt;
+  for (;;) {
+    wire::Frame frame;
+    switch (wire::decode_frame(inbuf_, frame)) {
+      case wire::DecodeResult::kFrame:
+        return frame;
+      case wire::DecodeResult::kMalformed:
+        broken_ = true;
+        return std::nullopt;
+      case wire::DecodeResult::kNeedMore:
+        break;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) return std::nullopt;  // timeout; socket stays usable
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      broken_ = true;
+      return std::nullopt;
+    }
+    char chunk[65536];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      inbuf_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    broken_ = true;  // orderly close or hard error: no more frames will come
+    return std::nullopt;
+  }
+}
+
+void FrameSocket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+// --- GatewayClient -----------------------------------------------------------
+
+std::optional<GatewayClient> GatewayClient::connect(const std::string& host,
+                                                    std::uint16_t port) {
+  std::optional<FrameSocket> sock = FrameSocket::connect(host, port);
+  if (!sock.has_value()) return std::nullopt;
+  return GatewayClient(std::move(*sock));
+}
+
+std::optional<wire::Frame> GatewayClient::await(wire::MsgType type,
+                                                std::uint64_t request_id) {
+  // Sync callers have exactly one request outstanding, so the next frame of
+  // the right (type, id) is theirs; anything else is a protocol violation.
+  while (std::optional<wire::Frame> frame = sock_.recv_frame()) {
+    if (frame->type == type && frame->request_id == request_id) return frame;
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t GatewayClient::send_locate(const std::string& shard_key,
+                                         const serve::RssiVector& rssi,
+                                         engine::RequestClass cls,
+                                         std::uint64_t deadline_us) {
+  wire::Frame frame;
+  frame.type = wire::MsgType::kLocate;
+  frame.request_id = next_request_id_++;
+  frame.cls = cls;
+  frame.deadline_us = deadline_us;
+  frame.body = wire::encode_locate_body(shard_key, rssi);
+  return sock_.send_frame(frame) ? frame.request_id : 0;
+}
+
+std::uint64_t GatewayClient::send_track(std::uint64_t session_id,
+                                        const serve::ImuSegment& segment,
+                                        engine::RequestClass cls,
+                                        std::uint64_t deadline_us) {
+  wire::Frame frame;
+  frame.type = wire::MsgType::kTrackUpdate;
+  frame.request_id = next_request_id_++;
+  frame.cls = cls;
+  frame.deadline_us = deadline_us;
+  frame.body = wire::encode_track_body(session_id, segment);
+  return sock_.send_frame(frame) ? frame.request_id : 0;
+}
+
+std::optional<std::pair<std::uint64_t, WireResult>> GatewayClient::recv_fix(
+    int timeout_ms) {
+  std::optional<wire::Frame> frame = sock_.recv_frame(timeout_ms);
+  if (!frame.has_value() || frame->type != wire::MsgType::kFix) return std::nullopt;
+  WireResult result;
+  if (!wire::decode_fix_body(frame->body, result.status, result.fix)) return std::nullopt;
+  return std::make_pair(frame->request_id, result);
+}
+
+WireResult GatewayClient::locate(const std::string& shard_key,
+                                 const serve::RssiVector& rssi,
+                                 engine::RequestClass cls, std::uint64_t deadline_us) {
+  WireResult result;
+  const std::uint64_t id = send_locate(shard_key, rssi, cls, deadline_us);
+  if (id == 0) return result;
+  std::optional<wire::Frame> frame = await(wire::MsgType::kFix, id);
+  if (!frame.has_value() ||
+      !wire::decode_fix_body(frame->body, result.status, result.fix)) {
+    result.status = wire::Status::kStopped;
+  }
+  return result;
+}
+
+std::optional<std::uint64_t> GatewayClient::open_session(const std::string& shard_key,
+                                                         const geo::Point2& start) {
+  wire::Frame frame;
+  frame.type = wire::MsgType::kOpenSession;
+  frame.request_id = next_request_id_++;
+  frame.body = wire::encode_open_session_body(shard_key, start);
+  if (!sock_.send_frame(frame)) return std::nullopt;
+  std::optional<wire::Frame> reply = await(wire::MsgType::kSessionOpened, frame.request_id);
+  wire::Status status = wire::Status::kStopped;
+  std::uint64_t session_id = 0;
+  if (!reply.has_value() ||
+      !wire::decode_session_opened_body(reply->body, status, session_id)) {
+    last_error_ = wire::Status::kStopped;
+    return std::nullopt;
+  }
+  last_error_ = status;
+  if (status != wire::Status::kOk) return std::nullopt;
+  return session_id;
+}
+
+WireResult GatewayClient::track(std::uint64_t session_id, const serve::ImuSegment& segment,
+                                engine::RequestClass cls, std::uint64_t deadline_us) {
+  WireResult result;
+  const std::uint64_t id = send_track(session_id, segment, cls, deadline_us);
+  if (id == 0) return result;
+  std::optional<wire::Frame> frame = await(wire::MsgType::kFix, id);
+  if (!frame.has_value() ||
+      !wire::decode_fix_body(frame->body, result.status, result.fix)) {
+    result.status = wire::Status::kStopped;
+  }
+  return result;
+}
+
+bool GatewayClient::close_session(std::uint64_t session_id) {
+  wire::Frame frame;
+  frame.type = wire::MsgType::kCloseSession;
+  frame.request_id = next_request_id_++;
+  frame.body = wire::encode_close_session_body(session_id);
+  if (!sock_.send_frame(frame)) return false;
+  std::optional<wire::Frame> reply = await(wire::MsgType::kSessionClosed, frame.request_id);
+  wire::Status status = wire::Status::kStopped;
+  return reply.has_value() && wire::decode_status_body(reply->body, status) &&
+         status == wire::Status::kOk;
+}
+
+std::optional<std::string> GatewayClient::stats_text() {
+  wire::Frame frame;
+  frame.type = wire::MsgType::kStats;
+  frame.request_id = next_request_id_++;
+  if (!sock_.send_frame(frame)) return std::nullopt;
+  std::optional<wire::Frame> reply = await(wire::MsgType::kStatsText, frame.request_id);
+  std::string text;
+  if (!reply.has_value() || !wire::decode_text_body(reply->body, text)) {
+    return std::nullopt;
+  }
+  return text;
+}
+
+}  // namespace noble::gateway

@@ -1,0 +1,529 @@
+#include "gateway/gateway.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace noble::gateway {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+wire::Status to_wire_status(engine::SubmitStatus status) {
+  switch (status) {
+    case engine::SubmitStatus::kAccepted: return wire::Status::kOk;
+    case engine::SubmitStatus::kQueueFull: return wire::Status::kQueueFull;
+    case engine::SubmitStatus::kBadDimension: return wire::Status::kBadDimension;
+    case engine::SubmitStatus::kNoSession: return wire::Status::kNoSession;
+    case engine::SubmitStatus::kNoShard: return wire::Status::kNoShard;
+    case engine::SubmitStatus::kExpired: return wire::Status::kExpired;
+    case engine::SubmitStatus::kStopped: return wire::Status::kStopped;
+  }
+  return wire::Status::kStopped;
+}
+
+engine::SubmitOptions to_submit_options(const wire::Frame& frame) {
+  engine::SubmitOptions options;
+  options.request_class = frame.cls;
+  // The wire carries a relative budget (clocks never cross the socket);
+  // resolve it against this host's steady clock at decode time.
+  if (frame.deadline_us > 0) options.expires_in_us(frame.deadline_us);
+  return options;
+}
+
+void append_counter(std::string& out, const char* name, std::uint64_t value) {
+  char line[128];
+  std::snprintf(line, sizeof line, "%s %llu\n", name,
+                static_cast<unsigned long long>(value));
+  out += line;
+}
+
+void append_gauge_f(std::string& out, const char* name, double value) {
+  char line[128];
+  std::snprintf(line, sizeof line, "%s %.1f\n", name, value);
+  out += line;
+}
+
+}  // namespace
+
+Listener::Listener(fleet::Router& router, GatewayConfig config)
+    : router_(router), config_(std::move(config)) {}
+
+Listener::~Listener() { stop(); }
+
+bool Listener::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1 ||
+      ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, config_.listen_backlog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  port_ = ntohs(bound.sin_port);
+
+  running_.store(true, std::memory_order_release);
+  handlers_.clear();
+  const std::size_t threads = config_.threads == 0 ? 1 : config_.threads;
+  for (std::size_t i = 0; i < threads; ++i) {
+    auto handler = std::make_unique<Handler>();
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+      running_.store(false, std::memory_order_release);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    set_nonblocking(pipe_fds[0]);
+    set_nonblocking(pipe_fds[1]);
+    handler->wake_read_fd = pipe_fds[0];
+    handler->wake_write_fd = pipe_fds[1];
+    handlers_.push_back(std::move(handler));
+  }
+  for (auto& handler : handlers_) {
+    handler->thread = std::thread([this, &h = *handler] { handler_loop(h); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Listener::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Unpark a blocked accept-poll, but leave the fd itself alone until the
+  // accept thread is joined: closing (and overwriting) it here would race
+  // the poll()/accept() calls still using it.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  for (auto& handler : handlers_) {
+    const char byte = 'q';
+    (void)!::write(handler->wake_write_fd, &byte, 1);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& handler : handlers_) {
+    if (handler->thread.joinable()) handler->thread.join();
+    ::close(handler->wake_read_fd);
+    ::close(handler->wake_write_fd);
+    // Adopt-queue stragglers the handler never saw still need closing.
+    for (const int fd : handler->incoming) ::close(fd);
+    handler->incoming.clear();
+  }
+  handlers_.clear();
+}
+
+void Listener::accept_loop() {
+  std::size_t next_handler = 0;
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (!running_.load(std::memory_order_acquire)) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    if (connections_open_.load(std::memory_order_relaxed) >= config_.max_connections) {
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    // Frames are small and latency is the product; never Nagle-delay them.
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_open_.fetch_add(1, std::memory_order_relaxed);
+    Handler& handler = *handlers_[next_handler];
+    next_handler = (next_handler + 1) % handlers_.size();
+    {
+      std::lock_guard<std::mutex> lock(handler.mu);
+      handler.incoming.push_back(fd);
+    }
+    const char byte = 'c';
+    (void)!::write(handler.wake_write_fd, &byte, 1);
+  }
+}
+
+void Listener::handler_loop(Handler& handler) {
+  std::vector<std::unique_ptr<Connection>> conns;
+  std::vector<pollfd> pfds;
+  while (running_.load(std::memory_order_acquire)) {
+    pfds.clear();
+    pfds.push_back(pollfd{handler.wake_read_fd, POLLIN, 0});
+    bool any_inflight = false;
+    for (const auto& conn : conns) {
+      short events = POLLIN;
+      if (!conn->outbuf.empty()) events |= POLLOUT;
+      pfds.push_back(pollfd{conn->fd, events, 0});
+      any_inflight = any_inflight || !conn->inflight.empty();
+    }
+    // With futures pending the loop must poll them too — the engine has no
+    // way to kick a socket thread — so sleep at most 200us (one batching
+    // window) instead of blocking. Idle handlers block until a socket or
+    // the wake pipe fires. ppoll for the sub-millisecond case: poll()'s
+    // millisecond floor would put a visible constant into every latency.
+    if (any_inflight) {
+      const timespec wait{0, 200'000};
+      ::ppoll(pfds.data(), pfds.size(), &wait, nullptr);
+    } else {
+      ::ppoll(pfds.data(), pfds.size(), nullptr, nullptr);
+    }
+    if (!running_.load(std::memory_order_acquire)) break;
+
+    if (pfds[0].revents & POLLIN) {
+      char drain[64];
+      while (::read(handler.wake_read_fd, drain, sizeof drain) > 0) {
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(handler.mu);
+      for (const int fd : handler.incoming) {
+        conns.push_back(std::make_unique<Connection>(fd));
+      }
+      handler.incoming.clear();
+    }
+
+    for (std::size_t i = 0; i < conns.size();) {
+      Connection& conn = *conns[i];
+      // pfds[0] is the wake pipe; connection i sat at pfds[i + 1] — but
+      // adoption above may have grown conns past pfds, so guard the index.
+      const short revents = i + 1 < pfds.size() ? pfds[i + 1].revents : 0;
+      bool alive = (revents & (POLLERR | POLLNVAL)) == 0;
+      if (alive && (revents & (POLLIN | POLLHUP))) alive = handle_readable(conn);
+      if (alive) settle_inflight(conn);
+      if (alive && !conn.outbuf.empty()) alive = flush_writes(conn);
+      if (alive && conn.outbuf.size() > config_.max_write_buffer) alive = false;
+      if (alive && conn.closing && conn.outbuf.empty() && conn.inflight.empty()) {
+        alive = false;
+      }
+      if (!alive) {
+        close_connection(conn);
+        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+        // pfds is now stale relative to conns; process remaining entries
+        // with no revents this pass (the next loop iteration re-polls).
+        pfds.clear();
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (auto& conn : conns) close_connection(*conn);
+}
+
+bool Listener::handle_readable(Connection& conn) {
+  char chunk[65536];
+  for (;;) {
+    const ssize_t n = ::read(conn.fd, chunk, sizeof chunk);
+    if (n > 0) {
+      conn.inbuf.append(chunk, static_cast<std::size_t>(n));
+      if (conn.inbuf.size() > config_.max_frame_bytes + sizeof(std::uint32_t)) break;
+      continue;
+    }
+    if (n == 0) return false;  // orderly EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  while (!conn.closing) {
+    wire::Frame frame;
+    std::string error;
+    switch (wire::decode_frame(conn.inbuf, frame, config_.max_frame_bytes, &error)) {
+      case wire::DecodeResult::kNeedMore:
+        return true;
+      case wire::DecodeResult::kMalformed:
+        malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+        send_frame(conn, wire::MsgType::kError, 0, wire::encode_text_body(error));
+        // One error frame, then close: there is no resync point in a
+        // length-prefixed stream once the prefix itself is untrusted.
+        conn.closing = true;
+        return true;
+      case wire::DecodeResult::kFrame:
+        frames_received_.fetch_add(1, std::memory_order_relaxed);
+        if (!handle_frame(conn, std::move(frame))) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+bool Listener::handle_frame(Connection& conn, wire::Frame frame) {
+  const auto malformed = [&](const char* what) {
+    malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+    send_frame(conn, wire::MsgType::kError, frame.request_id,
+               wire::encode_text_body(what));
+    conn.closing = true;
+    return true;
+  };
+
+  switch (frame.type) {
+    case wire::MsgType::kLocate: {
+      std::string shard_key;
+      serve::RssiVector rssi;
+      if (!wire::decode_locate_body(frame.body, shard_key, rssi)) {
+        return malformed("bad locate body");
+      }
+      if (conn.inflight.size() >= config_.inflight_window) {
+        backpressure_rejects_.fetch_add(1, std::memory_order_relaxed);
+        send_frame(conn, wire::MsgType::kFix, frame.request_id,
+                   wire::encode_fix_body(wire::Status::kWindowFull, nullptr));
+        return true;
+      }
+      engine::Submission s = router_.submit(shard_key, rssi, to_submit_options(frame));
+      if (s.accepted()) {
+        conn.inflight.push_back(Pending{frame.request_id, frame.cls, std::move(s.result)});
+      } else {
+        send_frame(conn, wire::MsgType::kFix, frame.request_id,
+                   wire::encode_fix_body(to_wire_status(s.status), nullptr));
+      }
+      return true;
+    }
+    case wire::MsgType::kTrackUpdate: {
+      std::uint64_t session_id = 0;
+      serve::ImuSegment segment;
+      if (!wire::decode_track_body(frame.body, session_id, segment)) {
+        return malformed("bad track body");
+      }
+      const auto it = conn.sessions.find(session_id);
+      if (it == conn.sessions.end()) {
+        send_frame(conn, wire::MsgType::kFix, frame.request_id,
+                   wire::encode_fix_body(wire::Status::kNoSession, nullptr));
+        return true;
+      }
+      if (conn.inflight.size() >= config_.inflight_window) {
+        backpressure_rejects_.fetch_add(1, std::memory_order_relaxed);
+        send_frame(conn, wire::MsgType::kFix, frame.request_id,
+                   wire::encode_fix_body(wire::Status::kWindowFull, nullptr));
+        return true;
+      }
+      engine::Submission s =
+          router_.track(it->second, std::move(segment), to_submit_options(frame));
+      if (s.accepted()) {
+        conn.inflight.push_back(Pending{frame.request_id, frame.cls, std::move(s.result)});
+      } else {
+        send_frame(conn, wire::MsgType::kFix, frame.request_id,
+                   wire::encode_fix_body(to_wire_status(s.status), nullptr));
+      }
+      return true;
+    }
+    case wire::MsgType::kOpenSession: {
+      std::string shard_key;
+      geo::Point2 start;
+      if (!wire::decode_open_session_body(frame.body, shard_key, start)) {
+        return malformed("bad open-session body");
+      }
+      std::optional<fleet::FleetSession> session = router_.open_session(shard_key, start);
+      if (!session.has_value()) {
+        const wire::Status status = router_.has_shard(shard_key)
+                                        ? wire::Status::kNoSession
+                                        : wire::Status::kNoShard;
+        send_frame(conn, wire::MsgType::kSessionOpened, frame.request_id,
+                   wire::encode_session_opened_body(status, 0));
+        return true;
+      }
+      const std::uint64_t wire_id = conn.next_session_id++;
+      conn.sessions.emplace(wire_id, *session);
+      sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+      send_frame(conn, wire::MsgType::kSessionOpened, frame.request_id,
+                 wire::encode_session_opened_body(wire::Status::kOk, wire_id));
+      return true;
+    }
+    case wire::MsgType::kCloseSession: {
+      std::uint64_t session_id = 0;
+      if (!wire::decode_close_session_body(frame.body, session_id)) {
+        return malformed("bad close-session body");
+      }
+      const auto it = conn.sessions.find(session_id);
+      wire::Status status = wire::Status::kNoSession;
+      if (it != conn.sessions.end()) {
+        router_.close_session(it->second);
+        conn.sessions.erase(it);
+        sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+        status = wire::Status::kOk;
+      }
+      send_frame(conn, wire::MsgType::kSessionClosed, frame.request_id,
+                 wire::encode_status_body(status));
+      return true;
+    }
+    case wire::MsgType::kStats:
+      send_frame(conn, wire::MsgType::kStatsText, frame.request_id,
+                 wire::encode_text_body(stats_text()));
+      return true;
+    case wire::MsgType::kFix:
+    case wire::MsgType::kSessionOpened:
+    case wire::MsgType::kSessionClosed:
+    case wire::MsgType::kStatsText:
+    case wire::MsgType::kError:
+      return malformed("response type from client");
+  }
+  return malformed("unknown message type");
+}
+
+std::size_t Listener::settle_inflight(Connection& conn) {
+  std::size_t settled = 0;
+  // Completion order, not submission order: a cache hit or a faster
+  // micro-batch may finish request N+1 before N, and holding its response
+  // hostage behind N would serialize the window. Request ids disambiguate.
+  for (auto it = conn.inflight.begin(); it != conn.inflight.end();) {
+    if (it->result.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      ++it;
+      continue;
+    }
+    std::string body;
+    try {
+      const serve::Fix fix = it->result.get();
+      body = wire::encode_fix_body(wire::Status::kOk, &fix);
+    } catch (const engine::DeadlineExpired&) {
+      body = wire::encode_fix_body(wire::Status::kDeadlineExpired, nullptr);
+    } catch (const std::exception&) {
+      // Session closed under a pending update, or an engine drained at
+      // shutdown: the request is gone, tell the client so.
+      body = wire::encode_fix_body(wire::Status::kStopped, nullptr);
+    }
+    send_frame(conn, wire::MsgType::kFix, it->request_id, std::move(body));
+    it = conn.inflight.erase(it);
+    ++settled;
+  }
+  return settled;
+}
+
+bool Listener::flush_writes(Connection& conn) {
+  while (!conn.outbuf.empty()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.outbuf.data(), conn.outbuf.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.outbuf.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void Listener::send_frame(Connection& conn, wire::MsgType type,
+                          std::uint64_t request_id, std::string body) {
+  wire::Frame frame;
+  frame.type = type;
+  frame.request_id = request_id;
+  frame.body = std::move(body);
+  conn.outbuf += wire::encode_frame(frame);
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Listener::close_connection(Connection& conn) {
+  if (conn.fd < 0) return;
+  // A vanished connection must not leak its tracks: sticky sessions die
+  // with the connection, exactly like a device dropping off the network.
+  for (const auto& [wire_id, session] : conn.sessions) {
+    router_.close_session(session);
+    sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  conn.sessions.clear();
+  ::close(conn.fd);
+  conn.fd = -1;
+  connections_open_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+GatewayCounters Listener::counters() const {
+  GatewayCounters out;
+  out.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
+  out.connections_open = connections_open_.load(std::memory_order_relaxed);
+  out.connections_rejected = connections_rejected_.load(std::memory_order_relaxed);
+  out.frames_received = frames_received_.load(std::memory_order_relaxed);
+  out.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  out.malformed_frames = malformed_frames_.load(std::memory_order_relaxed);
+  out.backpressure_rejects = backpressure_rejects_.load(std::memory_order_relaxed);
+  out.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  out.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::string Listener::stats_text() const {
+  std::string out;
+  out.reserve(2048);
+  const GatewayCounters c = counters();
+  append_counter(out, "noble_gateway_connections_accepted", c.connections_accepted);
+  append_counter(out, "noble_gateway_connections_open", c.connections_open);
+  append_counter(out, "noble_gateway_connections_rejected", c.connections_rejected);
+  append_counter(out, "noble_gateway_frames_received", c.frames_received);
+  append_counter(out, "noble_gateway_frames_sent", c.frames_sent);
+  append_counter(out, "noble_gateway_malformed_frames", c.malformed_frames);
+  append_counter(out, "noble_gateway_backpressure_rejects", c.backpressure_rejects);
+  append_counter(out, "noble_gateway_sessions_opened", c.sessions_opened);
+  append_counter(out, "noble_gateway_sessions_closed", c.sessions_closed);
+
+  const fleet::FleetStats stats = router_.stats();
+  append_counter(out, "noble_fleet_shards", stats.num_shards);
+  append_counter(out, "noble_fleet_engines", stats.num_engines);
+  append_counter(out, "noble_fleet_queue_depth", stats.queue_depth);
+  append_counter(out, "noble_fleet_submitted", stats.total.submitted);
+  append_counter(out, "noble_fleet_completed", stats.total.completed);
+  append_counter(out, "noble_fleet_rejected", stats.total.rejected);
+  append_counter(out, "noble_fleet_expired", stats.total.expired);
+  append_counter(out, "noble_fleet_batches", stats.total.batches);
+  append_counter(out, "noble_fleet_cache_hits", stats.total.cache_hits);
+  append_counter(out, "noble_fleet_cache_misses", stats.total.cache_misses);
+  for (const engine::RequestClass cls :
+       {engine::RequestClass::kInteractive, engine::RequestClass::kBulk}) {
+    const engine::ClassStats& cs = stats.total.for_class(cls);
+    const char* name = engine::request_class_name(cls);
+    char key[96];
+    std::snprintf(key, sizeof key, "noble_fleet_%s_accepted", name);
+    append_counter(out, key, cs.accepted);
+    std::snprintf(key, sizeof key, "noble_fleet_%s_rejected", name);
+    append_counter(out, key, cs.rejected);
+    std::snprintf(key, sizeof key, "noble_fleet_%s_expired", name);
+    append_counter(out, key, cs.expired);
+    std::snprintf(key, sizeof key, "noble_fleet_%s_p50_us", name);
+    append_gauge_f(out, key, cs.latency.p50_us);
+    std::snprintf(key, sizeof key, "noble_fleet_%s_p95_us", name);
+    append_gauge_f(out, key, cs.latency.p95_us);
+    std::snprintf(key, sizeof key, "noble_fleet_%s_p99_us", name);
+    append_gauge_f(out, key, cs.latency.p99_us);
+  }
+  for (const fleet::ShardDepths& shard : router_.queue_depths()) {
+    for (std::size_t e = 0; e < shard.engines.size(); ++e) {
+      char line[160];
+      std::snprintf(line, sizeof line,
+                    "noble_fleet_queue_depth{shard=\"%s\",engine=\"%zu\"} %zu\n",
+                    shard.shard.c_str(), e, shard.engines[e]);
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace noble::gateway

@@ -1,0 +1,189 @@
+// noble::gateway — the socket-facing serving front end over fleet::Router.
+//
+// The engine/fleet stack serves heavy concurrent traffic, but only
+// in-process; this is the network story (the role onnxruntime's
+// hosting/http/session.cc plays for ORT). One Listener owns a TCP accept
+// loop plus N connection-handler threads, each multiplexing its share of
+// the connections over non-blocking sockets with poll()-based readiness:
+//
+//   clients ══ TCP, wire.h frames ══▶ accept loop ──▶ handler 0 ─ conns…
+//                                        (round-robin)  handler 1 ─ conns…
+//                                                          │
+//                                            router.submit / track / stats
+//
+// Per connection the handler keeps a read buffer (bytes -> frames), a write
+// buffer (frames -> bytes, flushed as the socket drains) and a bounded
+// in-flight window of admitted-but-unfulfilled requests. The frame header's
+// class + deadline map straight onto engine::SubmitOptions, so the
+// admission-control story — interactive reservation, bulk shedding,
+// deadline expiry — holds for network traffic exactly as it does
+// in-process. Responses carry the request id and go out in completion
+// order: micro-batching and the fingerprint cache reorder completions, the
+// wire does not hide it.
+//
+// Long-lived connections stream IMU session updates: OpenSession binds a
+// wire session id to a sticky FleetSession on this connection; TrackUpdates
+// ride the same per-session FIFO ordering the engine already guarantees
+// (the handler submits updates of one session in arrival order). A closing
+// connection closes its sessions — no leaked registry entries.
+//
+// Protocol errors (wire::DecodeResult::kMalformed) answer with one kError
+// frame and close the connection; in-flight futures still resolve (the
+// engine owns them) and are simply dropped. The bit-identity contract is
+// end to end: a fix served over the wire is Fix::operator==-equal to direct
+// locate() — the wire codec moves exact bit patterns, never re-derived
+// values.
+//
+// stats_text() renders gateway counters + FleetStats + per-engine queue
+// depths as a scrape-friendly "name value" text page, also served as the
+// kStats frame.
+#ifndef NOBLE_GATEWAY_GATEWAY_H_
+#define NOBLE_GATEWAY_GATEWAY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "fleet/router.h"
+#include "gateway/wire.h"
+
+namespace noble::gateway {
+
+struct GatewayConfig {
+  /// TCP port to bind; 0 picks an ephemeral port (Listener::port() reports
+  /// the actual one — what tests and self-hosted benches want).
+  std::uint16_t port = 0;
+  /// Bind address. Loopback by default: this is a demo fleet, not an
+  /// internet-facing deployment.
+  std::string bind_address = "127.0.0.1";
+  /// Connection-handler threads; each multiplexes its share of connections.
+  std::size_t threads = 2;
+  /// Accepted connections beyond this are closed immediately.
+  std::size_t max_connections = 256;
+  /// Frames with a larger length prefix are malformed (connection closes).
+  std::size_t max_frame_bytes = wire::kDefaultMaxFrameBytes;
+  /// Most admitted-but-unfulfilled requests one connection may hold; the
+  /// gateway answers kWindowFull beyond it without touching the router —
+  /// per-connection backpressure in front of the fleet's own admission.
+  std::size_t inflight_window = 64;
+  /// Bytes of pending response data before a connection is declared too
+  /// slow and closed (it is not reading what we send).
+  std::size_t max_write_buffer = 4u << 20;
+  int listen_backlog = 64;
+};
+
+/// Monotonic gateway-level counters (the fleet's own telemetry lives in
+/// FleetStats; these count what only the socket layer can see).
+struct GatewayCounters {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_open = 0;  ///< gauge
+  std::uint64_t connections_rejected = 0;  ///< over max_connections
+  std::uint64_t frames_received = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t malformed_frames = 0;
+  std::uint64_t backpressure_rejects = 0;  ///< kWindowFull verdicts
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;  ///< client closes + connection sweeps
+};
+
+class Listener {
+ public:
+  /// The router must outlive the listener. Construction does not touch the
+  /// network; start() does.
+  Listener(fleet::Router& router, GatewayConfig config = {});
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds, listens and spawns the accept + handler threads. False (with
+  /// the OS error in errno) when the socket cannot be bound.
+  bool start();
+
+  /// Stops accepting, wakes every handler, closes every connection (their
+  /// sticky sessions are closed on the router) and joins. Idempotent; the
+  /// destructor calls it.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Actual bound port (resolves port 0 after start()).
+  std::uint16_t port() const { return port_; }
+  const GatewayConfig& config() const { return config_; }
+
+  GatewayCounters counters() const;
+
+  /// The scrape page: gateway counters, FleetStats totals and per-class
+  /// percentiles, and per-shard/per-engine queue depths, one "name value"
+  /// line each. Served over the wire as the kStats response.
+  std::string stats_text() const;
+
+ private:
+  struct Pending {
+    std::uint64_t request_id = 0;
+    engine::RequestClass cls = engine::RequestClass::kInteractive;
+    std::future<serve::Fix> result;
+  };
+
+  struct Connection {
+    explicit Connection(int descriptor) : fd(descriptor) {}
+    int fd;
+    std::string inbuf;
+    std::string outbuf;
+    std::deque<Pending> inflight;
+    /// Wire session id -> sticky fleet session (per-connection namespace).
+    std::unordered_map<std::uint64_t, fleet::FleetSession> sessions;
+    std::uint64_t next_session_id = 1;
+    bool closing = false;  ///< flush outbuf, then close
+  };
+
+  struct Handler {
+    std::mutex mu;                      ///< guards the handoff queue
+    std::vector<int> incoming;          ///< accepted fds awaiting adoption
+    int wake_read_fd = -1, wake_write_fd = -1;
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void handler_loop(Handler& handler);
+  /// Drains readable bytes and parses frames; false = close the connection.
+  bool handle_readable(Connection& conn);
+  /// Dispatches one decoded frame; false = close the connection.
+  bool handle_frame(Connection& conn, wire::Frame frame);
+  /// Moves fulfilled futures from the in-flight window into the write
+  /// buffer; returns how many settled.
+  std::size_t settle_inflight(Connection& conn);
+  /// Non-blocking flush of the write buffer; false = peer gone.
+  bool flush_writes(Connection& conn);
+  void send_frame(Connection& conn, wire::MsgType type, std::uint64_t request_id,
+                  std::string body);
+  void close_connection(Connection& conn);
+
+  fleet::Router& router_;
+  GatewayConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::vector<std::unique_ptr<Handler>> handlers_;
+  std::thread accept_thread_;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_open_{0};
+  std::atomic<std::uint64_t> connections_rejected_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> malformed_frames_{0};
+  std::atomic<std::uint64_t> backpressure_rejects_{0};
+  std::atomic<std::uint64_t> sessions_opened_{0};
+  std::atomic<std::uint64_t> sessions_closed_{0};
+};
+
+}  // namespace noble::gateway
+
+#endif  // NOBLE_GATEWAY_GATEWAY_H_

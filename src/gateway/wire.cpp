@@ -1,0 +1,242 @@
+#include "gateway/wire.h"
+
+#include <cstring>
+
+#include "nn/serialize.h"
+
+namespace noble::gateway::wire {
+
+namespace {
+
+bool known_type(std::uint32_t raw) {
+  switch (static_cast<MsgType>(raw)) {
+    case MsgType::kLocate:
+    case MsgType::kOpenSession:
+    case MsgType::kTrackUpdate:
+    case MsgType::kCloseSession:
+    case MsgType::kStats:
+    case MsgType::kFix:
+    case MsgType::kSessionOpened:
+    case MsgType::kSessionClosed:
+    case MsgType::kStatsText:
+    case MsgType::kError:
+      return true;
+  }
+  return false;
+}
+
+void set_error(std::string* error, const char* what) {
+  if (error != nullptr) *error = what;
+}
+
+}  // namespace
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kQueueFull: return "queue_full";
+    case Status::kBadDimension: return "bad_dimension";
+    case Status::kNoSession: return "no_session";
+    case Status::kNoShard: return "no_shard";
+    case Status::kExpired: return "expired";
+    case Status::kStopped: return "stopped";
+    case Status::kDeadlineExpired: return "deadline_expired";
+    case Status::kWindowFull: return "window_full";
+  }
+  return "unknown";
+}
+
+std::string encode_frame(const Frame& frame) {
+  nn::ByteWriter payload;
+  payload.u32(kMagic);
+  payload.u32(static_cast<std::uint32_t>(frame.type));
+  payload.u64(frame.request_id);
+  payload.u8(static_cast<std::uint8_t>(engine::request_class_index(frame.cls)));
+  payload.u64(frame.deadline_us);
+  std::string out;
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(payload.bytes().size() + frame.body.size());
+  out.reserve(sizeof length + length);
+  out.append(reinterpret_cast<const char*>(&length), sizeof length);
+  out.append(payload.bytes());
+  out.append(frame.body);
+  return out;
+}
+
+DecodeResult decode_frame(std::string& buffer, Frame& out,
+                          std::size_t max_frame_bytes, std::string* error) {
+  if (buffer.size() < sizeof(std::uint32_t)) return DecodeResult::kNeedMore;
+  std::uint32_t length = 0;
+  std::memcpy(&length, buffer.data(), sizeof length);
+  // The length prefix is attacker-controlled until proven otherwise: cap it
+  // before allocating or waiting on it. There is no resync point in the
+  // stream, so an oversized frame is terminal, not skippable.
+  if (length > max_frame_bytes) {
+    set_error(error, "oversized length prefix");
+    return DecodeResult::kMalformed;
+  }
+  if (buffer.size() < sizeof length + length) return DecodeResult::kNeedMore;
+
+  nn::ByteReader header(std::string_view(buffer).substr(sizeof length, length));
+  std::uint32_t magic = 0, raw_type = 0;
+  std::uint8_t cls_index = 0;
+  Frame frame;
+  if (!header.u32(magic) || !header.u32(raw_type) || !header.u64(frame.request_id) ||
+      !header.u8(cls_index) || !header.u64(frame.deadline_us)) {
+    set_error(error, "truncated frame header");
+    return DecodeResult::kMalformed;
+  }
+  if (magic != kMagic) {
+    // Distinguish a protocol peer speaking another version from raw garbage
+    // — the error a two-sided deploy actually hits deserves its own text.
+    set_error(error, (magic & 0xFFFFFF00u) == kProtocolTag ? "version mismatch"
+                                                           : "bad magic");
+    return DecodeResult::kMalformed;
+  }
+  if (!known_type(raw_type)) {
+    set_error(error, "unknown message type");
+    return DecodeResult::kMalformed;
+  }
+  if (cls_index >= engine::kNumRequestClasses) {
+    set_error(error, "unknown request class");
+    return DecodeResult::kMalformed;
+  }
+  frame.type = static_cast<MsgType>(raw_type);
+  frame.cls = cls_index == 0 ? engine::RequestClass::kInteractive
+                             : engine::RequestClass::kBulk;
+  constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 1 + 8;
+  frame.body.assign(buffer, sizeof length + kHeaderBytes, length - kHeaderBytes);
+  buffer.erase(0, sizeof length + length);
+  out = std::move(frame);
+  return DecodeResult::kFrame;
+}
+
+// --- request bodies ----------------------------------------------------------
+
+std::string encode_locate_body(std::string_view shard_key, const serve::RssiVector& rssi) {
+  nn::ByteWriter w;
+  w.str(shard_key);
+  w.f32v(rssi);
+  return w.take();
+}
+
+bool decode_locate_body(std::string_view body, std::string& shard_key,
+                        serve::RssiVector& rssi) {
+  nn::ByteReader r(body);
+  return r.str(shard_key) && r.f32v(rssi) && r.exhausted();
+}
+
+std::string encode_open_session_body(std::string_view shard_key, const geo::Point2& start) {
+  nn::ByteWriter w;
+  w.str(shard_key);
+  w.f64(start.x);
+  w.f64(start.y);
+  return w.take();
+}
+
+bool decode_open_session_body(std::string_view body, std::string& shard_key,
+                              geo::Point2& start) {
+  nn::ByteReader r(body);
+  return r.str(shard_key) && r.f64(start.x) && r.f64(start.y) && r.exhausted();
+}
+
+std::string encode_track_body(std::uint64_t session_id, const serve::ImuSegment& segment) {
+  nn::ByteWriter w;
+  w.u64(session_id);
+  w.f32v(segment);
+  return w.take();
+}
+
+bool decode_track_body(std::string_view body, std::uint64_t& session_id,
+                       serve::ImuSegment& segment) {
+  nn::ByteReader r(body);
+  return r.u64(session_id) && r.f32v(segment) && r.exhausted();
+}
+
+std::string encode_close_session_body(std::uint64_t session_id) {
+  nn::ByteWriter w;
+  w.u64(session_id);
+  return w.take();
+}
+
+bool decode_close_session_body(std::string_view body, std::uint64_t& session_id) {
+  nn::ByteReader r(body);
+  return r.u64(session_id) && r.exhausted();
+}
+
+// --- response bodies ---------------------------------------------------------
+
+std::string encode_fix_body(Status status, const serve::Fix* fix) {
+  nn::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(status));
+  if (status == Status::kOk && fix != nullptr) {
+    w.u32(static_cast<std::uint32_t>(fix->building));
+    w.u32(static_cast<std::uint32_t>(fix->floor));
+    w.u32(static_cast<std::uint32_t>(fix->fine_class));
+    w.f64(fix->position.x);
+    w.f64(fix->position.y);
+    w.f64(fix->confidence);
+  }
+  return w.take();
+}
+
+bool decode_fix_body(std::string_view body, Status& status, serve::Fix& fix) {
+  nn::ByteReader r(body);
+  std::uint32_t raw = 0;
+  if (!r.u32(raw)) return false;
+  status = static_cast<Status>(raw);
+  if (status != Status::kOk) return r.exhausted();
+  std::uint32_t building = 0, floor = 0, fine_class = 0;
+  if (!r.u32(building) || !r.u32(floor) || !r.u32(fine_class) ||
+      !r.f64(fix.position.x) || !r.f64(fix.position.y) || !r.f64(fix.confidence) ||
+      !r.exhausted()) {
+    return false;
+  }
+  fix.building = static_cast<int>(building);
+  fix.floor = static_cast<int>(floor);
+  fix.fine_class = static_cast<int>(fine_class);
+  return true;
+}
+
+std::string encode_session_opened_body(Status status, std::uint64_t session_id) {
+  nn::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(status));
+  w.u64(session_id);
+  return w.take();
+}
+
+bool decode_session_opened_body(std::string_view body, Status& status,
+                                std::uint64_t& session_id) {
+  nn::ByteReader r(body);
+  std::uint32_t raw = 0;
+  if (!r.u32(raw) || !r.u64(session_id) || !r.exhausted()) return false;
+  status = static_cast<Status>(raw);
+  return true;
+}
+
+std::string encode_status_body(Status status) {
+  nn::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(status));
+  return w.take();
+}
+
+bool decode_status_body(std::string_view body, Status& status) {
+  nn::ByteReader r(body);
+  std::uint32_t raw = 0;
+  if (!r.u32(raw) || !r.exhausted()) return false;
+  status = static_cast<Status>(raw);
+  return true;
+}
+
+std::string encode_text_body(std::string_view text) {
+  nn::ByteWriter w;
+  w.str(text);
+  return w.take();
+}
+
+bool decode_text_body(std::string_view body, std::string& text) {
+  nn::ByteReader r(body);
+  return r.str(text) && r.exhausted();
+}
+
+}  // namespace noble::gateway::wire

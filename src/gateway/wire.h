@@ -1,0 +1,150 @@
+// noble::gateway wire protocol — compact length-prefixed binary framing.
+//
+// Every frame on a gateway connection is
+//
+//   u32 payload_length | payload
+//
+// and every payload opens with the same header, encoded with the
+// nn/serialize ByteWriter/ByteReader codec the model artifacts already use:
+//
+//   u32 magic+version ("NGW" + version byte)   — versioned magic
+//   u32 message type                           — MsgType below
+//   u64 request id                             — echoed on the response
+//   u8  request class                          — interactive / bulk
+//   u64 deadline budget (us, 0 = none)         — relative, resolved by the
+//                                                server against its clock at
+//                                                decode (clocks never cross
+//                                                the wire)
+//
+// followed by a per-type body. Request ids correlate responses on a
+// multiplexed connection: the gateway answers out of request order when
+// micro-batches or the fingerprint cache complete out of order, and the
+// header's class + deadline map straight onto engine::SubmitOptions — the
+// admission story (PR 5) carried end to end over the socket.
+//
+// Decoding is defensive at every step: a length prefix beyond
+// max_frame_bytes, a bad magic, an unsupported version, an unknown type or
+// a body that does not parse all yield kMalformed with a reason, and the
+// server answers with one kError frame and closes the connection. A short
+// buffer is just kNeedMore — framing state, not an error.
+#ifndef NOBLE_GATEWAY_WIRE_H_
+#define NOBLE_GATEWAY_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "engine/bounded_queue.h"
+#include "geo/point.h"
+#include "serve/fix.h"
+
+namespace noble::gateway::wire {
+
+/// "NGW" + one version byte. Bumping the protocol bumps only the low byte,
+/// so a decoder can tell "other version" apart from "not our protocol".
+inline constexpr std::uint32_t kProtocolTag = 0x4E475700u;  // "NGW\0"
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::uint32_t kMagic = kProtocolTag | kVersion;
+
+/// Hard ceiling a decoder applies to the length prefix before trusting it.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
+
+enum class MsgType : std::uint32_t {
+  // Client -> server.
+  kLocate = 1,        ///< one RSSI scan for a shard key
+  kOpenSession = 2,   ///< open a streaming IMU track on a shard
+  kTrackUpdate = 3,   ///< one IMU segment for an open session
+  kCloseSession = 4,  ///< close a streaming track
+  kStats = 5,         ///< scrape the stats text
+  // Server -> client.
+  kFix = 101,            ///< Locate / TrackUpdate outcome (status + fix)
+  kSessionOpened = 102,  ///< OpenSession outcome (status + session id)
+  kSessionClosed = 103,  ///< CloseSession outcome (status)
+  kStatsText = 104,      ///< Stats outcome (text page)
+  kError = 105,          ///< protocol violation; the connection closes after
+};
+
+/// Outcome code carried by response frames: engine::SubmitStatus verdicts
+/// plus the two wire-only outcomes (a future that expired after admission,
+/// and gateway-level backpressure when a connection overruns its in-flight
+/// window).
+enum class Status : std::uint32_t {
+  kOk = 0,
+  kQueueFull = 1,
+  kBadDimension = 2,
+  kNoSession = 3,
+  kNoShard = 4,
+  kExpired = 5,
+  kStopped = 6,
+  kDeadlineExpired = 7,  ///< admitted, then lapsed in queue (future failed)
+  kWindowFull = 8,       ///< per-connection in-flight window exceeded
+};
+
+const char* status_name(Status s);
+
+/// One decoded frame: the common header plus the still-encoded body (typed
+/// decode_* helpers below parse it).
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::uint64_t request_id = 0;
+  engine::RequestClass cls = engine::RequestClass::kInteractive;
+  std::uint64_t deadline_us = 0;  ///< relative budget; 0 = none
+  std::string body;
+};
+
+// --- framing -----------------------------------------------------------------
+
+/// Encodes header + body and prepends the u32 length prefix.
+std::string encode_frame(const Frame& frame);
+
+enum class DecodeResult {
+  kFrame,      ///< one frame consumed from the buffer into `out`
+  kNeedMore,   ///< buffer holds a partial frame; read more bytes
+  kMalformed,  ///< unrecoverable framing/header error; close the connection
+};
+
+/// Consumes at most one frame from the front of `buffer`. On kMalformed the
+/// buffer is left as-is (the connection is dead anyway) and `error` (when
+/// non-null) names the violation: oversized length prefix, bad magic,
+/// version mismatch, unknown message type, or truncated header.
+DecodeResult decode_frame(std::string& buffer, Frame& out,
+                          std::size_t max_frame_bytes = kDefaultMaxFrameBytes,
+                          std::string* error = nullptr);
+
+// --- request bodies ----------------------------------------------------------
+
+std::string encode_locate_body(std::string_view shard_key, const serve::RssiVector& rssi);
+bool decode_locate_body(std::string_view body, std::string& shard_key,
+                        serve::RssiVector& rssi);
+
+std::string encode_open_session_body(std::string_view shard_key, const geo::Point2& start);
+bool decode_open_session_body(std::string_view body, std::string& shard_key,
+                              geo::Point2& start);
+
+std::string encode_track_body(std::uint64_t session_id, const serve::ImuSegment& segment);
+bool decode_track_body(std::string_view body, std::uint64_t& session_id,
+                       serve::ImuSegment& segment);
+
+std::string encode_close_session_body(std::uint64_t session_id);
+bool decode_close_session_body(std::string_view body, std::uint64_t& session_id);
+
+// --- response bodies ---------------------------------------------------------
+
+/// status != kOk carries no fix payload.
+std::string encode_fix_body(Status status, const serve::Fix* fix);
+bool decode_fix_body(std::string_view body, Status& status, serve::Fix& fix);
+
+std::string encode_session_opened_body(Status status, std::uint64_t session_id);
+bool decode_session_opened_body(std::string_view body, Status& status,
+                                std::uint64_t& session_id);
+
+std::string encode_status_body(Status status);
+bool decode_status_body(std::string_view body, Status& status);
+
+std::string encode_text_body(std::string_view text);
+bool decode_text_body(std::string_view body, std::string& text);
+
+}  // namespace noble::gateway::wire
+
+#endif  // NOBLE_GATEWAY_WIRE_H_

@@ -64,6 +64,7 @@ void ByteWriter::raw(const void* p, std::size_t n) {
   buf_.append(static_cast<const char*>(p), n);
 }
 
+void ByteWriter::u8(std::uint8_t v) { raw(&v, sizeof v); }
 void ByteWriter::u32(std::uint32_t v) { raw(&v, sizeof v); }
 void ByteWriter::u64(std::uint64_t v) { raw(&v, sizeof v); }
 void ByteWriter::f64(double v) { raw(&v, sizeof v); }
@@ -71,6 +72,11 @@ void ByteWriter::f64(double v) { raw(&v, sizeof v); }
 void ByteWriter::str(std::string_view s) {
   u64(s.size());
   raw(s.data(), s.size());
+}
+
+void ByteWriter::f32v(const std::vector<float>& v) {
+  u64(v.size());
+  raw(v.data(), v.size() * sizeof(float));
 }
 
 void ByteWriter::mat(const Mat& m) {
@@ -86,6 +92,7 @@ bool ByteReader::raw(void* p, std::size_t n) {
   return true;
 }
 
+bool ByteReader::u8(std::uint8_t& v) { return raw(&v, sizeof v); }
 bool ByteReader::u32(std::uint32_t& v) { return raw(&v, sizeof v); }
 bool ByteReader::u64(std::uint64_t& v) { return raw(&v, sizeof v); }
 bool ByteReader::f64(double& v) { return raw(&v, sizeof v); }
@@ -96,6 +103,15 @@ bool ByteReader::str(std::string& s) {
   s.assign(data_.data() + pos_, static_cast<std::size_t>(n));
   pos_ += static_cast<std::size_t>(n);
   return true;
+}
+
+bool ByteReader::f32v(std::vector<float>& v) {
+  std::uint64_t n = 0;
+  // Like mat(): reject counts the remaining payload cannot hold before
+  // allocating, so a corrupted length fails cleanly instead of by bad_alloc.
+  if (!u64(n) || n > (data_.size() - pos_) / sizeof(float)) return false;
+  v.resize(static_cast<std::size_t>(n));
+  return raw(v.data(), v.size() * sizeof(float));
 }
 
 bool ByteReader::mat(Mat& m) {

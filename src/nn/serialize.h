@@ -38,14 +38,19 @@ bool save_weights(const Sequential& net, const std::string& path);
 bool load_weights(Sequential& net, const std::string& path);
 
 /// Append-only little codec for artifact payloads: scalars, strings and
-/// matrices serialized into one byte string.
+/// matrices serialized into one byte string. The gateway wire protocol
+/// (src/gateway/wire.h) frames its message bodies with the same codec.
 class ByteWriter {
  public:
+  void u8(std::uint8_t v);
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);
   void f64(double v);
   /// u64 length + raw bytes.
   void str(std::string_view s);
+  /// u64 count + raw float32 data — the RSSI-scan / IMU-segment payload
+  /// shape (a mat would waste a dimension on vectors that are always flat).
+  void f32v(const std::vector<float>& v);
   /// u64 rows, u64 cols, raw float32 data.
   void mat(const Mat& m);
 
@@ -63,10 +68,12 @@ class ByteReader {
  public:
   explicit ByteReader(std::string_view data) : data_(data) {}
 
+  bool u8(std::uint8_t& v);
   bool u32(std::uint32_t& v);
   bool u64(std::uint64_t& v);
   bool f64(double& v);
   bool str(std::string& s);
+  bool f32v(std::vector<float>& v);
   bool mat(Mat& m);
 
   /// True when the payload has been consumed exactly.

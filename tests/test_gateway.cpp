@@ -1,0 +1,599 @@
+// Gateway tests: wire-codec edge cases (truncated frames, oversized length
+// prefixes, unknown message types, version mismatches — each must fail the
+// connection cleanly, never crash or leak), listener lifecycle over real
+// loopback sockets, per-connection backpressure, session sweeping on
+// disconnect, and wire-vs-direct fix bit-identity.
+//
+// The suite carries the `concurrency` CTest label and runs under
+// -DNOBLE_SANITIZE=thread in CI: the listener's handler threads, the
+// client's reader thread and the engine's worker pool all interleave here.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/noble_imu.h"
+#include "core/noble_wifi.h"
+#include "fleet/router.h"
+#include "gateway/client.h"
+#include "gateway/gateway.h"
+#include "gateway/wire.h"
+#include "serve/imu_localizer.h"
+#include "serve/wifi_localizer.h"
+
+namespace noble::gateway {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire codec: round trips.
+// ---------------------------------------------------------------------------
+
+wire::Frame roundtrip(const wire::Frame& in) {
+  std::string buffer = wire::encode_frame(in);
+  wire::Frame out;
+  EXPECT_EQ(wire::decode_frame(buffer, out), wire::DecodeResult::kFrame);
+  EXPECT_TRUE(buffer.empty()) << "decode must consume exactly one frame";
+  return out;
+}
+
+TEST(WireCodec, HeaderRoundTripsEveryField) {
+  wire::Frame in;
+  in.type = wire::MsgType::kLocate;
+  in.request_id = 0xDEADBEEFCAFE1234ull;
+  in.cls = engine::RequestClass::kBulk;
+  in.deadline_us = 250000;
+  in.body = std::string("\x00\x01\x02payload", 10);
+  const wire::Frame out = roundtrip(in);
+  EXPECT_EQ(out.type, in.type);
+  EXPECT_EQ(out.request_id, in.request_id);
+  EXPECT_EQ(out.cls, in.cls);
+  EXPECT_EQ(out.deadline_us, in.deadline_us);
+  EXPECT_EQ(out.body, in.body);
+}
+
+TEST(WireCodec, TwoFramesDecodeInOrderFromOneBuffer) {
+  wire::Frame a, b;
+  a.type = wire::MsgType::kStats;
+  a.request_id = 1;
+  b.type = wire::MsgType::kCloseSession;
+  b.request_id = 2;
+  b.body = wire::encode_close_session_body(77);
+  std::string buffer = wire::encode_frame(a) + wire::encode_frame(b);
+  wire::Frame out;
+  ASSERT_EQ(wire::decode_frame(buffer, out), wire::DecodeResult::kFrame);
+  EXPECT_EQ(out.request_id, 1u);
+  ASSERT_EQ(wire::decode_frame(buffer, out), wire::DecodeResult::kFrame);
+  EXPECT_EQ(out.request_id, 2u);
+  std::uint64_t session = 0;
+  EXPECT_TRUE(wire::decode_close_session_body(out.body, session));
+  EXPECT_EQ(session, 77u);
+  EXPECT_EQ(wire::decode_frame(buffer, out), wire::DecodeResult::kNeedMore);
+}
+
+TEST(WireCodec, LocateBodyRoundTrip) {
+  const serve::RssiVector rssi = {-48.5f, -90.25f, 0.0f, -120.0f};
+  const std::string body = wire::encode_locate_body("bldg-7", rssi);
+  std::string key;
+  serve::RssiVector decoded;
+  ASSERT_TRUE(wire::decode_locate_body(body, key, decoded));
+  EXPECT_EQ(key, "bldg-7");
+  ASSERT_EQ(decoded.size(), rssi.size());
+  for (std::size_t i = 0; i < rssi.size(); ++i) {
+    // Bitwise, not approximate: the codec moves exact float patterns.
+    EXPECT_EQ(std::memcmp(&decoded[i], &rssi[i], sizeof(float)), 0);
+  }
+}
+
+TEST(WireCodec, FixBodyIsBitExact) {
+  serve::Fix fix;
+  fix.building = 3;
+  fix.floor = -1;
+  fix.fine_class = 4096;
+  fix.position = {123.4567890123456789, -0.000030517578125};
+  fix.confidence = 0.7071067811865476;
+  const std::string body = wire::encode_fix_body(wire::Status::kOk, &fix);
+  wire::Status status = wire::Status::kStopped;
+  serve::Fix out;
+  ASSERT_TRUE(wire::decode_fix_body(body, status, out));
+  EXPECT_EQ(status, wire::Status::kOk);
+  EXPECT_TRUE(out == fix);  // Fix::operator== is exact, field for field
+}
+
+TEST(WireCodec, RejectionFixBodyCarriesNoPayload) {
+  const std::string body = wire::encode_fix_body(wire::Status::kQueueFull, nullptr);
+  wire::Status status = wire::Status::kOk;
+  serve::Fix out;
+  ASSERT_TRUE(wire::decode_fix_body(body, status, out));
+  EXPECT_EQ(status, wire::Status::kQueueFull);
+}
+
+TEST(WireCodec, TrackAndSessionBodiesRoundTrip) {
+  const serve::ImuSegment segment = {0.5f, -1.5f, 2.25f};
+  const std::string track = wire::encode_track_body(31337, segment);
+  std::uint64_t session = 0;
+  serve::ImuSegment seg_out;
+  ASSERT_TRUE(wire::decode_track_body(track, session, seg_out));
+  EXPECT_EQ(session, 31337u);
+  EXPECT_EQ(seg_out, segment);
+
+  const std::string open = wire::encode_open_session_body("bldg-1", {2.5, -8.75});
+  std::string key;
+  geo::Point2 start;
+  ASSERT_TRUE(wire::decode_open_session_body(open, key, start));
+  EXPECT_EQ(key, "bldg-1");
+  EXPECT_EQ(start.x, 2.5);
+  EXPECT_EQ(start.y, -8.75);
+
+  const std::string opened =
+      wire::encode_session_opened_body(wire::Status::kOk, 99);
+  wire::Status status = wire::Status::kStopped;
+  std::uint64_t id = 0;
+  ASSERT_TRUE(wire::decode_session_opened_body(opened, status, id));
+  EXPECT_EQ(status, wire::Status::kOk);
+  EXPECT_EQ(id, 99u);
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec: malformed input. Every case must report kMalformed (or reject
+// the body) without crashing, allocating absurdly, or consuming the buffer.
+// ---------------------------------------------------------------------------
+
+TEST(WireCodec, PartialFrameIsNeedMoreAtEveryPrefixLength) {
+  wire::Frame frame;
+  frame.type = wire::MsgType::kLocate;
+  frame.request_id = 42;
+  frame.body = wire::encode_locate_body("k", {-50.0f});
+  const std::string full = wire::encode_frame(frame);
+  // Truncated frame: every strict prefix must parse as "need more bytes" —
+  // framing state, never an error, never a partial frame.
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    std::string buffer = full.substr(0, len);
+    wire::Frame out;
+    EXPECT_EQ(wire::decode_frame(buffer, out), wire::DecodeResult::kNeedMore)
+        << "at prefix length " << len;
+    EXPECT_EQ(buffer.size(), len) << "kNeedMore must not consume bytes";
+  }
+}
+
+TEST(WireCodec, OversizedLengthPrefixIsMalformedBeforeAllocation) {
+  // A hostile length prefix must be rejected against max_frame_bytes before
+  // anything is buffered or allocated on its behalf.
+  const std::uint32_t huge = 0x7FFFFFFFu;
+  std::string buffer(sizeof huge, '\0');
+  std::memcpy(buffer.data(), &huge, sizeof huge);
+  wire::Frame out;
+  std::string error;
+  EXPECT_EQ(wire::decode_frame(buffer, out, wire::kDefaultMaxFrameBytes, &error),
+            wire::DecodeResult::kMalformed);
+  EXPECT_NE(error.find("oversized"), std::string::npos) << error;
+}
+
+TEST(WireCodec, LengthPrefixShorterThanHeaderIsMalformed) {
+  const std::uint32_t tiny = 4;  // a 4-byte payload cannot hold the header
+  std::string buffer(sizeof tiny + tiny, '\0');
+  std::memcpy(buffer.data(), &tiny, sizeof tiny);
+  wire::Frame out;
+  std::string error;
+  EXPECT_EQ(wire::decode_frame(buffer, out, wire::kDefaultMaxFrameBytes, &error),
+            wire::DecodeResult::kMalformed);
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+}
+
+TEST(WireCodec, BadMagicIsMalformed) {
+  wire::Frame frame;
+  frame.type = wire::MsgType::kStats;
+  std::string buffer = wire::encode_frame(frame);
+  buffer[4] ^= 0x40;  // corrupt the protocol tag, not just the version byte
+  buffer[5] ^= 0x40;
+  wire::Frame out;
+  std::string error;
+  EXPECT_EQ(wire::decode_frame(buffer, out, wire::kDefaultMaxFrameBytes, &error),
+            wire::DecodeResult::kMalformed);
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST(WireCodec, VersionMismatchIsDistinguishedFromBadMagic) {
+  wire::Frame frame;
+  frame.type = wire::MsgType::kStats;
+  std::string buffer = wire::encode_frame(frame);
+  // The low magic byte is the version (little-endian u32 at payload start).
+  buffer[4] = static_cast<char>(wire::kVersion + 1);
+  wire::Frame out;
+  std::string error;
+  EXPECT_EQ(wire::decode_frame(buffer, out, wire::kDefaultMaxFrameBytes, &error),
+            wire::DecodeResult::kMalformed);
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(WireCodec, UnknownMessageTypeIsMalformed) {
+  wire::Frame frame;
+  frame.type = static_cast<wire::MsgType>(999);
+  std::string buffer = wire::encode_frame(frame);
+  wire::Frame out;
+  std::string error;
+  EXPECT_EQ(wire::decode_frame(buffer, out, wire::kDefaultMaxFrameBytes, &error),
+            wire::DecodeResult::kMalformed);
+  EXPECT_NE(error.find("unknown message type"), std::string::npos) << error;
+}
+
+TEST(WireCodec, TruncatedBodiesAreRejected) {
+  const std::string locate = wire::encode_locate_body("bldg", {-1.0f, -2.0f});
+  std::string key;
+  serve::RssiVector rssi;
+  for (std::size_t len = 0; len < locate.size(); ++len) {
+    EXPECT_FALSE(wire::decode_locate_body(locate.substr(0, len), key, rssi))
+        << "at body length " << len;
+  }
+  // Trailing garbage is rejected too: a body must parse exhaustively.
+  EXPECT_FALSE(wire::decode_locate_body(locate + "x", key, rssi));
+}
+
+TEST(WireCodec, LyingVectorCountIsRejectedWithoutAllocating) {
+  // A body claiming 2^61 floats in a 30-byte payload must fail the length
+  // check before resize() is attempted (no bad_alloc, no crash).
+  std::string body = wire::encode_locate_body("k", {-1.0f});
+  const std::uint64_t lie = 1ull << 61;
+  // The f32 count sits right after the key (u64 len + bytes).
+  std::memcpy(body.data() + sizeof(std::uint64_t) + 1, &lie, sizeof lie);
+  std::string key;
+  serve::RssiVector rssi;
+  EXPECT_FALSE(wire::decode_locate_body(body, key, rssi));
+}
+
+// ---------------------------------------------------------------------------
+// Listener integration over real loopback sockets.
+// ---------------------------------------------------------------------------
+
+struct GatewayFixture {
+  core::WifiExperiment wifi_exp;
+  core::NobleWifiModel wifi_model;
+  core::ImuExperiment imu_exp;
+  core::NobleImuTracker tracker;
+};
+
+const GatewayFixture& gateway_fixture() {
+  static const GatewayFixture* fixture = [] {
+    core::WifiExperimentConfig wifi_cfg;
+    wifi_cfg.total_samples = 1200;
+    wifi_cfg.seed = 515;
+    core::NobleWifiConfig wifi_model_cfg;
+    wifi_model_cfg.quantize.tau = 6.0;
+    wifi_model_cfg.quantize.coarse_l = 24.0;
+    wifi_model_cfg.epochs = 6;
+    wifi_model_cfg.hidden_units = 32;
+    core::ImuExperimentConfig imu_cfg;
+    imu_cfg.num_paths = 400;
+    imu_cfg.total_walk_time_s = 1000.0;
+    imu_cfg.readings_per_segment = 8;
+    imu_cfg.imu.ref_interval_s = 15.0;
+    imu_cfg.seed = 304;
+    core::NobleImuConfig imu_model_cfg;
+    imu_model_cfg.quantize.tau = 2.0;
+    imu_model_cfg.epochs = 6;
+    imu_model_cfg.projection_dim = 6;
+    auto* f = new GatewayFixture{core::make_uji_experiment(wifi_cfg),
+                                 core::NobleWifiModel(wifi_model_cfg),
+                                 core::make_imu_experiment(imu_cfg),
+                                 core::NobleImuTracker(imu_model_cfg)};
+    f->wifi_model.fit(f->wifi_exp.split.train);
+    f->tracker.fit(f->imu_exp.split.train);
+    return f;
+  }();
+  return *fixture;
+}
+
+const serve::WifiLocalizer& wifi_localizer() {
+  static const serve::WifiLocalizer* l = new serve::WifiLocalizer(
+      serve::WifiLocalizer::from_model(gateway_fixture().wifi_model));
+  return *l;
+}
+
+const serve::ImuLocalizer& imu_localizer() {
+  static const serve::ImuLocalizer* l = new serve::ImuLocalizer(
+      serve::ImuLocalizer::from_model(gateway_fixture().tracker));
+  return *l;
+}
+
+/// One-shard router + started listener on an ephemeral loopback port.
+struct LiveGateway {
+  explicit LiveGateway(GatewayConfig config = {}) : listener(router, std::move(config)) {
+    fleet::ShardConfig shard;
+    shard.key = "bldg-A";
+    shard.engine.workers = 2;
+    shard.engine.max_batch = 8;
+    router.add_shard(shard, wifi_localizer(), imu_localizer());
+    EXPECT_TRUE(listener.start());
+  }
+  fleet::Router router;
+  Listener listener;
+};
+
+std::vector<serve::RssiVector> test_queries(std::size_t max_count) {
+  std::vector<serve::RssiVector> queries;
+  const auto& samples = gateway_fixture().wifi_exp.split.test.samples;
+  for (std::size_t i = 0; i < std::min(max_count, samples.size()); ++i) {
+    queries.push_back(samples[i].rssi);
+  }
+  return queries;
+}
+
+TEST(GatewayListener, StartsOnEphemeralPortAndStopsIdempotently) {
+  LiveGateway gw;
+  EXPECT_TRUE(gw.listener.running());
+  EXPECT_GT(gw.listener.port(), 0);
+  gw.listener.stop();
+  EXPECT_FALSE(gw.listener.running());
+  gw.listener.stop();  // idempotent
+}
+
+TEST(GatewayListener, WireFixesAreBitIdenticalToDirectLocate) {
+  LiveGateway gw;
+  std::optional<GatewayClient> client =
+      GatewayClient::connect("127.0.0.1", gw.listener.port());
+  ASSERT_TRUE(client.has_value());
+  for (const auto& q : test_queries(24)) {
+    const serve::Fix expected = wifi_localizer().locate(q);
+    const WireResult interactive = client->locate("bldg-A", q);
+    ASSERT_TRUE(interactive.ok());
+    EXPECT_TRUE(interactive.fix == expected);
+    const WireResult bulk = client->locate("bldg-A", q, engine::RequestClass::kBulk,
+                                           /*deadline_us=*/10'000'000);
+    ASSERT_TRUE(bulk.ok());
+    EXPECT_TRUE(bulk.fix == expected);
+  }
+}
+
+TEST(GatewayListener, SessionStreamOverWireMatchesDirectSession) {
+  LiveGateway gw;
+  std::optional<GatewayClient> client =
+      GatewayClient::connect("127.0.0.1", gw.listener.port());
+  ASSERT_TRUE(client.has_value());
+  const auto& fx = gateway_fixture();
+  const auto& path = fx.imu_exp.split.test.paths.front();
+  const std::size_t dim = fx.tracker.segment_dim();
+  serve::TrackingSession direct = imu_localizer().start_session(path.start);
+  const std::optional<std::uint64_t> session =
+      client->open_session("bldg-A", path.start);
+  ASSERT_TRUE(session.has_value());
+  for (std::size_t s = 0; s < path.num_segments; ++s) {
+    const serve::ImuSegment segment(
+        path.features.begin() + static_cast<std::ptrdiff_t>(s * dim),
+        path.features.begin() + static_cast<std::ptrdiff_t>((s + 1) * dim));
+    const serve::Fix expected = direct.update(segment);
+    const WireResult wired = client->track(*session, segment);
+    ASSERT_TRUE(wired.ok());
+    EXPECT_TRUE(wired.fix == expected);
+  }
+  EXPECT_TRUE(client->close_session(*session));
+  EXPECT_FALSE(client->close_session(*session)) << "double close must refuse";
+}
+
+TEST(GatewayListener, UnknownShardAndSessionAnswerExplicitStatuses) {
+  LiveGateway gw;
+  std::optional<GatewayClient> client =
+      GatewayClient::connect("127.0.0.1", gw.listener.port());
+  ASSERT_TRUE(client.has_value());
+  const auto queries = test_queries(1);
+  ASSERT_FALSE(queries.empty());
+  const WireResult no_shard = client->locate("no-such-bldg", queries.front());
+  EXPECT_EQ(no_shard.status, wire::Status::kNoShard);
+  const WireResult no_session = client->track(424242, {0.0f});
+  EXPECT_EQ(no_session.status, wire::Status::kNoSession);
+  // The connection survived both refusals.
+  const WireResult ok = client->locate("bldg-A", queries.front());
+  EXPECT_TRUE(ok.ok());
+}
+
+// --- malformed traffic over a real socket ------------------------------------
+
+/// Raw TCP connect (no framing) for hostile-bytes tests.
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+/// Reads until EOF (with a poll timeout) and returns everything received.
+std::string read_to_eof(int fd, int timeout_ms = 5000) {
+  std::string received;
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) {
+      ADD_FAILURE() << "server neither answered nor closed within the timeout";
+      return received;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) return received;  // EOF: the server closed, as it must
+    received.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+/// Sends hostile bytes, expects exactly one kError frame followed by EOF.
+void expect_error_then_close(std::uint16_t port, const std::string& bytes) {
+  const int fd = raw_connect(port);
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+  std::string response = read_to_eof(fd);
+  ::close(fd);
+  wire::Frame frame;
+  ASSERT_EQ(wire::decode_frame(response, frame), wire::DecodeResult::kFrame)
+      << "the server must answer with a well-formed error frame before closing";
+  EXPECT_EQ(frame.type, wire::MsgType::kError);
+  std::string reason;
+  EXPECT_TRUE(wire::decode_text_body(frame.body, reason));
+  EXPECT_FALSE(reason.empty());
+  EXPECT_TRUE(response.empty()) << "nothing may follow the error frame";
+}
+
+TEST(GatewayListener, MalformedTrafficGetsOneErrorFrameThenClose) {
+  LiveGateway gw;
+
+  // Bad magic.
+  {
+    wire::Frame frame;
+    frame.type = wire::MsgType::kStats;
+    std::string bytes = wire::encode_frame(frame);
+    bytes[4] ^= 0x40;
+    bytes[5] ^= 0x40;
+    expect_error_then_close(gw.listener.port(), bytes);
+  }
+  // Version from the future.
+  {
+    wire::Frame frame;
+    frame.type = wire::MsgType::kStats;
+    std::string bytes = wire::encode_frame(frame);
+    bytes[4] = static_cast<char>(wire::kVersion + 9);
+    expect_error_then_close(gw.listener.port(), bytes);
+  }
+  // Unknown message type.
+  {
+    wire::Frame frame;
+    frame.type = static_cast<wire::MsgType>(999);
+    expect_error_then_close(gw.listener.port(), wire::encode_frame(frame));
+  }
+  // Oversized length prefix.
+  {
+    const std::uint32_t huge = 0x7FFFFFFFu;
+    std::string bytes(sizeof huge, '\0');
+    std::memcpy(bytes.data(), &huge, sizeof huge);
+    expect_error_then_close(gw.listener.port(), bytes);
+  }
+  // Length prefix too short to hold the header.
+  {
+    const std::uint32_t tiny = 4;
+    std::string bytes(sizeof tiny + tiny, '\0');
+    std::memcpy(bytes.data(), &tiny, sizeof tiny);
+    expect_error_then_close(gw.listener.port(), bytes);
+  }
+  // A response type sent by a client is a protocol violation too.
+  {
+    wire::Frame frame;
+    frame.type = wire::MsgType::kFix;
+    frame.body = wire::encode_fix_body(wire::Status::kOk, nullptr);
+    expect_error_then_close(gw.listener.port(), wire::encode_frame(frame));
+  }
+
+  EXPECT_EQ(gw.listener.counters().malformed_frames, 6u);
+
+  // The gateway survived every hostile connection: a fresh client still gets
+  // bit-identical service, and nothing leaked into the fleet's admission
+  // counters (malformed frames die before reaching the router).
+  std::optional<GatewayClient> client =
+      GatewayClient::connect("127.0.0.1", gw.listener.port());
+  ASSERT_TRUE(client.has_value());
+  const auto queries = test_queries(1);
+  ASSERT_FALSE(queries.empty());
+  const WireResult result = client->locate("bldg-A", queries.front());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.fix == wifi_localizer().locate(queries.front()));
+  const fleet::FleetStats stats = gw.router.stats();
+  EXPECT_EQ(stats.total.submitted, 1u)
+      << "only the one good locate may have reached the router";
+}
+
+TEST(GatewayListener, WindowFullBackpressureAnswersWithoutTouchingRouter) {
+  GatewayConfig config;
+  config.inflight_window = 0;  // degenerate: every data request over-window
+  LiveGateway gw(std::move(config));
+  std::optional<GatewayClient> client =
+      GatewayClient::connect("127.0.0.1", gw.listener.port());
+  ASSERT_TRUE(client.has_value());
+  const auto queries = test_queries(1);
+  ASSERT_FALSE(queries.empty());
+  const WireResult result = client->locate("bldg-A", queries.front());
+  EXPECT_EQ(result.status, wire::Status::kWindowFull);
+  // kWindowFull is backpressure, not a protocol error: the connection stays
+  // open and control frames still work.
+  EXPECT_TRUE(client->stats_text().has_value());
+  EXPECT_GE(gw.listener.counters().backpressure_rejects, 1u);
+  EXPECT_EQ(gw.router.stats().total.submitted, 0u)
+      << "over-window requests must be refused before the router";
+}
+
+TEST(GatewayListener, DroppedConnectionSweepsItsSessions) {
+  LiveGateway gw;
+  {
+    std::optional<GatewayClient> client =
+        GatewayClient::connect("127.0.0.1", gw.listener.port());
+    ASSERT_TRUE(client.has_value());
+    const auto& path = gateway_fixture().imu_exp.split.test.paths.front();
+    ASSERT_TRUE(client->open_session("bldg-A", path.start).has_value());
+    ASSERT_TRUE(client->open_session("bldg-A", path.start).has_value());
+    EXPECT_EQ(gw.listener.counters().sessions_opened, 2u);
+    EXPECT_EQ(gw.listener.counters().sessions_closed, 0u);
+  }  // client destroyed: the socket closes with both sessions still open
+
+  // The handler notices the hangup and sweeps the sticky sessions.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (gw.listener.counters().sessions_closed < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(gw.listener.counters().sessions_closed, 2u);
+}
+
+TEST(GatewayListener, StatsTextExposesGatewayAndFleetTelemetry) {
+  LiveGateway gw;
+  std::optional<GatewayClient> client =
+      GatewayClient::connect("127.0.0.1", gw.listener.port());
+  ASSERT_TRUE(client.has_value());
+  const auto queries = test_queries(4);
+  for (const auto& q : queries) ASSERT_TRUE(client->locate("bldg-A", q).ok());
+  const std::optional<std::string> text = client->stats_text();
+  ASSERT_TRUE(text.has_value());
+  for (const char* needle :
+       {"noble_gateway_connections_accepted 1", "noble_gateway_malformed_frames 0",
+        "noble_fleet_submitted 4", "noble_fleet_queue_depth ",
+        "noble_fleet_queue_depth{shard=\"bldg-A\",engine=\"0\"}",
+        "noble_fleet_interactive_p99_us "}) {
+    EXPECT_NE(text->find(needle), std::string::npos) << "missing: " << needle;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Router::queue_depths() — the per-shard/per-engine snapshot behind the
+// stats page's depth gauges (new in this PR alongside the gateway).
+// ---------------------------------------------------------------------------
+
+TEST(RouterQueueDepths, SnapshotMatchesTopologyAndFleetGauge) {
+  fleet::Router router;
+  for (const char* key : {"bldg-A", "bldg-B"}) {
+    fleet::ShardConfig shard;
+    shard.key = key;
+    shard.engines = 2;
+    shard.engine.workers = 1;
+    router.add_shard(shard, wifi_localizer());
+  }
+  const std::vector<fleet::ShardDepths> depths = router.queue_depths();
+  ASSERT_EQ(depths.size(), 2u);
+  EXPECT_EQ(depths[0].shard, "bldg-A");  // registry order
+  EXPECT_EQ(depths[1].shard, "bldg-B");
+  std::size_t total = 0;
+  for (const auto& shard : depths) {
+    EXPECT_EQ(shard.engines.size(), 2u);
+    for (std::size_t depth : shard.engines) total += depth;
+  }
+  EXPECT_EQ(total, 0u) << "idle fleet must snapshot empty queues";
+  EXPECT_EQ(router.stats().total.queue_depth, 0u)
+      << "the FleetStats gauge is the same quantity, summed";
+}
+
+}  // namespace
+}  // namespace noble::gateway
