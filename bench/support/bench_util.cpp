@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "gateway/client.h"
 #include "kernels/kernels.h"
+#include "obs/trace.h"
 
 namespace noble::bench {
 
@@ -752,6 +753,7 @@ OpenLoopReport run_open_loop(LoadTarget& target,
   // fire on the schedule whether or not earlier requests finished — lag
   // between the schedule and the actual send is tracked as max_send_lag_us
   // (a large value indicts the generator, not the target).
+  const bool propagate_traces = target.propagates_trace();
   Rng rng(cfg.seed);
   const auto t0 = LoadClock::now();
   const auto horizon = t0 + std::chrono::duration_cast<LoadClock::duration>(
@@ -792,18 +794,29 @@ OpenLoopReport run_open_loop(LoadTarget& target,
     item.traffic = traffic;
     ++drop_counts[traffic].attempted;
     item.submitted_at = LoadClock::now();
+    // In-process targets get their stage clock here (over the wire the
+    // gateway starts it at frame decode). The engine finishes the trace —
+    // external_respond stays false — so the dispatcher never blocks on it.
+    const bool trace_here = propagate_traces && obs::Tracer::global().enabled();
     engine::Submission s;
     if (traffic == 2) {
+      engine::SubmitOptions options;
+      if (trace_here && (options.trace = obs::Tracer::global().start(arrival))) {
+        options.trace->stamp(obs::Mark::kSubmit);
+      }
       const std::uint64_t session = session_pool[arrival % session_pool.size()];
-      s = target.track(session, segments[arrival % segments.size()], {});
-    } else if (traffic == 1) {
-      engine::SubmitOptions options = engine::SubmitOptions::bulk();
-      if (cfg.bulk_deadline_us > 0) options.expires_in_us(cfg.bulk_deadline_us);
+      s = target.track(session, segments[arrival % segments.size()], options);
+    } else {
+      engine::SubmitOptions options;
+      if (traffic == 1) {
+        options = engine::SubmitOptions::bulk();
+        if (cfg.bulk_deadline_us > 0) options.expires_in_us(cfg.bulk_deadline_us);
+      }
+      if (trace_here && (options.trace = obs::Tracer::global().start(arrival))) {
+        options.trace->stamp(obs::Mark::kSubmit);
+      }
       s = target.submit(shard_keys[arrival % shard_keys.size()],
                         queries[arrival % queries.size()], options);
-    } else {
-      s = target.submit(shard_keys[arrival % shard_keys.size()],
-                        queries[arrival % queries.size()], {});
     }
     ++arrival;
     if (s.accepted()) {

@@ -107,6 +107,11 @@ class LoadTarget {
                                    const engine::SubmitOptions& options) = 0;
   virtual bool close_session(std::uint64_t session) = 0;
   virtual std::string name() const = 0;
+  /// True when the harness should start an obs::Trace and attach it to
+  /// SubmitOptions (in-process targets only — over the wire the gateway
+  /// starts the trace itself at frame decode, and a client-side trace could
+  /// not cross the socket anyway).
+  virtual bool propagates_trace() const { return false; }
 };
 
 /// In-process target: forwards straight to fleet::Router (the zero-overhead
@@ -122,6 +127,7 @@ class RouterTarget final : public LoadTarget {
                            const engine::SubmitOptions& options) override;
   bool close_session(std::uint64_t session) override;
   std::string name() const override { return "router"; }
+  bool propagates_trace() const override { return true; }
 
  private:
   fleet::Router& router_;

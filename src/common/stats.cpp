@@ -68,6 +68,19 @@ Histogram::Histogram(double lo, double hi, std::size_t num_bins)
   NOBLE_EXPECTS(lo > 0.0 && hi > lo && num_bins >= 1);
 }
 
+Histogram Histogram::from_parts(double lo, double hi, std::size_t num_bins,
+                                std::vector<std::uint64_t> counts, std::uint64_t total,
+                                double sum, double min_rec, double max_rec) {
+  Histogram h(lo, hi, num_bins);
+  NOBLE_EXPECTS(counts.size() == num_bins + 2);
+  h.counts_ = std::move(counts);
+  h.total_ = total;
+  h.sum_ = sum;
+  h.min_rec_ = total == 0 ? std::numeric_limits<double>::infinity() : min_rec;
+  h.max_rec_ = total == 0 ? -std::numeric_limits<double>::infinity() : max_rec;
+  return h;
+}
+
 void Histogram::record(double x) {
   if (std::isnan(x)) return;  // not an observation; ignore entirely
   ++total_;
@@ -92,6 +105,24 @@ void Histogram::merge(const Histogram& other) {
   sum_ += other.sum_;
   min_rec_ = std::min(min_rec_, other.min_rec_);
   max_rec_ = std::max(max_rec_, other.max_rec_);
+}
+
+void Histogram::subtract(const Histogram& other) {
+  NOBLE_EXPECTS(same_layout(other));
+  NOBLE_EXPECTS(total_ >= other.total_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    NOBLE_EXPECTS(counts_[i] >= other.counts_[i]);
+    counts_[i] -= other.counts_[i];
+  }
+  total_ -= other.total_;
+  sum_ -= other.sum_;
+  if (total_ == 0) {
+    sum_ = 0.0;  // cancel float residue so an empty delta reports mean 0
+    min_rec_ = std::numeric_limits<double>::infinity();
+    max_rec_ = -std::numeric_limits<double>::infinity();
+  }
+  // Non-empty deltas keep the cumulative extrema: the subtracted window may
+  // have held the true min/max, and conservative clamp bounds are correct.
 }
 
 double Histogram::bin_lower(std::size_t i) const {

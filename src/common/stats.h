@@ -58,6 +58,14 @@ class Histogram {
   /// Micro-batch-size layout: 1 .. 4096 in 48 bins.
   static Histogram batch_sizes() { return Histogram(1.0, 4096.0, 48); }
 
+  /// Rebuilds a histogram from its serialized parts (the obs metrics
+  /// snapshot codec round-trips histograms through this). `counts` must be
+  /// num_bins + 2 entries ([under, bins, over], exactly the bin_count /
+  /// underflow_count / overflow_count view).
+  static Histogram from_parts(double lo, double hi, std::size_t num_bins,
+                              std::vector<std::uint64_t> counts, std::uint64_t total,
+                              double sum, double min_rec, double max_rec);
+
   /// Adds one observation. Values below `lo` (including 0 and negatives)
   /// land in the underflow bin; values >= `hi` in the overflow bin. NaN is
   /// not an observation and is ignored (count() excluded).
@@ -65,6 +73,17 @@ class Histogram {
 
   /// Adds another histogram's counts. Precondition: identical layout.
   void merge(const Histogram& other);
+
+  /// Removes another histogram's counts — the windowed delta view a bench
+  /// takes between two snapshots of one growing histogram. Preconditions:
+  /// identical layout and `other` is an earlier snapshot of this stream
+  /// (every bin of `other` <= the matching bin here). The recorded extrema
+  /// stay at their cumulative values (a removed observation may have been
+  /// the min/max), so percentile clamping is merely conservative, not wrong.
+  void subtract(const Histogram& other);
+
+  /// Exact sum of all recorded values (mean() * count(), tracked exactly).
+  double sum_recorded() const { return sum_; }
 
   /// Observations recorded so far.
   std::uint64_t count() const { return total_; }

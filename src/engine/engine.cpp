@@ -75,15 +75,15 @@ std::optional<Engine::Clock::time_point> Engine::resolve_deadline(
 }
 
 void Engine::expire_promise(std::promise<serve::Fix>& promise, RequestClass cls) {
-  class_expired_[request_class_index(cls)].fetch_add(1, std::memory_order_relaxed);
+  class_expired_[request_class_index(cls)].inc();
   promise.set_exception(std::make_exception_ptr(DeadlineExpired{}));
 }
 
 Submission Engine::submit(const serve::RssiVector& rssi, const SubmitOptions& options) {
   const std::size_t cls = request_class_index(options.request_class);
   if (rssi.size() != num_aps()) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    class_rejected_[cls].fetch_add(1, std::memory_order_relaxed);
+    rejected_.inc();
+    class_rejected_[cls].inc();
     return {SubmitStatus::kBadDimension, {}};
   }
   const Clock::time_point submitted_at = Clock::now();
@@ -91,7 +91,7 @@ Submission Engine::submit(const serve::RssiVector& rssi, const SubmitOptions& op
       resolve_deadline(options, submitted_at);
   if (deadline.has_value() && *deadline <= submitted_at) {
     // Dead on arrival: never admitted, never copied, never a GEMM slot.
-    class_expired_[cls].fetch_add(1, std::memory_order_relaxed);
+    class_expired_[cls].inc();
     return {SubmitStatus::kExpired, {}};
   }
   const bool cached = cache_.has_value() && !stopped_.load(std::memory_order_relaxed);
@@ -104,36 +104,52 @@ Submission Engine::submit(const serve::RssiVector& rssi, const SubmitOptions& op
       // cost, not that short critical section.
       std::promise<serve::Fix> promise;
       std::future<serve::Fix> result = promise.get_future();
-      submitted_.fetch_add(1, std::memory_order_relaxed);
-      class_accepted_[cls].fetch_add(1, std::memory_order_relaxed);
-      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      submitted_.inc();
+      class_accepted_[cls].inc();
+      cache_hits_.inc();
+      if (options.trace != nullptr) {
+        // The whole pipeline collapses to one instant on a cache hit: every
+        // engine stage is stamped "now", so its stage latencies read ~0.
+        const std::uint64_t ns = obs::Trace::now_ns();
+        options.trace->stamp(obs::Mark::kAdmitted, ns);
+        options.trace->stamp(obs::Mark::kDequeued, ns);
+        options.trace->stamp(obs::Mark::kAssembled, ns);
+        options.trace->stamp(obs::Mark::kComputed, ns);
+      }
       promise.set_value(std::move(*hit));
       record_completion(submitted_at, options.request_class);
+      if (options.trace != nullptr && !options.trace->external_respond) {
+        options.trace->stamp(obs::Mark::kResponded);
+        obs::Tracer::global().finish(*options.trace);
+      }
       return {SubmitStatus::kAccepted, std::move(result)};
     }
   }
   // The only copy, on admission.
-  WifiRequest request{rssi, {}, submitted_at, options.request_class};
+  WifiRequest request{rssi, {}, submitted_at, options.request_class, options.trace};
   std::future<serve::Fix> result = request.promise.get_future();
   // Counted before the push: once the queue has the request a worker may
   // complete it immediately, and stats() must never observe
   // completed > submitted.
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  class_accepted_[cls].fetch_add(1, std::memory_order_relaxed);
+  submitted_.inc();
+  class_accepted_[cls].inc();
+  // Stamped before the push: after it, a worker may already own the trace
+  // (the queue handoff is the happens-before edge for the later marks).
+  if (options.trace != nullptr) options.trace->stamp(obs::Mark::kAdmitted);
   const PushResult pushed =
       queue_.try_push(Request{std::move(request)}, options.request_class, deadline);
   if (pushed != PushResult::kOk) {
-    submitted_.fetch_sub(1, std::memory_order_relaxed);
-    class_accepted_[cls].fetch_sub(1, std::memory_order_relaxed);
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    class_rejected_[cls].fetch_add(1, std::memory_order_relaxed);
+    submitted_.sub();
+    class_accepted_[cls].sub();
+    rejected_.inc();
+    class_rejected_[cls].inc();
     return {pushed == PushResult::kClosed ? SubmitStatus::kStopped
                                           : SubmitStatus::kQueueFull,
             {}};
   }
   // A cache miss only counts once the scan is admitted: rejected-and-
   // retried submissions must not deflate the reported hit rate.
-  if (cached) cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  if (cached) cache_misses_.inc();
   return {SubmitStatus::kAccepted, std::move(result)};
 }
 
@@ -156,41 +172,43 @@ Submission Engine::track(SessionId session, serve::ImuSegment segment,
     if (it != sessions_.end()) state = it->second;
   }
   if (state == nullptr) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    class_rejected_[cls].fetch_add(1, std::memory_order_relaxed);
+    rejected_.inc();
+    class_rejected_[cls].inc();
     return {SubmitStatus::kNoSession, {}};
   }
   if (segment.size() != imu_->segment_dim()) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    class_rejected_[cls].fetch_add(1, std::memory_order_relaxed);
+    rejected_.inc();
+    class_rejected_[cls].inc();
     return {SubmitStatus::kBadDimension, {}};
   }
   const Clock::time_point submitted_at = Clock::now();
   const std::optional<Clock::time_point> deadline =
       resolve_deadline(options, submitted_at);
   if (deadline.has_value() && *deadline <= submitted_at) {
-    class_expired_[cls].fetch_add(1, std::memory_order_relaxed);
+    class_expired_[cls].inc();
     return {SubmitStatus::kExpired, {}};
   }
 
   std::lock_guard<std::mutex> lock(state->mu);
   if (state->closed) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    class_rejected_[cls].fetch_add(1, std::memory_order_relaxed);
+    rejected_.inc();
+    class_rejected_[cls].inc();
     return {SubmitStatus::kNoSession, {}};
   }
   if (state->pending.size() >= config_.session_backlog) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    class_rejected_[cls].fetch_add(1, std::memory_order_relaxed);
+    rejected_.inc();
+    class_rejected_[cls].inc();
     return {SubmitStatus::kQueueFull, {}};
   }
   PendingUpdate update{std::move(segment), {}, submitted_at, options.request_class,
-                       deadline};
+                       deadline, options.trace};
   std::future<serve::Fix> result = update.promise.get_future();
   // Same ordering as submit(): count before the work can become visible to
-  // a worker, roll back on rejection.
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  class_accepted_[cls].fetch_add(1, std::memory_order_relaxed);
+  // a worker, roll back on rejection. Admission for a session update means
+  // entering its FIFO (the session mutex is the handoff edge).
+  submitted_.inc();
+  class_accepted_[cls].inc();
+  if (options.trace != nullptr) options.trace->stamp(obs::Mark::kAdmitted);
   state->pending.push_back(std::move(update));
   if (!state->scheduled) {
     // Session tokens carry the class of the update that scheduled them (so
@@ -200,10 +218,10 @@ Submission Engine::track(SessionId session, serve::ImuSegment segment,
         queue_.try_push(Request{SessionWork{session}}, options.request_class);
     if (pushed != PushResult::kOk) {
       state->pending.pop_back();
-      submitted_.fetch_sub(1, std::memory_order_relaxed);
-      class_accepted_[cls].fetch_sub(1, std::memory_order_relaxed);
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      class_rejected_[cls].fetch_add(1, std::memory_order_relaxed);
+      submitted_.sub();
+      class_accepted_[cls].sub();
+      rejected_.inc();
+      class_rejected_[cls].inc();
       return {pushed == PushResult::kClosed ? SubmitStatus::kStopped
                                             : SubmitStatus::kQueueFull,
               {}};
@@ -248,20 +266,20 @@ EngineStats Engine::stats() const {
   snapshot.latency_us.merge(snapshot.bulk.latency_us);
   // Read after completed_: every completion was counted in submitted_
   // first, so this order keeps submitted >= completed in the snapshot.
-  snapshot.submitted = submitted_.load(std::memory_order_relaxed);
-  snapshot.rejected = rejected_.load(std::memory_order_relaxed);
-  snapshot.interactive.accepted = class_accepted_[0].load(std::memory_order_relaxed);
-  snapshot.interactive.rejected = class_rejected_[0].load(std::memory_order_relaxed);
-  snapshot.interactive.expired = class_expired_[0].load(std::memory_order_relaxed);
-  snapshot.bulk.accepted = class_accepted_[1].load(std::memory_order_relaxed);
-  snapshot.bulk.rejected = class_rejected_[1].load(std::memory_order_relaxed);
-  snapshot.bulk.expired = class_expired_[1].load(std::memory_order_relaxed);
+  snapshot.submitted = submitted_.value();
+  snapshot.rejected = rejected_.value();
+  snapshot.interactive.accepted = class_accepted_[0].value();
+  snapshot.interactive.rejected = class_rejected_[0].value();
+  snapshot.interactive.expired = class_expired_[0].value();
+  snapshot.bulk.accepted = class_accepted_[1].value();
+  snapshot.bulk.rejected = class_rejected_[1].value();
+  snapshot.bulk.expired = class_expired_[1].value();
   snapshot.expired = snapshot.interactive.expired + snapshot.bulk.expired;
   snapshot.queue_depth = queue_.depth();
   if (cache_.has_value()) {
     const CacheStats cache = cache_->stats();
-    snapshot.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-    snapshot.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+    snapshot.cache_hits = cache_hits_.value();
+    snapshot.cache_misses = cache_misses_.value();
     snapshot.cache_evictions = cache.evictions;
     snapshot.cache_entries = cache.entries;
   }
@@ -317,6 +335,8 @@ void Engine::worker_loop(std::size_t worker_index) {
     std::vector<Request> batch = queue_.pop_batch(
         config_.max_batch, std::chrono::microseconds(wait_us), &expired);
     if (batch.empty() && expired.empty()) return;  // closed and fully drained
+    // One clock read marks kDequeued for every trace in this batch.
+    const std::uint64_t dequeued_ns = obs::Trace::now_ns();
     if (config_.adaptive_wait) adapt_batch_window(wait_us);
     // Deadline-expired takes never reach a replica: fail their futures and
     // move on — the batch slots went to live requests instead.
@@ -340,8 +360,8 @@ void Engine::worker_loop(std::size_t worker_index) {
         tokens.push_back(std::get<SessionWork>(request).id);
       }
     }
-    if (!wifi.empty()) run_wifi_batch(replica, std::move(wifi));
-    for (const SessionId id : tokens) drain_session(id);
+    if (!wifi.empty()) run_wifi_batch(replica, std::move(wifi), dequeued_ns);
+    for (const SessionId id : tokens) drain_session(id, dequeued_ns);
   }
 }
 
@@ -360,12 +380,39 @@ void Engine::adapt_batch_window(std::uint64_t used_wait_us) {
 }
 
 void Engine::run_wifi_batch(const WifiBackend& replica,
-                            std::vector<WifiRequest> batch) {
+                            std::vector<WifiRequest> batch,
+                            std::uint64_t dequeued_ns) {
   std::vector<serve::RssiVector> queries;
   queries.reserve(batch.size());
   for (WifiRequest& request : batch) queries.push_back(std::move(request.rssi));
+  bool any_traced = false;
+  for (const WifiRequest& request : batch) {
+    if (request.trace == nullptr) continue;
+    any_traced = true;
+    request.trace->stamp(obs::Mark::kDequeued, dequeued_ns);
+  }
+  if (any_traced) {
+    const std::uint64_t assembled_ns = obs::Trace::now_ns();
+    for (const WifiRequest& request : batch) {
+      if (request.trace != nullptr) {
+        request.trace->stamp(obs::Mark::kAssembled, assembled_ns);
+      }
+    }
+  }
   const std::vector<serve::Fix> fixes = replica.locate_batch(queries);
   const Clock::time_point done = Clock::now();  // one read for the batch
+  if (any_traced) {
+    // Stamp before set_value below: the promise hands the trace to whoever
+    // awaits the future, so every engine mark must land first.
+    const auto done_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(done.time_since_epoch())
+            .count());
+    for (const WifiRequest& request : batch) {
+      if (request.trace != nullptr) {
+        request.trace->stamp(obs::Mark::kComputed, done_ns);
+      }
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++batches_;
@@ -388,10 +435,15 @@ void Engine::run_wifi_batch(const WifiBackend& replica,
   }
   for (std::size_t i = 0; i < batch.size(); ++i) {
     batch[i].promise.set_value(fixes[i]);
+    if (batch[i].trace != nullptr && !batch[i].trace->external_respond) {
+      // In-process serving: fulfilling the future IS the response write.
+      batch[i].trace->stamp(obs::Mark::kResponded);
+      obs::Tracer::global().finish(*batch[i].trace);
+    }
   }
 }
 
-void Engine::drain_session(SessionId id) {
+void Engine::drain_session(SessionId id, std::uint64_t dequeued_ns) {
   std::shared_ptr<SessionState> state;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -407,13 +459,25 @@ void Engine::drain_session(SessionId id) {
     state->pending.pop_front();
     if (update.deadline.has_value() && *update.deadline <= Clock::now()) {
       // Expired before its turn: never applied to the track, so later
-      // updates see the session state without it.
+      // updates see the session state without it. Its trace is dropped, not
+      // finished — stage latency describes served requests.
       expire_promise(update.promise, update.cls);
       continue;
     }
+    if (update.trace != nullptr) {
+      // A session update has no separate batch-assembly step; kAssembled
+      // marks the moment its turn in the FIFO comes up.
+      update.trace->stamp(obs::Mark::kDequeued, dequeued_ns);
+      update.trace->stamp(obs::Mark::kAssembled);
+    }
     const serve::Fix fix = state->session.update(update.segment);
+    if (update.trace != nullptr) update.trace->stamp(obs::Mark::kComputed);
     record_completion(update.submitted_at, update.cls);
     update.promise.set_value(fix);
+    if (update.trace != nullptr && !update.trace->external_respond) {
+      update.trace->stamp(obs::Mark::kResponded);
+      obs::Tracer::global().finish(*update.trace);
+    }
   }
   state->scheduled = false;
 }

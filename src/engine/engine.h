@@ -70,6 +70,8 @@
 #include "engine/backend.h"
 #include "engine/bounded_queue.h"
 #include "engine/fingerprint_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/imu_localizer.h"
 #include "serve/wifi_localizer.h"
 
@@ -106,9 +108,17 @@ struct SubmitOptions {
   /// future if it lapses in the queue. nullopt falls back to
   /// EngineConfig::default_deadline_us (0 there = no deadline).
   std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Optional stage trace (obs/trace.h), created by the submitting edge
+  /// (gateway or bench harness). The engine stamps kAdmitted/kDequeued/
+  /// kAssembled/kComputed on it and — unless `trace->external_respond` says
+  /// a higher tier writes the response — stamps kResponded and finishes it
+  /// after fulfilling the future. nullptr (the default) costs nothing on
+  /// the hot path. Tracing is observability only: it never changes when,
+  /// where, or with what result a request runs.
+  std::shared_ptr<obs::Trace> trace;
 
   static SubmitOptions interactive() { return {}; }
-  static SubmitOptions bulk() { return {RequestClass::kBulk, std::nullopt}; }
+  static SubmitOptions bulk() { return {RequestClass::kBulk, std::nullopt, nullptr}; }
   /// Fluent deadline-as-budget: expire unless started within `budget_us`.
   SubmitOptions& expires_in_us(std::uint64_t budget_us) {
     deadline = std::chrono::steady_clock::now() + std::chrono::microseconds(budget_us);
@@ -310,6 +320,7 @@ class Engine {
     std::promise<serve::Fix> promise;
     Clock::time_point submitted_at;
     RequestClass cls = RequestClass::kInteractive;
+    std::shared_ptr<obs::Trace> trace;  ///< stage clock; nullptr = untraced
   };
   /// Queue token: "this session has pending segments". One token is in
   /// flight per session regardless of backlog depth, so a busy track cannot
@@ -325,6 +336,7 @@ class Engine {
     Clock::time_point submitted_at;
     RequestClass cls = RequestClass::kInteractive;
     std::optional<Clock::time_point> deadline;
+    std::shared_ptr<obs::Trace> trace;  ///< stage clock; nullptr = untraced
   };
   struct SessionState {
     explicit SessionState(serve::TrackingSession s) : session(std::move(s)) {}
@@ -336,8 +348,11 @@ class Engine {
   };
 
   void worker_loop(std::size_t worker_index);
-  void run_wifi_batch(const WifiBackend& replica, std::vector<WifiRequest> batch);
-  void drain_session(SessionId id);
+  /// `dequeued_ns` is the batch's single pop timestamp — one clock read
+  /// serves every trace in the batch (kDequeued is a batch-level boundary).
+  void run_wifi_batch(const WifiBackend& replica, std::vector<WifiRequest> batch,
+                      std::uint64_t dequeued_ns);
+  void drain_session(SessionId id, std::uint64_t dequeued_ns);
   void record_completion(const Clock::time_point& submitted_at, RequestClass cls);
   void adapt_batch_window(std::uint64_t used_wait_us);
   /// Resolves the effective deadline: explicit > engine default > none.
@@ -355,19 +370,23 @@ class Engine {
   /// relaxed gauge, and any stored value is a valid window).
   std::atomic<std::uint64_t> batch_wait_us_;
 
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> rejected_{0};
+  /// Admission counters are obs::Counter (thread-striped atomics): many
+  /// submitter threads increment without sharing a cache line, and the
+  /// EngineStats snapshot stays exactly what it was — a struct *view* over
+  /// the instruments, folded at stats() time.
+  obs::Counter submitted_;
+  obs::Counter rejected_;
   /// Per-class admission counters, indexed by class_index().
-  std::atomic<std::uint64_t> class_accepted_[kNumRequestClasses] = {};
-  std::atomic<std::uint64_t> class_rejected_[kNumRequestClasses] = {};
-  std::atomic<std::uint64_t> class_expired_[kNumRequestClasses] = {};
+  obs::Counter class_accepted_[kNumRequestClasses];
+  obs::Counter class_rejected_[kNumRequestClasses];
+  obs::Counter class_expired_[kNumRequestClasses];
   /// Cache admission outcomes, engine-owned rather than read from the
   /// cache's own counters: a miss is only counted once the Wi-Fi scan is
   /// actually admitted to the queue, so kQueueFull retry loops cannot
   /// deflate the hit rate. (IMU updates count in submitted_ only — they
   /// are stateful and never cached.)
-  std::atomic<std::uint64_t> cache_hits_{0};
-  std::atomic<std::uint64_t> cache_misses_{0};
+  obs::Counter cache_hits_;
+  obs::Counter cache_misses_;
   mutable std::mutex stats_mu_;  ///< guards the fields below
   Histogram batch_hist_ = Histogram::batch_sizes();
   /// One latency histogram per class; the snapshot's total latency_us is

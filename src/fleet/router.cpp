@@ -183,11 +183,31 @@ FleetStats Router::stats() const {
   FleetStats out;
   std::shared_lock<std::shared_mutex> lock(mu_);
   out.num_shards = shards_.size();
+  // Depth gauges first, in one tight pass: eng->stats() copies whole
+  // histograms, and interleaving depth reads with those copies used to put
+  // milliseconds between the first and last engine's gauge — under load the
+  // "fleet depth" was a smear of instants that disagreed with the per-engine
+  // sum. One quick pass (a queue-lock each, no copies) nails every depth to
+  // nearly the same instant; the stats copies below then *overwrite* their
+  // own interleaved depth reads with the pass's values, which is what makes
+  // the FleetStats consistency contract (total.queue_depth == queue_depth ==
+  // sum of per-shard depths) hold exactly.
+  std::map<std::string, std::vector<std::size_t>> depth_pass;
   for (const auto& [key, shard] : shards_) {
-    engine::EngineStats merged;
+    std::vector<std::size_t>& depths = depth_pass[key];
+    depths.reserve(shard->engines.size());
     for (const auto& eng : shard->engines) {
-      merged.merge(eng->stats());
-      out.queue_depth += eng->queue_depth();
+      depths.push_back(eng->queue_depth());
+      out.queue_depth += depths.back();
+    }
+  }
+  for (const auto& [key, shard] : shards_) {
+    const std::vector<std::size_t>& depths = depth_pass[key];
+    engine::EngineStats merged;
+    for (std::size_t e = 0; e < shard->engines.size(); ++e) {
+      engine::EngineStats snap = shard->engines[e]->stats();
+      snap.queue_depth = depths[e];
+      merged.merge(snap);
       ++out.num_engines;
     }
     out.total.merge(merged);

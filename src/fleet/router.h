@@ -63,15 +63,25 @@ struct FleetSession {
 };
 
 /// Fleet-wide telemetry built by merge()-ing per-engine EngineStats.
+///
+/// Consistency contract for the queue-depth gauges: Router::stats() reads
+/// every engine's depth in one tight pass *before* the (much slower)
+/// histogram-copying stats snapshots, then overwrites each snapshot's own
+/// depth with the pass's value. Consequently `queue_depth`,
+/// `total.queue_depth`, and the sum of `shards[*].queue_depth` are all the
+/// same sum of per-engine reads taken within microseconds of each other —
+/// never a smear of instants milliseconds apart. (Depths remain gauges: the
+/// pass is near-simultaneous, not an atomic cut across engines, and the
+/// *counter* fields are still read at each engine's own snapshot instant.)
 struct FleetStats {
   engine::EngineStats total;  ///< merged across every engine of every shard
   std::map<std::string, engine::EngineStats> shards;  ///< merged per shard
   std::size_t num_shards = 0;
   std::size_t num_engines = 0;
-  /// Live fleet-wide queue depth, summed from Engine::queue_depth() at
-  /// snapshot time. total.queue_depth carries the same sum but rides the
-  /// full-histogram stats copy; this gauge is the cheap one overload
-  /// dashboards (the gateway Stats page, the load harness) poll.
+  /// Live fleet-wide queue depth from the single depth pass (see contract
+  /// above): always exactly equal to total.queue_depth. This gauge is the
+  /// cheap one overload dashboards (the gateway Stats page, the load
+  /// harness) poll.
   std::size_t queue_depth = 0;
 };
 

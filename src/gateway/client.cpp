@@ -233,4 +233,18 @@ std::optional<std::string> GatewayClient::stats_text() {
   return text;
 }
 
+std::optional<std::string> GatewayClient::stats_snapshot_bytes() {
+  wire::Frame frame;
+  frame.type = wire::MsgType::kStatsBinary;
+  frame.request_id = next_request_id_++;
+  if (!sock_.send_frame(frame)) return std::nullopt;
+  std::optional<wire::Frame> reply =
+      await(wire::MsgType::kStatsSnapshot, frame.request_id);
+  std::string bytes;
+  if (!reply.has_value() || !wire::decode_text_body(reply->body, bytes)) {
+    return std::nullopt;
+  }
+  return bytes;
+}
+
 }  // namespace noble::gateway

@@ -92,8 +92,12 @@ class GatewayClient {
 
   bool close_session(std::uint64_t session_id);
 
-  /// The scrape page (gateway counters + fleet stats).
+  /// The scrape page (gateway counters + fleet stats), Prometheus text.
   std::optional<std::string> stats_text();
+
+  /// The binary scrape: raw bytes of the server's obs::encode_snapshot
+  /// image (full histogram bins included). Decode with obs::decode_snapshot.
+  std::optional<std::string> stats_snapshot_bytes();
 
   // --- pipelined access ------------------------------------------------------
 

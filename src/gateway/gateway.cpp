@@ -45,19 +45,6 @@ engine::SubmitOptions to_submit_options(const wire::Frame& frame) {
   return options;
 }
 
-void append_counter(std::string& out, const char* name, std::uint64_t value) {
-  char line[128];
-  std::snprintf(line, sizeof line, "%s %llu\n", name,
-                static_cast<unsigned long long>(value));
-  out += line;
-}
-
-void append_gauge_f(std::string& out, const char* name, double value) {
-  char line[128];
-  std::snprintf(line, sizeof line, "%s %.1f\n", name, value);
-  out += line;
-}
-
 }  // namespace
 
 Listener::Listener(fleet::Router& router, GatewayConfig config)
@@ -151,8 +138,8 @@ void Listener::accept_loop() {
     if (ready <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    if (connections_open_.load(std::memory_order_relaxed) >= config_.max_connections) {
-      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (connections_open_.value() >= config_.max_connections) {
+      connections_rejected_.inc();
       ::close(fd);
       continue;
     }
@@ -163,8 +150,8 @@ void Listener::accept_loop() {
     const int one = 1;
     // Frames are small and latency is the product; never Nagle-delay them.
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    connections_open_.fetch_add(1, std::memory_order_relaxed);
+    connections_accepted_.inc();
+    connections_open_.inc();
     Handler& handler = *handlers_[next_handler];
     next_handler = (next_handler + 1) % handlers_.size();
     {
@@ -256,6 +243,11 @@ bool Listener::handle_readable(Connection& conn) {
     if (errno == EINTR) continue;
     return false;
   }
+  // One clock read stamps kRecv for every frame parsed out of this read
+  // pass — the bytes were all on the socket together, so they share an
+  // arrival instant. 0 (tracing off) skips trace creation downstream.
+  const std::uint64_t recv_ns =
+      obs::Tracer::global().enabled() ? obs::Trace::now_ns() : 0;
   while (!conn.closing) {
     wire::Frame frame;
     std::string error;
@@ -263,28 +255,41 @@ bool Listener::handle_readable(Connection& conn) {
       case wire::DecodeResult::kNeedMore:
         return true;
       case wire::DecodeResult::kMalformed:
-        malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+        malformed_frames_.inc();
         send_frame(conn, wire::MsgType::kError, 0, wire::encode_text_body(error));
         // One error frame, then close: there is no resync point in a
         // length-prefixed stream once the prefix itself is untrusted.
         conn.closing = true;
         return true;
       case wire::DecodeResult::kFrame:
-        frames_received_.fetch_add(1, std::memory_order_relaxed);
-        if (!handle_frame(conn, std::move(frame))) return false;
+        frames_received_.inc();
+        if (!handle_frame(conn, std::move(frame), recv_ns)) return false;
         break;
     }
   }
   return true;
 }
 
-bool Listener::handle_frame(Connection& conn, wire::Frame frame) {
+bool Listener::handle_frame(Connection& conn, wire::Frame frame,
+                            std::uint64_t recv_ns) {
   const auto malformed = [&](const char* what) {
-    malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+    malformed_frames_.inc();
     send_frame(conn, wire::MsgType::kError, frame.request_id,
                wire::encode_text_body(what));
     conn.closing = true;
     return true;
+  };
+  // Stage trace for a decoded request frame: decode = kRecv -> kSubmit, the
+  // engine stamps the middle, settle_inflight stamps kResponded and
+  // finishes. nullptr when tracing is off.
+  const auto start_trace = [&] {
+    std::shared_ptr<obs::Trace> trace = obs::Tracer::global().start(frame.request_id);
+    if (trace != nullptr) {
+      trace->external_respond = true;  // the gateway writes the response
+      if (recv_ns != 0) trace->stamp(obs::Mark::kRecv, recv_ns);
+      trace->stamp(obs::Mark::kSubmit);
+    }
+    return trace;
   };
 
   switch (frame.type) {
@@ -295,15 +300,20 @@ bool Listener::handle_frame(Connection& conn, wire::Frame frame) {
         return malformed("bad locate body");
       }
       if (conn.inflight.size() >= config_.inflight_window) {
-        backpressure_rejects_.fetch_add(1, std::memory_order_relaxed);
+        backpressure_rejects_.inc();
         send_frame(conn, wire::MsgType::kFix, frame.request_id,
                    wire::encode_fix_body(wire::Status::kWindowFull, nullptr));
         return true;
       }
-      engine::Submission s = router_.submit(shard_key, rssi, to_submit_options(frame));
+      engine::SubmitOptions options = to_submit_options(frame);
+      options.trace = start_trace();
+      engine::Submission s = router_.submit(shard_key, rssi, options);
       if (s.accepted()) {
-        conn.inflight.push_back(Pending{frame.request_id, frame.cls, std::move(s.result)});
+        conn.inflight.push_back(Pending{frame.request_id, frame.cls,
+                                        std::move(s.result), std::move(options.trace)});
       } else {
+        // Rejected: the trace is dropped unfinished — stage histograms
+        // describe served requests.
         send_frame(conn, wire::MsgType::kFix, frame.request_id,
                    wire::encode_fix_body(to_wire_status(s.status), nullptr));
       }
@@ -322,15 +332,17 @@ bool Listener::handle_frame(Connection& conn, wire::Frame frame) {
         return true;
       }
       if (conn.inflight.size() >= config_.inflight_window) {
-        backpressure_rejects_.fetch_add(1, std::memory_order_relaxed);
+        backpressure_rejects_.inc();
         send_frame(conn, wire::MsgType::kFix, frame.request_id,
                    wire::encode_fix_body(wire::Status::kWindowFull, nullptr));
         return true;
       }
-      engine::Submission s =
-          router_.track(it->second, std::move(segment), to_submit_options(frame));
+      engine::SubmitOptions options = to_submit_options(frame);
+      options.trace = start_trace();
+      engine::Submission s = router_.track(it->second, std::move(segment), options);
       if (s.accepted()) {
-        conn.inflight.push_back(Pending{frame.request_id, frame.cls, std::move(s.result)});
+        conn.inflight.push_back(Pending{frame.request_id, frame.cls,
+                                        std::move(s.result), std::move(options.trace)});
       } else {
         send_frame(conn, wire::MsgType::kFix, frame.request_id,
                    wire::encode_fix_body(to_wire_status(s.status), nullptr));
@@ -354,7 +366,7 @@ bool Listener::handle_frame(Connection& conn, wire::Frame frame) {
       }
       const std::uint64_t wire_id = conn.next_session_id++;
       conn.sessions.emplace(wire_id, *session);
-      sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+      sessions_opened_.inc();
       send_frame(conn, wire::MsgType::kSessionOpened, frame.request_id,
                  wire::encode_session_opened_body(wire::Status::kOk, wire_id));
       return true;
@@ -369,7 +381,7 @@ bool Listener::handle_frame(Connection& conn, wire::Frame frame) {
       if (it != conn.sessions.end()) {
         router_.close_session(it->second);
         conn.sessions.erase(it);
-        sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+        sessions_closed_.inc();
         status = wire::Status::kOk;
       }
       send_frame(conn, wire::MsgType::kSessionClosed, frame.request_id,
@@ -380,11 +392,18 @@ bool Listener::handle_frame(Connection& conn, wire::Frame frame) {
       send_frame(conn, wire::MsgType::kStatsText, frame.request_id,
                  wire::encode_text_body(stats_text()));
       return true;
+    case wire::MsgType::kStatsBinary:
+      // Same snapshot, binary exposition: full histogram bins ride the
+      // text-body framing (u64 length + raw bytes carries arbitrary bytes).
+      send_frame(conn, wire::MsgType::kStatsSnapshot, frame.request_id,
+                 wire::encode_text_body(obs::encode_snapshot(stats_snapshot())));
+      return true;
     case wire::MsgType::kFix:
     case wire::MsgType::kSessionOpened:
     case wire::MsgType::kSessionClosed:
     case wire::MsgType::kStatsText:
     case wire::MsgType::kError:
+    case wire::MsgType::kStatsSnapshot:
       return malformed("response type from client");
   }
   return malformed("unknown message type");
@@ -412,6 +431,15 @@ std::size_t Listener::settle_inflight(Connection& conn) {
       body = wire::encode_fix_body(wire::Status::kStopped, nullptr);
     }
     send_frame(conn, wire::MsgType::kFix, it->request_id, std::move(body));
+    if (it->trace != nullptr) {
+      // The respond stage ends when the response enters the write buffer:
+      // the poll loop owns the actual socket flush, and per-frame kernel
+      // write timing would need outbuf bookkeeping tracing does not pay
+      // for. (A failed request still finishes here — its unreached stage
+      // marks are simply absent from the stage histograms.)
+      it->trace->stamp(obs::Mark::kResponded);
+      obs::Tracer::global().finish(*it->trace);
+    }
     it = conn.inflight.erase(it);
     ++settled;
   }
@@ -440,7 +468,7 @@ void Listener::send_frame(Connection& conn, wire::MsgType type,
   frame.request_id = request_id;
   frame.body = std::move(body);
   conn.outbuf += wire::encode_frame(frame);
-  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  frames_sent_.inc();
 }
 
 void Listener::close_connection(Connection& conn) {
@@ -449,81 +477,82 @@ void Listener::close_connection(Connection& conn) {
   // with the connection, exactly like a device dropping off the network.
   for (const auto& [wire_id, session] : conn.sessions) {
     router_.close_session(session);
-    sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+    sessions_closed_.inc();
   }
   conn.sessions.clear();
   ::close(conn.fd);
   conn.fd = -1;
-  connections_open_.fetch_sub(1, std::memory_order_relaxed);
+  connections_open_.sub();
 }
 
 GatewayCounters Listener::counters() const {
   GatewayCounters out;
-  out.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
-  out.connections_open = connections_open_.load(std::memory_order_relaxed);
-  out.connections_rejected = connections_rejected_.load(std::memory_order_relaxed);
-  out.frames_received = frames_received_.load(std::memory_order_relaxed);
-  out.frames_sent = frames_sent_.load(std::memory_order_relaxed);
-  out.malformed_frames = malformed_frames_.load(std::memory_order_relaxed);
-  out.backpressure_rejects = backpressure_rejects_.load(std::memory_order_relaxed);
-  out.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
-  out.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
+  out.connections_accepted = connections_accepted_.value();
+  out.connections_open = connections_open_.value();
+  out.connections_rejected = connections_rejected_.value();
+  out.frames_received = frames_received_.value();
+  out.frames_sent = frames_sent_.value();
+  out.malformed_frames = malformed_frames_.value();
+  out.backpressure_rejects = backpressure_rejects_.value();
+  out.sessions_opened = sessions_opened_.value();
+  out.sessions_closed = sessions_closed_.value();
+  return out;
+}
+
+obs::MetricsSnapshot Listener::stats_snapshot() const {
+  obs::MetricsSnapshot out;
+  // Gateway and fleet samples are spliced from this listener's own counters
+  // and router — NOT from global named instruments: many listeners/engines
+  // coexist in one process (every gateway test stands one up), and a global
+  // "noble_fleet_submitted" would smear them together. The global registry
+  // contributes only genuinely process-wide instruments (trace stage
+  // histograms, trace counters) at the end.
+  const GatewayCounters c = counters();
+  out.counter("noble_gateway_connections_accepted", c.connections_accepted);
+  out.counter("noble_gateway_connections_open", c.connections_open);
+  out.counter("noble_gateway_connections_rejected", c.connections_rejected);
+  out.counter("noble_gateway_frames_received", c.frames_received);
+  out.counter("noble_gateway_frames_sent", c.frames_sent);
+  out.counter("noble_gateway_malformed_frames", c.malformed_frames);
+  out.counter("noble_gateway_backpressure_rejects", c.backpressure_rejects);
+  out.counter("noble_gateway_sessions_opened", c.sessions_opened);
+  out.counter("noble_gateway_sessions_closed", c.sessions_closed);
+
+  const fleet::FleetStats stats = router_.stats();
+  out.counter("noble_fleet_shards", stats.num_shards);
+  out.counter("noble_fleet_engines", stats.num_engines);
+  out.gauge_int("noble_fleet_queue_depth", stats.queue_depth);
+  out.counter("noble_fleet_submitted", stats.total.submitted);
+  out.counter("noble_fleet_completed", stats.total.completed);
+  out.counter("noble_fleet_rejected", stats.total.rejected);
+  out.counter("noble_fleet_expired", stats.total.expired);
+  out.counter("noble_fleet_batches", stats.total.batches);
+  out.counter("noble_fleet_cache_hits", stats.total.cache_hits);
+  out.counter("noble_fleet_cache_misses", stats.total.cache_misses);
+  for (const engine::RequestClass cls :
+       {engine::RequestClass::kInteractive, engine::RequestClass::kBulk}) {
+    const engine::ClassStats& cs = stats.total.for_class(cls);
+    const std::string prefix = std::string("noble_fleet_") +
+                               engine::request_class_name(cls);
+    out.counter(prefix + "_accepted", cs.accepted);
+    out.counter(prefix + "_rejected", cs.rejected);
+    out.counter(prefix + "_expired", cs.expired);
+    out.gauge(prefix + "_p50_us", cs.latency.p50_us);
+    out.gauge(prefix + "_p95_us", cs.latency.p95_us);
+    out.gauge(prefix + "_p99_us", cs.latency.p99_us);
+  }
+  for (const fleet::ShardDepths& shard : router_.queue_depths()) {
+    for (std::size_t e = 0; e < shard.engines.size(); ++e) {
+      out.gauge_int("noble_fleet_queue_depth", shard.engines[e],
+                    {{"shard", shard.shard}, {"engine", std::to_string(e)}});
+    }
+  }
+  out.append(obs::Registry::global().collect());
   return out;
 }
 
 std::string Listener::stats_text() const {
-  std::string out;
-  out.reserve(2048);
-  const GatewayCounters c = counters();
-  append_counter(out, "noble_gateway_connections_accepted", c.connections_accepted);
-  append_counter(out, "noble_gateway_connections_open", c.connections_open);
-  append_counter(out, "noble_gateway_connections_rejected", c.connections_rejected);
-  append_counter(out, "noble_gateway_frames_received", c.frames_received);
-  append_counter(out, "noble_gateway_frames_sent", c.frames_sent);
-  append_counter(out, "noble_gateway_malformed_frames", c.malformed_frames);
-  append_counter(out, "noble_gateway_backpressure_rejects", c.backpressure_rejects);
-  append_counter(out, "noble_gateway_sessions_opened", c.sessions_opened);
-  append_counter(out, "noble_gateway_sessions_closed", c.sessions_closed);
-
-  const fleet::FleetStats stats = router_.stats();
-  append_counter(out, "noble_fleet_shards", stats.num_shards);
-  append_counter(out, "noble_fleet_engines", stats.num_engines);
-  append_counter(out, "noble_fleet_queue_depth", stats.queue_depth);
-  append_counter(out, "noble_fleet_submitted", stats.total.submitted);
-  append_counter(out, "noble_fleet_completed", stats.total.completed);
-  append_counter(out, "noble_fleet_rejected", stats.total.rejected);
-  append_counter(out, "noble_fleet_expired", stats.total.expired);
-  append_counter(out, "noble_fleet_batches", stats.total.batches);
-  append_counter(out, "noble_fleet_cache_hits", stats.total.cache_hits);
-  append_counter(out, "noble_fleet_cache_misses", stats.total.cache_misses);
-  for (const engine::RequestClass cls :
-       {engine::RequestClass::kInteractive, engine::RequestClass::kBulk}) {
-    const engine::ClassStats& cs = stats.total.for_class(cls);
-    const char* name = engine::request_class_name(cls);
-    char key[96];
-    std::snprintf(key, sizeof key, "noble_fleet_%s_accepted", name);
-    append_counter(out, key, cs.accepted);
-    std::snprintf(key, sizeof key, "noble_fleet_%s_rejected", name);
-    append_counter(out, key, cs.rejected);
-    std::snprintf(key, sizeof key, "noble_fleet_%s_expired", name);
-    append_counter(out, key, cs.expired);
-    std::snprintf(key, sizeof key, "noble_fleet_%s_p50_us", name);
-    append_gauge_f(out, key, cs.latency.p50_us);
-    std::snprintf(key, sizeof key, "noble_fleet_%s_p95_us", name);
-    append_gauge_f(out, key, cs.latency.p95_us);
-    std::snprintf(key, sizeof key, "noble_fleet_%s_p99_us", name);
-    append_gauge_f(out, key, cs.latency.p99_us);
-  }
-  for (const fleet::ShardDepths& shard : router_.queue_depths()) {
-    for (std::size_t e = 0; e < shard.engines.size(); ++e) {
-      char line[160];
-      std::snprintf(line, sizeof line,
-                    "noble_fleet_queue_depth{shard=\"%s\",engine=\"%zu\"} %zu\n",
-                    shard.shard.c_str(), e, shard.engines[e]);
-      out += line;
-    }
-  }
-  return out;
+  return obs::render_prometheus(stats_snapshot());
 }
 
 }  // namespace noble::gateway

@@ -34,9 +34,16 @@
 // locate() — the wire codec moves exact bit patterns, never re-derived
 // values.
 //
-// stats_text() renders gateway counters + FleetStats + per-engine queue
-// depths as a scrape-friendly "name value" text page, also served as the
-// kStats frame.
+// Observability: per-request frames (kLocate / kTrackUpdate) carry an
+// obs::Trace when tracing is on — kRecv stamped at byte arrival, kSubmit at
+// decode, engine marks inside, kResponded when the response enters the
+// write buffer — and the gateway finishes each trace into the process-wide
+// stage histograms. The scrape page is built as an obs::MetricsSnapshot
+// (gateway counters + FleetStats views + per-engine depth gauges + the
+// global registry's trace instruments) and served in either exposition
+// format: kStats returns the Prometheus text rendering, kStatsBinary the
+// versioned binary image — full histogram bins, decodable with
+// obs::decode_snapshot.
 #ifndef NOBLE_GATEWAY_GATEWAY_H_
 #define NOBLE_GATEWAY_GATEWAY_H_
 
@@ -53,6 +60,8 @@
 
 #include "fleet/router.h"
 #include "gateway/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace noble::gateway {
 
@@ -119,9 +128,15 @@ class Listener {
 
   GatewayCounters counters() const;
 
-  /// The scrape page: gateway counters, FleetStats totals and per-class
-  /// percentiles, and per-shard/per-engine queue depths, one "name value"
-  /// line each. Served over the wire as the kStats response.
+  /// The scrape snapshot: gateway counters, FleetStats totals and per-class
+  /// percentiles, per-shard/per-engine queue depths (all as view samples),
+  /// plus every instrument in obs::Registry::global() (the tracer's stage
+  /// histograms and trace counters). Both wire scrape formats and
+  /// stats_text() render this one snapshot.
+  obs::MetricsSnapshot stats_snapshot() const;
+
+  /// Prometheus text rendering of stats_snapshot() — the scrape page,
+  /// served over the wire as the kStats response.
   std::string stats_text() const;
 
  private:
@@ -129,6 +144,7 @@ class Listener {
     std::uint64_t request_id = 0;
     engine::RequestClass cls = engine::RequestClass::kInteractive;
     std::future<serve::Fix> result;
+    std::shared_ptr<obs::Trace> trace;  ///< stage clock; nullptr = untraced
   };
 
   struct Connection {
@@ -154,8 +170,9 @@ class Listener {
   void handler_loop(Handler& handler);
   /// Drains readable bytes and parses frames; false = close the connection.
   bool handle_readable(Connection& conn);
-  /// Dispatches one decoded frame; false = close the connection.
-  bool handle_frame(Connection& conn, wire::Frame frame);
+  /// Dispatches one decoded frame; false = close the connection. `recv_ns`
+  /// is the kRecv stamp for this read pass (0 when tracing is off).
+  bool handle_frame(Connection& conn, wire::Frame frame, std::uint64_t recv_ns);
   /// Moves fulfilled futures from the in-flight window into the write
   /// buffer; returns how many settled.
   std::size_t settle_inflight(Connection& conn);
@@ -173,15 +190,19 @@ class Listener {
   std::vector<std::unique_ptr<Handler>> handlers_;
   std::thread accept_thread_;
 
-  std::atomic<std::uint64_t> connections_accepted_{0};
-  std::atomic<std::uint64_t> connections_open_{0};
-  std::atomic<std::uint64_t> connections_rejected_{0};
-  std::atomic<std::uint64_t> frames_received_{0};
-  std::atomic<std::uint64_t> frames_sent_{0};
-  std::atomic<std::uint64_t> malformed_frames_{0};
-  std::atomic<std::uint64_t> backpressure_rejects_{0};
-  std::atomic<std::uint64_t> sessions_opened_{0};
-  std::atomic<std::uint64_t> sessions_closed_{0};
+  /// obs::Counter members (thread-striped): handler threads increment
+  /// without sharing lines, and GatewayCounters stays the struct view.
+  /// connections_open_ is a level worn as a counter (inc on accept, sub on
+  /// close) — the mod-2^64 stripe sum keeps it exact.
+  obs::Counter connections_accepted_;
+  obs::Counter connections_open_;
+  obs::Counter connections_rejected_;
+  obs::Counter frames_received_;
+  obs::Counter frames_sent_;
+  obs::Counter malformed_frames_;
+  obs::Counter backpressure_rejects_;
+  obs::Counter sessions_opened_;
+  obs::Counter sessions_closed_;
 };
 
 }  // namespace noble::gateway

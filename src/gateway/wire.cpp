@@ -15,11 +15,13 @@ bool known_type(std::uint32_t raw) {
     case MsgType::kTrackUpdate:
     case MsgType::kCloseSession:
     case MsgType::kStats:
+    case MsgType::kStatsBinary:
     case MsgType::kFix:
     case MsgType::kSessionOpened:
     case MsgType::kSessionClosed:
     case MsgType::kStatsText:
     case MsgType::kError:
+    case MsgType::kStatsSnapshot:
       return true;
   }
   return false;

@@ -56,13 +56,15 @@ enum class MsgType : std::uint32_t {
   kOpenSession = 2,   ///< open a streaming IMU track on a shard
   kTrackUpdate = 3,   ///< one IMU segment for an open session
   kCloseSession = 4,  ///< close a streaming track
-  kStats = 5,         ///< scrape the stats text
+  kStats = 5,         ///< scrape the stats page, Prometheus text exposition
+  kStatsBinary = 6,   ///< scrape the obs::MetricsSnapshot binary exposition
   // Server -> client.
   kFix = 101,            ///< Locate / TrackUpdate outcome (status + fix)
   kSessionOpened = 102,  ///< OpenSession outcome (status + session id)
   kSessionClosed = 103,  ///< CloseSession outcome (status)
   kStatsText = 104,      ///< Stats outcome (text page)
   kError = 105,          ///< protocol violation; the connection closes after
+  kStatsSnapshot = 106,  ///< StatsBinary outcome (encode_snapshot image)
 };
 
 /// Outcome code carried by response frames: engine::SubmitStatus verdicts

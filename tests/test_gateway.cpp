@@ -567,6 +567,32 @@ TEST(GatewayListener, StatsTextExposesGatewayAndFleetTelemetry) {
   }
 }
 
+TEST(GatewayListener, BinaryScrapeDecodesToTheSameTelemetry) {
+  LiveGateway gw;
+  std::optional<GatewayClient> client =
+      GatewayClient::connect("127.0.0.1", gw.listener.port());
+  ASSERT_TRUE(client.has_value());
+  const auto queries = test_queries(4);
+  for (const auto& q : queries) ASSERT_TRUE(client->locate("bldg-A", q).ok());
+  const std::optional<std::string> bytes = client->stats_snapshot_bytes();
+  ASSERT_TRUE(bytes.has_value());
+  const std::optional<obs::MetricsSnapshot> snap = obs::decode_snapshot(*bytes);
+  ASSERT_TRUE(snap.has_value());
+  const obs::MetricSample* submitted = snap->find("noble_fleet_submitted");
+  ASSERT_NE(submitted, nullptr);
+  EXPECT_EQ(submitted->counter_value, 4u);
+  const obs::MetricSample* depth = snap->find(
+      "noble_fleet_queue_depth", {{"shard", "bldg-A"}, {"engine", "0"}});
+  ASSERT_NE(depth, nullptr);
+  EXPECT_TRUE(depth->integer_gauge);
+  // The binary image carries full bins, not just quantiles: the global
+  // stage histograms decode as real Histograms a scraper could delta.
+  const obs::MetricSample* e2e = snap->find("noble_trace_e2e_us");
+  ASSERT_NE(e2e, nullptr);
+  ASSERT_TRUE(e2e->hist.has_value());
+  EXPECT_TRUE(e2e->hist->same_layout(Histogram::latency_us()));
+}
+
 // ---------------------------------------------------------------------------
 // Router::queue_depths() — the per-shard/per-engine snapshot behind the
 // stats page's depth gauges (new in this PR alongside the gateway).
