@@ -244,7 +244,8 @@ void write_csv(const std::string& path, const char* target,
     std::fprintf(out,
                  "target,offered_qps,achieved_qps,interactive_p50_us,"
                  "interactive_p99_us,bulk_p50_us,bulk_p99_us,session_p50_us,"
-                 "session_p99_us,shed,expired,decode_p50_us,admission_p50_us,"
+                 "session_p99_us,shed,expired,interactive_goodput,bulk_goodput,"
+                 "session_goodput,decode_p50_us,admission_p50_us,"
                  "queue_p50_us,assembly_p50_us,compute_p50_us,respond_p50_us\n");
   }
   for (const auto& sweep_row : rows) {
@@ -262,6 +263,16 @@ void write_csv(const std::string& path, const char* target,
                  static_cast<unsigned long long>(row.interactive.expired +
                                                  row.bulk.expired +
                                                  row.session.expired));
+    // Per-class goodput: the fraction of attempted requests that completed
+    // with a fix before any deadline — shed and expired both count against
+    // it. 1.0 for a class with no traffic (nothing offered, nothing lost).
+    const auto goodput = [](const noble::bench::ClassLoadReport& cls) {
+      return cls.attempted == 0 ? 1.0
+                                : static_cast<double>(cls.completed) /
+                                      static_cast<double>(cls.attempted);
+    };
+    std::fprintf(out, ",%.4f,%.4f,%.4f", goodput(row.interactive),
+                 goodput(row.bulk), goodput(row.session));
     // Server-side stage medians for this step's traffic (0.0 when the stage
     // never ran — in-process rows have no decode leg, for example).
     for (const noble::Histogram& stage : sweep_row.stages.stages) {

@@ -107,6 +107,9 @@ engine::EngineConfig engine_config_from_env(engine::EngineConfig defaults) {
   }
   cfg.default_deadline_us = static_cast<std::uint64_t>(env_int(
       "NOBLE_ENGINE_DEADLINE_US", static_cast<long>(defaults.default_deadline_us)));
+  cfg.edf_bulk = env_int("NOBLE_ENGINE_EDF", defaults.edf_bulk ? 1 : 0) != 0;
+  cfg.coalesce_sessions =
+      env_int("NOBLE_ENGINE_COALESCE", defaults.coalesce_sessions ? 1 : 0) != 0;
   return cfg;
 }
 
@@ -114,12 +117,14 @@ std::string describe_engine_config(const engine::EngineConfig& cfg) {
   char buffer[384];
   std::snprintf(buffer, sizeof(buffer),
                 "%zu workers, max_batch %zu, max_wait %llu us%s, queue_cap %zu "
-                "(class caps %zu:%zu), deadline %llu us, backend %s, cache %zu, "
-                "kernel %s",
+                "(class caps %zu:%zu), bulk %s, sessions %s, deadline %llu us, "
+                "backend %s, cache %zu, kernel %s",
                 cfg.workers, cfg.max_batch,
                 static_cast<unsigned long long>(cfg.max_wait_us),
                 cfg.adaptive_wait ? " (adaptive)" : "", cfg.queue_cap,
                 cfg.interactive_cap, cfg.bulk_cap,
+                cfg.edf_bulk ? "edf" : "fifo",
+                cfg.coalesce_sessions ? "coalesced" : "serialized",
                 static_cast<unsigned long long>(cfg.default_deadline_us),
                 engine::backend_kind_name(cfg.backend), cfg.cache_capacity,
                 kernels::isa_name(kernels::active_isa()));

@@ -15,7 +15,14 @@
 //    window, bulk fills the remainder of the batch;
 //  * entries may carry a deadline: ones that expire before a consumer
 //    reaches them are handed back separately instead of wasting a slot in
-//    the batch (the caller fails their promises; no GEMM is spent on them).
+//    the batch (the caller fails their promises; no GEMM is spent on them);
+//  * optionally the bulk lane orders by earliest deadline first (EDF)
+//    instead of arrival: under a deadline-diverse backlog, draining the
+//    most urgent work first converts entries that FIFO would have let
+//    expire into completions — more goodput from the same queue. Ties (and
+//    deadline-less entries, which sort last) break by admission sequence,
+//    so the order is total and deterministic. Interactive stays FIFO: its
+//    product is arrival-order latency, not deadline goodput.
 //
 // Consumers block in `pop_batch`, which gathers up to `max_items` entries,
 // waiting at most `max_wait` after the first entry for stragglers — the
@@ -23,10 +30,12 @@
 #ifndef NOBLE_ENGINE_BOUNDED_QUEUE_H_
 #define NOBLE_ENGINE_BOUNDED_QUEUE_H_
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -82,8 +91,11 @@ class BoundedQueue {
  public:
   using Clock = std::chrono::steady_clock;
 
-  explicit BoundedQueue(std::size_t capacity, ClassCaps caps = {})
-      : capacity_(capacity), caps_(caps) {
+  /// `edf_bulk` switches the bulk lane from FIFO to earliest-deadline-first
+  /// ordering (see the header comment); the interactive lane is always FIFO.
+  explicit BoundedQueue(std::size_t capacity, ClassCaps caps = {},
+                        bool edf_bulk = false)
+      : capacity_(capacity), caps_(caps), edf_bulk_(edf_bulk) {
     NOBLE_EXPECTS(capacity >= 1);
     NOBLE_EXPECTS(caps.interactive <= capacity);
     NOBLE_EXPECTS(caps.bulk <= capacity);
@@ -103,7 +115,19 @@ class BoundedQueue {
       const std::size_t class_cap = caps_.of(cls);
       if (class_cap > 0 && lane.size() >= class_cap) return PushResult::kFull;
       if (size_locked() >= capacity_) return PushResult::kFull;
-      lane.push_back(Entry{std::move(item), deadline});
+      Entry entry{std::move(item), deadline, next_seq_++};
+      if (edf_bulk_ && cls == RequestClass::kBulk) {
+        // Sorted insertion keeps pop_batch a plain front-pop: the deque is
+        // always ordered by (deadline, seq), deadline-less entries last.
+        // O(lane) memmove per insert is fine at queue-cap scale (~1k small
+        // entries) — pop_batch's contended path stays untouched.
+        const auto pos = std::upper_bound(
+            lane.begin(), lane.end(), entry,
+            [](const Entry& a, const Entry& b) { return a.key() < b.key(); });
+        lane.insert(pos, std::move(entry));
+      } else {
+        lane.push_back(std::move(entry));
+      }
     }
     cv_.notify_one();
     return PushResult::kOk;
@@ -188,20 +212,34 @@ class BoundedQueue {
   std::size_t capacity() const { return capacity_; }
   const ClassCaps& class_caps() const { return caps_; }
 
+  /// True when the bulk lane drains earliest-deadline-first.
+  bool edf_bulk() const { return edf_bulk_; }
+
  private:
   struct Entry {
     T item;
     std::optional<Clock::time_point> deadline;
+    /// Admission order, the EDF tie-breaker: equal deadlines (and the
+    /// deadline-less tail) drain in arrival order, making the bulk-lane
+    /// order total and deterministic.
+    std::uint64_t seq = 0;
+
+    std::pair<Clock::time_point, std::uint64_t> key() const {
+      return {deadline.value_or(Clock::time_point::max()), seq};
+    }
   };
 
   std::size_t size_locked() const { return lanes_[0].size() + lanes_[1].size(); }
 
   const std::size_t capacity_;
   const ClassCaps caps_;
+  const bool edf_bulk_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  /// One FIFO lane per class; index 0 (interactive) always drains first.
+  /// One lane per class; index 0 (interactive) always drains first.
+  /// Interactive is FIFO; bulk is FIFO or deadline-ordered (edf_bulk_).
   std::array<std::deque<Entry>, kNumRequestClasses> lanes_;
+  std::uint64_t next_seq_ = 0;
   bool closed_ = false;
 };
 

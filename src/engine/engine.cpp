@@ -22,7 +22,8 @@ Engine::Engine(std::unique_ptr<WifiBackend> prototype, EngineConfig config)
     : config_(config),
       queue_(config.queue_cap,
              ClassCaps{std::min(config.interactive_cap, config.queue_cap),
-                       std::min(config.bulk_cap, config.queue_cap)}),
+                       std::min(config.bulk_cap, config.queue_cap)},
+             config.edf_bulk),
       batch_wait_us_(config.max_wait_us) {
   NOBLE_EXPECTS(prototype != nullptr);
   NOBLE_EXPECTS(config_.workers >= 1);
@@ -256,7 +257,11 @@ EngineStats Engine::stats() const {
     std::lock_guard<std::mutex> lock(stats_mu_);
     snapshot.completed = completed_;
     snapshot.batches = batches_;
+    snapshot.imu_batches = imu_batches_;
     snapshot.batch_size = batch_hist_;
+    snapshot.imu_batch_size = imu_batch_hist_;
+    snapshot.queue_wait_us = queue_wait_hist_;
+    snapshot.assembly_us = assembly_hist_;
     snapshot.interactive.latency_us = class_latency_[0];
     snapshot.bulk.latency_us = class_latency_[1];
   }
@@ -276,6 +281,8 @@ EngineStats Engine::stats() const {
   snapshot.bulk.expired = class_expired_[1].value();
   snapshot.expired = snapshot.interactive.expired + snapshot.bulk.expired;
   snapshot.queue_depth = queue_.depth();
+  snapshot.interactive.queue_depth = queue_.depth(RequestClass::kInteractive);
+  snapshot.bulk.queue_depth = queue_.depth(RequestClass::kBulk);
   if (cache_.has_value()) {
     const CacheStats cache = cache_->stats();
     snapshot.cache_hits = cache_hits_.value();
@@ -299,6 +306,7 @@ void ClassStats::merge(const ClassStats& other) {
   accepted += other.accepted;
   rejected += other.rejected;
   expired += other.expired;
+  queue_depth += other.queue_depth;
   latency_us.merge(other.latency_us);
   latency = summarize_latency_us(latency_us);
 }
@@ -309,6 +317,7 @@ void EngineStats::merge(const EngineStats& other) {
   expired += other.expired;
   completed += other.completed;
   batches += other.batches;
+  imu_batches += other.imu_batches;
   queue_depth += other.queue_depth;
   cache_hits += other.cache_hits;
   cache_misses += other.cache_misses;
@@ -316,6 +325,9 @@ void EngineStats::merge(const EngineStats& other) {
   cache_entries += other.cache_entries;
   batch_wait_us = std::max(batch_wait_us, other.batch_wait_us);
   batch_size.merge(other.batch_size);
+  imu_batch_size.merge(other.imu_batch_size);
+  queue_wait_us.merge(other.queue_wait_us);
+  assembly_us.merge(other.assembly_us);
   latency_us.merge(other.latency_us);
   interactive.merge(other.interactive);
   bulk.merge(other.bulk);
@@ -361,13 +373,27 @@ void Engine::worker_loop(std::size_t worker_index) {
       }
     }
     if (!wifi.empty()) run_wifi_batch(replica, std::move(wifi), dequeued_ns);
-    for (const SessionId id : tokens) drain_session(id, dequeued_ns);
+    if (config_.coalesce_sessions && tokens.size() > 1) {
+      // Cross-session coalescing: one batched IMU pass per round over every
+      // track this pop's tokens cover, instead of a per-track drain.
+      drain_sessions(tokens, dequeued_ns);
+    } else {
+      for (const SessionId id : tokens) drain_session(id, dequeued_ns);
+    }
   }
 }
 
 void Engine::adapt_batch_window(std::uint64_t used_wait_us) {
   const std::size_t depth = queue_.depth();
-  if (depth > config_.max_batch) {
+  const std::uint64_t waited_us = ewma_queue_wait_us_.load(std::memory_order_relaxed);
+  // Measured-pressure shrink: when requests already sit in the queue for
+  // more than twice the window, batches fill from backlog — the window is
+  // pure added latency even if the instantaneous depth reads shallow
+  // (workers draining instantly keep depth at 1-2 while every request
+  // still waits). depth > 0 keeps a stale EWMA from shrinking an idle
+  // engine; new samples decay it once traffic resumes.
+  const bool wait_pressure = depth > 0 && waited_us > 2 * used_wait_us;
+  if (depth > config_.max_batch || wait_pressure) {
     // Backlogged: the next batch fills without waiting, so any window only
     // adds latency. Halve toward zero.
     batch_wait_us_.store(used_wait_us / 2, std::memory_order_relaxed);
@@ -379,6 +405,14 @@ void Engine::adapt_batch_window(std::uint64_t used_wait_us) {
   }
 }
 
+void Engine::feed_queue_wait(double mean_wait_us) {
+  const auto sample = static_cast<std::uint64_t>(std::max(0.0, mean_wait_us));
+  const std::uint64_t old = ewma_queue_wait_us_.load(std::memory_order_relaxed);
+  // Races between workers lose samples, never corrupt the gauge (any
+  // stored value is a valid EWMA state) — same contract as batch_wait_us_.
+  ewma_queue_wait_us_.store(old - old / 4 + sample / 4, std::memory_order_relaxed);
+}
+
 void Engine::run_wifi_batch(const WifiBackend& replica,
                             std::vector<WifiRequest> batch,
                             std::uint64_t dequeued_ns) {
@@ -386,13 +420,28 @@ void Engine::run_wifi_batch(const WifiBackend& replica,
   queries.reserve(batch.size());
   for (WifiRequest& request : batch) queries.push_back(std::move(request.rssi));
   bool any_traced = false;
+  // Measured queue wait per request (admit -> this pop) — always on, one
+  // subtraction each: the feedback signal adapt_batch_window reads and the
+  // engine-owned counterpart of the obs kQueueWait stage.
+  double wait_sum_us = 0.0;
+  std::vector<double> waits_us;
+  waits_us.reserve(batch.size());
   for (const WifiRequest& request : batch) {
+    const auto submitted_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            request.submitted_at.time_since_epoch())
+            .count());
+    const double wait_us =
+        dequeued_ns > submitted_ns ? (dequeued_ns - submitted_ns) / 1000.0 : 0.0;
+    waits_us.push_back(wait_us);
+    wait_sum_us += wait_us;
     if (request.trace == nullptr) continue;
     any_traced = true;
     request.trace->stamp(obs::Mark::kDequeued, dequeued_ns);
   }
+  feed_queue_wait(wait_sum_us / static_cast<double>(batch.size()));
+  const std::uint64_t assembled_ns = obs::Trace::now_ns();
   if (any_traced) {
-    const std::uint64_t assembled_ns = obs::Trace::now_ns();
     for (const WifiRequest& request : batch) {
       if (request.trace != nullptr) {
         request.trace->stamp(obs::Mark::kAssembled, assembled_ns);
@@ -417,10 +466,13 @@ void Engine::run_wifi_batch(const WifiBackend& replica,
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++batches_;
     batch_hist_.record(static_cast<double>(batch.size()));
+    assembly_hist_.record(
+        assembled_ns > dequeued_ns ? (assembled_ns - dequeued_ns) / 1000.0 : 0.0);
     completed_ += batch.size();
-    for (const WifiRequest& request : batch) {
-      class_latency_[request_class_index(request.cls)].record(
-          std::chrono::duration<double, std::micro>(done - request.submitted_at)
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      queue_wait_hist_.record(waits_us[i]);
+      class_latency_[request_class_index(batch[i].cls)].record(
+          std::chrono::duration<double, std::micro>(done - batch[i].submitted_at)
               .count());
     }
   }
@@ -470,9 +522,16 @@ void Engine::drain_session(SessionId id, std::uint64_t dequeued_ns) {
       update.trace->stamp(obs::Mark::kDequeued, dequeued_ns);
       update.trace->stamp(obs::Mark::kAssembled);
     }
+    const auto submitted_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            update.submitted_at.time_since_epoch())
+            .count());
+    const double wait_us =
+        dequeued_ns > submitted_ns ? (dequeued_ns - submitted_ns) / 1000.0 : 0.0;
+    feed_queue_wait(wait_us);
     const serve::Fix fix = state->session.update(update.segment);
     if (update.trace != nullptr) update.trace->stamp(obs::Mark::kComputed);
-    record_completion(update.submitted_at, update.cls);
+    record_completion(update.submitted_at, update.cls, wait_us);
     update.promise.set_value(fix);
     if (update.trace != nullptr && !update.trace->external_respond) {
       update.trace->stamp(obs::Mark::kResponded);
@@ -482,11 +541,139 @@ void Engine::drain_session(SessionId id, std::uint64_t dequeued_ns) {
   state->scheduled = false;
 }
 
+void Engine::drain_sessions(const std::vector<SessionId>& ids,
+                            std::uint64_t dequeued_ns) {
+  // shared_ptr copies keep every state alive across the drain even if the
+  // session is closed mid-flight (close_session only clears pending and
+  // unregisters; it never touches the TrackingSession itself).
+  std::vector<std::shared_ptr<SessionState>> tracks;
+  tracks.reserve(ids.size());
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const SessionId id : ids) {
+      const auto it = sessions_.find(id);
+      if (it == sessions_.end()) continue;  // closed while its token was queued
+      tracks.push_back(it->second);
+    }
+  }
+  // Locking: each track's mutex is taken only for the instants this loop
+  // pops its next pending update or retires its token — never across the
+  // batched pass. Producers therefore keep appending to the per-session
+  // FIFOs while the GEMM runs (the drain pipelines against submission,
+  // which is most of coalescing's engine-level win); holding every lock
+  // across the drain instead was measured to convoy all submitters behind
+  // the worker. Popping outside the compute is safe: one token is in
+  // flight per session, so no other worker can reach these sessions, and
+  // the TrackingSession object itself is only ever touched by the token
+  // holder. A track retires — atomically with observing its FIFO empty —
+  // by clearing `scheduled` under its mutex, exactly drain_session's
+  // handoff, after which the next track() submission enqueues a fresh
+  // token (possibly for another worker; this one no longer touches it).
+  std::vector<char> active(tracks.size(), 1);
+  std::vector<PendingUpdate> updates;
+  std::vector<serve::TrackingSession*> sessions;
+  std::vector<const serve::ImuSegment*> segments;
+  for (;;) {
+    // One round: at most one live update per session, FIFO within each
+    // track, the whole round served by a single batched pass.
+    updates.clear();
+    sessions.clear();
+    segments.clear();
+    const Clock::time_point now = Clock::now();
+    for (std::size_t t = 0; t < tracks.size(); ++t) {
+      if (!active[t]) continue;
+      SessionState& state = *tracks[t];
+      std::lock_guard<std::mutex> lock(state.mu);
+      bool took = false;
+      while (!state.pending.empty()) {
+        PendingUpdate update = std::move(state.pending.front());
+        state.pending.pop_front();
+        if (update.deadline.has_value() && *update.deadline <= now) {
+          // Expired before its turn: never applied to the track (same
+          // contract as drain_session); its successor gets this round's slot.
+          expire_promise(update.promise, update.cls);
+          continue;
+        }
+        updates.push_back(std::move(update));
+        sessions.push_back(&state.session);
+        took = true;
+        break;
+      }
+      if (!took) {
+        state.scheduled = false;  // FIFO drained: retire this track's token
+        active[t] = 0;
+      }
+    }
+    if (updates.empty()) break;
+    const std::size_t n = updates.size();
+    // Segment pointers only after the round's updates stopped moving.
+    segments.reserve(n);
+    for (const PendingUpdate& update : updates) segments.push_back(&update.segment);
+    bool any_traced = false;
+    for (const PendingUpdate& update : updates) {
+      if (update.trace == nullptr) continue;
+      any_traced = true;
+      update.trace->stamp(obs::Mark::kDequeued, dequeued_ns);
+    }
+    const std::uint64_t assembled_ns = obs::Trace::now_ns();
+    if (any_traced) {
+      for (const PendingUpdate& update : updates) {
+        if (update.trace != nullptr) {
+          update.trace->stamp(obs::Mark::kAssembled, assembled_ns);
+        }
+      }
+    }
+    const std::vector<serve::Fix> fixes = imu_->update_sessions(sessions, segments);
+    const Clock::time_point done = Clock::now();  // one read for the round
+    if (any_traced) {
+      const auto done_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              done.time_since_epoch())
+              .count());
+      for (const PendingUpdate& update : updates) {
+        if (update.trace != nullptr) {
+          update.trace->stamp(obs::Mark::kComputed, done_ns);
+        }
+      }
+    }
+    {
+      // One stats lock and one clock read per round, not per update — part
+      // of the per-update overhead coalescing exists to amortize.
+      double wait_sum_us = 0.0;
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++imu_batches_;
+      imu_batch_hist_.record(static_cast<double>(n));
+      assembly_hist_.record(
+          assembled_ns > dequeued_ns ? (assembled_ns - dequeued_ns) / 1000.0 : 0.0);
+      completed_ += n;
+      for (const PendingUpdate& update : updates) {
+        const double wait_us = std::max(
+            0.0, std::chrono::duration<double, std::micro>(now - update.submitted_at)
+                     .count());
+        wait_sum_us += wait_us;
+        queue_wait_hist_.record(wait_us);
+        class_latency_[request_class_index(update.cls)].record(
+            std::chrono::duration<double, std::micro>(done - update.submitted_at)
+                .count());
+      }
+      feed_queue_wait(wait_sum_us / static_cast<double>(n));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      updates[i].promise.set_value(fixes[i]);
+      if (updates[i].trace != nullptr && !updates[i].trace->external_respond) {
+        updates[i].trace->stamp(obs::Mark::kResponded);
+        obs::Tracer::global().finish(*updates[i].trace);
+      }
+    }
+  }
+}
+
 void Engine::record_completion(const Clock::time_point& submitted_at,
-                               RequestClass cls) {
+                               RequestClass cls, double queue_wait_us) {
   const double latency_us = us_since(submitted_at);  // clock read outside the lock
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++completed_;
+  if (queue_wait_us >= 0.0) queue_wait_hist_.record(queue_wait_us);
   class_latency_[request_class_index(cls)].record(latency_us);
 }
 

@@ -163,10 +163,30 @@ struct EngineConfig {
   /// backend-injection constructor, which receives a prototype directly.
   BackendKind backend = BackendKind::kDense;
   /// Load-adaptive batching window: when the queue runs deeper than
-  /// max_batch, halve the wait (batches fill without waiting — holding the
-  /// window open only adds latency); when a pop leaves the queue empty,
-  /// grow it back toward max_wait_us. max_wait_us stays the ceiling.
+  /// max_batch — or when the measured per-request queue wait (the obs
+  /// queue_wait stage, tracked engine-side as an always-on EWMA) runs past
+  /// twice the current window — halve the wait: batches fill without
+  /// waiting, holding the window open only adds latency. When a pop leaves
+  /// the queue empty, grow it back toward max_wait_us. max_wait_us stays
+  /// the ceiling. The wait signal catches pressure depth alone misses: a
+  /// queue that hovers shallow because workers drain it instantly still
+  /// reads depth 1–2 while requests sit a full window each.
   bool adaptive_wait = false;
+  /// Order the bulk queue lane earliest-deadline-first instead of FIFO
+  /// (ties and deadline-less entries break by admission sequence, so
+  /// draining stays deterministic). Under a deadline-diverse bulk backlog
+  /// EDF converts would-be DeadlineExpired futures into completed fixes at
+  /// the same offered load; with uniform (or no) deadlines it degrades to
+  /// exactly FIFO, which is why it defaults on. Scheduling only: any
+  /// request that is served is still bit-identical to direct inference.
+  bool edf_bulk = true;
+  /// Coalesce pending IMU updates from *different* sessions into one
+  /// batched network pass (the session-path analogue of Wi-Fi
+  /// micro-batching). The per-session FIFOs still serialize each track and
+  /// every module in the IMU path is row-independent, so coalescing
+  /// changes when updates run, never their results. Off = drain tracks one
+  /// at a time (the serialized-per-track baseline the bench compares).
+  bool coalesce_sessions = true;
   /// Fingerprint-cache entries at admission control; 0 disables the cache.
   std::size_t cache_capacity = 0;
   /// Lock shards of the fingerprint cache (contention, not semantics).
@@ -183,6 +203,10 @@ struct ClassStats {
   std::uint64_t accepted = 0;  ///< admitted (queued or served from cache)
   std::uint64_t rejected = 0;  ///< kQueueFull/kBadDimension/kStopped verdicts
   std::uint64_t expired = 0;   ///< kExpired at submit + DeadlineExpired futures
+  /// Instantaneous depth of this class's queue lane — the split of
+  /// EngineStats::queue_depth the Router's bulk spill and the obs labeled
+  /// depth gauges read.
+  std::size_t queue_depth = 0;
   Histogram latency_us = Histogram::latency_us();  ///< submit -> fulfilled
   /// p50/p95/p99 extracted from latency_us at snapshot/merge time.
   LatencySummary latency;
@@ -200,6 +224,9 @@ struct EngineStats {
   std::uint64_t expired = 0;    ///< deadline-expired requests, both flavors
   std::uint64_t completed = 0;  ///< futures fulfilled (cache hits included)
   std::uint64_t batches = 0;    ///< Wi-Fi micro-batches executed
+  /// Coalesced IMU passes executed (cross-session batches; every session
+  /// update is served by exactly one, of size >= 1).
+  std::uint64_t imu_batches = 0;
   std::size_t queue_depth = 0;  ///< instantaneous shared-queue depth
   /// Per-class splits of the admission counters and latencies. The totals
   /// above are exactly interactive + bulk (latency_us is their merge).
@@ -217,6 +244,14 @@ struct EngineStats {
   /// Current batching window (== max_wait_us unless adaptive_wait shrank it).
   std::uint64_t batch_wait_us = 0;
   Histogram batch_size = Histogram::batch_sizes();  ///< Wi-Fi batch sizes
+  /// Cross-session IMU coalescing widths (updates per imu_batch).
+  Histogram imu_batch_size = Histogram::batch_sizes();
+  /// Measured per-request queue wait (admit -> dequeue) and per-batch
+  /// assembly time (dequeue -> compute start) — the engine-owned, always-on
+  /// counterparts of the obs kQueueWait/kBatchAssembly stages, and the
+  /// signal the adaptive batching window feeds on.
+  Histogram queue_wait_us = Histogram::latency_us();
+  Histogram assembly_us = Histogram::latency_us();
   Histogram latency_us = Histogram::latency_us();   ///< submit -> fulfilled
   /// Convenience percentiles extracted from latency_us at snapshot time.
   double latency_p50_us = 0.0;
@@ -306,6 +341,10 @@ class Engine {
   /// router's queue-depth-weighted bulk spill reads (stats() copies whole
   /// histograms; this takes one queue lock).
   std::size_t queue_depth() const { return queue_.depth(); }
+  /// Per-class lane depth: what a spilling bulk sweep actually competes
+  /// with is the *bulk* lane, not interactive traffic that outranks it
+  /// everywhere anyway. Same cost as queue_depth() — one queue lock.
+  std::size_t queue_depth(RequestClass cls) const { return queue_.depth(cls); }
   std::size_t num_aps() const { return replicas_.front()->input_dim(); }
   /// Name of the backend the worker replicas run ("dense", "quantized", or
   /// whatever an injected prototype reports).
@@ -353,7 +392,20 @@ class Engine {
   void run_wifi_batch(const WifiBackend& replica, std::vector<WifiRequest> batch,
                       std::uint64_t dequeued_ns);
   void drain_session(SessionId id, std::uint64_t dequeued_ns);
-  void record_completion(const Clock::time_point& submitted_at, RequestClass cls);
+  /// Cross-session coalesced drain: takes one pending update per session
+  /// per round and serves each round with a single batched IMU pass
+  /// (ImuLocalizer::update_sessions). Session locks are taken only to pop
+  /// or retire — never across the batched pass — so producers keep filling
+  /// the per-session FIFOs while the GEMM runs. The one-token-in-flight
+  /// invariant still makes this worker the sole consumer of every track it
+  /// drains, so per-session ordering is exactly drain_session's.
+  void drain_sessions(const std::vector<SessionId>& ids, std::uint64_t dequeued_ns);
+  /// `queue_wait_us` < 0 means "never queued" (cache hits) — no wait sample.
+  void record_completion(const Clock::time_point& submitted_at, RequestClass cls,
+                         double queue_wait_us = -1.0);
+  /// Folds one batch's mean measured queue wait into the EWMA the adaptive
+  /// window controller reads.
+  void feed_queue_wait(double mean_wait_us);
   void adapt_batch_window(std::uint64_t used_wait_us);
   /// Resolves the effective deadline: explicit > engine default > none.
   std::optional<Clock::time_point> resolve_deadline(const SubmitOptions& options,
@@ -369,6 +421,10 @@ class Engine {
   /// Current adaptive batching window; workers race benignly on it (it is a
   /// relaxed gauge, and any stored value is a valid window).
   std::atomic<std::uint64_t> batch_wait_us_;
+  /// EWMA (alpha 1/4) of the measured per-request queue wait in us — the
+  /// obs queue_wait stage signal fed back into adapt_batch_window. Relaxed
+  /// gauge like batch_wait_us_: any stored value is a valid signal.
+  std::atomic<std::uint64_t> ewma_queue_wait_us_{0};
 
   /// Admission counters are obs::Counter (thread-striped atomics): many
   /// submitter threads increment without sharing a cache line, and the
@@ -389,12 +445,16 @@ class Engine {
   obs::Counter cache_misses_;
   mutable std::mutex stats_mu_;  ///< guards the fields below
   Histogram batch_hist_ = Histogram::batch_sizes();
+  Histogram imu_batch_hist_ = Histogram::batch_sizes();
+  Histogram queue_wait_hist_ = Histogram::latency_us();
+  Histogram assembly_hist_ = Histogram::latency_us();
   /// One latency histogram per class; the snapshot's total latency_us is
   /// their merge, so every completion is recorded exactly once.
   Histogram class_latency_[kNumRequestClasses] = {Histogram::latency_us(),
                                                   Histogram::latency_us()};
   std::uint64_t completed_ = 0;
   std::uint64_t batches_ = 0;
+  std::uint64_t imu_batches_ = 0;
 
   mutable std::mutex sessions_mu_;  ///< guards the registry map only
   std::unordered_map<SessionId, std::shared_ptr<SessionState>> sessions_;

@@ -70,16 +70,19 @@ engine::Submission Router::submit(std::string_view shard_key,
     if (last.status == engine::SubmitStatus::kQueueFull && n > 1) {
       if (options.request_class == engine::RequestClass::kBulk) {
         // Fleet-wide load shedding: a shedding bulk sweep hunts for
-        // capacity, not cache affinity — spill to the shallowest queue
-        // first. Depths are snapshotted once per engine before sorting
-        // (comparing live depths inside the sort would break strict weak
-        // ordering while workers drain concurrently); the stable sort
-        // keeps the probe order deterministic on ties.
+        // capacity, not cache affinity — spill to the shallowest *bulk
+        // lane* first: interactive entries outrank bulk on every engine
+        // anyway, so total depth mistakes interactive-busy engines for
+        // bulk-full ones. Depths are snapshotted once per engine before
+        // sorting (comparing live depths inside the sort would break
+        // strict weak ordering while workers drain concurrently); the
+        // stable sort keeps the probe order deterministic on ties.
         std::vector<std::pair<std::size_t, std::size_t>> order;
         order.reserve(n - 1);
         for (std::size_t probe = 1; probe < n; ++probe) {
           const std::size_t index = (primary + probe) % n;
-          order.emplace_back(shard->engines[index]->queue_depth(), index);
+          order.emplace_back(
+              shard->engines[index]->queue_depth(engine::RequestClass::kBulk), index);
         }
         std::stable_sort(order.begin(), order.end(),
                          [](const auto& a, const auto& b) { return a.first < b.first; });

@@ -527,8 +527,15 @@ obs::MetricsSnapshot Listener::stats_snapshot() const {
   out.counter("noble_fleet_rejected", stats.total.rejected);
   out.counter("noble_fleet_expired", stats.total.expired);
   out.counter("noble_fleet_batches", stats.total.batches);
+  out.counter("noble_fleet_imu_batches", stats.total.imu_batches);
   out.counter("noble_fleet_cache_hits", stats.total.cache_hits);
   out.counter("noble_fleet_cache_misses", stats.total.cache_misses);
+  // Scheduler instruments (PR 9): coalescing widths plus the measured
+  // queue-wait/assembly stages the adaptive window feeds on — fleet-merged,
+  // full bins in the binary exposition.
+  out.histogram("noble_fleet_imu_batch_size", stats.total.imu_batch_size);
+  out.histogram("noble_fleet_queue_wait_us", stats.total.queue_wait_us);
+  out.histogram("noble_fleet_assembly_us", stats.total.assembly_us);
   for (const engine::RequestClass cls :
        {engine::RequestClass::kInteractive, engine::RequestClass::kBulk}) {
     const engine::ClassStats& cs = stats.total.for_class(cls);
@@ -537,6 +544,10 @@ obs::MetricsSnapshot Listener::stats_snapshot() const {
     out.counter(prefix + "_accepted", cs.accepted);
     out.counter(prefix + "_rejected", cs.rejected);
     out.counter(prefix + "_expired", cs.expired);
+    // Per-class lane depth as a labeled split of noble_fleet_queue_depth,
+    // matching the per-engine {shard,engine} split below.
+    out.gauge_int("noble_fleet_queue_depth", cs.queue_depth,
+                  {{"class", engine::request_class_name(cls)}});
     out.gauge(prefix + "_p50_us", cs.latency.p50_us);
     out.gauge(prefix + "_p95_us", cs.latency.p95_us);
     out.gauge(prefix + "_p99_us", cs.latency.p99_us);

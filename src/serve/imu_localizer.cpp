@@ -70,21 +70,73 @@ geo::Point2 ImuLocalizer::segment_displacement(const ImuSegment& segment) const 
 }
 
 Fix ImuLocalizer::fix_from(int start_class, const geo::Point2& scaled_displacement) const {
-  linalg::Mat v(1, 2);
-  v(0, 0) = static_cast<float>(scaled_displacement.x);
-  v(0, 1) = static_cast<float>(scaled_displacement.y);
-  const linalg::Mat in = tracker_.location_inputs(v, {start_class});
+  // Sharing fixes_from makes "batch 1 == direct" true by construction: the
+  // coalesced path and the per-track path are the same code.
+  return fixes_from({start_class}, {scaled_displacement}).front();
+}
+
+std::vector<Fix> ImuLocalizer::fixes_from(const std::vector<int>& start_classes,
+                                          const std::vector<geo::Point2>& scaled) const {
+  NOBLE_EXPECTS(start_classes.size() == scaled.size());
+  NOBLE_EXPECTS(!scaled.empty());
+  const std::size_t n = scaled.size();
+  linalg::Mat v(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    v(i, 0) = static_cast<float>(scaled[i].x);
+    v(i, 1) = static_cast<float>(scaled[i].y);
+  }
+  const linalg::Mat in = tracker_.location_inputs(v, start_classes);
   const linalg::Mat logits = tracker_.location_network().predict(in);
   const core::LabelLayout layout =
       tracker_.quantizer().layout(/*num_buildings=*/0, /*num_floors=*/0);
-  const core::DecodedPrediction d = tracker_.quantizer().decode(layout, logits.row(0));
-  Fix fix;
-  fix.fine_class = d.fine_class;
-  fix.position = d.position;
-  const double logit =
-      logits(0, layout.fine_offset() + static_cast<std::size_t>(d.fine_class));
-  fix.confidence = 1.0 / (1.0 + std::exp(-logit));
-  return fix;
+  std::vector<Fix> fixes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const core::DecodedPrediction d = tracker_.quantizer().decode(layout, logits.row(i));
+    fixes[i].fine_class = d.fine_class;
+    fixes[i].position = d.position;
+    const double logit =
+        logits(i, layout.fine_offset() + static_cast<std::size_t>(d.fine_class));
+    fixes[i].confidence = 1.0 / (1.0 + std::exp(-logit));
+  }
+  return fixes;
+}
+
+std::vector<Fix> ImuLocalizer::update_sessions(
+    const std::vector<TrackingSession*>& sessions,
+    const std::vector<const ImuSegment*>& segments) const {
+  NOBLE_EXPECTS(sessions.size() == segments.size());
+  NOBLE_EXPECTS(!sessions.empty());
+  const std::size_t n = sessions.size();
+  const auto mean = tracker_.channel_mean();
+  const auto inv_std = tracker_.channel_inv_std();
+  const std::size_t dim = tracker_.segment_dim();
+  // One standardized matrix, one projection pass, one displacement pass —
+  // rows from different tracks never mix (every layer is row-independent),
+  // they only share the GEMM.
+  linalg::Mat x(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    NOBLE_EXPECTS(sessions[i]->owner_ == this);
+    NOBLE_EXPECTS(segments[i]->size() == dim);
+    float* row = x.row(i);
+    for (std::size_t j = 0; j < dim; ++j) {
+      const std::size_t ch = j % 6;
+      row[j] = static_cast<float>(((*segments[i])[j] - mean[ch]) * inv_std[ch]);
+    }
+  }
+  const linalg::Mat d = seg_head_.predict(seg_proj_.predict(x));
+  std::vector<int> starts(n);
+  std::vector<geo::Point2> sums(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // The same double accumulation update() performs, applied in batch
+    // order — callers pass distinct sessions, so order cannot matter.
+    TrackingSession& session = *sessions[i];
+    session.sum_x_ += static_cast<double>(d(i, 0));
+    session.sum_y_ += static_cast<double>(d(i, 1));
+    ++session.consumed_;
+    starts[i] = session.start_class_;
+    sums[i] = {session.sum_x_, session.sum_y_};
+  }
+  return fixes_from(starts, sums);
 }
 
 Fix ImuLocalizer::locate(const geo::Point2& start,

@@ -51,6 +51,19 @@ class ImuLocalizer {
   /// reuse path, exposed per segment.
   geo::Point2 segment_displacement(const ImuSegment& segment) const;
 
+  /// Cross-track coalesced update: consumes `segments[i]` into
+  /// `*sessions[i]` and returns one fix per track, serving the whole batch
+  /// with a single projection/displacement pass and a single location-head
+  /// pass — the session-path analogue of Wi-Fi micro-batching, and the
+  /// entry point the engine's worker pool coalesces different tracks
+  /// through. Every module in the path processes matrix rows independently
+  /// (the batch dimension never mixes), so each returned fix is
+  /// bit-identical to `sessions[i]->update(*segments[i])` applied serially.
+  /// Preconditions: parallel spans of distinct sessions owned by this
+  /// localizer, each segment segment_dim() floats.
+  std::vector<Fix> update_sessions(const std::vector<TrackingSession*>& sessions,
+                                   const std::vector<const ImuSegment*>& segments) const;
+
   /// Expected floats per segment window.
   std::size_t segment_dim() const { return tracker_.segment_dim(); }
 
@@ -69,7 +82,16 @@ class ImuLocalizer {
   geo::Point2 segment_output_scaled(const ImuSegment& segment) const;
 
   /// Fix for an accumulated scaled displacement from `start_class`.
+  /// Delegates to fixes_from with a batch of one.
   Fix fix_from(int start_class, const geo::Point2& scaled_displacement) const;
+
+  /// Batched location head: one network pass over every track's
+  /// (start_class, accumulated scaled displacement) row. Row-independent
+  /// end to end — location_inputs, the RBF head and the quantizer decode
+  /// all work per row — so batch results are bit-identical to per-track
+  /// calls; fix_from is literally this at batch 1.
+  std::vector<Fix> fixes_from(const std::vector<int>& start_classes,
+                              const std::vector<geo::Point2>& scaled) const;
 
   core::NobleImuTracker tracker_;
   /// Single-segment (segments=1) clones sharing the fitted weights: the
