@@ -1,5 +1,7 @@
 #include "support/bench_util.h"
 
+#include "support/env_config.h"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -66,51 +68,8 @@ core::NobleImuConfig noble_imu_config() {
 }
 
 engine::EngineConfig engine_config_from_env(engine::EngineConfig defaults) {
-  // NOBLE_KERNEL=scalar|avx2|auto selects the kernel ISA for the whole
-  // process (every backend serves through noble::kernels); re-applied here so
-  // benches pick the knob up no matter when they build their config.
-  kernels::apply_env_override();
-  engine::EngineConfig cfg = defaults;
-  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
-  const std::size_t worker_default =
-      defaults.workers == 0 ? std::clamp<std::size_t>(hw, 2, 8) : defaults.workers;
-  cfg.workers = static_cast<std::size_t>(
-      env_int("NOBLE_ENGINE_WORKERS", static_cast<long>(worker_default)));
-  cfg.max_batch = static_cast<std::size_t>(
-      env_int("NOBLE_ENGINE_MAX_BATCH", static_cast<long>(defaults.max_batch)));
-  cfg.max_wait_us = static_cast<std::uint64_t>(
-      env_int("NOBLE_ENGINE_MAX_WAIT_US", static_cast<long>(defaults.max_wait_us)));
-  cfg.queue_cap = static_cast<std::size_t>(
-      env_int("NOBLE_ENGINE_QUEUE_CAP", static_cast<long>(defaults.queue_cap)));
-  cfg.adaptive_wait = env_int("NOBLE_ENGINE_ADAPTIVE", defaults.adaptive_wait ? 1 : 0) != 0;
-  cfg.backend = env_string("NOBLE_ENGINE_BACKEND",
-                           engine::backend_kind_name(defaults.backend)) == "quantized"
-                    ? engine::BackendKind::kQuantized
-                    : engine::BackendKind::kDense;
-  cfg.cache_capacity = static_cast<std::size_t>(
-      env_int("NOBLE_ENGINE_CACHE_CAP", static_cast<long>(defaults.cache_capacity)));
-  cfg.cache_key_step_db =
-      env_double("NOBLE_ENGINE_CACHE_STEP_DB", defaults.cache_key_step_db);
-  // "interactive:bulk" queue-slot caps; malformed input keeps the defaults.
-  const std::string caps = env_string("NOBLE_ENGINE_CLASS_CAPS", "");
-  if (const std::size_t colon = caps.find(':'); colon != std::string::npos) {
-    char* end = nullptr;
-    const unsigned long interactive = std::strtoul(caps.c_str(), &end, 10);
-    if (end == caps.c_str() + colon) {
-      const char* bulk_begin = caps.c_str() + colon + 1;
-      const unsigned long bulk = std::strtoul(bulk_begin, &end, 10);
-      if (end != bulk_begin && *end == '\0') {
-        cfg.interactive_cap = static_cast<std::size_t>(interactive);
-        cfg.bulk_cap = static_cast<std::size_t>(bulk);
-      }
-    }
-  }
-  cfg.default_deadline_us = static_cast<std::uint64_t>(env_int(
-      "NOBLE_ENGINE_DEADLINE_US", static_cast<long>(defaults.default_deadline_us)));
-  cfg.edf_bulk = env_int("NOBLE_ENGINE_EDF", defaults.edf_bulk ? 1 : 0) != 0;
-  cfg.coalesce_sessions =
-      env_int("NOBLE_ENGINE_COALESCE", defaults.coalesce_sessions ? 1 : 0) != 0;
-  return cfg;
+  EnvConfig env;
+  return env.engine(std::move(defaults));
 }
 
 std::string describe_engine_config(const engine::EngineConfig& cfg) {
@@ -395,7 +354,7 @@ struct SocketTarget::Conn {
     using gateway::wire::MsgType;
     using gateway::wire::Status;
     while (std::optional<gateway::wire::Frame> frame = sock.recv_frame(-1)) {
-      switch (frame->type) {
+      switch (frame->type.as<MsgType>()) {
         case MsgType::kFix: {
           Status status = Status::kStopped;
           serve::Fix fix;
@@ -411,12 +370,12 @@ struct SocketTarget::Conn {
           }
           if (decoded && status == Status::kOk) {
             waiter.set_value(fix);
-          } else if (decoded && status == Status::kDeadlineExpired) {
-            waiter.set_exception(
-                std::make_exception_ptr(engine::DeadlineExpired()));
           } else {
-            waiter.set_exception(std::make_exception_ptr(
-                WireRejected(decoded ? status : Status::kStopped)));
+            // The shared status table maps every non-kOk wire status to the
+            // exception the report counters expect (kDeadlineExpired ->
+            // engine::DeadlineExpired, the rest -> WireRejected).
+            waiter.set_exception(gateway::wire::rejection_exception(
+                decoded ? status : Status::kStopped));
           }
           break;
         }
@@ -485,7 +444,7 @@ std::unique_ptr<SocketTarget> SocketTarget::connect(const std::string& host,
                                                     std::size_t connections) {
   auto target = std::unique_ptr<SocketTarget>(new SocketTarget());
   for (std::size_t i = 0; i < std::max<std::size_t>(1, connections); ++i) {
-    std::optional<gateway::FrameSocket> sock = gateway::FrameSocket::connect(host, port);
+    std::optional<gateway::FrameSocket> sock = gateway::connect_socket(host, port);
     if (!sock.has_value()) return nullptr;
     target->conns_.push_back(std::make_unique<Conn>(std::move(*sock)));
     target->conns_.back()->start_reader();
@@ -663,12 +622,8 @@ bool SocketTarget::close_session(std::uint64_t session) {
 }
 
 gateway::GatewayConfig gateway_config_from_env(gateway::GatewayConfig defaults) {
-  gateway::GatewayConfig cfg = defaults;
-  cfg.port = static_cast<std::uint16_t>(
-      env_int("NOBLE_GATEWAY_PORT", static_cast<long>(defaults.port)));
-  cfg.threads = static_cast<std::size_t>(
-      env_int("NOBLE_GATEWAY_THREADS", static_cast<long>(defaults.threads)));
-  return cfg;
+  EnvConfig env;
+  return env.gateway(std::move(defaults));
 }
 
 std::string describe_gateway_config(const gateway::GatewayConfig& cfg) {
@@ -868,10 +823,8 @@ OpenLoopReport run_open_loop(LoadTarget& target,
 }
 
 OpenLoopConfig open_loop_config_from_env(OpenLoopConfig defaults) {
-  OpenLoopConfig cfg = defaults;
-  cfg.offered_qps = env_double("NOBLE_LOAD_QPS", defaults.offered_qps);
-  cfg.seconds = env_double("NOBLE_LOAD_SECONDS", defaults.seconds);
-  return cfg;
+  EnvConfig env;
+  return env.open_loop(defaults);
 }
 
 std::string describe_open_loop_config(const OpenLoopConfig& cfg) {

@@ -79,18 +79,10 @@ std::string describe_gateway_config(const gateway::GatewayConfig& cfg);
 
 // --- load targets ------------------------------------------------------------
 
-/// Rejection that reached the client over the wire after admission-time
-/// accounting was no longer possible (a pipelined socket learns the verdict
-/// only when the response frame arrives). Carries the wire status; the
-/// harness counts it as a shed, mirroring an immediate kQueueFull.
-class WireRejected : public std::runtime_error {
- public:
-  explicit WireRejected(gateway::wire::Status status)
-      : std::runtime_error(std::string("rejected over the wire: ") +
-                           gateway::wire::status_name(status)),
-        status(status) {}
-  gateway::wire::Status status;
-};
+/// Rejection that reached the client over the wire — now defined next to
+/// the status table in wire.h (every client reader shares it); the old name
+/// stays for the benches.
+using WireRejected = gateway::wire::WireRejected;
 
 /// What the load generators drive: the in-process fleet Router or a live
 /// gateway socket, behind one submit/track surface. Futures resolve with a
@@ -117,11 +109,13 @@ class LoadTarget {
   virtual bool propagates_trace() const { return false; }
 };
 
-/// In-process target: forwards straight to fleet::Router (the zero-overhead
-/// baseline the wire numbers are compared against).
+/// In-process target: forwards straight to a fleet::Routing implementation
+/// — a local Router (the zero-overhead baseline the wire numbers are
+/// compared against) or a cluster NodeAgent (mixed load with cross-node
+/// spill behind it).
 class RouterTarget final : public LoadTarget {
  public:
-  explicit RouterTarget(fleet::Router& router) : router_(router) {}
+  explicit RouterTarget(fleet::Routing& router) : router_(router) {}
   engine::Submission submit(const std::string& shard_key, const serve::RssiVector& rssi,
                             const engine::SubmitOptions& options) override;
   std::optional<std::uint64_t> open_session(const std::string& shard_key,
@@ -133,7 +127,7 @@ class RouterTarget final : public LoadTarget {
   bool propagates_trace() const override { return true; }
 
  private:
-  fleet::Router& router_;
+  fleet::Routing& router_;
   std::mutex mu_;  ///< guards the session handle map
   std::unordered_map<std::uint64_t, fleet::FleetSession> sessions_;
   std::uint64_t next_session_ = 1;

@@ -1,0 +1,164 @@
+// noble::cluster coordinator — the fleet's membership and rollout brain.
+//
+//   nodes ── kHello / kHeartbeat ──▶ member table ──▶ kMembership replies
+//                                        │
+//   model_dir ── watcher poll ──▶ changed artifact? ──▶ staged rollout
+//                                                        1. canary one node
+//                                                        2. probe bit-identity
+//                                                        3. commit the rest
+//
+// Membership is heartbeat-driven and soft-state: a node is alive while its
+// last beat is within dead_after_ms, and every hello/heartbeat is answered
+// with the full member table (per-node shard digests, generations and queue
+// depths) — the peer view nodes route cross-node spill on. Death is a
+// verdict the coordinator computes, never a message a node sends.
+//
+// The rollout watcher closes the loop from a retrained model artifact on
+// disk to a converged fleet: it polls model_dir, detects changed wifi
+// artifacts by content hash (filename stem = shard key), and — when an
+// alive member still serves a different digest — drives a staged rollout
+// over the same cluster protocol nodes speak to each other: kRolloutCommand
+// to one canary node first, then kSpillSubmit probes against the canary
+// whose fixes must be byte-identical to the coordinator's own locally
+// loaded copy of the artifact, and only then kRolloutCommand to the rest.
+// A probe mismatch aborts before the fleet is touched; the spill digest
+// guard keeps the half-rolled state safe in the meantime.
+#ifndef NOBLE_CLUSTER_COORDINATOR_H_
+#define NOBLE_CLUSTER_COORDINATOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "cluster/proto.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "serve/fix.h"
+
+namespace noble::cluster {
+
+struct CoordinatorConfig {
+  /// The coordinator's FrameServer (hello/heartbeat traffic).
+  net::ServerConfig server;
+  /// A member whose last heartbeat is older than this is reported dead.
+  std::uint64_t dead_after_ms = 1000;
+  /// Directory of model artifacts to watch (`<shard>.<ext>` per shard,
+  /// wifi artifacts only). Empty = no watcher thread; scan_model_dir()
+  /// still works for manual driving.
+  std::string model_dir;
+  /// Watcher poll cadence.
+  std::uint64_t poll_ms = 200;
+  /// Per-RPC wait when commanding or probing a node during a rollout
+  /// (hot_swap spins up fresh engines, so this is generous).
+  std::uint64_t rollout_timeout_ms = 10'000;
+};
+
+struct CoordinatorCounters {
+  std::uint64_t heartbeats = 0;  ///< hello + heartbeat frames consumed
+  std::uint64_t members_joined = 0;
+  std::uint64_t members_died = 0;  ///< alive -> dead transitions observed
+  std::uint64_t rollouts_started = 0;
+  std::uint64_t rollouts_committed = 0;
+  std::uint64_t rollouts_failed = 0;
+  std::uint64_t probes_matched = 0;
+  std::uint64_t probes_mismatched = 0;
+};
+
+class Coordinator final : private net::FrameHandler {
+ public:
+  explicit Coordinator(CoordinatorConfig config = {});
+  ~Coordinator() override;
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  bool start();
+  void stop();
+  bool running() const { return server_.running(); }
+  std::uint16_t port() const { return server_.port(); }
+  const CoordinatorConfig& config() const { return config_; }
+
+  /// Current member table with liveness verdicts, as a kMembership frame
+  /// would carry it. (Non-const: computing liveness records death edges.)
+  std::vector<proto::NodeInfo> members();
+
+  /// Queries a canary must answer byte-identically to the coordinator's
+  /// local copy of the artifact before a rollout commits. No queries =
+  /// canary is trusted on digest alone.
+  void set_probe_queries(std::string_view shard, std::vector<serve::RssiVector> queries);
+
+  /// One watcher pass over model_dir (the watcher thread calls this every
+  /// poll_ms; tests and demos may drive it directly). Serialized: a second
+  /// caller waits for the running pass.
+  void scan_model_dir();
+
+  /// Ordered human-readable rollout history ("canary node-a ok",
+  /// "committed ...") — what the smoke harness asserts staging order on.
+  std::vector<std::string> rollout_log() const;
+
+  CoordinatorCounters counters() const;
+
+ private:
+  struct Member {
+    proto::NodeInfo info;  ///< as last reported (alive rewritten on read)
+    std::chrono::steady_clock::time_point last_beat{};
+    bool was_alive = false;  ///< last liveness verdict (death-edge counting)
+  };
+  /// Change-detection state per artifact file.
+  struct WatchedFile {
+    std::uint64_t file_fnv = 0;      ///< hash of the raw file bytes
+    std::uint64_t artifact_digest = 0;  ///< digest the loaded model reports
+  };
+
+  // --- net::FrameHandler -----------------------------------------------------
+  const net::MessageSet& message_set() const override { return proto::message_set(); }
+  bool on_frame(net::ServerConn& conn, net::Frame frame, std::uint64_t recv_ns) override;
+
+  /// Liveness verdict + death-edge bookkeeping; members_mu_ held.
+  std::vector<proto::NodeInfo> membership_locked();
+  void watch_loop();
+  /// Runs one staged rollout of `path` (digest `digest`) for `shard`.
+  /// Returns true when the fleet converged.
+  bool run_rollout(const std::string& shard, const std::string& path,
+                   std::uint64_t digest);
+  void log_line(std::string line);
+
+  CoordinatorConfig config_;
+  net::FrameServer server_;
+
+  mutable std::mutex members_mu_;
+  std::map<std::string, Member> members_;  ///< by node name
+
+  std::thread watch_thread_;
+  std::atomic<bool> watch_running_{false};
+  std::mutex watch_mu_;
+  std::condition_variable watch_cv_;
+  std::mutex scan_mu_;  ///< serializes scan_model_dir passes
+  std::map<std::string, WatchedFile> watched_;  ///< by file path
+
+  mutable std::mutex probes_mu_;
+  std::map<std::string, std::vector<serve::RssiVector>> probe_queries_;
+
+  mutable std::mutex log_mu_;
+  std::vector<std::string> log_;
+
+  obs::Counter heartbeats_;
+  obs::Counter members_joined_;
+  obs::Counter members_died_;
+  obs::Counter rollouts_started_;
+  obs::Counter rollouts_committed_;
+  obs::Counter rollouts_failed_;
+  obs::Counter probes_matched_;
+  obs::Counter probes_mismatched_;
+};
+
+}  // namespace noble::cluster
+
+#endif  // NOBLE_CLUSTER_COORDINATOR_H_

@@ -1,0 +1,168 @@
+#include "cluster/proto.h"
+
+#include "nn/serialize.h"
+
+namespace noble::cluster::proto {
+
+const net::MessageSet& message_set() {
+  static const net::MessageSet set(
+      "cluster",
+      {{static_cast<std::uint32_t>(MsgType::kHello), "hello"},
+       {static_cast<std::uint32_t>(MsgType::kHeartbeat), "heartbeat"},
+       {static_cast<std::uint32_t>(MsgType::kRolloutStatus), "rollout_status"},
+       {static_cast<std::uint32_t>(MsgType::kMembership), "membership"},
+       {static_cast<std::uint32_t>(MsgType::kRolloutCommand), "rollout_command"},
+       {static_cast<std::uint32_t>(MsgType::kSpillSubmit), "spill_submit"},
+       {static_cast<std::uint32_t>(MsgType::kSpillResult), "spill_result"},
+       {static_cast<std::uint32_t>(MsgType::kError), "error"}});
+  return set;
+}
+
+const char* rollout_stage_name(RolloutStage stage) {
+  switch (stage) {
+    case RolloutStage::kCanary: return "canary";
+    case RolloutStage::kCommit: return "commit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void write_shard_state(nn::ByteWriter& w, const ShardState& shard) {
+  w.str(shard.key);
+  w.u64(shard.digest);
+  w.u64(shard.generation);
+  w.u64(shard.bulk_depth);
+  w.u64(shard.total_depth);
+}
+
+bool read_shard_state(nn::ByteReader& r, ShardState& shard) {
+  return r.str(shard.key) && r.u64(shard.digest) && r.u64(shard.generation) &&
+         r.u64(shard.bulk_depth) && r.u64(shard.total_depth);
+}
+
+void write_node_info(nn::ByteWriter& w, const NodeInfo& info) {
+  w.str(info.name);
+  w.str(info.host);
+  w.u32(info.port);
+  w.u8(info.alive ? 1 : 0);
+  w.u64(info.shards.size());
+  for (const ShardState& shard : info.shards) write_shard_state(w, shard);
+}
+
+bool read_node_info(nn::ByteReader& r, NodeInfo& info) {
+  std::uint32_t port = 0;
+  std::uint8_t alive = 0;
+  std::uint64_t num_shards = 0;
+  if (!r.str(info.name) || !r.str(info.host) || !r.u32(port) || !r.u8(alive) ||
+      !r.u64(num_shards)) {
+    return false;
+  }
+  // Defensive bound: the frame is already capped at max_frame_bytes, but a
+  // lying count must not drive a giant reserve before the reads fail.
+  if (port > 0xFFFFu || num_shards > 4096) return false;
+  info.port = static_cast<std::uint16_t>(port);
+  info.alive = alive != 0;
+  info.shards.clear();
+  info.shards.reserve(num_shards);
+  for (std::uint64_t i = 0; i < num_shards; ++i) {
+    ShardState shard;
+    if (!read_shard_state(r, shard)) return false;
+    info.shards.push_back(std::move(shard));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string encode_node_info_body(const NodeInfo& info) {
+  nn::ByteWriter w;
+  write_node_info(w, info);
+  return w.take();
+}
+
+bool decode_node_info_body(std::string_view body, NodeInfo& info) {
+  nn::ByteReader r(body);
+  return read_node_info(r, info) && r.exhausted();
+}
+
+std::string encode_membership_body(const std::vector<NodeInfo>& members) {
+  nn::ByteWriter w;
+  w.u64(members.size());
+  for (const NodeInfo& member : members) write_node_info(w, member);
+  return w.take();
+}
+
+bool decode_membership_body(std::string_view body, std::vector<NodeInfo>& members) {
+  nn::ByteReader r(body);
+  std::uint64_t count = 0;
+  if (!r.u64(count) || count > 4096) return false;
+  members.clear();
+  members.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    NodeInfo info;
+    if (!read_node_info(r, info)) return false;
+    members.push_back(std::move(info));
+  }
+  return r.exhausted();
+}
+
+std::string encode_spill_submit_body(std::string_view shard_key, std::uint64_t digest,
+                                     const serve::RssiVector& rssi) {
+  nn::ByteWriter w;
+  w.str(shard_key);
+  w.u64(digest);
+  w.f32v(rssi);
+  return w.take();
+}
+
+bool decode_spill_submit_body(std::string_view body, std::string& shard_key,
+                              std::uint64_t& digest, serve::RssiVector& rssi) {
+  nn::ByteReader r(body);
+  return r.str(shard_key) && r.u64(digest) && r.f32v(rssi) && r.exhausted();
+}
+
+std::string encode_rollout_command_body(const RolloutCommand& cmd) {
+  nn::ByteWriter w;
+  w.str(cmd.shard);
+  w.str(cmd.artifact_path);
+  w.u64(cmd.digest);
+  w.u32(static_cast<std::uint32_t>(cmd.stage));
+  return w.take();
+}
+
+bool decode_rollout_command_body(std::string_view body, RolloutCommand& cmd) {
+  nn::ByteReader r(body);
+  std::uint32_t stage = 0;
+  if (!r.str(cmd.shard) || !r.str(cmd.artifact_path) || !r.u64(cmd.digest) ||
+      !r.u32(stage) || !r.exhausted()) {
+    return false;
+  }
+  if (stage > static_cast<std::uint32_t>(RolloutStage::kCommit)) return false;
+  cmd.stage = static_cast<RolloutStage>(stage);
+  return true;
+}
+
+std::string encode_rollout_report_body(const RolloutReport& report) {
+  nn::ByteWriter w;
+  w.str(report.shard);
+  w.u64(report.digest);
+  w.u32(static_cast<std::uint32_t>(report.stage));
+  w.u32(report.status);
+  w.str(report.message);
+  return w.take();
+}
+
+bool decode_rollout_report_body(std::string_view body, RolloutReport& report) {
+  nn::ByteReader r(body);
+  std::uint32_t stage = 0;
+  if (!r.str(report.shard) || !r.u64(report.digest) || !r.u32(stage) ||
+      !r.u32(report.status) || !r.str(report.message) || !r.exhausted()) {
+    return false;
+  }
+  if (stage > static_cast<std::uint32_t>(RolloutStage::kCommit)) return false;
+  report.stage = static_cast<RolloutStage>(stage);
+  return true;
+}
+
+}  // namespace noble::cluster::proto

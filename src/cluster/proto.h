@@ -1,0 +1,130 @@
+// noble::cluster wire protocol — the inter-node vocabulary over the shared
+// noble::net frame codec.
+//
+// Three conversations share one MessageSet (every cluster socket can speak
+// all of them):
+//
+//   node -> coordinator   kHello      join: who am I, where do I serve
+//                         kHeartbeat  periodic: per-shard digest/generation
+//                                     + queue depths
+//                         <- kMembership  the coordinator's world view
+//   coordinator -> node   kRolloutCommand  load artifact, hot_swap (staged)
+//                         <- kRolloutStatus  applied / refused + digest
+//   node -> node          kSpillSubmit  forward one bulk scan to a peer
+//                         <- kSpillResult  status + fix (wire fix body —
+//                                          bit-identical payload)
+//
+// The spill conversation is also how the coordinator probes a canary: a
+// kSpillSubmit with the expected digest asks "serve this on the artifact I
+// think you have", and the digest guard turns a stale peer into a clean
+// kWrongArtifact instead of a silently different fix.
+//
+// Everything rides net::Frame: same framing, same defensive-decode
+// contract, same kError(105) escape hatch the gateway protocol uses —
+// that is the point of the shared transport.
+#ifndef NOBLE_CLUSTER_PROTO_H_
+#define NOBLE_CLUSTER_PROTO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/frame.h"
+#include "serve/fix.h"
+
+namespace noble::cluster::proto {
+
+enum class MsgType : std::uint32_t {
+  // Node -> coordinator.
+  kHello = 201,          ///< join the fleet (NodeInfo)
+  kHeartbeat = 202,      ///< periodic liveness + per-shard state (NodeInfo)
+  kRolloutStatus = 203,  ///< outcome of a kRolloutCommand
+  // Coordinator -> node.
+  kMembership = 211,      ///< current member table (reply to hello/heartbeat)
+  kRolloutCommand = 212,  ///< load an artifact and hot_swap a shard
+  // Node -> node (and coordinator -> node canary probes).
+  kSpillSubmit = 221,  ///< one spilled/probe scan (shard, digest, rssi)
+  kSpillResult = 222,  ///< status + fix, wire fix-body payload
+  kError = net::kErrorType,  ///< protocol violation; connection closes after
+};
+
+/// The cluster protocol's message registry.
+const net::MessageSet& message_set();
+
+/// One shard as a node reports it: identity (digest + generation) plus the
+/// load signal cross-node spill routes on.
+struct ShardState {
+  std::string key;
+  std::uint64_t digest = 0;
+  std::uint64_t generation = 0;
+  std::uint64_t bulk_depth = 0;   ///< bulk-lane entries across the engines
+  std::uint64_t total_depth = 0;  ///< both classes
+};
+
+/// One member node: identity, where peers reach its cluster port, and what
+/// it serves. `alive` is meaningful only in kMembership frames (the
+/// coordinator's verdict); hello/heartbeat senders leave it true.
+struct NodeInfo {
+  std::string name;
+  std::string host;
+  std::uint16_t port = 0;  ///< the node's own cluster FrameServer
+  bool alive = true;
+  std::vector<ShardState> shards;
+};
+
+enum class RolloutStage : std::uint32_t {
+  kCanary = 0,  ///< first node only; verify before touching the rest
+  kCommit = 1,  ///< the verified artifact, fleet-wide
+};
+
+const char* rollout_stage_name(RolloutStage stage);
+
+/// Coordinator -> node: load `artifact_path`, verify its digest matches,
+/// hot_swap `shard` onto it.
+struct RolloutCommand {
+  std::string shard;
+  std::string artifact_path;
+  std::uint64_t digest = 0;  ///< expected digest of the loaded artifact
+  RolloutStage stage = RolloutStage::kCanary;
+};
+
+/// Node -> coordinator: what happened. `status` is a wire::Status raw value
+/// (kOk = applied); `digest` is what the shard serves after the attempt.
+struct RolloutReport {
+  std::string shard;
+  std::uint64_t digest = 0;
+  RolloutStage stage = RolloutStage::kCanary;
+  std::uint32_t status = 0;
+  std::string message;
+};
+
+// --- bodies ------------------------------------------------------------------
+
+/// kHello and kHeartbeat carry the same payload: the sender's NodeInfo.
+std::string encode_node_info_body(const NodeInfo& info);
+bool decode_node_info_body(std::string_view body, NodeInfo& info);
+
+/// kMembership: the coordinator's member table.
+std::string encode_membership_body(const std::vector<NodeInfo>& members);
+bool decode_membership_body(std::string_view body, std::vector<NodeInfo>& members);
+
+/// kSpillSubmit: one scan for `shard_key`, valid only against `digest`.
+std::string encode_spill_submit_body(std::string_view shard_key, std::uint64_t digest,
+                                     const serve::RssiVector& rssi);
+bool decode_spill_submit_body(std::string_view body, std::string& shard_key,
+                              std::uint64_t& digest, serve::RssiVector& rssi);
+
+// kSpillResult reuses the gateway fix body (wire::encode_fix_body /
+// wire::decode_fix_body): the status+fix payload is already exact-bit and
+// sharing it keeps spill results comparable to gateway fixes in tests.
+
+std::string encode_rollout_command_body(const RolloutCommand& cmd);
+bool decode_rollout_command_body(std::string_view body, RolloutCommand& cmd);
+
+std::string encode_rollout_report_body(const RolloutReport& report);
+bool decode_rollout_report_body(std::string_view body, RolloutReport& report);
+
+}  // namespace noble::cluster::proto
+
+#endif  // NOBLE_CLUSTER_PROTO_H_

@@ -1,0 +1,31 @@
+// FNV-1a 64-bit — the repo's one content-identity hash. Not cryptographic:
+// it names artifacts (a model's serialized bytes -> a digest two nodes can
+// compare over the wire) and detects file changes, where an adversarial
+// collision is not in the threat model but cross-platform stability and
+// zero dependencies are.
+#ifndef NOBLE_COMMON_HASH_H_
+#define NOBLE_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace noble::common {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// FNV-1a over `bytes`, chainable via `seed` (pass a previous digest to
+/// fold multiple byte runs into one identity).
+constexpr std::uint64_t fnv1a64(std::string_view bytes,
+                                std::uint64_t seed = kFnvOffsetBasis) {
+  std::uint64_t hash = seed;
+  for (const char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace noble::common
+
+#endif  // NOBLE_COMMON_HASH_H_

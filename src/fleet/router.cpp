@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/hash.h"
+#include "serve/wifi_localizer.h"
+#include "serve/imu_localizer.h"
+
 namespace noble::fleet {
 
 namespace {
@@ -37,6 +41,17 @@ std::shared_ptr<Router::Shard> Router::build_shard(const ShardConfig& config,
                                                    const serve::ImuLocalizer* imu) {
   auto shard = std::make_shared<Shard>();
   shard->config = config;
+  // The shard's artifact identity is derived from the localizers, never
+  // trusted from the caller's config: a wifi-only shard is its wifi digest,
+  // a wifi+imu shard chains the imu digest onto it (order fixed, so the
+  // combined identity is stable).
+  shard->config.artifact_digest = wifi.artifact_digest();
+  if (imu != nullptr) {
+    const std::uint64_t imu_digest = imu->artifact_digest();
+    shard->config.artifact_digest = common::fnv1a64(
+        std::string_view(reinterpret_cast<const char*>(&imu_digest), sizeof imu_digest),
+        shard->config.artifact_digest);
+  }
   shard->generation = next_generation_.fetch_add(1);
   shard->engines.reserve(config.engines);
   for (std::size_t i = 0; i < config.engines; ++i) {
@@ -215,6 +230,8 @@ FleetStats Router::stats() const {
     }
     out.total.merge(merged);
     out.shards.emplace(key, std::move(merged));
+    out.artifacts.emplace(
+        key, ArtifactInfo{shard->config.artifact_digest, shard->generation});
   }
   return out;
 }
@@ -227,8 +244,22 @@ std::vector<ShardDepths> Router::queue_depths() const {
     ShardDepths depths;
     depths.shard = key;
     depths.engines.reserve(shard->engines.size());
-    for (const auto& eng : shard->engines) depths.engines.push_back(eng->queue_depth());
+    depths.bulk.reserve(shard->engines.size());
+    for (const auto& eng : shard->engines) {
+      depths.engines.push_back(eng->queue_depth());
+      depths.bulk.push_back(eng->queue_depth(engine::RequestClass::kBulk));
+    }
     out.push_back(std::move(depths));
+  }
+  return out;
+}
+
+std::vector<ShardArtifact> Router::shard_artifacts() const {
+  std::vector<ShardArtifact> out;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  out.reserve(shards_.size());
+  for (const auto& [key, shard] : shards_) {
+    out.push_back(ShardArtifact{key, shard->config.artifact_digest, shard->generation});
   }
   return out;
 }

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "obs/metrics.h"
 
 namespace noble::fleet {
 
@@ -51,6 +52,11 @@ struct ShardConfig {
   std::size_t engines = 1;
   /// Per-engine knobs (backend kind, cache, batching, workers).
   engine::EngineConfig engine;
+  /// Content identity of the model artifact(s) this shard serves. Filled by
+  /// the router at add_shard/hot_swap from the localizers' digests (callers
+  /// never set it): the value two nodes compare to decide whether a spilled
+  /// request lands on bit-identical weights.
+  std::uint64_t artifact_digest = 0;
 };
 
 /// Handle for one streaming IMU session opened through the router. Sticky:
@@ -73,9 +79,19 @@ struct FleetSession {
 /// never a smear of instants milliseconds apart. (Depths remain gauges: the
 /// pass is near-simultaneous, not an atomic cut across engines, and the
 /// *counter* fields are still read at each engine's own snapshot instant.)
+/// Identity of what a shard currently serves: artifact digest + the shard
+/// generation serving it. The cluster's heartbeat payload and the scrape
+/// page's artifact gauges are views of this.
+struct ArtifactInfo {
+  std::uint64_t digest = 0;
+  std::uint64_t generation = 0;
+};
+
 struct FleetStats {
   engine::EngineStats total;  ///< merged across every engine of every shard
   std::map<std::string, engine::EngineStats> shards;  ///< merged per shard
+  /// Per-shard artifact identity (digest + live generation).
+  std::map<std::string, ArtifactInfo> artifacts;
   std::size_t num_shards = 0;
   std::size_t num_engines = 0;
   /// Live fleet-wide queue depth from the single depth pass (see contract
@@ -89,12 +105,51 @@ struct FleetStats {
 struct ShardDepths {
   std::string shard;
   std::vector<std::size_t> engines;
+  /// Bulk-lane depth of each engine (engines[i] counts both classes;
+  /// bulk[i] just the bulk lane) — the saturation signal cross-node spill
+  /// reads: interactive entries outrank bulk everywhere, so total depth
+  /// mistakes interactive-busy engines for bulk-full ones.
+  std::vector<std::size_t> bulk;
 };
 
-class Router {
+/// One shard's artifact identity, flattened for heartbeat payloads.
+struct ShardArtifact {
+  std::string shard;
+  std::uint64_t digest = 0;
+  std::uint64_t generation = 0;
+};
+
+/// The routing surface the serving front ends consume — what the gateway
+/// listener and the cluster node agent actually need from a fleet: admit
+/// work, manage sticky sessions, answer capacity/identity questions. Router
+/// is the local implementation; the cluster's NodeAgent wraps a Router and
+/// implements the same surface with cross-node bulk spill behind it, so a
+/// gateway serves a multi-node fleet without knowing it.
+class Routing {
+ public:
+  virtual ~Routing() = default;
+
+  virtual engine::Submission submit(std::string_view shard_key,
+                                    const serve::RssiVector& rssi,
+                                    const engine::SubmitOptions& options = {}) = 0;
+  virtual std::optional<FleetSession> open_session(std::string_view shard_key,
+                                                   const geo::Point2& start) = 0;
+  virtual engine::Submission track(const FleetSession& session, serve::ImuSegment segment,
+                                   const engine::SubmitOptions& options = {}) = 0;
+  virtual bool close_session(const FleetSession& session) = 0;
+  virtual bool has_shard(std::string_view shard_key) const = 0;
+  virtual FleetStats stats() const = 0;
+  virtual std::vector<ShardDepths> queue_depths() const = 0;
+
+  /// Implementation-specific extra scrape samples (e.g. a node agent's
+  /// spill counters), spliced into the gateway's snapshot. Default: none.
+  virtual void splice_metrics(obs::MetricsSnapshot& out) const { (void)out; }
+};
+
+class Router : public Routing {
  public:
   Router() = default;
-  ~Router() { shutdown(); }
+  ~Router() override { shutdown(); }
 
   Router(const Router&) = delete;
   Router& operator=(const Router&) = delete;
@@ -115,24 +170,24 @@ class Router {
   /// admits it, never per probe; class and deadline options are forwarded
   /// to every probed engine unchanged.
   engine::Submission submit(std::string_view shard_key, const serve::RssiVector& rssi,
-                            const engine::SubmitOptions& options = {});
+                            const engine::SubmitOptions& options = {}) override;
 
   /// Opens a streaming IMU session on `shard_key` (engines are rotated
   /// round-robin). nullopt when the shard is unknown or has no IMU model;
   /// an open racing a hot_swap retries once onto the replacement
   /// generation, like submit().
   std::optional<FleetSession> open_session(std::string_view shard_key,
-                                           const geo::Point2& start);
+                                           const geo::Point2& start) override;
 
   /// Queues one IMU segment for a session. kNoSession when the session's
   /// shard generation has been swapped out (sessions do not survive a
   /// model update) or the shard is gone. Admission options apply per
   /// update, exactly as in Engine::track.
   engine::Submission track(const FleetSession& session, serve::ImuSegment segment,
-                           const engine::SubmitOptions& options = {});
+                           const engine::SubmitOptions& options = {}) override;
 
   /// Unregisters a session; false for unknown/expired handles.
-  bool close_session(const FleetSession& session);
+  bool close_session(const FleetSession& session) override;
 
   /// Replaces `shard_key`'s engines with fresh ones serving `wifi` (same
   /// ShardConfig, new generation, empty caches). Already-accepted futures
@@ -143,21 +198,25 @@ class Router {
                 const serve::ImuLocalizer& imu);
 
   /// Merged per-shard and fleet-total telemetry.
-  FleetStats stats() const;
+  FleetStats stats() const override;
 
   /// Snapshot of every engine's instantaneous queue depth, grouped by shard
   /// (keys in registry order). One queue lock per engine, no histogram
   /// copies — the load signal the gateway Stats frame and the open-loop
   /// harness report. Depths of different engines are read at slightly
   /// different instants; it is a gauge, not a consistent cut.
-  std::vector<ShardDepths> queue_depths() const;
+  std::vector<ShardDepths> queue_depths() const override;
+
+  /// Cheap per-shard artifact identity (one registry read, no engine
+  /// locks): the digest + generation each heartbeat frame carries.
+  std::vector<ShardArtifact> shard_artifacts() const;
 
   /// Unmerged per-engine snapshots of one shard (tests, debugging; empty
   /// for unknown keys).
   std::vector<engine::EngineStats> shard_engine_stats(std::string_view shard_key) const;
 
   std::vector<std::string> shard_keys() const;
-  bool has_shard(std::string_view shard_key) const;
+  bool has_shard(std::string_view shard_key) const override;
   std::size_t num_shards() const;
 
   /// Drains and stops every engine of every shard. Idempotent; the

@@ -1,116 +1,12 @@
 #include "gateway/client.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-
 namespace noble::gateway {
-
-// --- FrameSocket -------------------------------------------------------------
-
-std::optional<FrameSocket> FrameSocket::connect(const std::string& host,
-                                                std::uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return std::nullopt;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
-      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-    ::close(fd);
-    return std::nullopt;
-  }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  return FrameSocket(fd);
-}
-
-FrameSocket::FrameSocket(FrameSocket&& other) noexcept
-    : fd_(other.fd_), broken_(other.broken_), inbuf_(std::move(other.inbuf_)) {
-  other.fd_ = -1;
-}
-
-FrameSocket& FrameSocket::operator=(FrameSocket&& other) noexcept {
-  if (this != &other) {
-    if (fd_ >= 0) ::close(fd_);
-    fd_ = other.fd_;
-    broken_ = other.broken_;
-    inbuf_ = std::move(other.inbuf_);
-    other.fd_ = -1;
-  }
-  return *this;
-}
-
-FrameSocket::~FrameSocket() {
-  if (fd_ >= 0) ::close(fd_);
-}
-
-bool FrameSocket::send_frame(const wire::Frame& frame) {
-  if (!valid()) return false;
-  const std::string bytes = wire::encode_frame(frame);
-  std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n =
-        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
-    if (n > 0) {
-      sent += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    broken_ = true;
-    return false;
-  }
-  return true;
-}
-
-std::optional<wire::Frame> FrameSocket::recv_frame(int timeout_ms) {
-  if (!valid()) return std::nullopt;
-  for (;;) {
-    wire::Frame frame;
-    switch (wire::decode_frame(inbuf_, frame)) {
-      case wire::DecodeResult::kFrame:
-        return frame;
-      case wire::DecodeResult::kMalformed:
-        broken_ = true;
-        return std::nullopt;
-      case wire::DecodeResult::kNeedMore:
-        break;
-    }
-    pollfd pfd{fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, timeout_ms);
-    if (ready == 0) return std::nullopt;  // timeout; socket stays usable
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      broken_ = true;
-      return std::nullopt;
-    }
-    char chunk[65536];
-    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
-    if (n > 0) {
-      inbuf_.append(chunk, static_cast<std::size_t>(n));
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    broken_ = true;  // orderly close or hard error: no more frames will come
-    return std::nullopt;
-  }
-}
-
-void FrameSocket::shutdown_both() {
-  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
-}
 
 // --- GatewayClient -----------------------------------------------------------
 
 std::optional<GatewayClient> GatewayClient::connect(const std::string& host,
                                                     std::uint16_t port) {
-  std::optional<FrameSocket> sock = FrameSocket::connect(host, port);
+  std::optional<FrameSocket> sock = connect_socket(host, port);
   if (!sock.has_value()) return std::nullopt;
   return GatewayClient(std::move(*sock));
 }

@@ -1,11 +1,6 @@
-// Client side of the gateway wire protocol: a framed TCP socket plus a
-// small synchronous convenience API.
-//
-// FrameSocket owns one connected fd and the framing state (buffered reads,
-// whole-frame sends). It is deliberately dumb: one frame in, one frame out,
-// full duplex — one thread may send while another receives (that is how the
-// open-loop load harness pipelines), but each direction belongs to exactly
-// one thread at a time.
+// Client side of the gateway wire protocol: the shared net::FrameSocket
+// bound to the gateway MessageSet, plus a small synchronous convenience
+// API.
 //
 // GatewayClient layers request-id bookkeeping and blocking call-and-wait
 // helpers on top — what an example, a test, or a device SDK would use. The
@@ -21,40 +16,20 @@
 #include <utility>
 
 #include "gateway/wire.h"
+#include "net/socket.h"
 
 namespace noble::gateway {
 
-class FrameSocket {
- public:
-  /// Connects (blocking) to host:port; nullopt on refusal/resolution error.
-  static std::optional<FrameSocket> connect(const std::string& host, std::uint16_t port);
+/// The transport is the shared one; a gateway FrameSocket is a
+/// net::FrameSocket speaking wire::message_set().
+using FrameSocket = net::FrameSocket;
 
-  FrameSocket(FrameSocket&& other) noexcept;
-  FrameSocket& operator=(FrameSocket&& other) noexcept;
-  FrameSocket(const FrameSocket&) = delete;
-  FrameSocket& operator=(const FrameSocket&) = delete;
-  ~FrameSocket();
-
-  /// Sends one whole frame (blocking). False when the peer is gone.
-  bool send_frame(const wire::Frame& frame);
-
-  /// Receives the next frame, waiting at most `timeout_ms` (-1 = forever).
-  /// nullopt on timeout, orderly close, or a malformed inbound frame (the
-  /// socket is marked invalid for the latter two; timeouts leave it usable).
-  std::optional<wire::Frame> recv_frame(int timeout_ms = -1);
-
-  /// Half-closes both directions — unblocks a thread parked in recv_frame
-  /// (it observes EOF), which is how a reader thread gets stopped.
-  void shutdown_both();
-
-  bool valid() const { return fd_ >= 0 && !broken_; }
-
- private:
-  explicit FrameSocket(int fd) : fd_(fd) {}
-  int fd_ = -1;
-  bool broken_ = false;
-  std::string inbuf_;
-};
+/// Connects a FrameSocket speaking the gateway protocol; nullopt on
+/// refusal/resolution error.
+inline std::optional<FrameSocket> connect_socket(const std::string& host,
+                                                 std::uint16_t port) {
+  return net::FrameSocket::connect(host, port, wire::message_set());
+}
 
 /// Status + fix outcome of one Locate/TrackUpdate over the wire.
 struct WireResult {

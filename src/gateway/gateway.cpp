@@ -1,40 +1,12 @@
 #include "gateway/gateway.h"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <utility>
 
 namespace noble::gateway {
 
 namespace {
-
-bool set_nonblocking(int fd) {
-  const int flags = fcntl(fd, F_GETFL, 0);
-  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
-}
-
-wire::Status to_wire_status(engine::SubmitStatus status) {
-  switch (status) {
-    case engine::SubmitStatus::kAccepted: return wire::Status::kOk;
-    case engine::SubmitStatus::kQueueFull: return wire::Status::kQueueFull;
-    case engine::SubmitStatus::kBadDimension: return wire::Status::kBadDimension;
-    case engine::SubmitStatus::kNoSession: return wire::Status::kNoSession;
-    case engine::SubmitStatus::kNoShard: return wire::Status::kNoShard;
-    case engine::SubmitStatus::kExpired: return wire::Status::kExpired;
-    case engine::SubmitStatus::kStopped: return wire::Status::kStopped;
-  }
-  return wire::Status::kStopped;
-}
 
 engine::SubmitOptions to_submit_options(const wire::Frame& frame) {
   engine::SubmitOptions options;
@@ -45,238 +17,57 @@ engine::SubmitOptions to_submit_options(const wire::Frame& frame) {
   return options;
 }
 
+net::ServerConfig to_server_config(const GatewayConfig& config) {
+  net::ServerConfig out;
+  out.port = config.port;
+  out.bind_address = config.bind_address;
+  out.threads = config.threads;
+  out.max_connections = config.max_connections;
+  out.max_frame_bytes = config.max_frame_bytes;
+  out.max_write_buffer = config.max_write_buffer;
+  out.listen_backlog = config.listen_backlog;
+  return out;
+}
+
 }  // namespace
 
-Listener::Listener(fleet::Router& router, GatewayConfig config)
-    : router_(router), config_(std::move(config)) {}
+Listener::Listener(fleet::Routing& routing, GatewayConfig config)
+    : routing_(routing),
+      config_(std::move(config)),
+      server_(*this, to_server_config(config_)) {}
 
-Listener::~Listener() { stop(); }
+// The server must stop before the Listener's protocol state goes away:
+// handler threads call back into on_service/on_close until joined.
+Listener::~Listener() { server_.stop(); }
 
-bool Listener::start() {
-  if (running_.load(std::memory_order_acquire)) return true;
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return false;
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+bool Listener::start() { return server_.start(); }
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
-  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1 ||
-      ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
-      ::listen(listen_fd_, config_.listen_backlog) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof bound;
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
-  }
-  port_ = ntohs(bound.sin_port);
+void Listener::stop() { server_.stop(); }
 
-  running_.store(true, std::memory_order_release);
-  handlers_.clear();
-  const std::size_t threads = config_.threads == 0 ? 1 : config_.threads;
-  for (std::size_t i = 0; i < threads; ++i) {
-    auto handler = std::make_unique<Handler>();
-    int pipe_fds[2];
-    if (::pipe(pipe_fds) != 0) {
-      running_.store(false, std::memory_order_release);
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-      return false;
-    }
-    set_nonblocking(pipe_fds[0]);
-    set_nonblocking(pipe_fds[1]);
-    handler->wake_read_fd = pipe_fds[0];
-    handler->wake_write_fd = pipe_fds[1];
-    handlers_.push_back(std::move(handler));
-  }
-  for (auto& handler : handlers_) {
-    handler->thread = std::thread([this, &h = *handler] { handler_loop(h); });
-  }
-  accept_thread_ = std::thread([this] { accept_loop(); });
-  return true;
+Listener::ConnState& Listener::state_of(net::ServerConn& conn) {
+  if (conn.user == nullptr) conn.user = std::make_shared<ConnState>();
+  return *static_cast<ConnState*>(conn.user.get());
 }
 
-void Listener::stop() {
-  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
-  // Unpark a blocked accept-poll, but leave the fd itself alone until the
-  // accept thread is joined: closing (and overwriting) it here would race
-  // the poll()/accept() calls still using it.
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  for (auto& handler : handlers_) {
-    const char byte = 'q';
-    (void)!::write(handler->wake_write_fd, &byte, 1);
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  for (auto& handler : handlers_) {
-    if (handler->thread.joinable()) handler->thread.join();
-    ::close(handler->wake_read_fd);
-    ::close(handler->wake_write_fd);
-    // Adopt-queue stragglers the handler never saw still need closing.
-    for (const int fd : handler->incoming) ::close(fd);
-    handler->incoming.clear();
-  }
-  handlers_.clear();
+void Listener::send_frame(net::ServerConn& conn, wire::MsgType type,
+                          std::uint64_t request_id, std::string body) {
+  wire::Frame frame;
+  frame.type = type;
+  frame.request_id = request_id;
+  frame.body = std::move(body);
+  conn.send(frame);
 }
 
-void Listener::accept_loop() {
-  std::size_t next_handler = 0;
-  while (running_.load(std::memory_order_acquire)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (!running_.load(std::memory_order_acquire)) break;
-    if (ready <= 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    if (connections_open_.value() >= config_.max_connections) {
-      connections_rejected_.inc();
-      ::close(fd);
-      continue;
-    }
-    if (!set_nonblocking(fd)) {
-      ::close(fd);
-      continue;
-    }
-    const int one = 1;
-    // Frames are small and latency is the product; never Nagle-delay them.
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    connections_accepted_.inc();
-    connections_open_.inc();
-    Handler& handler = *handlers_[next_handler];
-    next_handler = (next_handler + 1) % handlers_.size();
-    {
-      std::lock_guard<std::mutex> lock(handler.mu);
-      handler.incoming.push_back(fd);
-    }
-    const char byte = 'c';
-    (void)!::write(handler.wake_write_fd, &byte, 1);
-  }
-}
-
-void Listener::handler_loop(Handler& handler) {
-  std::vector<std::unique_ptr<Connection>> conns;
-  std::vector<pollfd> pfds;
-  while (running_.load(std::memory_order_acquire)) {
-    pfds.clear();
-    pfds.push_back(pollfd{handler.wake_read_fd, POLLIN, 0});
-    bool any_inflight = false;
-    for (const auto& conn : conns) {
-      short events = POLLIN;
-      if (!conn->outbuf.empty()) events |= POLLOUT;
-      pfds.push_back(pollfd{conn->fd, events, 0});
-      any_inflight = any_inflight || !conn->inflight.empty();
-    }
-    // With futures pending the loop must poll them too — the engine has no
-    // way to kick a socket thread — so sleep at most 200us (one batching
-    // window) instead of blocking. Idle handlers block until a socket or
-    // the wake pipe fires. ppoll for the sub-millisecond case: poll()'s
-    // millisecond floor would put a visible constant into every latency.
-    if (any_inflight) {
-      const timespec wait{0, 200'000};
-      ::ppoll(pfds.data(), pfds.size(), &wait, nullptr);
-    } else {
-      ::ppoll(pfds.data(), pfds.size(), nullptr, nullptr);
-    }
-    if (!running_.load(std::memory_order_acquire)) break;
-
-    if (pfds[0].revents & POLLIN) {
-      char drain[64];
-      while (::read(handler.wake_read_fd, drain, sizeof drain) > 0) {
-      }
-    }
-    {
-      std::lock_guard<std::mutex> lock(handler.mu);
-      for (const int fd : handler.incoming) {
-        conns.push_back(std::make_unique<Connection>(fd));
-      }
-      handler.incoming.clear();
-    }
-
-    for (std::size_t i = 0; i < conns.size();) {
-      Connection& conn = *conns[i];
-      // pfds[0] is the wake pipe; connection i sat at pfds[i + 1] — but
-      // adoption above may have grown conns past pfds, so guard the index.
-      const short revents = i + 1 < pfds.size() ? pfds[i + 1].revents : 0;
-      bool alive = (revents & (POLLERR | POLLNVAL)) == 0;
-      if (alive && (revents & (POLLIN | POLLHUP))) alive = handle_readable(conn);
-      if (alive) settle_inflight(conn);
-      if (alive && !conn.outbuf.empty()) alive = flush_writes(conn);
-      if (alive && conn.outbuf.size() > config_.max_write_buffer) alive = false;
-      if (alive && conn.closing && conn.outbuf.empty() && conn.inflight.empty()) {
-        alive = false;
-      }
-      if (!alive) {
-        close_connection(conn);
-        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
-        // pfds is now stale relative to conns; process remaining entries
-        // with no revents this pass (the next loop iteration re-polls).
-        pfds.clear();
-      } else {
-        ++i;
-      }
-    }
-  }
-  for (auto& conn : conns) close_connection(*conn);
-}
-
-bool Listener::handle_readable(Connection& conn) {
-  char chunk[65536];
-  for (;;) {
-    const ssize_t n = ::read(conn.fd, chunk, sizeof chunk);
-    if (n > 0) {
-      conn.inbuf.append(chunk, static_cast<std::size_t>(n));
-      if (conn.inbuf.size() > config_.max_frame_bytes + sizeof(std::uint32_t)) break;
-      continue;
-    }
-    if (n == 0) return false;  // orderly EOF
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
-    return false;
-  }
-  // One clock read stamps kRecv for every frame parsed out of this read
-  // pass — the bytes were all on the socket together, so they share an
-  // arrival instant. 0 (tracing off) skips trace creation downstream.
-  const std::uint64_t recv_ns =
-      obs::Tracer::global().enabled() ? obs::Trace::now_ns() : 0;
-  while (!conn.closing) {
-    wire::Frame frame;
-    std::string error;
-    switch (wire::decode_frame(conn.inbuf, frame, config_.max_frame_bytes, &error)) {
-      case wire::DecodeResult::kNeedMore:
-        return true;
-      case wire::DecodeResult::kMalformed:
-        malformed_frames_.inc();
-        send_frame(conn, wire::MsgType::kError, 0, wire::encode_text_body(error));
-        // One error frame, then close: there is no resync point in a
-        // length-prefixed stream once the prefix itself is untrusted.
-        conn.closing = true;
-        return true;
-      case wire::DecodeResult::kFrame:
-        frames_received_.inc();
-        if (!handle_frame(conn, std::move(frame), recv_ns)) return false;
-        break;
-    }
-  }
-  return true;
-}
-
-bool Listener::handle_frame(Connection& conn, wire::Frame frame,
-                            std::uint64_t recv_ns) {
+bool Listener::on_frame(net::ServerConn& conn, net::Frame frame,
+                        std::uint64_t recv_ns) {
+  ConnState& state = state_of(conn);
   const auto malformed = [&](const char* what) {
-    malformed_frames_.inc();
+    // Body-level protocol violation: same one-error-frame-then-close
+    // contract the FrameServer applies to framing-level ones.
+    body_malformed_frames_.inc();
     send_frame(conn, wire::MsgType::kError, frame.request_id,
                wire::encode_text_body(what));
-    conn.closing = true;
+    conn.close_after_flush();
     return true;
   };
   // Stage trace for a decoded request frame: decode = kRecv -> kSubmit, the
@@ -292,14 +83,14 @@ bool Listener::handle_frame(Connection& conn, wire::Frame frame,
     return trace;
   };
 
-  switch (frame.type) {
+  switch (frame.type.as<wire::MsgType>()) {
     case wire::MsgType::kLocate: {
       std::string shard_key;
       serve::RssiVector rssi;
       if (!wire::decode_locate_body(frame.body, shard_key, rssi)) {
         return malformed("bad locate body");
       }
-      if (conn.inflight.size() >= config_.inflight_window) {
+      if (state.inflight.size() >= config_.inflight_window) {
         backpressure_rejects_.inc();
         send_frame(conn, wire::MsgType::kFix, frame.request_id,
                    wire::encode_fix_body(wire::Status::kWindowFull, nullptr));
@@ -307,15 +98,15 @@ bool Listener::handle_frame(Connection& conn, wire::Frame frame,
       }
       engine::SubmitOptions options = to_submit_options(frame);
       options.trace = start_trace();
-      engine::Submission s = router_.submit(shard_key, rssi, options);
+      engine::Submission s = routing_.submit(shard_key, rssi, options);
       if (s.accepted()) {
-        conn.inflight.push_back(Pending{frame.request_id, frame.cls,
-                                        std::move(s.result), std::move(options.trace)});
+        state.inflight.push_back(Pending{frame.request_id, frame.cls,
+                                         std::move(s.result), std::move(options.trace)});
       } else {
         // Rejected: the trace is dropped unfinished — stage histograms
         // describe served requests.
         send_frame(conn, wire::MsgType::kFix, frame.request_id,
-                   wire::encode_fix_body(to_wire_status(s.status), nullptr));
+                   wire::encode_fix_body(wire::from_submit_status(s.status), nullptr));
       }
       return true;
     }
@@ -325,13 +116,13 @@ bool Listener::handle_frame(Connection& conn, wire::Frame frame,
       if (!wire::decode_track_body(frame.body, session_id, segment)) {
         return malformed("bad track body");
       }
-      const auto it = conn.sessions.find(session_id);
-      if (it == conn.sessions.end()) {
+      const auto it = state.sessions.find(session_id);
+      if (it == state.sessions.end()) {
         send_frame(conn, wire::MsgType::kFix, frame.request_id,
                    wire::encode_fix_body(wire::Status::kNoSession, nullptr));
         return true;
       }
-      if (conn.inflight.size() >= config_.inflight_window) {
+      if (state.inflight.size() >= config_.inflight_window) {
         backpressure_rejects_.inc();
         send_frame(conn, wire::MsgType::kFix, frame.request_id,
                    wire::encode_fix_body(wire::Status::kWindowFull, nullptr));
@@ -339,13 +130,13 @@ bool Listener::handle_frame(Connection& conn, wire::Frame frame,
       }
       engine::SubmitOptions options = to_submit_options(frame);
       options.trace = start_trace();
-      engine::Submission s = router_.track(it->second, std::move(segment), options);
+      engine::Submission s = routing_.track(it->second, std::move(segment), options);
       if (s.accepted()) {
-        conn.inflight.push_back(Pending{frame.request_id, frame.cls,
-                                        std::move(s.result), std::move(options.trace)});
+        state.inflight.push_back(Pending{frame.request_id, frame.cls,
+                                         std::move(s.result), std::move(options.trace)});
       } else {
         send_frame(conn, wire::MsgType::kFix, frame.request_id,
-                   wire::encode_fix_body(to_wire_status(s.status), nullptr));
+                   wire::encode_fix_body(wire::from_submit_status(s.status), nullptr));
       }
       return true;
     }
@@ -355,17 +146,17 @@ bool Listener::handle_frame(Connection& conn, wire::Frame frame,
       if (!wire::decode_open_session_body(frame.body, shard_key, start)) {
         return malformed("bad open-session body");
       }
-      std::optional<fleet::FleetSession> session = router_.open_session(shard_key, start);
+      std::optional<fleet::FleetSession> session = routing_.open_session(shard_key, start);
       if (!session.has_value()) {
-        const wire::Status status = router_.has_shard(shard_key)
+        const wire::Status status = routing_.has_shard(shard_key)
                                         ? wire::Status::kNoSession
                                         : wire::Status::kNoShard;
         send_frame(conn, wire::MsgType::kSessionOpened, frame.request_id,
                    wire::encode_session_opened_body(status, 0));
         return true;
       }
-      const std::uint64_t wire_id = conn.next_session_id++;
-      conn.sessions.emplace(wire_id, *session);
+      const std::uint64_t wire_id = state.next_session_id++;
+      state.sessions.emplace(wire_id, *session);
       sessions_opened_.inc();
       send_frame(conn, wire::MsgType::kSessionOpened, frame.request_id,
                  wire::encode_session_opened_body(wire::Status::kOk, wire_id));
@@ -376,11 +167,11 @@ bool Listener::handle_frame(Connection& conn, wire::Frame frame,
       if (!wire::decode_close_session_body(frame.body, session_id)) {
         return malformed("bad close-session body");
       }
-      const auto it = conn.sessions.find(session_id);
+      const auto it = state.sessions.find(session_id);
       wire::Status status = wire::Status::kNoSession;
-      if (it != conn.sessions.end()) {
-        router_.close_session(it->second);
-        conn.sessions.erase(it);
+      if (it != state.sessions.end()) {
+        routing_.close_session(it->second);
+        state.sessions.erase(it);
         sessions_closed_.inc();
         status = wire::Status::kOk;
       }
@@ -409,12 +200,17 @@ bool Listener::handle_frame(Connection& conn, wire::Frame frame,
   return malformed("unknown message type");
 }
 
-std::size_t Listener::settle_inflight(Connection& conn) {
-  std::size_t settled = 0;
+bool Listener::on_service(net::ServerConn& conn) {
+  if (conn.user == nullptr) return false;
+  ConnState& state = *static_cast<ConnState*>(conn.user.get());
+  return settle_inflight(conn, state) > 0;
+}
+
+std::size_t Listener::settle_inflight(net::ServerConn& conn, ConnState& state) {
   // Completion order, not submission order: a cache hit or a faster
   // micro-batch may finish request N+1 before N, and holding its response
   // hostage behind N would serialize the window. Request ids disambiguate.
-  for (auto it = conn.inflight.begin(); it != conn.inflight.end();) {
+  for (auto it = state.inflight.begin(); it != state.inflight.end();) {
     if (it->result.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
       ++it;
       continue;
@@ -440,59 +236,32 @@ std::size_t Listener::settle_inflight(Connection& conn) {
       it->trace->stamp(obs::Mark::kResponded);
       obs::Tracer::global().finish(*it->trace);
     }
-    it = conn.inflight.erase(it);
-    ++settled;
+    it = state.inflight.erase(it);
   }
-  return settled;
+  return state.inflight.size();
 }
 
-bool Listener::flush_writes(Connection& conn) {
-  while (!conn.outbuf.empty()) {
-    const ssize_t n =
-        ::send(conn.fd, conn.outbuf.data(), conn.outbuf.size(), MSG_NOSIGNAL);
-    if (n > 0) {
-      conn.outbuf.erase(0, static_cast<std::size_t>(n));
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
-    if (n < 0 && errno == EINTR) continue;
-    return false;
-  }
-  return true;
-}
-
-void Listener::send_frame(Connection& conn, wire::MsgType type,
-                          std::uint64_t request_id, std::string body) {
-  wire::Frame frame;
-  frame.type = type;
-  frame.request_id = request_id;
-  frame.body = std::move(body);
-  conn.outbuf += wire::encode_frame(frame);
-  frames_sent_.inc();
-}
-
-void Listener::close_connection(Connection& conn) {
-  if (conn.fd < 0) return;
+void Listener::on_close(net::ServerConn& conn) {
+  if (conn.user == nullptr) return;
+  ConnState& state = *static_cast<ConnState*>(conn.user.get());
   // A vanished connection must not leak its tracks: sticky sessions die
   // with the connection, exactly like a device dropping off the network.
-  for (const auto& [wire_id, session] : conn.sessions) {
-    router_.close_session(session);
+  for (const auto& [wire_id, session] : state.sessions) {
+    routing_.close_session(session);
     sessions_closed_.inc();
   }
-  conn.sessions.clear();
-  ::close(conn.fd);
-  conn.fd = -1;
-  connections_open_.sub();
+  state.sessions.clear();
 }
 
 GatewayCounters Listener::counters() const {
+  const net::ServerCounters server = server_.counters();
   GatewayCounters out;
-  out.connections_accepted = connections_accepted_.value();
-  out.connections_open = connections_open_.value();
-  out.connections_rejected = connections_rejected_.value();
-  out.frames_received = frames_received_.value();
-  out.frames_sent = frames_sent_.value();
-  out.malformed_frames = malformed_frames_.value();
+  out.connections_accepted = server.connections_accepted;
+  out.connections_open = server.connections_open;
+  out.connections_rejected = server.connections_rejected;
+  out.frames_received = server.frames_received;
+  out.frames_sent = server.frames_sent;
+  out.malformed_frames = server.malformed_frames + body_malformed_frames_.value();
   out.backpressure_rejects = backpressure_rejects_.value();
   out.sessions_opened = sessions_opened_.value();
   out.sessions_closed = sessions_closed_.value();
@@ -518,7 +287,7 @@ obs::MetricsSnapshot Listener::stats_snapshot() const {
   out.counter("noble_gateway_sessions_opened", c.sessions_opened);
   out.counter("noble_gateway_sessions_closed", c.sessions_closed);
 
-  const fleet::FleetStats stats = router_.stats();
+  const fleet::FleetStats stats = routing_.stats();
   out.counter("noble_fleet_shards", stats.num_shards);
   out.counter("noble_fleet_engines", stats.num_engines);
   out.gauge_int("noble_fleet_queue_depth", stats.queue_depth);
@@ -552,12 +321,25 @@ obs::MetricsSnapshot Listener::stats_snapshot() const {
     out.gauge(prefix + "_p95_us", cs.latency.p95_us);
     out.gauge(prefix + "_p99_us", cs.latency.p99_us);
   }
-  for (const fleet::ShardDepths& shard : router_.queue_depths()) {
+  for (const fleet::ShardDepths& shard : routing_.queue_depths()) {
     for (std::size_t e = 0; e < shard.engines.size(); ++e) {
       out.gauge_int("noble_fleet_queue_depth", shard.engines[e],
                     {{"shard", shard.shard}, {"engine", std::to_string(e)}});
     }
   }
+  // Artifact identity per shard: the generation as the gauge value (small,
+  // exactly representable) with the 64-bit digest as a hex label — a u64
+  // digest as a double sample would silently lose low bits.
+  for (const auto& [shard, artifact] : stats.artifacts) {
+    char digest_hex[17];
+    std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
+                  static_cast<unsigned long long>(artifact.digest));
+    out.gauge_int("noble_fleet_artifact_generation", artifact.generation,
+                  {{"shard", shard}, {"digest", digest_hex}});
+  }
+  // Implementation-specific samples (a cluster node agent's spill counters;
+  // a plain Router contributes nothing).
+  routing_.splice_metrics(out);
   out.append(obs::Registry::global().collect());
   return out;
 }

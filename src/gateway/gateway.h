@@ -1,21 +1,20 @@
-// noble::gateway — the socket-facing serving front end over fleet::Router.
+// noble::gateway — the socket-facing serving front end over fleet::Routing.
 //
 // The engine/fleet stack serves heavy concurrent traffic, but only
 // in-process; this is the network story (the role onnxruntime's
-// hosting/http/session.cc plays for ORT). One Listener owns a TCP accept
-// loop plus N connection-handler threads, each multiplexing its share of
-// the connections over non-blocking sockets with poll()-based readiness:
+// hosting/http/session.cc plays for ORT). The transport — accept loop,
+// N poll-based connection-handler threads, buffered framing, defensive
+// decode — is the shared net::FrameServer; the Listener is its gateway
+// protocol handler:
 //
-//   clients ══ TCP, wire.h frames ══▶ accept loop ──▶ handler 0 ─ conns…
-//                                        (round-robin)  handler 1 ─ conns…
-//                                                          │
-//                                            router.submit / track / stats
+//   clients ══ TCP, wire.h frames ══▶ net::FrameServer ──▶ Listener
+//                                                             │
+//                                               routing.submit / track / stats
 //
-// Per connection the handler keeps a read buffer (bytes -> frames), a write
-// buffer (frames -> bytes, flushed as the socket drains) and a bounded
-// in-flight window of admitted-but-unfulfilled requests. The frame header's
-// class + deadline map straight onto engine::SubmitOptions, so the
-// admission-control story — interactive reservation, bulk shedding,
+// Per connection the Listener keeps a bounded in-flight window of
+// admitted-but-unfulfilled requests plus the sticky-session table. The
+// frame header's class + deadline map straight onto engine::SubmitOptions,
+// so the admission-control story — interactive reservation, bulk shedding,
 // deadline expiry — holds for network traffic exactly as it does
 // in-process. Responses carry the request id and go out in completion
 // order: micro-batching and the fingerprint cache reorder completions, the
@@ -27,12 +26,18 @@
 // (the handler submits updates of one session in arrival order). A closing
 // connection closes its sessions — no leaked registry entries.
 //
-// Protocol errors (wire::DecodeResult::kMalformed) answer with one kError
-// frame and close the connection; in-flight futures still resolve (the
-// engine owns them) and are simply dropped. The bit-identity contract is
-// end to end: a fix served over the wire is Fix::operator==-equal to direct
-// locate() — the wire codec moves exact bit patterns, never re-derived
-// values.
+// Protocol errors answer with one kError frame and close the connection
+// (framing-level violations are handled by the FrameServer itself;
+// body-level ones — a frame whose type is known but whose body does not
+// parse — by the Listener, same contract). In-flight futures still resolve
+// (the engine owns them) and are simply dropped. The bit-identity contract
+// is end to end: a fix served over the wire is Fix::operator==-equal to
+// direct locate() — the wire codec moves exact bit patterns, never
+// re-derived values.
+//
+// The Listener serves any fleet::Routing — a local Router, or a cluster
+// NodeAgent whose submit() spills saturated bulk traffic to peer nodes; the
+// gateway cannot tell the difference, which is the point of the interface.
 //
 // Observability: per-request frames (kLocate / kTrackUpdate) carry an
 // obs::Trace when tracing is on — kRecv stamped at byte arrival, kSubmit at
@@ -40,26 +45,23 @@
 // write buffer — and the gateway finishes each trace into the process-wide
 // stage histograms. The scrape page is built as an obs::MetricsSnapshot
 // (gateway counters + FleetStats views + per-engine depth gauges + the
-// global registry's trace instruments) and served in either exposition
-// format: kStats returns the Prometheus text rendering, kStatsBinary the
-// versioned binary image — full histogram bins, decodable with
-// obs::decode_snapshot.
+// routing implementation's own splice + the global registry's trace
+// instruments) and served in either exposition format: kStats returns the
+// Prometheus text rendering, kStatsBinary the versioned binary image —
+// full histogram bins, decodable with obs::decode_snapshot.
 #ifndef NOBLE_GATEWAY_GATEWAY_H_
 #define NOBLE_GATEWAY_GATEWAY_H_
 
-#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <unordered_map>
-#include <vector>
 
 #include "fleet/router.h"
 #include "gateway/wire.h"
+#include "net/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -96,18 +98,18 @@ struct GatewayCounters {
   std::uint64_t connections_rejected = 0;  ///< over max_connections
   std::uint64_t frames_received = 0;
   std::uint64_t frames_sent = 0;
-  std::uint64_t malformed_frames = 0;
+  std::uint64_t malformed_frames = 0;  ///< framing-level + body-level
   std::uint64_t backpressure_rejects = 0;  ///< kWindowFull verdicts
   std::uint64_t sessions_opened = 0;
   std::uint64_t sessions_closed = 0;  ///< client closes + connection sweeps
 };
 
-class Listener {
+class Listener final : private net::FrameHandler {
  public:
-  /// The router must outlive the listener. Construction does not touch the
-  /// network; start() does.
-  Listener(fleet::Router& router, GatewayConfig config = {});
-  ~Listener();
+  /// The routing implementation must outlive the listener. Construction
+  /// does not touch the network; start() does.
+  Listener(fleet::Routing& routing, GatewayConfig config = {});
+  ~Listener() override;
 
   Listener(const Listener&) = delete;
   Listener& operator=(const Listener&) = delete;
@@ -121,16 +123,17 @@ class Listener {
   /// destructor calls it.
   void stop();
 
-  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool running() const { return server_.running(); }
   /// Actual bound port (resolves port 0 after start()).
-  std::uint16_t port() const { return port_; }
+  std::uint16_t port() const { return server_.port(); }
   const GatewayConfig& config() const { return config_; }
 
   GatewayCounters counters() const;
 
   /// The scrape snapshot: gateway counters, FleetStats totals and per-class
-  /// percentiles, per-shard/per-engine queue depths (all as view samples),
-  /// plus every instrument in obs::Registry::global() (the tracer's stage
+  /// percentiles, per-shard/per-engine queue depths and artifact identity
+  /// (all as view samples), the routing implementation's own splice, plus
+  /// every instrument in obs::Registry::global() (the tracer's stage
   /// histograms and trace counters). Both wire scrape formats and
   /// stats_text() render this one snapshot.
   obs::MetricsSnapshot stats_snapshot() const;
@@ -147,59 +150,35 @@ class Listener {
     std::shared_ptr<obs::Trace> trace;  ///< stage clock; nullptr = untraced
   };
 
-  struct Connection {
-    explicit Connection(int descriptor) : fd(descriptor) {}
-    int fd;
-    std::string inbuf;
-    std::string outbuf;
+  /// Gateway protocol state of one connection, carried in ServerConn::user.
+  struct ConnState {
     std::deque<Pending> inflight;
     /// Wire session id -> sticky fleet session (per-connection namespace).
     std::unordered_map<std::uint64_t, fleet::FleetSession> sessions;
     std::uint64_t next_session_id = 1;
-    bool closing = false;  ///< flush outbuf, then close
   };
 
-  struct Handler {
-    std::mutex mu;                      ///< guards the handoff queue
-    std::vector<int> incoming;          ///< accepted fds awaiting adoption
-    int wake_read_fd = -1, wake_write_fd = -1;
-    std::thread thread;
-  };
+  // net::FrameHandler:
+  const net::MessageSet& message_set() const override { return wire::message_set(); }
+  bool on_frame(net::ServerConn& conn, net::Frame frame, std::uint64_t recv_ns) override;
+  bool on_service(net::ServerConn& conn) override;
+  void on_close(net::ServerConn& conn) override;
+  bool stamp_arrivals() const override { return obs::Tracer::global().enabled(); }
 
-  void accept_loop();
-  void handler_loop(Handler& handler);
-  /// Drains readable bytes and parses frames; false = close the connection.
-  bool handle_readable(Connection& conn);
-  /// Dispatches one decoded frame; false = close the connection. `recv_ns`
-  /// is the kRecv stamp for this read pass (0 when tracing is off).
-  bool handle_frame(Connection& conn, wire::Frame frame, std::uint64_t recv_ns);
+  ConnState& state_of(net::ServerConn& conn);
   /// Moves fulfilled futures from the in-flight window into the write
-  /// buffer; returns how many settled.
-  std::size_t settle_inflight(Connection& conn);
-  /// Non-blocking flush of the write buffer; false = peer gone.
-  bool flush_writes(Connection& conn);
-  void send_frame(Connection& conn, wire::MsgType type, std::uint64_t request_id,
+  /// buffer; returns how many are still pending.
+  std::size_t settle_inflight(net::ServerConn& conn, ConnState& state);
+  void send_frame(net::ServerConn& conn, wire::MsgType type, std::uint64_t request_id,
                   std::string body);
-  void close_connection(Connection& conn);
 
-  fleet::Router& router_;
+  fleet::Routing& routing_;
   GatewayConfig config_;
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
-  std::atomic<bool> running_{false};
-  std::vector<std::unique_ptr<Handler>> handlers_;
-  std::thread accept_thread_;
+  net::FrameServer server_;
 
-  /// obs::Counter members (thread-striped): handler threads increment
-  /// without sharing lines, and GatewayCounters stays the struct view.
-  /// connections_open_ is a level worn as a counter (inc on accept, sub on
-  /// close) — the mod-2^64 stripe sum keeps it exact.
-  obs::Counter connections_accepted_;
-  obs::Counter connections_open_;
-  obs::Counter connections_rejected_;
-  obs::Counter frames_received_;
-  obs::Counter frames_sent_;
-  obs::Counter malformed_frames_;
+  /// Gateway-protocol counters; the transport-level ones live in the
+  /// FrameServer and are merged into GatewayCounters by counters().
+  obs::Counter body_malformed_frames_;
   obs::Counter backpressure_rejects_;
   obs::Counter sessions_opened_;
   obs::Counter sessions_closed_;

@@ -1,37 +1,26 @@
 #include "gateway/wire.h"
 
-#include <cstring>
-
 #include "nn/serialize.h"
 
 namespace noble::gateway::wire {
 
-namespace {
-
-bool known_type(std::uint32_t raw) {
-  switch (static_cast<MsgType>(raw)) {
-    case MsgType::kLocate:
-    case MsgType::kOpenSession:
-    case MsgType::kTrackUpdate:
-    case MsgType::kCloseSession:
-    case MsgType::kStats:
-    case MsgType::kStatsBinary:
-    case MsgType::kFix:
-    case MsgType::kSessionOpened:
-    case MsgType::kSessionClosed:
-    case MsgType::kStatsText:
-    case MsgType::kError:
-    case MsgType::kStatsSnapshot:
-      return true;
-  }
-  return false;
+const net::MessageSet& message_set() {
+  static const net::MessageSet set(
+      "gateway",
+      {{static_cast<std::uint32_t>(MsgType::kLocate), "locate"},
+       {static_cast<std::uint32_t>(MsgType::kOpenSession), "open_session"},
+       {static_cast<std::uint32_t>(MsgType::kTrackUpdate), "track_update"},
+       {static_cast<std::uint32_t>(MsgType::kCloseSession), "close_session"},
+       {static_cast<std::uint32_t>(MsgType::kStats), "stats"},
+       {static_cast<std::uint32_t>(MsgType::kStatsBinary), "stats_binary"},
+       {static_cast<std::uint32_t>(MsgType::kFix), "fix"},
+       {static_cast<std::uint32_t>(MsgType::kSessionOpened), "session_opened"},
+       {static_cast<std::uint32_t>(MsgType::kSessionClosed), "session_closed"},
+       {static_cast<std::uint32_t>(MsgType::kStatsText), "stats_text"},
+       {static_cast<std::uint32_t>(MsgType::kError), "error"},
+       {static_cast<std::uint32_t>(MsgType::kStatsSnapshot), "stats_snapshot"}});
+  return set;
 }
-
-void set_error(std::string* error, const char* what) {
-  if (error != nullptr) *error = what;
-}
-
-}  // namespace
 
 const char* status_name(Status s) {
   switch (s) {
@@ -44,73 +33,48 @@ const char* status_name(Status s) {
     case Status::kStopped: return "stopped";
     case Status::kDeadlineExpired: return "deadline_expired";
     case Status::kWindowFull: return "window_full";
+    case Status::kWrongArtifact: return "wrong_artifact";
   }
   return "unknown";
 }
 
-std::string encode_frame(const Frame& frame) {
-  nn::ByteWriter payload;
-  payload.u32(kMagic);
-  payload.u32(static_cast<std::uint32_t>(frame.type));
-  payload.u64(frame.request_id);
-  payload.u8(static_cast<std::uint8_t>(engine::request_class_index(frame.cls)));
-  payload.u64(frame.deadline_us);
-  std::string out;
-  const std::uint32_t length =
-      static_cast<std::uint32_t>(payload.bytes().size() + frame.body.size());
-  out.reserve(sizeof length + length);
-  out.append(reinterpret_cast<const char*>(&length), sizeof length);
-  out.append(payload.bytes());
-  out.append(frame.body);
-  return out;
+Status from_submit_status(engine::SubmitStatus status) {
+  switch (status) {
+    case engine::SubmitStatus::kAccepted: return Status::kOk;
+    case engine::SubmitStatus::kQueueFull: return Status::kQueueFull;
+    case engine::SubmitStatus::kBadDimension: return Status::kBadDimension;
+    case engine::SubmitStatus::kNoSession: return Status::kNoSession;
+    case engine::SubmitStatus::kNoShard: return Status::kNoShard;
+    case engine::SubmitStatus::kExpired: return Status::kExpired;
+    case engine::SubmitStatus::kStopped: return Status::kStopped;
+  }
+  return Status::kStopped;
 }
 
-DecodeResult decode_frame(std::string& buffer, Frame& out,
-                          std::size_t max_frame_bytes, std::string* error) {
-  if (buffer.size() < sizeof(std::uint32_t)) return DecodeResult::kNeedMore;
-  std::uint32_t length = 0;
-  std::memcpy(&length, buffer.data(), sizeof length);
-  // The length prefix is attacker-controlled until proven otherwise: cap it
-  // before allocating or waiting on it. There is no resync point in the
-  // stream, so an oversized frame is terminal, not skippable.
-  if (length > max_frame_bytes) {
-    set_error(error, "oversized length prefix");
-    return DecodeResult::kMalformed;
+engine::SubmitStatus to_submit_status(Status status) {
+  switch (status) {
+    case Status::kOk: return engine::SubmitStatus::kAccepted;
+    case Status::kQueueFull: return engine::SubmitStatus::kQueueFull;
+    case Status::kBadDimension: return engine::SubmitStatus::kBadDimension;
+    case Status::kNoSession: return engine::SubmitStatus::kNoSession;
+    case Status::kNoShard: return engine::SubmitStatus::kNoShard;
+    case Status::kExpired: return engine::SubmitStatus::kExpired;
+    case Status::kStopped: return engine::SubmitStatus::kStopped;
+    // Wire-only codes fold onto the nearest engine verdict: a lapsed
+    // deadline is an expiry, window backpressure is a full queue, and a
+    // wrong-artifact spill bounce means this peer cannot serve the shard.
+    case Status::kDeadlineExpired: return engine::SubmitStatus::kExpired;
+    case Status::kWindowFull: return engine::SubmitStatus::kQueueFull;
+    case Status::kWrongArtifact: return engine::SubmitStatus::kNoShard;
   }
-  if (buffer.size() < sizeof length + length) return DecodeResult::kNeedMore;
+  return engine::SubmitStatus::kStopped;
+}
 
-  nn::ByteReader header(std::string_view(buffer).substr(sizeof length, length));
-  std::uint32_t magic = 0, raw_type = 0;
-  std::uint8_t cls_index = 0;
-  Frame frame;
-  if (!header.u32(magic) || !header.u32(raw_type) || !header.u64(frame.request_id) ||
-      !header.u8(cls_index) || !header.u64(frame.deadline_us)) {
-    set_error(error, "truncated frame header");
-    return DecodeResult::kMalformed;
+std::exception_ptr rejection_exception(Status status) {
+  if (status == Status::kDeadlineExpired) {
+    return std::make_exception_ptr(engine::DeadlineExpired());
   }
-  if (magic != kMagic) {
-    // Distinguish a protocol peer speaking another version from raw garbage
-    // — the error a two-sided deploy actually hits deserves its own text.
-    set_error(error, (magic & 0xFFFFFF00u) == kProtocolTag ? "version mismatch"
-                                                           : "bad magic");
-    return DecodeResult::kMalformed;
-  }
-  if (!known_type(raw_type)) {
-    set_error(error, "unknown message type");
-    return DecodeResult::kMalformed;
-  }
-  if (cls_index >= engine::kNumRequestClasses) {
-    set_error(error, "unknown request class");
-    return DecodeResult::kMalformed;
-  }
-  frame.type = static_cast<MsgType>(raw_type);
-  frame.cls = cls_index == 0 ? engine::RequestClass::kInteractive
-                             : engine::RequestClass::kBulk;
-  constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 1 + 8;
-  frame.body.assign(buffer, sizeof length + kHeaderBytes, length - kHeaderBytes);
-  buffer.erase(0, sizeof length + length);
-  out = std::move(frame);
-  return DecodeResult::kFrame;
+  return std::make_exception_ptr(WireRejected(status));
 }
 
 // --- request bodies ----------------------------------------------------------
@@ -228,17 +192,6 @@ bool decode_status_body(std::string_view body, Status& status) {
   if (!r.u32(raw) || !r.exhausted()) return false;
   status = static_cast<Status>(raw);
   return true;
-}
-
-std::string encode_text_body(std::string_view text) {
-  nn::ByteWriter w;
-  w.str(text);
-  return w.take();
-}
-
-bool decode_text_body(std::string_view body, std::string& text) {
-  nn::ByteReader r(body);
-  return r.str(text) && r.exhausted();
 }
 
 }  // namespace noble::gateway::wire

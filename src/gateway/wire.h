@@ -1,54 +1,49 @@
-// noble::gateway wire protocol — compact length-prefixed binary framing.
+// noble::gateway wire protocol — the gateway's message vocabulary and typed
+// bodies over the shared noble::net frame codec.
 //
-// Every frame on a gateway connection is
+// Framing (length prefix, versioned magic header, request id, class,
+// relative deadline, defensive decode) lives in net/frame.h and is shared
+// with the cluster's inter-node protocol; this header owns what is
+// gateway-specific: the MsgType registry, the per-type body codecs, and the
+// Status outcome space.
 //
-//   u32 payload_length | payload
+// Request ids correlate responses on a multiplexed connection: the gateway
+// answers out of request order when micro-batches or the fingerprint cache
+// complete out of order, and the header's class + deadline map straight
+// onto engine::SubmitOptions — the admission story (PR 5) carried end to
+// end over the socket.
 //
-// and every payload opens with the same header, encoded with the
-// nn/serialize ByteWriter/ByteReader codec the model artifacts already use:
-//
-//   u32 magic+version ("NGW" + version byte)   — versioned magic
-//   u32 message type                           — MsgType below
-//   u64 request id                             — echoed on the response
-//   u8  request class                          — interactive / bulk
-//   u64 deadline budget (us, 0 = none)         — relative, resolved by the
-//                                                server against its clock at
-//                                                decode (clocks never cross
-//                                                the wire)
-//
-// followed by a per-type body. Request ids correlate responses on a
-// multiplexed connection: the gateway answers out of request order when
-// micro-batches or the fingerprint cache complete out of order, and the
-// header's class + deadline map straight onto engine::SubmitOptions — the
-// admission story (PR 5) carried end to end over the socket.
-//
-// Decoding is defensive at every step: a length prefix beyond
-// max_frame_bytes, a bad magic, an unsupported version, an unknown type or
-// a body that does not parse all yield kMalformed with a reason, and the
-// server answers with one kError frame and closes the connection. A short
-// buffer is just kNeedMore — framing state, not an error.
+// This header is also the one place the engine's SubmitStatus verdicts, the
+// wire Status codes and the client-side exception surface meet:
+// from_submit_status / to_submit_status are total inverse-ish maps (the
+// wire-only codes fold onto their nearest engine verdict on the way back),
+// and rejection_exception() is the single table every client reader uses to
+// turn a non-kOk fix status into the exception the harness counts.
 #ifndef NOBLE_GATEWAY_WIRE_H_
 #define NOBLE_GATEWAY_WIRE_H_
 
 #include <cstdint>
-#include <optional>
+#include <exception>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
-#include "engine/bounded_queue.h"
+#include "engine/engine.h"
 #include "geo/point.h"
+#include "net/frame.h"
 #include "serve/fix.h"
 
 namespace noble::gateway::wire {
 
-/// "NGW" + one version byte. Bumping the protocol bumps only the low byte,
-/// so a decoder can tell "other version" apart from "not our protocol".
-inline constexpr std::uint32_t kProtocolTag = 0x4E475700u;  // "NGW\0"
-inline constexpr std::uint32_t kVersion = 1;
-inline constexpr std::uint32_t kMagic = kProtocolTag | kVersion;
+/// Framing constants and types are the shared net ones; aliased so existing
+/// gateway code (and its tests) keep compiling unchanged.
+inline constexpr std::uint32_t kProtocolTag = net::kProtocolTag;
+inline constexpr std::uint32_t kVersion = net::kVersion;
+inline constexpr std::uint32_t kMagic = net::kMagic;
+inline constexpr std::size_t kDefaultMaxFrameBytes = net::kDefaultMaxFrameBytes;
 
-/// Hard ceiling a decoder applies to the length prefix before trusting it.
-inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
+using Frame = net::Frame;
+using DecodeResult = net::DecodeResult;
 
 enum class MsgType : std::uint32_t {
   // Client -> server.
@@ -63,14 +58,19 @@ enum class MsgType : std::uint32_t {
   kSessionOpened = 102,  ///< OpenSession outcome (status + session id)
   kSessionClosed = 103,  ///< CloseSession outcome (status)
   kStatsText = 104,      ///< Stats outcome (text page)
-  kError = 105,          ///< protocol violation; the connection closes after
+  kError = net::kErrorType,  ///< protocol violation; the connection closes
   kStatsSnapshot = 106,  ///< StatsBinary outcome (encode_snapshot image)
 };
 
+/// The gateway protocol's message registry — what decode_frame admits on a
+/// gateway connection.
+const net::MessageSet& message_set();
+
 /// Outcome code carried by response frames: engine::SubmitStatus verdicts
-/// plus the two wire-only outcomes (a future that expired after admission,
-/// and gateway-level backpressure when a connection overruns its in-flight
-/// window).
+/// plus the wire-only outcomes (a future that expired after admission,
+/// gateway-level backpressure when a connection overruns its in-flight
+/// window, and a cluster spill landing on a peer serving a different
+/// artifact).
 enum class Status : std::uint32_t {
   kOk = 0,
   kQueueFull = 1,
@@ -81,38 +81,52 @@ enum class Status : std::uint32_t {
   kStopped = 6,
   kDeadlineExpired = 7,  ///< admitted, then lapsed in queue (future failed)
   kWindowFull = 8,       ///< per-connection in-flight window exceeded
+  kWrongArtifact = 9,    ///< spill peer serves a different model generation
 };
 
 const char* status_name(Status s);
 
-/// One decoded frame: the common header plus the still-encoded body (typed
-/// decode_* helpers below parse it).
-struct Frame {
-  MsgType type = MsgType::kError;
-  std::uint64_t request_id = 0;
-  engine::RequestClass cls = engine::RequestClass::kInteractive;
-  std::uint64_t deadline_us = 0;  ///< relative budget; 0 = none
-  std::string body;
+// --- the status table (engine verdict <-> wire code <-> client exception) ----
+
+/// Engine admission verdict -> wire status. Total over SubmitStatus; the
+/// single map every server-side reply path uses.
+Status from_submit_status(engine::SubmitStatus status);
+
+/// Wire status -> nearest engine verdict (for targets that surface an
+/// engine-shaped API over a socket). Wire-only codes fold: kDeadlineExpired
+/// -> kExpired, kWindowFull -> kQueueFull, kWrongArtifact -> kNoShard.
+engine::SubmitStatus to_submit_status(Status status);
+
+/// Rejection that reached the client over the wire after admission-time
+/// accounting was no longer possible (a pipelined socket learns the verdict
+/// only when the response frame arrives). Carries the wire status; load
+/// harnesses count it as a shed, mirroring an immediate kQueueFull.
+class WireRejected : public std::runtime_error {
+ public:
+  explicit WireRejected(Status status)
+      : std::runtime_error(std::string("rejected over the wire: ") +
+                           status_name(status)),
+        status(status) {}
+  Status status;
 };
 
-// --- framing -----------------------------------------------------------------
+/// The one non-kOk-status -> exception map client readers install on their
+/// waiting futures: kDeadlineExpired becomes engine::DeadlineExpired (so
+/// wire and in-process targets fail identically), everything else a
+/// WireRejected carrying the status.
+std::exception_ptr rejection_exception(Status status);
 
-/// Encodes header + body and prepends the u32 length prefix.
-std::string encode_frame(const Frame& frame);
+// --- framing (shared codec, gateway vocabulary) ------------------------------
 
-enum class DecodeResult {
-  kFrame,      ///< one frame consumed from the buffer into `out`
-  kNeedMore,   ///< buffer holds a partial frame; read more bytes
-  kMalformed,  ///< unrecoverable framing/header error; close the connection
-};
+inline std::string encode_frame(const Frame& frame) {
+  return net::encode_frame(frame);
+}
 
-/// Consumes at most one frame from the front of `buffer`. On kMalformed the
-/// buffer is left as-is (the connection is dead anyway) and `error` (when
-/// non-null) names the violation: oversized length prefix, bad magic,
-/// version mismatch, unknown message type, or truncated header.
-DecodeResult decode_frame(std::string& buffer, Frame& out,
-                          std::size_t max_frame_bytes = kDefaultMaxFrameBytes,
-                          std::string* error = nullptr);
+inline DecodeResult decode_frame(std::string& buffer, Frame& out,
+                                 std::size_t max_frame_bytes = kDefaultMaxFrameBytes,
+                                 std::string* error = nullptr) {
+  return net::decode_frame(message_set(), buffer, out, max_frame_bytes, error);
+}
 
 // --- request bodies ----------------------------------------------------------
 
@@ -144,8 +158,12 @@ bool decode_session_opened_body(std::string_view body, Status& status,
 std::string encode_status_body(Status status);
 bool decode_status_body(std::string_view body, Status& status);
 
-std::string encode_text_body(std::string_view text);
-bool decode_text_body(std::string_view body, std::string& text);
+inline std::string encode_text_body(std::string_view text) {
+  return net::encode_text_body(text);
+}
+inline bool decode_text_body(std::string_view body, std::string& text) {
+  return net::decode_text_body(body, text);
+}
 
 }  // namespace noble::gateway::wire
 

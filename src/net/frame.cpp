@@ -1,0 +1,114 @@
+#include "net/frame.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "nn/serialize.h"
+
+namespace noble::net {
+
+namespace {
+
+void set_error(std::string* error, const char* what) {
+  if (error != nullptr) *error = what;
+}
+
+}  // namespace
+
+MessageSet::MessageSet(const char* protocol, std::vector<Entry> entries)
+    : protocol_(protocol), entries_(std::move(entries)) {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.id < b.id; });
+}
+
+bool MessageSet::known(std::uint32_t id) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const Entry& e, std::uint32_t value) { return e.id < value; });
+  return it != entries_.end() && it->id == id;
+}
+
+const char* MessageSet::name_of(std::uint32_t id) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const Entry& e, std::uint32_t value) { return e.id < value; });
+  return it != entries_.end() && it->id == id ? it->name : "?";
+}
+
+std::string encode_frame(const Frame& frame) {
+  nn::ByteWriter payload;
+  payload.u32(kMagic);
+  payload.u32(frame.type.raw());
+  payload.u64(frame.request_id);
+  payload.u8(static_cast<std::uint8_t>(engine::request_class_index(frame.cls)));
+  payload.u64(frame.deadline_us);
+  std::string out;
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(payload.bytes().size() + frame.body.size());
+  out.reserve(sizeof length + length);
+  out.append(reinterpret_cast<const char*>(&length), sizeof length);
+  out.append(payload.bytes());
+  out.append(frame.body);
+  return out;
+}
+
+DecodeResult decode_frame(const MessageSet& set, std::string& buffer, Frame& out,
+                          std::size_t max_frame_bytes, std::string* error) {
+  if (buffer.size() < sizeof(std::uint32_t)) return DecodeResult::kNeedMore;
+  std::uint32_t length = 0;
+  std::memcpy(&length, buffer.data(), sizeof length);
+  // The length prefix is attacker-controlled until proven otherwise: cap it
+  // before allocating or waiting on it. There is no resync point in the
+  // stream, so an oversized frame is terminal, not skippable.
+  if (length > max_frame_bytes) {
+    set_error(error, "oversized length prefix");
+    return DecodeResult::kMalformed;
+  }
+  if (buffer.size() < sizeof length + length) return DecodeResult::kNeedMore;
+
+  nn::ByteReader header(std::string_view(buffer).substr(sizeof length, length));
+  std::uint32_t magic = 0, raw_type = 0;
+  std::uint8_t cls_index = 0;
+  Frame frame;
+  if (!header.u32(magic) || !header.u32(raw_type) || !header.u64(frame.request_id) ||
+      !header.u8(cls_index) || !header.u64(frame.deadline_us)) {
+    set_error(error, "truncated frame header");
+    return DecodeResult::kMalformed;
+  }
+  if (magic != kMagic) {
+    // Distinguish a protocol peer speaking another version from raw garbage
+    // — the error a two-sided deploy actually hits deserves its own text.
+    set_error(error, (magic & 0xFFFFFF00u) == kProtocolTag ? "version mismatch"
+                                                           : "bad magic");
+    return DecodeResult::kMalformed;
+  }
+  if (!set.known(raw_type)) {
+    set_error(error, "unknown message type");
+    return DecodeResult::kMalformed;
+  }
+  if (cls_index >= engine::kNumRequestClasses) {
+    set_error(error, "unknown request class");
+    return DecodeResult::kMalformed;
+  }
+  frame.type = raw_type;
+  frame.cls = cls_index == 0 ? engine::RequestClass::kInteractive
+                             : engine::RequestClass::kBulk;
+  constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 1 + 8;
+  frame.body.assign(buffer, sizeof length + kHeaderBytes, length - kHeaderBytes);
+  buffer.erase(0, sizeof length + length);
+  out = std::move(frame);
+  return DecodeResult::kFrame;
+}
+
+std::string encode_text_body(std::string_view text) {
+  nn::ByteWriter w;
+  w.str(text);
+  return w.take();
+}
+
+bool decode_text_body(std::string_view body, std::string& text) {
+  nn::ByteReader r(body);
+  return r.str(text) && r.exhausted();
+}
+
+}  // namespace noble::net

@@ -1,0 +1,151 @@
+// noble::net — the shared frame codec under every socket protocol in the
+// tree (the gateway's client wire and the cluster's inter-node RPC).
+//
+// Every frame on a noble connection is
+//
+//   u32 payload_length | payload
+//
+// and every payload opens with the same header, encoded with the
+// nn/serialize ByteWriter/ByteReader codec the model artifacts already use:
+//
+//   u32 magic+version ("NGW" + version byte)   — versioned magic
+//   u32 message type                           — protocol-scoped id
+//   u64 request id                             — echoed on the response
+//   u8  request class                          — interactive / bulk
+//   u64 deadline budget (us, 0 = none)         — relative, resolved by the
+//                                                server against its clock at
+//                                                decode (clocks never cross
+//                                                the wire)
+//
+// followed by a per-type body owned by the protocol. What makes the codec
+// shareable is the MessageSet registry: each protocol registers its message
+// ids (gateway request/response types, cluster hello/heartbeat/spill/
+// rollout types) and hands its set to decode_frame, which enforces
+// membership exactly like it enforces the magic — one framing loop, one
+// defensive-decode contract, per-protocol vocabularies.
+//
+// Decoding is defensive at every step: a length prefix beyond
+// max_frame_bytes, a bad magic, an unsupported version, a type outside the
+// protocol's MessageSet or a truncated header all yield kMalformed with a
+// reason, and a server answers with one kError frame and closes the
+// connection. A short buffer is just kNeedMore — framing state, not an
+// error.
+#ifndef NOBLE_NET_FRAME_H_
+#define NOBLE_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "engine/bounded_queue.h"
+
+namespace noble::net {
+
+/// "NGW" + one version byte. Bumping the protocol bumps only the low byte,
+/// so a decoder can tell "other version" apart from "not our protocol".
+/// (The tag predates the transport extraction — kept so existing gateway
+/// peers stay wire-compatible.)
+inline constexpr std::uint32_t kProtocolTag = 0x4E475700u;  // "NGW\0"
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::uint32_t kMagic = kProtocolTag | kVersion;
+
+/// Hard ceiling a decoder applies to the length prefix before trusting it.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
+
+/// The one message id every MessageSet must register: the error frame a
+/// server sends before closing on a protocol violation. Shared across
+/// protocols so a client library can recognize "the peer is hanging up on
+/// me" without knowing which protocol the peer speaks.
+inline constexpr std::uint32_t kErrorType = 105;
+
+/// A message-type id on the wire. Stores the raw u32 but converts to and
+/// compares against any protocol's enum, so gateway code keeps writing
+/// `frame.type = MsgType::kLocate` while the codec stays protocol-blind.
+class TypeId {
+ public:
+  constexpr TypeId() = default;
+  constexpr TypeId(std::uint32_t raw) : raw_(raw) {}  // NOLINT(google-explicit-constructor)
+  template <typename E, typename = std::enable_if_t<std::is_enum_v<E>>>
+  constexpr TypeId(E e) : raw_(static_cast<std::uint32_t>(e)) {}  // NOLINT
+
+  constexpr std::uint32_t raw() const { return raw_; }
+  explicit constexpr operator std::uint32_t() const { return raw_; }
+  /// View as a protocol enum (caller has already checked membership — the
+  /// decoder's MessageSet pass guarantees it for decoded frames).
+  template <typename E>
+  constexpr E as() const {
+    return static_cast<E>(raw_);
+  }
+
+  friend constexpr bool operator==(TypeId a, TypeId b) { return a.raw_ == b.raw_; }
+  friend constexpr bool operator!=(TypeId a, TypeId b) { return a.raw_ != b.raw_; }
+
+ private:
+  std::uint32_t raw_ = 0;
+};
+
+/// One protocol's message vocabulary: the registry decode_frame validates
+/// inbound type ids against. Built once per protocol (function-local static)
+/// and shared by every socket speaking it.
+class MessageSet {
+ public:
+  struct Entry {
+    std::uint32_t id = 0;
+    const char* name = "?";
+  };
+
+  MessageSet(const char* protocol, std::vector<Entry> entries);
+
+  const char* protocol() const { return protocol_; }
+  bool known(std::uint32_t id) const;
+  /// Human-readable name for logs/tests; "?" for ids outside the set.
+  const char* name_of(std::uint32_t id) const;
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  const char* protocol_;
+  std::vector<Entry> entries_;  ///< sorted by id
+};
+
+/// One decoded frame: the common header plus the still-encoded body (the
+/// protocol's typed decode_* helpers parse it).
+struct Frame {
+  TypeId type{};
+  std::uint64_t request_id = 0;
+  engine::RequestClass cls = engine::RequestClass::kInteractive;
+  std::uint64_t deadline_us = 0;  ///< relative budget; 0 = none
+  std::string body;
+};
+
+// --- framing -----------------------------------------------------------------
+
+/// Encodes header + body and prepends the u32 length prefix.
+std::string encode_frame(const Frame& frame);
+
+enum class DecodeResult {
+  kFrame,      ///< one frame consumed from the buffer into `out`
+  kNeedMore,   ///< buffer holds a partial frame; read more bytes
+  kMalformed,  ///< unrecoverable framing/header error; close the connection
+};
+
+/// Consumes at most one frame from the front of `buffer`, admitting only
+/// message types registered in `set`. On kMalformed the buffer is left
+/// as-is (the connection is dead anyway) and `error` (when non-null) names
+/// the violation: oversized length prefix, bad magic, version mismatch,
+/// unknown message type, or truncated header.
+DecodeResult decode_frame(const MessageSet& set, std::string& buffer, Frame& out,
+                          std::size_t max_frame_bytes = kDefaultMaxFrameBytes,
+                          std::string* error = nullptr);
+
+// --- shared bodies -----------------------------------------------------------
+
+/// Error frames (and any other single-string payload) share one body codec
+/// across protocols: u64-length-prefixed raw bytes.
+std::string encode_text_body(std::string_view text);
+bool decode_text_body(std::string_view body, std::string& text);
+
+}  // namespace noble::net
+
+#endif  // NOBLE_NET_FRAME_H_

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/fpmath.h"
+#include "common/hash.h"
 #include "nn/activations.h"
 #include "nn/dense.h"
 #include "nn/serialize.h"
@@ -15,6 +16,7 @@ ImuLocalizer::ImuLocalizer(core::NobleImuTracker tracker)
     : tracker_(std::move(tracker)) {
   NOBLE_EXPECTS(tracker_.fitted());
   build_segment_nets();
+  artifact_digest_ = common::fnv1a64(encode_model(tracker_));
 }
 
 void ImuLocalizer::build_segment_nets() {

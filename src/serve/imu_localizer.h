@@ -12,6 +12,7 @@
 #ifndef NOBLE_SERVE_IMU_LOCALIZER_H_
 #define NOBLE_SERVE_IMU_LOCALIZER_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -67,6 +68,11 @@ class ImuLocalizer {
   /// Expected floats per segment window.
   std::size_t segment_dim() const { return tracker_.segment_dim(); }
 
+  /// Content identity of the fitted tracker: FNV-1a over its serialized
+  /// artifact bytes, computed once at construction (see
+  /// WifiLocalizer::artifact_digest).
+  std::uint64_t artifact_digest() const { return artifact_digest_; }
+
   const core::SpaceQuantizer& quantizer() const { return tracker_.quantizer(); }
   const core::NobleImuTracker& tracker() const { return tracker_; }
 
@@ -98,6 +104,7 @@ class ImuLocalizer {
   /// per-update cost is one segment's work, not a full padded layout.
   nn::Sequential seg_proj_;
   nn::Sequential seg_head_;
+  std::uint64_t artifact_digest_ = 0;
 };
 
 /// One live track: consumes IMU segments incrementally, emits a fix per

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "common/hash.h"
 #include "data/preprocess.h"
 #include "serve/artifact.h"
 
@@ -11,6 +12,10 @@ namespace noble::serve {
 WifiLocalizer::WifiLocalizer(core::NobleWifiModel model) : model_(std::move(model)) {
   NOBLE_EXPECTS(model_.fitted());
   plan_ = optimize_network(model_.network(), OptimizedNetwork::Precision::kFloat32);
+  // Serialized-artifact bytes are the canonical identity: a loaded artifact
+  // and its in-memory original digest identically, and retraining (new
+  // weights) always changes the bytes.
+  artifact_digest_ = common::fnv1a64(encode_model(model_));
 }
 
 WifiLocalizer WifiLocalizer::from_model(const core::NobleWifiModel& model) {

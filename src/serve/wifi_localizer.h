@@ -8,6 +8,7 @@
 #ifndef NOBLE_SERVE_WIFI_LOCALIZER_H_
 #define NOBLE_SERVE_WIFI_LOCALIZER_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
@@ -53,6 +54,13 @@ class WifiLocalizer {
   /// Expected scan width (access-point count the model was fitted on).
   std::size_t num_aps() const { return model_.input_dim(); }
 
+  /// Content identity of the fitted model: FNV-1a over its serialized
+  /// artifact bytes, computed once at construction. Two localizers with
+  /// equal digests serve bit-identical fixes (same weights, same quantizer)
+  /// — the comparison the cluster uses to decide where a spilled request
+  /// may land and when a rollout has converged.
+  std::uint64_t artifact_digest() const { return artifact_digest_; }
+
   const core::SpaceQuantizer& quantizer() const { return model_.quantizer(); }
   const core::NobleWifiModel& model() const { return model_; }
 
@@ -67,6 +75,7 @@ class WifiLocalizer {
   // Built once at construction (the serving "load_model optimization pass");
   // borrows only heap-stable layer state, so moving the localizer is safe.
   std::shared_ptr<const OptimizedNetwork> plan_;
+  std::uint64_t artifact_digest_ = 0;
 };
 
 }  // namespace noble::serve

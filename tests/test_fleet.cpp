@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <random>
 #include <span>
 #include <string>
@@ -359,6 +360,58 @@ TEST(FleetStats, LiveRouterTotalsAreTheSumOfShards) {
   EXPECT_EQ(stats.total.latency_us.count(), shard_latency_count);
   EXPECT_GE(stats.total.latency_p50_us, stats.total.latency_us.min_recorded());
   EXPECT_LE(stats.total.latency_p50_us, stats.total.latency_us.max_recorded());
+}
+
+// Artifact identity: the digest two cluster nodes compare before a spilled
+// request may land, surfaced through every telemetry view of the router.
+TEST(RouterArtifacts, DigestsIdentifyModelsAcrossShardsSwapsAndStats) {
+  Router router;
+  ASSERT_TRUE(router.add_shard(shard_config("A"), localizer_a()));
+  ASSERT_TRUE(router.add_shard(shard_config("A2"), localizer_a()));
+  ASSERT_TRUE(router.add_shard(shard_config("B"), localizer_b()));
+
+  // Same model => same digest (content identity, not per-shard identity);
+  // different model => different digest; no digest is the zero sentinel.
+  std::map<std::string, ShardArtifact> by_key;
+  for (ShardArtifact& artifact : router.shard_artifacts()) {
+    by_key.emplace(artifact.shard, std::move(artifact));
+  }
+  ASSERT_EQ(by_key.size(), 3u);
+  EXPECT_NE(by_key.at("A").digest, 0u);
+  EXPECT_EQ(by_key.at("A").digest, localizer_a().artifact_digest());
+  EXPECT_EQ(by_key.at("A").digest, by_key.at("A2").digest);
+  EXPECT_NE(by_key.at("A").digest, by_key.at("B").digest);
+  EXPECT_EQ(by_key.at("B").digest, localizer_b().artifact_digest());
+
+  // FleetStats carries the same identity plus the live generation.
+  const FleetStats before = router.stats();
+  ASSERT_EQ(before.artifacts.size(), 3u);
+  EXPECT_EQ(before.artifacts.at("A").digest, localizer_a().artifact_digest());
+  EXPECT_EQ(before.artifacts.at("B").digest, localizer_b().artifact_digest());
+
+  // hot_swap changes the digest and bumps the generation in both views.
+  ASSERT_TRUE(router.hot_swap("A", localizer_b()));
+  const FleetStats after = router.stats();
+  EXPECT_EQ(after.artifacts.at("A").digest, localizer_b().artifact_digest());
+  EXPECT_GT(after.artifacts.at("A").generation, before.artifacts.at("A").generation);
+  for (const ShardArtifact& artifact : router.shard_artifacts()) {
+    if (artifact.shard == "A") {
+      EXPECT_EQ(artifact.digest, localizer_b().artifact_digest());
+      EXPECT_EQ(artifact.generation, after.artifacts.at("A").generation);
+    }
+    if (artifact.shard == "A2") {
+      EXPECT_EQ(artifact.digest, localizer_a().artifact_digest());
+    }
+  }
+
+  // The depth snapshot names every shard with one bulk lane per engine —
+  // the other half of the heartbeat payload.
+  const auto depths = router.queue_depths();
+  ASSERT_EQ(depths.size(), 3u);
+  for (const ShardDepths& depth : depths) {
+    EXPECT_EQ(depth.engines.size(), depth.bulk.size());
+    EXPECT_EQ(depth.engines.size(), 1u);
+  }
 }
 
 // Hot swap: the replacement generation starts with an empty cache, so a fix

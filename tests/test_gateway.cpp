@@ -17,6 +17,8 @@
 
 #include <chrono>
 #include <cstring>
+#include <iterator>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -248,6 +250,74 @@ TEST(WireCodec, LyingVectorCountIsRejectedWithoutAllocating) {
   std::string key;
   serve::RssiVector rssi;
   EXPECT_FALSE(wire::decode_locate_body(body, key, rssi));
+}
+
+// ---------------------------------------------------------------------------
+// The status table: engine verdict <-> wire code <-> client exception.
+// ---------------------------------------------------------------------------
+
+TEST(WireStatusTable, EngineVerdictsRoundTripThroughTheWire) {
+  // Every engine verdict maps to a distinct wire code and back to itself:
+  // the engine-native subset of the table is a true inverse.
+  const engine::SubmitStatus verdicts[] = {
+      engine::SubmitStatus::kAccepted,     engine::SubmitStatus::kQueueFull,
+      engine::SubmitStatus::kBadDimension, engine::SubmitStatus::kNoSession,
+      engine::SubmitStatus::kNoShard,      engine::SubmitStatus::kExpired,
+      engine::SubmitStatus::kStopped};
+  for (const engine::SubmitStatus verdict : verdicts) {
+    EXPECT_EQ(wire::to_submit_status(wire::from_submit_status(verdict)), verdict);
+  }
+  EXPECT_EQ(wire::from_submit_status(engine::SubmitStatus::kAccepted),
+            wire::Status::kOk);
+}
+
+TEST(WireStatusTable, WireOnlyCodesFoldOntoNearestEngineVerdict) {
+  EXPECT_EQ(wire::to_submit_status(wire::Status::kDeadlineExpired),
+            engine::SubmitStatus::kExpired);
+  EXPECT_EQ(wire::to_submit_status(wire::Status::kWindowFull),
+            engine::SubmitStatus::kQueueFull);
+  EXPECT_EQ(wire::to_submit_status(wire::Status::kWrongArtifact),
+            engine::SubmitStatus::kNoShard);
+}
+
+TEST(WireStatusTable, EveryStatusHasADistinctName) {
+  const wire::Status all[] = {
+      wire::Status::kOk,        wire::Status::kQueueFull,
+      wire::Status::kBadDimension, wire::Status::kNoSession,
+      wire::Status::kNoShard,   wire::Status::kExpired,
+      wire::Status::kStopped,   wire::Status::kDeadlineExpired,
+      wire::Status::kWindowFull, wire::Status::kWrongArtifact};
+  std::set<std::string> names;
+  for (const wire::Status status : all) {
+    names.insert(wire::status_name(status));
+  }
+  EXPECT_EQ(names.size(), std::size(all));
+  EXPECT_STREQ(wire::status_name(wire::Status::kWrongArtifact), "wrong_artifact");
+}
+
+TEST(WireStatusTable, RejectionExceptionMapsDeadlineToEngineType) {
+  // kDeadlineExpired must throw the engine's own exception type so wire and
+  // in-process targets fail identically; every other non-kOk status becomes
+  // a WireRejected carrying the status.
+  EXPECT_THROW(
+      std::rethrow_exception(
+          wire::rejection_exception(wire::Status::kDeadlineExpired)),
+      engine::DeadlineExpired);
+  const wire::Status rejected[] = {
+      wire::Status::kQueueFull,  wire::Status::kBadDimension,
+      wire::Status::kNoSession,  wire::Status::kNoShard,
+      wire::Status::kExpired,    wire::Status::kStopped,
+      wire::Status::kWindowFull, wire::Status::kWrongArtifact};
+  for (const wire::Status status : rejected) {
+    try {
+      std::rethrow_exception(wire::rejection_exception(status));
+      FAIL() << "status " << wire::status_name(status) << " must throw";
+    } catch (const wire::WireRejected& e) {
+      EXPECT_EQ(e.status, status);
+      EXPECT_NE(std::string(e.what()).find(wire::status_name(status)),
+                std::string::npos);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
